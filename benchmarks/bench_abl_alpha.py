@@ -1,0 +1,11 @@
+"""A1 — Ablation: approval threshold alpha.
+
+Regenerates the alpha sweep: delegation volume falls as alpha grows; the
+per-delegation expectation lift is at least alpha.
+"""
+
+
+def test_abl_alpha(run_experiment):
+    result = run_experiment("A1")
+    delegators = result.column("delegators")
+    assert delegators[-1] < delegators[0]

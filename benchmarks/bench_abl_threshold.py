@@ -1,0 +1,11 @@
+"""A2 — Ablation: Algorithm 1's threshold j(n).
+
+Regenerates the threshold sweep: small j maximises delegation and
+adversarial weight concentration; j ~ n stops delegation entirely.
+"""
+
+
+def test_abl_threshold(run_experiment):
+    result = run_experiment("A2")
+    delegators = result.column("delegators")
+    assert delegators == sorted(delegators, reverse=True)

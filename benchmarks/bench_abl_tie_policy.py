@@ -1,0 +1,11 @@
+"""A3 — Ablation: tie policy.
+
+Regenerates the tie-rule comparison: strict-majority vs coin-flip ties
+differ by half the tie mass, which vanishes as n grows.
+"""
+
+
+def test_abl_tie_policy(run_experiment):
+    result = run_experiment("A3")
+    deltas = result.column("worst_case_delta")
+    assert deltas[-1] < deltas[0]

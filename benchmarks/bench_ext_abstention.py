@@ -1,0 +1,10 @@
+"""X1 — Section 6 extension: restricted abstention.
+
+Regenerates the abstention-rate sweep: DNH preserved (gain never
+significantly negative) and SPG persists across abstention rates.
+"""
+
+
+def test_ext_abstention(run_experiment):
+    result = run_experiment("X1")
+    assert min(result.column("gain")) > -0.05

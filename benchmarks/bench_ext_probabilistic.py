@@ -1,0 +1,11 @@
+"""X4 — Section 6 extension: probabilistic competencies.
+
+Regenerates the distribution x topology gain table: with competencies
+resampled from bounded distributions with mean near 1/2 (the Halpern et
+al. model) the gain stays positive in every resample.
+"""
+
+
+def test_ext_probabilistic(run_experiment):
+    result = run_experiment("X4")
+    assert min(result.column("min_gain")) > 0.0

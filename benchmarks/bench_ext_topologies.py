@@ -1,0 +1,13 @@
+"""X3 — Section 6 extension: condition audit on realistic topologies.
+
+Regenerates the cross-family table the paper proposes as future work:
+Lemma 5's max-weight condition versus degree asymmetry and gain, with
+the Figure 1 star profile as the failing configuration.
+"""
+
+
+def test_ext_topologies(run_experiment):
+    result = run_experiment("X3")
+    by_name = {row[0]: row for row in result.rows}
+    assert by_name["star(fig1-p)"][6] < -0.3
+    assert by_name["complete"][6] > 0.0

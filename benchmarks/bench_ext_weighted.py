@@ -1,0 +1,11 @@
+"""X2 — Section 6 extension: weighted majority via best-of-k delegates.
+
+Regenerates the k sweep: delegate competency and expected correct-vote
+fraction increase monotonically in k.
+"""
+
+
+def test_ext_weighted(run_experiment):
+    result = run_experiment("X2")
+    delegate_p = result.column("mean_delegate_p")
+    assert delegate_p[-1] > delegate_p[0]

@@ -1,0 +1,13 @@
+"""X5 — Section 6 extension: full weighted-majority DAG voting.
+
+Regenerates the k/weighting sweep of the complete multi-delegation
+model: the DAG mechanism's gain is at least the single-delegate
+forest's, as Section 6 conjectures.
+"""
+
+
+def test_ext_weighted_dag(run_experiment):
+    result = run_experiment("X5")
+    gains = result.column("gain")
+    base = gains[0]
+    assert all(g >= base - 0.05 for g in gains[1:])

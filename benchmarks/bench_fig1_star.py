@@ -1,0 +1,16 @@
+"""F1 — Figure 1: the star-topology do-no-harm violation.
+
+Regenerates the figure's series: as the star grows, direct voting's
+correctness tends to 1 while delegation to the more competent hub stays
+at the hub competency 5/8, so the gain tends to −3/8.
+"""
+
+
+def test_fig1_star(run_experiment):
+    result = run_experiment("F1")
+    gains = result.column("gain")
+    delegs = result.column("P_delegation")
+    assert all(abs(p - 0.625) < 1e-9 for p in delegs)
+    # loss approaches 3/8 from below as n grows; strictly worsening.
+    assert gains == sorted(gains, reverse=True)
+    assert gains[-1] < -0.25

@@ -1,0 +1,11 @@
+"""F2 — Figure 2: the 9-voter worked delegation example.
+
+Regenerates the figure's content: the induced delegation graph under
+Example 1's mechanism (threshold j = 0) with the figure's competency
+vector, verifying acyclicity and strictly-upward delegation.
+"""
+
+
+def test_fig2_example(run_experiment):
+    result = run_experiment("F2")
+    assert not any("VIOLATED" in obs for obs in result.observations)

@@ -1,0 +1,15 @@
+"""I0 — the Kahng et al. impossibility backdrop.
+
+Regenerates the two-family series: the same local mechanism keeps a
+positive gain on complete graphs while its star-family loss converges
+to 3/8 instead of vanishing.
+"""
+
+
+def test_impossibility(run_experiment):
+    result = run_experiment("I0")
+    benign = result.column("gain_benign(K_n)")
+    trap = result.column("gain_trap(star)")
+    assert min(benign) > 0.05
+    assert trap[-1] < -0.25
+    assert trap == sorted(trap, reverse=True)  # loss worsens with n

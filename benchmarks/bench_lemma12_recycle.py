@@ -1,0 +1,12 @@
+"""L1L2 — Lemmas 1–2: recycle-sampling concentration.
+
+Regenerates the concentration series: the empirical probability that the
+recycle-sampled sum X_n falls below mu(X_n) − c·eps·n/j^(1/3), swept over
+the independent prefix j and the partition complexity c.
+"""
+
+
+def test_lemma12_recycle(run_experiment):
+    result = run_experiment("L1L2")
+    # failure rates must be small everywhere at eps = 1
+    assert max(result.column("P[fail]")) <= 0.2

@@ -1,0 +1,13 @@
+"""L3 — Lemma 3: anti-concentration for bounded competencies.
+
+Regenerates the loss-bound series: the exact probability that at most
+n^(1/2−eps) adversarial delegations can flip the outcome, versus the
+paper's erf bound; both must vanish as n grows, with the bound dominating.
+"""
+
+
+def test_lemma3_anticoncentration(run_experiment):
+    result = run_experiment("L3")
+    flips = result.column("flip_exact")
+    bounds = result.column("erf_bound")
+    assert all(b >= f - 1e-9 for f, b in zip(flips, bounds))

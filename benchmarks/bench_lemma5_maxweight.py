@@ -1,0 +1,13 @@
+"""L5 — Lemma 5: maximum sink weight and variance manipulation.
+
+Regenerates the weight sweep: empirical deviations of the weighted
+correct-vote count stay within the radius sqrt(n^(1+eps))·w, and the
+exact correctness probability degrades monotonically as the weight cap
+w grows toward n (dictatorship).
+"""
+
+
+def test_lemma5_maxweight(run_experiment):
+    result = run_experiment("L5")
+    probs = result.column("P_correct")
+    assert probs == sorted(probs, reverse=True)

@@ -1,0 +1,74 @@
+"""Micro-benchmarks of the library's hot paths.
+
+Not tied to a paper artefact — these track the performance of the
+building blocks that the experiment benchmarks compose: exact PMF DPs,
+vectorised delegation sampling, forest resolution and recycle sampling.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.competencies import bounded_uniform_competencies
+from repro.core.instance import ProblemInstance
+from repro.delegation.graph import DelegationGraph
+from repro.graphs.generators import complete_graph, random_regular_graph
+from repro.mechanisms.threshold import ApprovalThreshold
+from repro.sampling.recycle import RecycleSamplingGraph
+from repro.voting.exact import (
+    forest_correct_probability,
+    poisson_binomial_pmf,
+)
+
+N = 2048
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return ProblemInstance(
+        complete_graph(N), bounded_uniform_competencies(N, 0.35, seed=0), alpha=0.05
+    )
+
+
+@pytest.fixture(scope="module")
+def mechanism():
+    return ApprovalThreshold(lambda d: max(1.0, d ** (1 / 3)))
+
+
+def test_poisson_binomial_pmf_2048(benchmark):
+    p = bounded_uniform_competencies(N, 0.35, seed=1)
+    pmf = benchmark(poisson_binomial_pmf, p)
+    assert pmf.sum() == pytest.approx(1.0)
+
+
+def test_sample_delegations_complete_2048(benchmark, instance, mechanism):
+    instance.approval_structure()  # exclude one-time build from timing
+    rng = np.random.default_rng(0)
+    forest = benchmark(mechanism.sample_delegations, instance, rng)
+    assert forest.num_voters == N
+
+
+def test_forest_correct_probability_2048(benchmark, instance, mechanism):
+    forest = mechanism.sample_delegations(instance, 0)
+    p = benchmark(forest_correct_probability, forest, instance.competencies)
+    assert 0.0 <= p <= 1.0
+
+
+def test_delegation_resolution_chain_heavy(benchmark):
+    # worst-case long chains: voter i delegates to i+1
+    delegates = list(range(1, N)) + [-1]
+    forest = benchmark(DelegationGraph, delegates)
+    assert forest.max_weight() == N
+
+
+def test_random_regular_generation(benchmark):
+    g = benchmark(random_regular_graph, 1024, 16, 7)
+    assert g.is_regular()
+
+
+def test_recycle_sampling_2000_nodes(benchmark):
+    graph = RecycleSamplingGraph.layered(
+        [[0.55] * 200] + [[0.55] * 600] * 3, fresh_prob=0.3
+    )
+    rng = np.random.default_rng(0)
+    total = benchmark(graph.sample_sum, rng)
+    assert 0 <= total <= graph.num_nodes

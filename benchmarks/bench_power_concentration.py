@@ -1,0 +1,15 @@
+"""X6 — voting-power concentration versus harm.
+
+Regenerates the mechanism sweep on the Figure 1 star family: Banzhaf
+power concentration and loss move together; weight caps remove both.
+"""
+
+
+def test_power_concentration(run_experiment):
+    result = run_experiment("X6")
+    by_name = {row[0]: row for row in result.rows}
+    greedy = by_name["greedy-best"]
+    direct = by_name["direct"]
+    assert greedy[3] > 0.99  # dictator index ~ 1
+    assert greedy[5] < -0.2  # and it loses
+    assert abs(direct[5]) < 1e-9

@@ -1,0 +1,13 @@
+"""T2 — Theorem 2: Algorithm 1 on complete graphs.
+
+Regenerates the SPG/DNH table: positive gain on every PC≈0 instance with
+enough delegation, vanishing loss on the adversarial few-experts family.
+"""
+
+
+def test_thm2_complete(run_experiment):
+    result = run_experiment("T2")
+    spg_gains = [row[6] for row in result.rows if row[0] == "spg"]
+    dnh_gains = [row[6] for row in result.rows if row[0] == "dnh"]
+    assert min(spg_gains) > 0.05
+    assert min(dnh_gains) > -0.05

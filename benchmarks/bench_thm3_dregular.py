@@ -1,0 +1,11 @@
+"""T3 — Theorem 3: Algorithm 2 on random d-regular graphs.
+
+Regenerates the SPG/DNH table on Rand(n, d): sampled-neighbourhood
+delegation behaves like the complete graph with a scaled threshold.
+"""
+
+
+def test_thm3_dregular(run_experiment):
+    result = run_experiment("T3")
+    spg_gains = [row[6] for row in result.rows if row[0] == "spg"]
+    assert min(spg_gains) > 0.0

@@ -1,0 +1,12 @@
+"""T4 — Theorem 4: bounded maximum degree graphs.
+
+Regenerates the degree sweep: small maximum degree caps sink weights for
+any mechanism, preserving do-no-harm while positive gain persists with
+enough delegation.
+"""
+
+
+def test_thm4_bounded_degree(run_experiment):
+    result = run_experiment("T4")
+    dnh_gains = [row[6] for row in result.rows if row[0] == "dnh"]
+    assert min(dnh_gains) > -0.05

@@ -1,0 +1,13 @@
+"""T5 — Theorem 5: bounded minimal degree graphs.
+
+Regenerates the δ = n^ε sweep for the half-neighbourhood mechanism:
+positive gain with ≥ √n delegations, vanishing loss.
+"""
+
+
+def test_thm5_min_degree(run_experiment):
+    result = run_experiment("T5")
+    spg_gains = [row[7] for row in result.rows if row[0] == "spg"]
+    dnh_gains = [row[7] for row in result.rows if row[0] == "dnh"]
+    assert min(spg_gains) > 0.0
+    assert min(dnh_gains) > -0.05

@@ -1,0 +1,36 @@
+"""Shared machinery for the benchmark suite.
+
+Every experiment benchmark times the experiment runner at smoke scale
+(so `pytest benchmarks/ --benchmark-only` completes in minutes) and
+prints the reproduced table — the same rows/series the corresponding
+paper artefact reports — to the terminal.  Set REPRO_BENCH_SCALE=default
+or =full in the environment to regenerate the EXPERIMENTS.md numbers.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments import ExperimentConfig, get_experiment
+
+BENCH_SCALE = os.environ.get("REPRO_BENCH_SCALE", "smoke")
+BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "0"))
+
+
+@pytest.fixture
+def run_experiment(benchmark, capsys):
+    """Run one registered experiment under pytest-benchmark and print it."""
+
+    def run(experiment_id: str, rounds: int = 1):
+        cfg = ExperimentConfig(seed=BENCH_SEED, scale=BENCH_SCALE)
+        runner = get_experiment(experiment_id)
+        result = benchmark.pedantic(
+            runner, args=(cfg,), rounds=rounds, iterations=1, warmup_rounds=0
+        )
+        with capsys.disabled():
+            print("\n" + result.to_table())
+        return result
+
+    return run

@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Continuous governance: liquid democracy over a year of ballots.
+
+Real deployments (DAOs, LiquidFeedback instances) don't run one
+election — they run dozens, while voter expertise drifts and
+occasionally gets invalidated by reorganisations.  This example runs a
+52-ballot series on a fixed social graph with mean-reverting competency
+drift plus rare shocks, and answers the operator questions:
+
+* did delegation beat direct voting on average, and in how many rounds
+  did it lose?
+* did weight concentration stay under control across the whole series?
+* how did the realised (binary) outcomes compare to expectation?
+
+Run:  python examples/continuous_governance.py
+"""
+
+import numpy as np
+
+from repro import (
+    ApprovalThreshold,
+    ElectionSeries,
+    GreedyBest,
+    OrnsteinUhlenbeckDrift,
+    ShockDrift,
+    bounded_uniform_competencies,
+    random_regular_graph,
+    star_graph,
+)
+from repro._util.tables import render_table
+
+SEED = 33
+
+
+def main() -> None:
+    n = 512
+    graph = random_regular_graph(n, 16, seed=SEED)
+    drift = ShockDrift(
+        OrnsteinUhlenbeckDrift(baseline=0.5, rate=0.2, sigma=0.02,
+                               low=0.3, high=0.7),
+        shock_prob=0.1,        # roughly five shocks per year
+        shock_fraction=0.2,    # each hitting a fifth of the org
+    )
+    series = ElectionSeries(
+        graph,
+        bounded_uniform_competencies(n, 0.35, seed=SEED),
+        ApprovalThreshold(lambda d: max(1.0, d ** (1 / 3))),
+        drift=drift,
+        alpha=0.05,
+    )
+    summary = series.run(52, seed=SEED)
+
+    print("=== healthy deployment: 16-regular graph, Algorithm 1 ===")
+    print(summary.describe())
+    print()
+    rows = [
+        [r.round_index, f"{r.mean_competency:.3f}", f"{r.gain:+.4f}",
+         r.num_delegators, r.max_weight,
+         "Y" if r.realized_correct else "n"]
+        for r in series.records[::8]
+    ]
+    print(
+        render_table(
+            ["round", "mean p", "gain", "delegators", "max_w", "correct"],
+            rows,
+            title="every 8th ballot",
+        )
+    )
+    print()
+
+    # Contrast: the same year on a star with a barely-better hub.
+    m = 257
+    p = np.full(m, 9 / 16)
+    p[0] = 5 / 8
+    bad = ElectionSeries(star_graph(m), p, GreedyBest(), alpha=0.01)
+    bad_summary = bad.run(52, seed=SEED)
+    print("=== pathological deployment: star + delegate-to-best ===")
+    print(bad_summary.describe())
+    print(
+        "\nReading: the regular-graph deployment sustains its gain through "
+        "drift and\nshocks with bounded weight concentration; the star "
+        "deployment loses in every\nround because all 52 ballots ride on one "
+        "delegate — the Figure 1 failure as a\ntime series."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Corporate proxy voting: teams, locality and abstention.
+
+The paper motivates local delegation with corporate settings where
+employees only delegate to colleagues they know.  This example models a
+company as a connected caveman graph (tight teams, thin cross-team
+links) and studies:
+
+1. Theorem 5's mechanism — delegate when at least half of your
+   neighbours are more competent — on this high-min-degree topology;
+2. the Section 6 abstention extension: decision-agnostic employees who
+   could delegate simply sit the vote out, which must not harm the
+   outcome;
+3. how the outcome probability moves with the share of abstainers.
+
+Run:  python examples/corporate_network.py
+"""
+
+import numpy as np
+
+from repro import (
+    AbstentionMechanism,
+    FractionApproved,
+    ProblemInstance,
+    connected_caveman_graph,
+    monte_carlo_gain,
+)
+from repro._util.tables import render_table
+from repro.voting.exact import direct_voting_probability
+from repro.voting.montecarlo import estimate_ballot_probability
+
+SEED = 5
+
+
+def main() -> None:
+    teams, team_size = 80, 12
+    graph = connected_caveman_graph(teams, team_size)
+    n = graph.num_vertices
+    rng = np.random.default_rng(SEED)
+    # Each team has a spread of expertise on the issue at hand.
+    competencies = np.concatenate(
+        [np.sort(rng.uniform(0.38, 0.62, team_size)) for _ in range(teams)]
+    )
+    instance = ProblemInstance(graph, competencies, alpha=0.03)
+    print(
+        f"company: {teams} teams x {team_size} = {n} employees, "
+        f"min degree {graph.min_degree()}"
+    )
+    print(f"mean competency = {instance.mean_competency():.3f}\n")
+
+    mechanism = FractionApproved(0.5)  # Theorem 5's mechanism
+    baseline = monte_carlo_gain(instance, mechanism, rounds=120, seed=SEED)
+    print(f"{mechanism.name}: P_direct={baseline.direct_probability:.4f}, "
+          f"P_deleg={baseline.mechanism_probability:.4f}, "
+          f"gain={baseline.gain:+.4f}\n")
+
+    p_direct = direct_voting_probability(instance.competencies)
+    rows = []
+    for rate in (0.0, 0.2, 0.4, 0.6, 0.8):
+        wrapped = AbstentionMechanism(mechanism, rate)
+        ballot = wrapped.sample_ballot(instance, SEED)
+        estimate = estimate_ballot_probability(
+            instance, wrapped, rounds=120, seed=SEED
+        )
+        rows.append(
+            [
+                f"{rate:.0%}",
+                len(ballot.abstaining),
+                ballot.participating_weight,
+                f"{estimate.probability:.4f}",
+                f"{estimate.probability - p_direct:+.4f}",
+            ]
+        )
+    print(
+        render_table(
+            ["abstain rate", "abstainers", "active weight", "P(correct)", "gain"],
+            rows,
+            title="Restricted abstention (only delegation-capable employees may abstain)",
+        )
+    )
+    print(
+        "\nReading: abstention thins the electorate but, because only "
+        "voters with a\nmore-competent neighbour may abstain, the decision "
+        "quality never falls below\ndirect voting — the paper's DNH-preserving "
+        "abstention model."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""DAO governance: delegation on a hub-heavy social graph.
+
+Blockchain DAOs are one of the paper's motivating deployments, and
+empirical studies it cites found voting power concentrating on a few
+delegates.  This example models a DAO's delegation social graph as a
+Barabási–Albert network (token holders tend to know/follow the same few
+prominent accounts), then:
+
+1. measures weight concentration and the Lemma 5 condition for an eager
+   local delegation mechanism;
+2. shows the paper's remedy — capping any delegate's weight — restores
+   do-no-harm without giving up most of the gain;
+3. prints the governance dashboard a DAO operator would act on.
+
+Run:  python examples/dao_governance.py
+"""
+
+import numpy as np
+
+from repro import (
+    CappedRandomApproved,
+    ProblemInstance,
+    RandomApproved,
+    audit_lemma5_conditions,
+    barabasi_albert_graph,
+    monte_carlo_gain,
+    structural_asymmetry,
+    weight_profile,
+)
+from repro._util.tables import render_table
+
+SEED = 21
+
+
+def main() -> None:
+    n = 2000
+    graph = barabasi_albert_graph(n, m=3, seed=SEED)
+    rng = np.random.default_rng(SEED)
+    # Competency: most holders are barely informed; a long tail of
+    # researchers is much better. Mean sits near 1/2.
+    competencies = np.clip(rng.beta(8, 8, size=n) * 0.5 + 0.25, 0.05, 0.95)
+    instance = ProblemInstance(graph, competencies, alpha=0.04)
+
+    print(f"DAO social graph: n={n}, m={graph.num_edges}, "
+          f"degree asymmetry (Gini) = {structural_asymmetry(graph):.3f}")
+    print(f"mean competency = {instance.mean_competency():.3f}\n")
+
+    eager = RandomApproved()
+    rows = []
+    for mechanism in [
+        eager,
+        CappedRandomApproved(max_weight=int(np.sqrt(n))),
+        CappedRandomApproved(max_weight=8),
+    ]:
+        forest = mechanism.sample_delegations(instance, SEED)
+        profile = weight_profile(forest)
+        audit = audit_lemma5_conditions(instance, mechanism, rounds=10, seed=SEED)
+        estimate = monte_carlo_gain(instance, mechanism, rounds=120, seed=SEED)
+        rows.append(
+            [
+                mechanism.name,
+                profile.num_delegators,
+                profile.max_weight,
+                f"{profile.effective_num_voters:.0f}",
+                "yes" if audit.holds else "NO",
+                f"{estimate.gain:+.4f}",
+            ]
+        )
+
+    print(
+        render_table(
+            ["mechanism", "delegators", "max_weight", "eff_voters",
+             "lemma5_ok", "gain"],
+            rows,
+            title="DAO delegation dashboard",
+        )
+    )
+    print(
+        "\nReading: the eager local mechanism concentrates weight on hub "
+        "accounts;\ncapping the per-delegate weight (the Lemma 5 condition) "
+        "keeps the effective\nelectorate large while preserving most of the "
+        "gain over direct voting."
+    )
+
+
+if __name__ == "__main__":
+    main()

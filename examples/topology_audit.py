@@ -1,0 +1,38 @@
+#!/usr/bin/env python
+"""Topology audit: which networks are safe for liquid democracy?
+
+Section 6 of the paper proposes, as future work, empirically checking
+its two variance-preserving conditions (Lemmas 3 and 5) on realistic
+network models.  This example runs that audit across seven topologies
+with identical competency distributions and reports, per topology:
+
+* degree asymmetry (Gini of the degree sequence),
+* the maximum delegate weight an eager local mechanism produces,
+* whether the Lemma 5 condition (max weight < n^(1-eps)) holds,
+* the measured gain over direct voting.
+
+The takeaway matches the paper's thesis: liquid democracy is safe on
+degree-symmetric graphs and dangerous where structure concentrates
+delegation on hubs.
+
+Run:  python examples/topology_audit.py
+"""
+
+from repro.experiments import ExperimentConfig, get_experiment
+
+
+def main() -> None:
+    result = get_experiment("X3")(ExperimentConfig(seed=11, scale="default"))
+    print(result.to_table())
+    print()
+
+    # Actionable summary: rank topologies by safety margin.
+    rows = sorted(result.rows, key=lambda r: r[6], reverse=True)
+    print("ranking by measured gain:")
+    for rank, row in enumerate(rows, 1):
+        verdict = "SAFE" if row[5] and row[6] > -0.01 else "RISKY"
+        print(f"  {rank}. {row[0]:<18} gain {row[6]:+.4f}  [{verdict}]")
+
+
+if __name__ == "__main__":
+    main()

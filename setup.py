@@ -1,0 +1,7 @@
+"""Legacy setup shim: the offline environment lacks the `wheel` package,
+so PEP 517 editable installs fail; `pip install -e . --no-use-pep517`
+uses this instead. All metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,257 @@
+"""repro — a reproduction of *When is Liquid Democracy Possible?*
+(Chatterjee, Gilbert, Schmid, Svoboda, Yeo; PODC 2025).
+
+A simulation and analysis library for liquid democracy over voting
+graphs: problem instances with competency vectors, local delegation
+mechanisms (the paper's Algorithms 1–2 and Theorem 5 mechanism plus
+baselines and Section 6 extensions), exact and Monte Carlo evaluation of
+the correct-decision probability, the recycle-sampling dependency model
+(Definition 6), and experiment harnesses reproducing every figure, lemma
+and theorem of the paper.
+
+Quickstart::
+
+    from repro import (
+        ProblemInstance, complete_graph, linear_competencies,
+        ApprovalThreshold, monte_carlo_gain,
+    )
+
+    n = 500
+    instance = ProblemInstance(
+        complete_graph(n), linear_competencies(n, 0.3, 0.7), alpha=0.05
+    )
+    mechanism = ApprovalThreshold(lambda nn: nn ** (1 / 3))
+    estimate = monte_carlo_gain(instance, mechanism, rounds=200, seed=7)
+    print(f"gain over direct voting: {estimate.gain:+.4f}")
+"""
+
+from repro.core import (
+    ApprovalGraphStats,
+    ApprovalOracle,
+    approval_graph_stats,
+    potential_hub_voters,
+    BoundedCompetency,
+    CompleteGraph,
+    GraphRestriction,
+    LocalView,
+    MaxDegreeAtMost,
+    MinDegreeAtLeast,
+    PlausibleChangeability,
+    ProblemInstance,
+    RandomRegular,
+    RestrictionSet,
+    bounded_uniform_competencies,
+    constant_competencies,
+    linear_competencies,
+    plausible_changeability,
+    two_block_competencies,
+)
+from repro.graphs import (
+    Graph,
+    barabasi_albert_graph,
+    complete_graph,
+    connected_caveman_graph,
+    cycle_graph,
+    degree_statistics,
+    erdos_renyi_graph,
+    grid_graph,
+    path_graph,
+    random_bounded_degree_graph,
+    random_min_degree_graph,
+    random_regular_graph,
+    star_graph,
+    star_of_cliques_graph,
+    structural_asymmetry,
+    watts_strogatz_graph,
+)
+from repro.mechanisms import (
+    AbstentionMechanism,
+    AdversarialConcentrator,
+    ApprovalThreshold,
+    Ballot,
+    CappedRandomApproved,
+    DelegationMechanism,
+    DirectVoting,
+    FractionApproved,
+    GreedyBest,
+    LeastCompetentApproved,
+    LocalDelegationMechanism,
+    MultiDelegateWeighted,
+    RandomApproved,
+    SampledNeighbourhood,
+)
+from repro.delegation import (
+    DelegationCycleError,
+    DelegationGraph,
+    WeightProfile,
+    render_forest,
+    render_summary,
+    weight_profile,
+)
+from repro.voting import (
+    CorrectnessEstimate,
+    TiePolicy,
+    direct_voting_probability,
+    estimate_correct_probability,
+    forest_correct_probability,
+)
+from repro.sampling import (
+    RecycleNode,
+    RecycleSamplingGraph,
+    recycle_graph_from_mechanism_run,
+)
+from repro.analysis import (
+    Certificate,
+    ConditionAudit,
+    DnhVerdict,
+    GainEstimate,
+    SpgVerdict,
+    audit_lemma3_conditions,
+    audit_lemma5_conditions,
+    banzhaf_indices,
+    certify,
+    check_delegate_restriction,
+    dictator_index,
+    empirical_dnh,
+    empirical_spg,
+    exact_gain,
+    forest_banzhaf,
+    lemma3_loss_probability_bound,
+    monte_carlo_gain,
+    normalized_banzhaf,
+    power_concentration,
+    shapley_shubik_indices,
+    summarize_certificates,
+)
+from repro.core.distributions import (
+    BetaCompetency,
+    CompetencyDistribution,
+    MixtureCompetency,
+    PointMass,
+    TruncatedNormalCompetency,
+    UniformCompetency,
+)
+from repro.mechanisms.weighted_majority import WeightedMajorityDelegation
+from repro.simulation import (
+    ElectionSeries,
+    NoDrift,
+    OrnsteinUhlenbeckDrift,
+    RandomWalkDrift,
+    ShockDrift,
+)
+from repro.voting.dag import DelegateWeights, WeightedDelegationDag
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core
+    "ProblemInstance",
+    "LocalView",
+    "ApprovalOracle",
+    "GraphRestriction",
+    "RestrictionSet",
+    "CompleteGraph",
+    "RandomRegular",
+    "MaxDegreeAtMost",
+    "MinDegreeAtLeast",
+    "PlausibleChangeability",
+    "BoundedCompetency",
+    "constant_competencies",
+    "linear_competencies",
+    "bounded_uniform_competencies",
+    "two_block_competencies",
+    "plausible_changeability",
+    # graphs
+    "Graph",
+    "complete_graph",
+    "star_graph",
+    "cycle_graph",
+    "path_graph",
+    "grid_graph",
+    "random_regular_graph",
+    "erdos_renyi_graph",
+    "barabasi_albert_graph",
+    "watts_strogatz_graph",
+    "connected_caveman_graph",
+    "star_of_cliques_graph",
+    "random_bounded_degree_graph",
+    "random_min_degree_graph",
+    "degree_statistics",
+    "structural_asymmetry",
+    # mechanisms
+    "DelegationMechanism",
+    "LocalDelegationMechanism",
+    "Ballot",
+    "DirectVoting",
+    "ApprovalThreshold",
+    "RandomApproved",
+    "SampledNeighbourhood",
+    "FractionApproved",
+    "GreedyBest",
+    "CappedRandomApproved",
+    "AbstentionMechanism",
+    "MultiDelegateWeighted",
+    # delegation
+    "DelegationGraph",
+    "DelegationCycleError",
+    "WeightProfile",
+    "weight_profile",
+    "render_forest",
+    "render_summary",
+    "ApprovalGraphStats",
+    "approval_graph_stats",
+    "potential_hub_voters",
+    # voting
+    "TiePolicy",
+    "direct_voting_probability",
+    "forest_correct_probability",
+    "estimate_correct_probability",
+    "CorrectnessEstimate",
+    # sampling
+    "RecycleNode",
+    "RecycleSamplingGraph",
+    "recycle_graph_from_mechanism_run",
+    # analysis
+    "GainEstimate",
+    "exact_gain",
+    "monte_carlo_gain",
+    "DnhVerdict",
+    "SpgVerdict",
+    "empirical_dnh",
+    "empirical_spg",
+    "check_delegate_restriction",
+    "ConditionAudit",
+    "audit_lemma3_conditions",
+    "audit_lemma5_conditions",
+    "lemma3_loss_probability_bound",
+    "Certificate",
+    "certify",
+    "summarize_certificates",
+    # distributions (probabilistic-competency extension)
+    "CompetencyDistribution",
+    "PointMass",
+    "UniformCompetency",
+    "BetaCompetency",
+    "TruncatedNormalCompetency",
+    "MixtureCompetency",
+    # weighted-majority DAG extension
+    "DelegateWeights",
+    "WeightedDelegationDag",
+    "WeightedMajorityDelegation",
+    # adversaries and power analysis
+    "AdversarialConcentrator",
+    "LeastCompetentApproved",
+    "banzhaf_indices",
+    "normalized_banzhaf",
+    "shapley_shubik_indices",
+    "forest_banzhaf",
+    "power_concentration",
+    "dictator_index",
+    # repeated-election simulation
+    "ElectionSeries",
+    "NoDrift",
+    "RandomWalkDrift",
+    "OrnsteinUhlenbeckDrift",
+    "ShockDrift",
+]

@@ -1,0 +1,22 @@
+"""Internal utilities shared across the :mod:`repro` package.
+
+Nothing in this package is part of the public API; import from the
+top-level :mod:`repro` namespace instead.
+"""
+
+from repro._util.rng import as_generator, spawn_generators
+from repro._util.validation import (
+    check_fraction,
+    check_positive,
+    check_probability,
+    check_probability_vector,
+)
+
+__all__ = [
+    "as_generator",
+    "spawn_generators",
+    "check_fraction",
+    "check_positive",
+    "check_probability",
+    "check_probability_vector",
+]

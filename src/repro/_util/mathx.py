@@ -1,0 +1,49 @@
+"""Small numeric helpers used across analysis modules."""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+import numpy as np
+
+
+def wilson_interval(successes: int, trials: int, z: float = 1.96) -> Tuple[float, float]:
+    """Wilson score confidence interval for a binomial proportion.
+
+    Preferred over the normal (Wald) interval because gain experiments
+    routinely estimate probabilities very close to 0 or 1, where Wald
+    intervals collapse or escape [0, 1].
+    """
+    if trials <= 0:
+        raise ValueError(f"trials must be positive, got {trials}")
+    if not 0 <= successes <= trials:
+        raise ValueError(f"successes must lie in [0, {trials}], got {successes}")
+    phat = successes / trials
+    denom = 1.0 + z * z / trials
+    centre = (phat + z * z / (2 * trials)) / denom
+    half = (z / denom) * math.sqrt(phat * (1 - phat) / trials + z * z / (4 * trials * trials))
+    return (max(0.0, centre - half), min(1.0, centre + half))
+
+
+def logsumexp(values: np.ndarray) -> float:
+    """Numerically stable log-sum-exp."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        return float("-inf")
+    m = float(np.max(arr))
+    if m == float("-inf"):
+        return float("-inf")
+    return m + float(np.log(np.sum(np.exp(arr - m))))
+
+
+def clamp(value: float, low: float, high: float) -> float:
+    """Clamp ``value`` into the closed interval [low, high]."""
+    if low > high:
+        raise ValueError(f"empty interval [{low}, {high}]")
+    return min(high, max(low, value))
+
+
+def is_power_of_two(value: int) -> bool:
+    """Return True when ``value`` is a positive power of two."""
+    return value > 0 and (value & (value - 1)) == 0

@@ -1,0 +1,51 @@
+"""Minimal ASCII table rendering for experiment reports.
+
+The benchmark harness prints the same rows/series the paper's statements
+predict; this module renders them without any third-party dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence
+
+
+def format_cell(value: Any, precision: int = 4) -> str:
+    """Render a single cell: floats with fixed precision, rest via str()."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if abs(value) >= 1e5 or (0 < abs(value) < 1e-4):
+            return f"{value:.{precision}e}"
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: Optional[str] = None,
+    precision: int = 4,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned ASCII table."""
+    if any(len(row) != len(headers) for row in rows):
+        raise ValueError("all rows must have the same number of cells as headers")
+    text_rows: List[List[str]] = [
+        [format_cell(cell, precision) for cell in row] for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_line(cells: Sequence[str]) -> str:
+        return " | ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_line(list(headers)))
+    lines.append("-+-".join("-" * w for w in widths))
+    lines.extend(fmt_line(row) for row in text_rows)
+    return "\n".join(lines)

@@ -1,0 +1,54 @@
+"""Argument validation helpers with uniform error messages."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def check_positive(name: str, value: float, strict: bool = True) -> float:
+    """Validate that ``value`` is positive (strictly by default)."""
+    if strict and not value > 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    if not strict and not value >= 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def check_probability(name: str, value: float) -> float:
+    """Validate that ``value`` lies in the closed interval [0, 1]."""
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must lie in [0, 1], got {value!r}")
+    return float(value)
+
+
+def check_fraction(name: str, value: float) -> float:
+    """Validate that ``value`` lies in the open interval (0, 1)."""
+    if not 0.0 < value < 1.0:
+        raise ValueError(f"{name} must lie in (0, 1), got {value!r}")
+    return float(value)
+
+
+def check_probability_vector(name: str, values: Sequence[float]) -> np.ndarray:
+    """Validate a vector of probabilities and return it as a float array."""
+    arr = np.asarray(values, dtype=float)
+    if arr.ndim != 1:
+        raise ValueError(f"{name} must be one-dimensional, got shape {arr.shape}")
+    if arr.size == 0:
+        raise ValueError(f"{name} must be non-empty")
+    if np.any(np.isnan(arr)):
+        raise ValueError(f"{name} contains NaN values")
+    if np.any(arr < 0.0) or np.any(arr > 1.0):
+        bad = arr[(arr < 0.0) | (arr > 1.0)][0]
+        raise ValueError(f"all entries of {name} must lie in [0, 1], found {bad!r}")
+    return arr
+
+
+def check_index(name: str, value: int, size: int) -> int:
+    """Validate that ``value`` is a valid index into a container of ``size``."""
+    if not isinstance(value, (int, np.integer)):
+        raise TypeError(f"{name} must be an integer, got {type(value).__name__}")
+    if not 0 <= value < size:
+        raise ValueError(f"{name} must lie in [0, {size}), got {value}")
+    return int(value)

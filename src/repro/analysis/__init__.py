@@ -1,0 +1,83 @@
+"""Probabilistic analysis: bounds, desiderata estimation, condition audits.
+
+Implements the paper's quantitative toolkit — Hoeffding/Chernoff bounds
+(Theorem 1), the normal approximation (Lemma 4), Lemma 3's erf
+anti-concentration bound, Lemma 5/6's max-weight concentration, exact and
+Monte Carlo gain computation, empirical Do-No-Harm / Strong-Positive-Gain
+verdicts (Definitions 3–5), the delegate restriction (Definition 2), and
+the real-topology condition audits proposed in Section 6.
+"""
+
+from repro.analysis.bounds import (
+    chernoff_lower_tail_bound,
+    hoeffding_tail_bound,
+    lemma5_deviation,
+    lemma5_failure_probability,
+    lemma6_min_sinks,
+)
+from repro.analysis.normal import (
+    direct_vote_stats,
+    lemma3_loss_probability_bound,
+    normal_tail_probability,
+)
+from repro.analysis.gain import (
+    GainEstimate,
+    exact_gain,
+    monte_carlo_gain,
+)
+from repro.analysis.desiderata import (
+    DnhVerdict,
+    SpgVerdict,
+    check_delegate_restriction,
+    empirical_dnh,
+    empirical_spg,
+)
+from repro.analysis.conditions import (
+    ConditionAudit,
+    audit_lemma3_conditions,
+    audit_lemma5_conditions,
+)
+from repro.analysis.certificates import (
+    Certificate,
+    certify,
+    summarize_certificates,
+)
+from repro.analysis.power import (
+    banzhaf_indices,
+    dictator_index,
+    forest_banzhaf,
+    normalized_banzhaf,
+    power_concentration,
+    shapley_shubik_indices,
+)
+
+__all__ = [
+    "hoeffding_tail_bound",
+    "chernoff_lower_tail_bound",
+    "lemma5_deviation",
+    "lemma5_failure_probability",
+    "lemma6_min_sinks",
+    "direct_vote_stats",
+    "normal_tail_probability",
+    "lemma3_loss_probability_bound",
+    "GainEstimate",
+    "exact_gain",
+    "monte_carlo_gain",
+    "DnhVerdict",
+    "SpgVerdict",
+    "empirical_dnh",
+    "empirical_spg",
+    "check_delegate_restriction",
+    "ConditionAudit",
+    "audit_lemma3_conditions",
+    "audit_lemma5_conditions",
+    "Certificate",
+    "certify",
+    "summarize_certificates",
+    "banzhaf_indices",
+    "normalized_banzhaf",
+    "shapley_shubik_indices",
+    "forest_banzhaf",
+    "power_concentration",
+    "dictator_index",
+]

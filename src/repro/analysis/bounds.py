@@ -1,0 +1,102 @@
+"""Classical tail bounds and the paper's Lemma 5/6 instantiations.
+
+Lemma 6: with sinks of weights ``w_1 … w_m`` (max ``w``, total ``n``),
+Hoeffding over the at-least-``n/w`` sinks gives
+
+    P[|X − μ(X)| ≥ √(n^{1+ε}) · w / c]  ≤  e^{−Ω(n^ε)}.
+
+These functions return the paper's predicted deviation radii and failure
+probabilities so experiments can compare measured deviations against
+them.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+
+def hoeffding_tail_bound(ranges_sq_sum: float, t: float) -> float:
+    """Two-sided Hoeffding bound ``P[|S − E S| ≥ t] ≤ 2 e^{−2t²/Σ(b−a)²}``."""
+    if ranges_sq_sum <= 0:
+        raise ValueError(f"sum of squared ranges must be positive, got {ranges_sq_sum}")
+    if t < 0:
+        raise ValueError(f"t must be non-negative, got {t}")
+    return min(1.0, 2.0 * math.exp(-2.0 * t * t / ranges_sq_sum))
+
+
+def chernoff_lower_tail_bound(mu: float, delta: float) -> float:
+    """Multiplicative Chernoff lower tail ``P[X ≤ (1−δ)μ] ≤ e^{−δ²μ/2}``."""
+    if mu < 0:
+        raise ValueError(f"mu must be non-negative, got {mu}")
+    if not 0.0 <= delta <= 1.0:
+        raise ValueError(f"delta must lie in [0, 1], got {delta}")
+    return min(1.0, math.exp(-delta * delta * mu / 2.0))
+
+
+def lemma6_min_sinks(n: int, max_weight: int) -> float:
+    """The sink-count lower bound ``n / w`` used in Lemma 6's proof."""
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    if max_weight <= 0:
+        raise ValueError(f"max_weight must be positive, got {max_weight}")
+    return n / max_weight
+
+
+def lemma5_deviation(n: int, epsilon: float, max_weight: int, c: float = 1.0) -> float:
+    """Lemma 5's deviation radius ``(1/c) · √(n^{1+ε}) · w``."""
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    if epsilon < 0:
+        raise ValueError(f"epsilon must be non-negative, got {epsilon}")
+    if max_weight <= 0:
+        raise ValueError(f"max_weight must be positive, got {max_weight}")
+    if c <= 0:
+        raise ValueError(f"c must be positive, got {c}")
+    return math.sqrt(float(n) ** (1.0 + epsilon)) * max_weight / c
+
+
+def lemma5_failure_probability(n: int, epsilon: float, constant: float = 1.0) -> float:
+    """Lemma 5's failure probability shape ``e^{−constant · n^ε}``."""
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    if epsilon < 0:
+        raise ValueError(f"epsilon must be non-negative, got {epsilon}")
+    if constant <= 0:
+        raise ValueError(f"constant must be positive, got {constant}")
+    return math.exp(-constant * float(n) ** epsilon)
+
+
+def theorem4_weight_bound(max_degree: int, alpha: float) -> float:
+    """Theorem 4's structural cap on any sink's weight.
+
+    Delegation chains have length at most ``⌈1/α⌉`` (each hop gains ≥ α
+    competency), and each voter has at most Δ neighbours, so a sink
+    gathers at most ``Σ_{d=0..D} Δ^d < Δ^{D+1}`` votes with
+    ``D = ⌈1/α⌉``.  Small Δ therefore caps every sink's weight — the
+    mechanism-independent engine behind Theorem 4.
+    """
+    import math
+
+    if max_degree < 0:
+        raise ValueError(f"max_degree must be non-negative, got {max_degree}")
+    if not alpha > 0:
+        raise ValueError(f"alpha must be positive, got {alpha}")
+    depth = math.ceil(1.0 / alpha)
+    if max_degree <= 1:
+        return float(depth + 1)
+    return float(max_degree) ** (depth + 1)
+
+
+def hoeffding_weighted_deviation_bound(
+    weights: Sequence[float], t: float
+) -> float:
+    """Hoeffding bound for a weighted Bernoulli sum with the given weights.
+
+    Each summand ``w_i · x_i`` ranges over ``[0, w_i]``, so
+    ``Σ (b_i − a_i)² = Σ w_i²``.
+    """
+    sq = sum(float(w) ** 2 for w in weights)
+    if sq == 0:
+        return 0.0 if t > 0 else 1.0
+    return hoeffding_tail_bound(sq, t)

@@ -1,0 +1,145 @@
+"""Condition audits (Section 6's "practical considerations").
+
+The paper proposes checking, on realistic network models, whether its two
+variance-preserving sufficient conditions actually hold:
+
+* **Lemma 3 condition** — competencies bounded in ``(β, 1−β)`` *and* the
+  mechanism delegates at most ``n^{1/2−ε}`` votes;
+* **Lemma 5 condition** — the maximum sink weight stays below
+  ``n^{1−ε'}`` (so the deviation radius ``√(n^{1+ε}) · w`` stays ``o(n)``).
+
+:func:`audit_lemma3_conditions` / :func:`audit_lemma5_conditions` measure
+both on sampled mechanism runs and report whether the sufficient
+condition certifies DNH for the configuration.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+
+from repro._util.rng import SeedLike, spawn_generators
+from repro.core.competencies import competency_interval
+from repro.core.instance import ProblemInstance
+from repro.delegation.metrics import weight_profile
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mechanisms.base import DelegationMechanism
+
+
+@dataclass(frozen=True)
+class ConditionAudit:
+    """Result of auditing one sufficient condition on one configuration."""
+
+    condition: str
+    holds: bool
+    measured: float
+    threshold: float
+    detail: str
+
+    def describe(self) -> str:
+        """One-line summary for reports."""
+        status = "holds" if self.holds else "fails"
+        return (
+            f"{self.condition} {status}: measured {self.measured:.4g} vs "
+            f"threshold {self.threshold:.4g} ({self.detail})"
+        )
+
+
+def audit_lemma3_conditions(
+    instance: ProblemInstance,
+    mechanism: "DelegationMechanism",
+    epsilon: float = 0.1,
+    rounds: int = 20,
+    seed: SeedLike = 0,
+) -> ConditionAudit:
+    """Audit Lemma 3's sufficient condition on sampled mechanism runs.
+
+    Measures the maximum number of delegators over ``rounds`` runs and
+    compares it against ``n^{1/2−ε}``; also requires a positive bounded
+    competency margin β.
+    """
+    if not 0 < epsilon < 0.5:
+        raise ValueError(f"epsilon must lie in (0, 1/2), got {epsilon}")
+    n = instance.num_voters
+    threshold = float(n) ** (0.5 - epsilon)
+    beta = competency_interval(instance.competencies)
+    worst = 0
+    for gen in spawn_generators(seed, rounds):
+        forest = mechanism.sample_delegations(instance, gen)
+        worst = max(worst, forest.num_delegators)
+    if beta is None:
+        return ConditionAudit(
+            condition="Lemma 3",
+            holds=False,
+            measured=float(worst),
+            threshold=threshold,
+            detail="competencies not bounded away from {0, 1}",
+        )
+    holds = worst < threshold
+    return ConditionAudit(
+        condition="Lemma 3",
+        holds=holds,
+        measured=float(worst),
+        threshold=threshold,
+        detail=f"max delegators over {rounds} runs; beta={beta:.3g}",
+    )
+
+
+def audit_lemma5_conditions(
+    instance: ProblemInstance,
+    mechanism: "DelegationMechanism",
+    epsilon: float = 0.1,
+    rounds: int = 20,
+    seed: SeedLike = 0,
+) -> ConditionAudit:
+    """Audit Lemma 5's max-weight condition on sampled mechanism runs.
+
+    The paper notes Lemma 5 is only useful when the maximum sink weight
+    satisfies ``w < n^{1−ε}`` (otherwise the deviation radius
+    ``√(n^{1+ε̃}) · w`` exceeds the Θ(n) decision margin).  We therefore
+    measure the maximum sink weight over ``rounds`` runs and compare it
+    against ``n^{1−ε}``.
+    """
+    if not 0 < epsilon < 1:
+        raise ValueError(f"epsilon must lie in (0, 1), got {epsilon}")
+    n = instance.num_voters
+    threshold = float(n) ** (1.0 - epsilon)
+    worst = 0
+    for gen in spawn_generators(seed, rounds):
+        forest = mechanism.sample_delegations(instance, gen)
+        worst = max(worst, weight_profile(forest).max_weight)
+    return ConditionAudit(
+        condition="Lemma 5",
+        holds=worst < threshold,
+        measured=float(worst),
+        threshold=threshold,
+        detail=f"max sink weight over {rounds} runs",
+    )
+
+
+def lemma5_margin_ratio(
+    instance: ProblemInstance,
+    mechanism: "DelegationMechanism",
+    epsilon: float = 0.05,
+    rounds: int = 20,
+    seed: SeedLike = 0,
+) -> float:
+    """Ratio of Lemma 5's deviation radius to the n/2 decision margin.
+
+    ``√(n^{1+ε}) · w_max / (n/2)`` — below 1 means the concentration
+    bound certifies the outcome cannot be flipped by weight noise alone;
+    the smaller the ratio, the stronger the certificate.
+    """
+    n = instance.num_voters
+    if n == 0:
+        return 0.0
+    worst = 0
+    for gen in spawn_generators(seed, rounds):
+        forest = mechanism.sample_delegations(instance, gen)
+        worst = max(worst, forest.max_weight())
+    radius = math.sqrt(float(n) ** (1.0 + epsilon)) * worst
+    return radius / (n / 2.0)

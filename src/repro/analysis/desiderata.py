@@ -1,0 +1,162 @@
+"""Empirical Do-No-Harm and Strong-Positive-Gain verdicts (Defs 2–5).
+
+The paper's desiderata are asymptotic; finite experiments verify their
+finite-``n`` signatures instead:
+
+* **DNH** (Definition 3): the worst measured loss over an instance family
+  shrinks as ``n`` grows (monotone trend, final loss below tolerance).
+* **SPG** (Definition 5): over *every* sampled instance satisfying the
+  delegate restriction, the measured gain stays above a positive ``γ``.
+* **Delegate restriction** (Definition 2): at least ``f(n)`` voters
+  delegate, checked either in expectation or per realisation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro._util.rng import SeedLike, spawn_generators
+from repro.analysis.gain import GainEstimate, monte_carlo_gain
+from repro.core.instance import ProblemInstance
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mechanisms.base import DelegationMechanism
+
+
+@dataclass(frozen=True)
+class DnhVerdict:
+    """Outcome of an empirical do-no-harm check over growing ``n``."""
+
+    sizes: Tuple[int, ...]
+    losses: Tuple[float, ...]  # max(0, -gain) at each size
+    final_loss: float
+    trend_decreasing: bool
+    satisfied: bool
+
+    def describe(self) -> str:
+        """One-line summary for reports."""
+        status = "DNH holds" if self.satisfied else "DNH VIOLATED"
+        return (
+            f"{status}: worst loss {max(self.losses):.4g} -> "
+            f"final loss {self.final_loss:.4g} over n={list(self.sizes)}"
+        )
+
+
+@dataclass(frozen=True)
+class SpgVerdict:
+    """Outcome of an empirical strong-positive-gain check."""
+
+    gamma: float
+    gains: Tuple[float, ...]
+    min_gain: float
+    num_instances: int
+    satisfied: bool
+
+    def describe(self) -> str:
+        """One-line summary for reports."""
+        status = "SPG holds" if self.satisfied else "SPG FAILS"
+        return (
+            f"{status}: min gain {self.min_gain:.4g} vs gamma={self.gamma:.4g} "
+            f"over {self.num_instances} instances"
+        )
+
+
+def check_delegate_restriction(
+    instance: ProblemInstance,
+    mechanism: "DelegationMechanism",
+    minimum: float,
+    rounds: int = 20,
+    seed: SeedLike = None,
+) -> bool:
+    """Definition 2: does ``(M, G)`` satisfy ``Delegate(n) ≥ minimum``?
+
+    Checked on ``rounds`` sampled forests; every realisation must meet
+    the minimum (the definition quantifies over induced delegation
+    graphs).
+    """
+    if minimum < 0:
+        raise ValueError(f"minimum must be non-negative, got {minimum}")
+    gens = spawn_generators(seed, rounds)
+    for gen in gens:
+        forest = mechanism.sample_delegations(instance, gen)
+        if forest.num_delegators < minimum:
+            return False
+    return True
+
+
+def empirical_dnh(
+    instance_factory: Callable[[int, np.random.Generator], ProblemInstance],
+    mechanism: "DelegationMechanism",
+    sizes: Sequence[int],
+    rounds: int = 200,
+    seed: SeedLike = 0,
+    tolerance: float = 0.02,
+) -> DnhVerdict:
+    """Empirical DNH over an instance family indexed by size.
+
+    ``instance_factory(n, rng)`` builds the (possibly random) instance at
+    size ``n``.  The verdict requires the loss at the largest size to be
+    below ``tolerance`` and the loss trend not to be increasing (last
+    loss no larger than the first beyond ``tolerance``).
+    """
+    sizes = list(sizes)
+    if len(sizes) < 2:
+        raise ValueError("need at least two sizes to assess a trend")
+    gens = spawn_generators(seed, len(sizes))
+    losses: List[float] = []
+    for n, gen in zip(sizes, gens):
+        instance = instance_factory(n, gen)
+        est = monte_carlo_gain(instance, mechanism, rounds=rounds, seed=gen)
+        losses.append(max(0.0, -est.gain))
+    final = losses[-1]
+    trend_ok = final <= losses[0] + tolerance
+    return DnhVerdict(
+        sizes=tuple(sizes),
+        losses=tuple(losses),
+        final_loss=final,
+        trend_decreasing=trend_ok,
+        satisfied=final <= tolerance and trend_ok,
+    )
+
+
+def empirical_spg(
+    instances: Sequence[ProblemInstance],
+    mechanism: "DelegationMechanism",
+    gamma: float,
+    delegate_minimum: Callable[[int], float],
+    rounds: int = 200,
+    seed: SeedLike = 0,
+) -> SpgVerdict:
+    """Empirical SPG (Definition 5) over a collection of instances.
+
+    Instances that fail the delegate restriction are excluded — the
+    definition only quantifies over ``(M, G)`` pairs satisfying
+    ``Delegate(n) ≥ f(n)``.  The verdict holds when every remaining
+    instance's measured gain is at least ``gamma`` (within 2 standard
+    errors).
+    """
+    if gamma <= 0:
+        raise ValueError(f"gamma must be positive, got {gamma}")
+    gens = spawn_generators(seed, len(instances))
+    gains: List[float] = []
+    for instance, gen in zip(instances, gens):
+        if not check_delegate_restriction(
+            instance, mechanism, delegate_minimum(instance.num_voters),
+            rounds=5, seed=gen,
+        ):
+            continue
+        est = monte_carlo_gain(instance, mechanism, rounds=rounds, seed=gen)
+        gains.append(est.gain + 2.0 * est.std_error)
+    if not gains:
+        return SpgVerdict(gamma, (), float("nan"), 0, False)
+    min_gain = min(gains)
+    return SpgVerdict(
+        gamma=gamma,
+        gains=tuple(gains),
+        min_gain=min_gain,
+        num_instances=len(gains),
+        satisfied=min_gain >= gamma,
+    )

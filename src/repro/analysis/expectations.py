@@ -1,0 +1,114 @@
+"""Exact expectations of mechanism behaviour, without sampling.
+
+Local mechanisms expose their per-voter output distribution
+(:meth:`~repro.mechanisms.base.LocalDelegationMechanism.distribution`),
+so several quantities the experiments estimate by Monte Carlo have
+closed forms:
+
+* the expected number of delegators (Definition 2's quantity in
+  expectation),
+* each voter's expected delegated *inflow* (how many delegators name
+  it),
+* the expected one-step increase in the number of correct votes — the
+  Lemma 7 quantity ``μ(Y) − μ(X) = Σ_i (1 − z_i)(p̄_{J(i)} − p_i)``.
+
+Tests cross-check the Monte Carlo estimators against these exact
+values; experiments use them for sanity columns.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.core.instance import ProblemInstance
+from repro.mechanisms.base import LocalDelegationMechanism
+
+
+def delegation_probabilities(
+    instance: ProblemInstance, mechanism: LocalDelegationMechanism
+) -> np.ndarray:
+    """Per-voter probability of delegating (1 − mass on "vote")."""
+    out = np.empty(instance.num_voters)
+    for voter in range(instance.num_voters):
+        dist = mechanism.distribution(instance.local_view(voter))
+        out[voter] = 1.0 - dist.get(None, 0.0)
+    return out
+
+
+def expected_num_delegators(
+    instance: ProblemInstance, mechanism: LocalDelegationMechanism
+) -> float:
+    """Exact ``E[#delegators]`` under one mechanism draw."""
+    return float(delegation_probabilities(instance, mechanism).sum())
+
+
+def expected_inflow(
+    instance: ProblemInstance, mechanism: LocalDelegationMechanism
+) -> np.ndarray:
+    """Expected number of voters delegating *directly* to each voter.
+
+    The one-step version of sink weight: the full transitive weight has
+    no product form (delegations chain), but the direct inflow already
+    identifies where weight will concentrate.
+    """
+    inflow = np.zeros(instance.num_voters)
+    for voter in range(instance.num_voters):
+        dist = mechanism.distribution(instance.local_view(voter))
+        for target, mass in dist.items():
+            if target is not None:
+                inflow[target] += mass
+    return inflow
+
+
+def expected_vote_lift(
+    instance: ProblemInstance, mechanism: LocalDelegationMechanism
+) -> float:
+    """Exact one-step increase in expected correct votes.
+
+    ``Σ_i Σ_{j ∈ J(i)} P[i → j] (p_j − p_i)`` — each delegation replaces
+    the delegator's Bernoulli parameter with its delegate's.  This is a
+    *lower bound* on the full lift of the realised process (delegates may
+    themselves delegate upward, only increasing the final parameter), and
+    it already dominates ``α · E[#delegators]`` — Lemma 7's floor.
+    """
+    p = instance.competencies
+    lift = 0.0
+    for voter in range(instance.num_voters):
+        dist = mechanism.distribution(instance.local_view(voter))
+        for target, mass in dist.items():
+            if target is not None:
+                lift += mass * (float(p[target]) - float(p[voter]))
+    return lift
+
+
+def lemma7_floor(
+    instance: ProblemInstance, mechanism: LocalDelegationMechanism
+) -> float:
+    """Lemma 7's guaranteed lift: ``α · E[#delegators]``."""
+    return instance.alpha * expected_num_delegators(instance, mechanism)
+
+
+def expected_weight_histogram(
+    instance: ProblemInstance,
+    mechanism: LocalDelegationMechanism,
+    rounds: int,
+    seed=None,
+) -> Dict[int, float]:
+    """Empirical mean histogram of sink weights over sampled forests.
+
+    Convenience for experiments: maps weight value → average count per
+    forest.  (Exact weight distributions have no product form.)
+    """
+    from repro._util.rng import spawn_generators
+
+    if rounds <= 0:
+        raise ValueError(f"rounds must be positive, got {rounds}")
+    totals: Dict[int, float] = {}
+    for gen in spawn_generators(seed, rounds):
+        forest = mechanism.sample_delegations(instance, gen)
+        for sink in forest.sinks:
+            w = forest.weight(sink)
+            totals[w] = totals.get(w, 0.0) + 1.0
+    return {w: c / rounds for w, c in sorted(totals.items())}

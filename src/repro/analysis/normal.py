@@ -1,0 +1,100 @@
+"""Normal approximation (Lemma 4) and Lemma 3's anti-concentration bound.
+
+Lemma 3's argument: with competencies in ``(β, 1−β)``, direct voting's
+correct-vote count ``X^D`` is approximately normal with standard
+deviation at least ``√(n β (1−β))``.  If at most ``n^{1/2−ε}`` voters
+delegate, a delegation can change the margin by at most ``2 n^{1/2−ε}``
+votes, and the probability that ``X^D`` lies within that distance of the
+``n/2`` decision boundary — the only event where delegation can flip the
+outcome — is at most ``erf(n^{−ε} / (β'√2))``-shaped, which vanishes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class DirectVoteStats:
+    """Mean / variance of the direct-voting correct-vote count."""
+
+    n: int
+    mean: float
+    variance: float
+
+    @property
+    def std(self) -> float:
+        """Standard deviation of the correct-vote count."""
+        return math.sqrt(self.variance)
+
+    @property
+    def normalized_std(self) -> float:
+        """``σ / √n`` — bounded below by ``√(β(1−β))`` under Lemma 3."""
+        if self.n == 0:
+            return 0.0
+        return self.std / math.sqrt(self.n)
+
+
+def direct_vote_stats(competencies: Sequence[float]) -> DirectVoteStats:
+    """Exact mean and variance of ``X^D = Σ Bernoulli(p_i)``."""
+    p = np.asarray(competencies, dtype=float)
+    return DirectVoteStats(
+        n=p.size,
+        mean=float(p.sum()),
+        variance=float((p * (1.0 - p)).sum()),
+    )
+
+
+def normal_tail_probability(z: float) -> float:
+    """``P[Z > z]`` for a standard normal ``Z``."""
+    return 0.5 * (1.0 - math.erf(z / math.sqrt(2.0)))
+
+
+def normal_band_probability(mean: float, std: float, low: float, high: float) -> float:
+    """``P[low < N(mean, std²) < high]``."""
+    if std <= 0:
+        return 1.0 if low < mean < high else 0.0
+    if high < low:
+        raise ValueError(f"empty band ({low}, {high})")
+    zl = (low - mean) / std
+    zh = (high - mean) / std
+    return 0.5 * (math.erf(zh / math.sqrt(2.0)) - math.erf(zl / math.sqrt(2.0)))
+
+
+def lemma3_loss_probability_bound(n: int, epsilon: float, beta: float) -> float:
+    """Lemma 3's bound on the probability that delegation flips the outcome.
+
+    With at most ``n^{1/2−ε}`` delegations, the outcome can only change if
+    the direct-voting margin lies within ``2 n^{1/2−ε}`` of ``n/2``; with
+    ``σ ≥ √(n β(1−β))`` this band has normal mass at most
+    ``erf(√2 · n^{−ε} / √(β(1−β)))``, which decays to 0 as ``n`` grows —
+    this *is* the loss bound because loss ≤ P[outcome changed].
+    """
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    if epsilon <= 0:
+        raise ValueError(f"epsilon must be positive, got {epsilon}")
+    if not 0.0 < beta < 0.5:
+        raise ValueError(f"beta must lie in (0, 1/2), got {beta}")
+    sigma_min = math.sqrt(n * beta * (1.0 - beta))
+    half_band = 2.0 * float(n) ** (0.5 - epsilon)
+    # P[|N(0, σ²)| < b] = erf(b / (σ√2))
+    return math.erf(half_band / (sigma_min * math.sqrt(2.0)))
+
+
+def worst_case_loss_bound(n: int, num_delegations: int) -> float:
+    """Trivial vote-count bound: delegation moves at most 2·d votes.
+
+    ``d`` delegators all voting incorrectly instead of correctly shifts
+    the correct count by at most ``2d``; used to express Lemma 3's "loss
+    is in the worst case 2 n^{1/2−ε}" step in vote units.
+    """
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    if num_delegations < 0:
+        raise ValueError(f"num_delegations must be non-negative, got {num_delegations}")
+    return min(float(n), 2.0 * num_delegations)

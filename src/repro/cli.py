@@ -1,0 +1,154 @@
+"""Command-line interface: list and run the registered experiments.
+
+Usage::
+
+    python -m repro list
+    python -m repro run T2 --scale default --seed 0
+    python -m repro run all --scale smoke
+    python -m repro info
+
+The CLI is a thin veneer over :mod:`repro.experiments`; it exists so the
+benchmark tables can be regenerated without writing Python.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro import __version__
+from repro.experiments import ExperimentConfig, get_experiment, list_experiments
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'When is Liquid Democracy Possible?' "
+            "(PODC 2025): run the paper's experiments."
+        ),
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list registered experiments")
+    sub.add_parser("info", help="print library and experiment summary")
+
+    run = sub.add_parser("run", help="run one experiment (or 'all')")
+    run.add_argument(
+        "experiment",
+        help="experiment id (e.g. F1, T2, X3) or 'all'",
+    )
+    run.add_argument(
+        "--scale",
+        choices=("smoke", "default", "full"),
+        default="default",
+        help="parameter grid size (default: default)",
+    )
+    run.add_argument("--seed", type=int, default=0, help="top-level seed")
+    run.add_argument(
+        "--precision", type=int, default=4, help="table float precision"
+    )
+
+    report = sub.add_parser(
+        "report", help="run experiments and write a markdown report"
+    )
+    report.add_argument(
+        "experiments",
+        nargs="*",
+        help="experiment ids (default: all)",
+    )
+    report.add_argument("--out", required=True, help="output markdown path")
+    report.add_argument(
+        "--scale",
+        choices=("smoke", "default", "full"),
+        default="default",
+    )
+    report.add_argument("--seed", type=int, default=0)
+    report.add_argument(
+        "--title", default="Liquid democracy reproduction report"
+    )
+    return parser
+
+
+def _cmd_list(out) -> int:
+    for eid, title in list_experiments():
+        print(f"{eid:>5}  {title}", file=out)
+    return 0
+
+
+def _cmd_info(out) -> int:
+    experiments = list_experiments()
+    print(f"repro {__version__}", file=out)
+    print(
+        "Reproduction of 'When is Liquid Democracy Possible? "
+        "On the Manipulation of Variance' (PODC 2025)",
+        file=out,
+    )
+    print(f"{len(experiments)} registered experiments:", file=out)
+    for eid, title in experiments:
+        print(f"  {eid:>5}  {title}", file=out)
+    return 0
+
+
+def _cmd_run(experiment: str, scale: str, seed: int, precision: int, out) -> int:
+    config = ExperimentConfig(seed=seed, scale=scale)
+    if experiment.lower() == "all":
+        ids = [eid for eid, _ in list_experiments()]
+    else:
+        ids = [experiment]
+    for eid in ids:
+        try:
+            runner = get_experiment(eid)
+        except KeyError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        start = time.time()
+        result = runner(config)
+        print(result.to_table(precision=precision), file=out)
+        print(f"(wall time {time.time() - start:.1f}s)", file=out)
+        print(file=out)
+    return 0
+
+
+def _cmd_report(
+    experiments: List[str], out_path: str, scale: str, seed: int, title: str, out
+) -> int:
+    from repro.experiments.report import markdown_report
+
+    config = ExperimentConfig(seed=seed, scale=scale)
+    ids = experiments or [eid for eid, _ in list_experiments()]
+    results = []
+    for eid in ids:
+        try:
+            runner = get_experiment(eid)
+        except KeyError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        results.append(runner(config))
+    with open(out_path, "w") as handle:
+        handle.write(markdown_report(results, title=title))
+    print(f"wrote {len(results)} experiment sections to {out_path}", file=out)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None, out=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    out = out if out is not None else sys.stdout
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list(out)
+    if args.command == "info":
+        return _cmd_info(out)
+    if args.command == "run":
+        return _cmd_run(args.experiment, args.scale, args.seed, args.precision, out)
+    if args.command == "report":
+        return _cmd_report(
+            args.experiments, args.out, args.scale, args.seed, args.title, out
+        )
+    raise AssertionError(f"unhandled command {args.command!r}")

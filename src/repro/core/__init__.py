@@ -1,0 +1,57 @@
+"""Core model types: problem instances, competencies, approval, restrictions.
+
+Implements Section 2 of the paper: a problem instance ``G = (V, E, p)``,
+the approval sets ``J(i)`` under threshold ``alpha``, composable graph
+restrictions (Definition 1), plausible changeability / bounded competency,
+and the delegate restriction (Definition 2).
+"""
+
+from repro.core.approval import ApprovalOracle, approval_set
+from repro.core.approval_graph import (
+    ApprovalGraphStats,
+    approval_graph_stats,
+    potential_hub_voters,
+)
+from repro.core.competencies import (
+    bounded_uniform_competencies,
+    constant_competencies,
+    linear_competencies,
+    plausible_changeability,
+    sampled_competencies,
+    two_block_competencies,
+)
+from repro.core.instance import LocalView, ProblemInstance
+from repro.core.restrictions import (
+    BoundedCompetency,
+    CompleteGraph,
+    GraphRestriction,
+    MaxDegreeAtMost,
+    MinDegreeAtLeast,
+    PlausibleChangeability,
+    RandomRegular,
+    RestrictionSet,
+)
+
+__all__ = [
+    "ProblemInstance",
+    "LocalView",
+    "ApprovalOracle",
+    "approval_set",
+    "ApprovalGraphStats",
+    "approval_graph_stats",
+    "potential_hub_voters",
+    "constant_competencies",
+    "linear_competencies",
+    "bounded_uniform_competencies",
+    "two_block_competencies",
+    "sampled_competencies",
+    "plausible_changeability",
+    "GraphRestriction",
+    "RestrictionSet",
+    "CompleteGraph",
+    "RandomRegular",
+    "MaxDegreeAtMost",
+    "MinDegreeAtLeast",
+    "PlausibleChangeability",
+    "BoundedCompetency",
+]

@@ -1,0 +1,80 @@
+"""Approval sets ``J(i)`` (Section 2.1).
+
+Given threshold ``α > 0``, the approval set of voter ``i`` is
+``J(i) = { j : p_i + α ≤ p_j }``.  Local mechanisms only ever see
+``J(i) ∩ N(i)``; the global set is exposed for analysis and tests.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.core.instance import ProblemInstance
+
+
+def approval_set(
+    competencies: Sequence[float], voter: int, alpha: float
+) -> Tuple[int, ...]:
+    """The global approval set ``J(voter)`` under threshold ``alpha``."""
+    p = np.asarray(competencies, dtype=float)
+    if not 0 <= voter < p.size:
+        raise ValueError(f"voter {voter} out of range for {p.size} voters")
+    if not alpha > 0:
+        raise ValueError(f"alpha must be > 0, got {alpha}")
+    threshold = p[voter] + alpha
+    return tuple(int(j) for j in np.nonzero(p >= threshold)[0])
+
+
+class ApprovalOracle:
+    """Precomputed approval structure for one instance.
+
+    Sorting voters by competency once turns every ``|J(i)|`` query into a
+    binary search, which matters when experiments touch each voter per
+    Monte Carlo round.
+    """
+
+    def __init__(self, instance: ProblemInstance) -> None:
+        self._instance = instance
+        p = instance.competencies
+        self._order = np.argsort(p, kind="stable")
+        self._sorted_p = p[self._order]
+
+    @property
+    def instance(self) -> ProblemInstance:
+        """The instance this oracle indexes."""
+        return self._instance
+
+    def approval_count(self, voter: int) -> int:
+        """``|J(voter)|`` — number of voters approved globally."""
+        threshold = self._instance.competencies[voter] + self._instance.alpha
+        idx = int(np.searchsorted(self._sorted_p, threshold, side="left"))
+        return len(self._sorted_p) - idx
+
+    def approval_members(self, voter: int) -> Tuple[int, ...]:
+        """``J(voter)`` as a tuple of voter indices (ascending by index)."""
+        threshold = self._instance.competencies[voter] + self._instance.alpha
+        idx = int(np.searchsorted(self._sorted_p, threshold, side="left"))
+        return tuple(sorted(int(v) for v in self._order[idx:]))
+
+    def is_approved(self, voter: int, other: int) -> bool:
+        """Whether ``other ∈ J(voter)``."""
+        return self._instance.approves(voter, other)
+
+    def partition_complexity(self) -> int:
+        """Length of the longest chain ``v_1 → v_2 → …`` of approvals.
+
+        Equals the number of α-spaced competency levels: the longest
+        sequence of voters where each approves the next.  Upper bounds the
+        partition complexity ``c`` of the induced recycle-sampling graph;
+        the trivial bound is ``⌈1/α⌉`` (Section 3.1).
+        """
+        chain = 1
+        last = None
+        for value in self._sorted_p:
+            if last is None or value >= last + self._instance.alpha:
+                if last is not None:
+                    chain += 1
+                last = float(value)
+        return chain

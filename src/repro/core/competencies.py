@@ -1,0 +1,140 @@
+"""Competency-vector constructors used across experiments.
+
+The paper treats the competency vector as adversarial subject to
+restrictions (plausible changeability ``PC = a``, bounded competency
+``p ∈ (β, 1-β)``).  These helpers build the workload families the
+theorem benchmarks sweep over, plus sampled ("probabilistic competency")
+vectors used by the Section 6 extension experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro._util.rng import SeedLike, as_generator
+from repro._util.validation import check_fraction, check_probability
+
+
+def constant_competencies(n: int, p: float) -> np.ndarray:
+    """All ``n`` voters share competency ``p``."""
+    check_probability("p", p)
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    return np.full(n, float(p))
+
+
+def linear_competencies(n: int, low: float, high: float) -> np.ndarray:
+    """Competencies evenly spaced from ``low`` to ``high`` (ascending).
+
+    The canonical "everyone slightly different" workload: with spacing
+    ``(high - low) / (n - 1)``, any approval threshold α below the spacing
+    makes every strictly-more-competent voter approved.
+    """
+    check_probability("low", low)
+    check_probability("high", high)
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    if n == 0:
+        return np.empty(0)
+    if n == 1:
+        return np.array([float(low)])
+    return np.linspace(low, high, n)
+
+
+def bounded_uniform_competencies(
+    n: int, beta: float, seed: SeedLike = None
+) -> np.ndarray:
+    """I.i.d. uniform competencies on the bounded interval ``(β, 1-β)``.
+
+    Satisfies the bounded-competency restriction of Lemma 3 by
+    construction.
+    """
+    check_fraction("beta", beta)
+    if beta >= 0.5:
+        raise ValueError(f"beta must be < 1/2 for a non-empty interval, got {beta}")
+    rng = as_generator(seed)
+    return rng.uniform(beta, 1.0 - beta, size=n)
+
+
+def two_block_competencies(
+    n: int, low: float, high: float, num_high: int
+) -> np.ndarray:
+    """``num_high`` voters at competency ``high``; the rest at ``low``.
+
+    The adversarial family behind the star counterexample and the case
+    analysis in Theorem 2's DNH proof (few experts, many weak voters).
+    The high-competency voters occupy the *last* indices.
+    """
+    check_probability("low", low)
+    check_probability("high", high)
+    if not 0 <= num_high <= n:
+        raise ValueError(f"num_high must lie in [0, {n}], got {num_high}")
+    p = np.full(n, float(low))
+    if num_high:
+        p[n - num_high :] = high
+    return p
+
+
+def beta_competencies(
+    n: int, a: float, b: float, seed: SeedLike = None
+) -> np.ndarray:
+    """I.i.d. Beta(a, b) competencies — the Halpern et al. style
+    "competencies sampled from a distribution" model used by the
+    probabilistic-competency extension experiments."""
+    if a <= 0 or b <= 0:
+        raise ValueError(f"Beta parameters must be positive, got a={a}, b={b}")
+    rng = as_generator(seed)
+    return rng.beta(a, b, size=n)
+
+
+def sampled_competencies(
+    n: int,
+    sampler: Callable[[np.random.Generator, int], np.ndarray],
+    seed: SeedLike = None,
+) -> np.ndarray:
+    """Draw competencies from an arbitrary user sampler, clipped to [0, 1]."""
+    rng = as_generator(seed)
+    p = np.asarray(sampler(rng, n), dtype=float)
+    if p.shape != (n,):
+        raise ValueError(f"sampler must return shape ({n},), got {p.shape}")
+    return np.clip(p, 0.0, 1.0)
+
+
+def plausible_changeability(competencies: Sequence[float]) -> float:
+    """Plausible changeability ``a`` with ``mean(p) = 1/2 + a``.
+
+    The paper's restriction ``PC = a`` demands
+    ``1/2 + a ≥ mean(p) ≥ 1/2 - a`` — the average competency is within
+    ``a`` of 1/2.  We report the witness ``a = |mean(p) - 1/2|``, the
+    smallest value for which the restriction holds.
+    """
+    arr = np.asarray(competencies, dtype=float)
+    if arr.size == 0:
+        raise ValueError("competencies must be non-empty")
+    return abs(float(arr.mean()) - 0.5)
+
+
+def satisfies_plausible_changeability(
+    competencies: Sequence[float], a: float
+) -> bool:
+    """Whether ``mean(p)`` lies within ``a`` of 1/2 (restriction ``PC = a``)."""
+    if a < 0:
+        raise ValueError(f"a must be non-negative, got {a}")
+    return plausible_changeability(competencies) <= a + 1e-12
+
+
+def competency_interval(competencies: Sequence[float]) -> Optional[float]:
+    """Largest ``β`` such that all competencies lie in ``(β, 1-β)``.
+
+    Returns ``None`` when some competency touches 0, 1 or crosses the
+    midpoint bound (i.e. no positive β exists).
+    """
+    arr = np.asarray(competencies, dtype=float)
+    if arr.size == 0:
+        raise ValueError("competencies must be non-empty")
+    beta = float(min(arr.min(), 1.0 - arr.max()))
+    if beta <= 0:
+        return None
+    return beta

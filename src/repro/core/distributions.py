@@ -1,0 +1,244 @@
+"""Competency distributions — the probabilistic-competency extension.
+
+Section 6 proposes unifying the paper's graph-property analysis with
+Halpern et al.'s model where competencies are *sampled from a
+distribution* rather than fixed adversarially.  This module provides
+that model: first-class distribution objects with exact means/variances,
+bounded-support checks (so the Lemma 3 condition can be certified at the
+distribution level), and samplers that plug into
+:class:`~repro.core.instance.ProblemInstance` construction.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro._util.rng import SeedLike, as_generator
+from repro._util.validation import check_fraction, check_probability
+
+
+class CompetencyDistribution(abc.ABC):
+    """A distribution over a single voter's competency ``p ∈ [0, 1]``."""
+
+    @abc.abstractmethod
+    def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        """Draw ``size`` i.i.d. competencies."""
+
+    @abc.abstractmethod
+    def mean(self) -> float:
+        """Exact expectation ``E[p]``."""
+
+    @abc.abstractmethod
+    def variance(self) -> float:
+        """Exact variance ``Var[p]``."""
+
+    @abc.abstractmethod
+    def support(self) -> Tuple[float, float]:
+        """The closed interval ``[lo, hi]`` containing all mass."""
+
+    def bounded_margin(self) -> float:
+        """Largest ``β ≥ 0`` with support inside ``(β, 1−β)``; 0 if none.
+
+        A positive margin certifies the bounded-competency restriction of
+        Lemma 3 for *every* instance sampled from the distribution.
+        """
+        lo, hi = self.support()
+        return max(0.0, min(lo, 1.0 - hi))
+
+    def plausible_changeability(self) -> float:
+        """``|E[p] − 1/2|`` — the PC witness of the *expected* instance."""
+        return abs(self.mean() - 0.5)
+
+    def sample_vector(self, n: int, seed: SeedLike = None) -> np.ndarray:
+        """Draw an n-voter competency vector."""
+        values = self.sample(as_generator(seed), n)
+        return np.clip(np.asarray(values, dtype=float), 0.0, 1.0)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(mean={self.mean():.3f})"
+
+
+class PointMass(CompetencyDistribution):
+    """Every voter has the same fixed competency."""
+
+    def __init__(self, value: float) -> None:
+        self._value = check_probability("value", value)
+
+    def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        return np.full(size, self._value)
+
+    def mean(self) -> float:
+        return self._value
+
+    def variance(self) -> float:
+        return 0.0
+
+    def support(self) -> Tuple[float, float]:
+        return (self._value, self._value)
+
+
+class UniformCompetency(CompetencyDistribution):
+    """Uniform on ``[low, high] ⊆ [0, 1]``."""
+
+    def __init__(self, low: float, high: float) -> None:
+        check_probability("low", low)
+        check_probability("high", high)
+        if low > high:
+            raise ValueError(f"need low <= high, got [{low}, {high}]")
+        self._low = float(low)
+        self._high = float(high)
+
+    def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        return rng.uniform(self._low, self._high, size)
+
+    def mean(self) -> float:
+        return (self._low + self._high) / 2.0
+
+    def variance(self) -> float:
+        return (self._high - self._low) ** 2 / 12.0
+
+    def support(self) -> Tuple[float, float]:
+        return (self._low, self._high)
+
+
+class BetaCompetency(CompetencyDistribution):
+    """Beta(a, b), optionally rescaled into ``[low, high]``.
+
+    The workhorse of Halpern et al.-style analyses; rescaling gives a
+    bounded-support variant that satisfies Lemma 3's condition.
+    """
+
+    def __init__(
+        self, a: float, b: float, low: float = 0.0, high: float = 1.0
+    ) -> None:
+        if a <= 0 or b <= 0:
+            raise ValueError(f"Beta parameters must be positive, got a={a}, b={b}")
+        check_probability("low", low)
+        check_probability("high", high)
+        if low > high:
+            raise ValueError(f"need low <= high, got [{low}, {high}]")
+        self._a, self._b = float(a), float(b)
+        self._low, self._high = float(low), float(high)
+
+    def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        raw = rng.beta(self._a, self._b, size)
+        return self._low + (self._high - self._low) * raw
+
+    def mean(self) -> float:
+        raw_mean = self._a / (self._a + self._b)
+        return self._low + (self._high - self._low) * raw_mean
+
+    def variance(self) -> float:
+        ab = self._a + self._b
+        raw_var = self._a * self._b / (ab * ab * (ab + 1.0))
+        return (self._high - self._low) ** 2 * raw_var
+
+    def support(self) -> Tuple[float, float]:
+        return (self._low, self._high)
+
+
+class TruncatedNormalCompetency(CompetencyDistribution):
+    """Normal(mu, sigma²) truncated to ``[low, high]`` by rejection.
+
+    Mean/variance are computed with the standard truncated-normal
+    formulas, so distribution-level certificates remain exact.
+    """
+
+    def __init__(
+        self, mu: float, sigma: float, low: float = 0.0, high: float = 1.0
+    ) -> None:
+        if sigma <= 0:
+            raise ValueError(f"sigma must be positive, got {sigma}")
+        check_probability("low", low)
+        check_probability("high", high)
+        if low >= high:
+            raise ValueError(f"need low < high, got [{low}, {high}]")
+        self._mu, self._sigma = float(mu), float(sigma)
+        self._low, self._high = float(low), float(high)
+
+    def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        out = np.empty(size)
+        filled = 0
+        while filled < size:
+            draw = rng.normal(self._mu, self._sigma, size=2 * (size - filled) + 8)
+            keep = draw[(draw >= self._low) & (draw <= self._high)]
+            take = min(len(keep), size - filled)
+            out[filled : filled + take] = keep[:take]
+            filled += take
+        return out
+
+    def _phi(self, x: float) -> float:
+        return math.exp(-x * x / 2.0) / math.sqrt(2.0 * math.pi)
+
+    def _cdf(self, x: float) -> float:
+        return 0.5 * (1.0 + math.erf(x / math.sqrt(2.0)))
+
+    def mean(self) -> float:
+        a = (self._low - self._mu) / self._sigma
+        b = (self._high - self._mu) / self._sigma
+        z = self._cdf(b) - self._cdf(a)
+        return self._mu + self._sigma * (self._phi(a) - self._phi(b)) / z
+
+    def variance(self) -> float:
+        a = (self._low - self._mu) / self._sigma
+        b = (self._high - self._mu) / self._sigma
+        z = self._cdf(b) - self._cdf(a)
+        term1 = (a * self._phi(a) - b * self._phi(b)) / z
+        term2 = ((self._phi(a) - self._phi(b)) / z) ** 2
+        return self._sigma**2 * (1.0 + term1 - term2)
+
+    def support(self) -> Tuple[float, float]:
+        return (self._low, self._high)
+
+
+class MixtureCompetency(CompetencyDistribution):
+    """A finite mixture of competency distributions.
+
+    Models populations with distinct voter classes ("casual holders" vs
+    "researchers" in the DAO example); exact moments follow from the law
+    of total variance.
+    """
+
+    def __init__(
+        self,
+        components: Sequence[CompetencyDistribution],
+        weights: Sequence[float],
+    ) -> None:
+        if len(components) != len(weights) or not components:
+            raise ValueError("need equally many (>=1) components and weights")
+        w = np.asarray(weights, dtype=float)
+        if np.any(w < 0) or w.sum() <= 0:
+            raise ValueError("weights must be non-negative with positive sum")
+        self._components: List[CompetencyDistribution] = list(components)
+        self._weights = w / w.sum()
+
+    def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        choices = rng.choice(len(self._components), size=size, p=self._weights)
+        out = np.empty(size)
+        for idx, component in enumerate(self._components):
+            mask = choices == idx
+            count = int(mask.sum())
+            if count:
+                out[mask] = component.sample(rng, count)
+        return out
+
+    def mean(self) -> float:
+        return float(
+            sum(w * c.mean() for w, c in zip(self._weights, self._components))
+        )
+
+    def variance(self) -> float:
+        mean = self.mean()
+        second_moment = sum(
+            w * (c.variance() + c.mean() ** 2)
+            for w, c in zip(self._weights, self._components)
+        )
+        return float(second_moment - mean**2)
+
+    def support(self) -> Tuple[float, float]:
+        los, his = zip(*(c.support() for c in self._components))
+        return (min(los), max(his))

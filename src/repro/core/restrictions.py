@@ -1,0 +1,196 @@
+"""Graph restrictions (Definition 1) as composable predicate objects.
+
+A restriction is a property a problem instance must satisfy; a
+:class:`RestrictionSet` is the paper's ``G_n^P`` — all instances on ``n``
+vertices satisfying every property in ``P``.  Restrictions validate
+instances (for experiment sanity checks) and describe themselves (for
+report headers).
+
+The built-in restrictions mirror Section 2.1:
+
+* ``K_n``                      → :class:`CompleteGraph`
+* ``Rand(n, d)``               → :class:`RandomRegular`
+* ``Δ ≤ k``                    → :class:`MaxDegreeAtMost`
+* ``δ ≥ k``                    → :class:`MinDegreeAtLeast`
+* ``PC = a``                   → :class:`PlausibleChangeability`
+* ``p ∈ (β, 1-β)``             → :class:`BoundedCompetency`
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterable, List, Tuple
+
+import numpy as np
+
+from repro.core.competencies import plausible_changeability
+from repro.core.instance import ProblemInstance
+
+
+class GraphRestriction(abc.ABC):
+    """A single property instances must satisfy (element of ``P``)."""
+
+    @abc.abstractmethod
+    def is_satisfied(self, instance: ProblemInstance) -> bool:
+        """Whether ``instance`` satisfies this restriction."""
+
+    @abc.abstractmethod
+    def describe(self) -> str:
+        """Short human-readable form, e.g. ``"Δ ≤ 8"``."""
+
+    def violation(self, instance: ProblemInstance) -> str:
+        """Explain why ``instance`` violates this restriction ('' if it doesn't)."""
+        if self.is_satisfied(instance):
+            return ""
+        return f"instance violates restriction {self.describe()}"
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.describe()!r})"
+
+
+class CompleteGraph(GraphRestriction):
+    """The graph is the complete graph ``K_n``."""
+
+    def is_satisfied(self, instance: ProblemInstance) -> bool:
+        return instance.graph.is_complete()
+
+    def describe(self) -> str:
+        return "K_n"
+
+
+class RandomRegular(GraphRestriction):
+    """The graph is d-regular (membership check for ``Rand(n, d)``).
+
+    Uniform randomness of the draw is a property of the *generator*, not
+    checkable on a single instance; the verifiable part is d-regularity.
+    """
+
+    def __init__(self, d: int) -> None:
+        if d < 0:
+            raise ValueError(f"d must be non-negative, got {d}")
+        self.d = int(d)
+
+    def is_satisfied(self, instance: ProblemInstance) -> bool:
+        degs = instance.graph.degrees()
+        return all(deg == self.d for deg in degs)
+
+    def describe(self) -> str:
+        return f"Rand(n, {self.d})"
+
+
+class MaxDegreeAtMost(GraphRestriction):
+    """Maximum degree restriction ``Δ ≤ k``."""
+
+    def __init__(self, k: int) -> None:
+        if k < 0:
+            raise ValueError(f"k must be non-negative, got {k}")
+        self.k = int(k)
+
+    def is_satisfied(self, instance: ProblemInstance) -> bool:
+        return instance.graph.max_degree() <= self.k
+
+    def describe(self) -> str:
+        return f"Δ ≤ {self.k}"
+
+
+class MinDegreeAtLeast(GraphRestriction):
+    """Minimum degree restriction ``δ ≥ k``."""
+
+    def __init__(self, k: int) -> None:
+        if k < 0:
+            raise ValueError(f"k must be non-negative, got {k}")
+        self.k = int(k)
+
+    def is_satisfied(self, instance: ProblemInstance) -> bool:
+        return instance.graph.min_degree() >= self.k
+
+    def describe(self) -> str:
+        return f"δ ≥ {self.k}"
+
+
+class PlausibleChangeability(GraphRestriction):
+    """``PC = a``: mean competency within ``a`` of one half.
+
+    Captures "the instance is close enough to undecided that delegation
+    can flip the outcome" (Section 2.1).
+    """
+
+    def __init__(self, a: float) -> None:
+        if a < 0:
+            raise ValueError(f"a must be non-negative, got {a}")
+        self.a = float(a)
+
+    def is_satisfied(self, instance: ProblemInstance) -> bool:
+        return plausible_changeability(instance.competencies) <= self.a + 1e-12
+
+    def describe(self) -> str:
+        return f"PC = {self.a}"
+
+
+class BoundedCompetency(GraphRestriction):
+    """``p ∈ (β, 1-β)``: every competency strictly inside the interval."""
+
+    def __init__(self, beta: float) -> None:
+        if not 0 < beta < 0.5:
+            raise ValueError(f"beta must lie in (0, 1/2), got {beta}")
+        self.beta = float(beta)
+
+    def is_satisfied(self, instance: ProblemInstance) -> bool:
+        p = instance.competencies
+        return bool(np.all(p > self.beta) and np.all(p < 1.0 - self.beta))
+
+    def describe(self) -> str:
+        return f"p ∈ ({self.beta}, {1.0 - self.beta})"
+
+
+class RestrictionSet:
+    """The paper's ``G_n^P``: conjunction of restrictions ``P``.
+
+    Iterable and composable with ``&``.
+    """
+
+    def __init__(self, restrictions: Iterable[GraphRestriction] = ()) -> None:
+        self._restrictions: Tuple[GraphRestriction, ...] = tuple(restrictions)
+
+    @property
+    def restrictions(self) -> Tuple[GraphRestriction, ...]:
+        """The member restrictions, in insertion order."""
+        return self._restrictions
+
+    def is_satisfied(self, instance: ProblemInstance) -> bool:
+        """Whether ``instance`` satisfies every restriction."""
+        return all(r.is_satisfied(instance) for r in self._restrictions)
+
+    def violations(self, instance: ProblemInstance) -> List[str]:
+        """All violation messages for ``instance`` (empty when satisfied)."""
+        return [
+            r.violation(instance)
+            for r in self._restrictions
+            if not r.is_satisfied(instance)
+        ]
+
+    def require(self, instance: ProblemInstance) -> ProblemInstance:
+        """Return ``instance`` unchanged, raising if any restriction fails."""
+        problems = self.violations(instance)
+        if problems:
+            raise ValueError("; ".join(problems))
+        return instance
+
+    def describe(self) -> str:
+        """Set-builder style description, e.g. ``{K_n, PC = 0.1}``."""
+        inner = ", ".join(r.describe() for r in self._restrictions)
+        return "{" + inner + "}"
+
+    def __and__(self, other: "RestrictionSet") -> "RestrictionSet":
+        if not isinstance(other, RestrictionSet):
+            return NotImplemented
+        return RestrictionSet(self._restrictions + other._restrictions)
+
+    def __iter__(self):
+        return iter(self._restrictions)
+
+    def __len__(self) -> int:
+        return len(self._restrictions)
+
+    def __repr__(self) -> str:
+        return f"RestrictionSet({self.describe()})"

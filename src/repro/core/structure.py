@@ -1,0 +1,143 @@
+"""Precomputed approval structure for fast delegation sampling.
+
+Monte Carlo experiments sample thousands of delegation forests per
+instance; building a :class:`~repro.core.instance.LocalView` per voter
+per round is O(n²) on dense graphs.  :class:`ApprovalStructure` computes
+the approval relation once per instance:
+
+* on a **complete graph**, voter ``i``'s approved set is a suffix of the
+  competency-sorted voter order, so the structure stores just the sorted
+  order and one start index per voter (O(n) memory);
+* on **general graphs**, a CSR-style (indptr, indices) pair stores each
+  voter's approved neighbours (O(m) memory).
+
+Mechanism fast paths consume only ``approved_count``, ``degree`` and
+``sample_approved`` — exactly the information their ``decide`` methods
+use — so the fast and slow paths are distributionally identical (tested).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Tuple
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.instance import ProblemInstance
+
+
+class ApprovalStructure:
+    """Per-instance approval relation in sampling-friendly form."""
+
+    def __init__(self, instance: "ProblemInstance") -> None:
+        self._instance = instance
+        graph = instance.graph
+        p = instance.competencies
+        alpha = instance.alpha
+        n = graph.num_vertices
+        self._degrees = np.asarray(graph.degrees(), dtype=np.int64)
+        self._complete = graph.is_complete() and n >= 2
+        if self._complete:
+            # Approved set of i = suffix of the ascending-competency order
+            # starting at the first voter with p >= p_i + alpha.
+            order = np.argsort(p, kind="stable")
+            sorted_p = p[order]
+            starts = np.searchsorted(sorted_p, p + alpha, side="left")
+            self._order = order
+            self._starts = starts.astype(np.int64)
+            self._counts = (n - self._starts).astype(np.int64)
+            self._indptr = None
+            self._indices = None
+        else:
+            indptr = np.zeros(n + 1, dtype=np.int64)
+            chunks = []
+            for v in range(n):
+                approved = instance.approved_neighbors(v)
+                indptr[v + 1] = indptr[v] + len(approved)
+                if approved:
+                    arr = np.asarray(approved, dtype=np.int64)
+                    # Competency-ascending segment order (ties by index)
+                    # so that "offset within segment" equals local rank —
+                    # used by best-of-k sampling.
+                    arr = arr[np.lexsort((arr, p[arr]))]
+                    chunks.append(arr)
+            self._indptr = indptr
+            self._indices = (
+                np.concatenate(chunks) if chunks else np.empty(0, dtype=np.int64)
+            )
+            self._counts = np.diff(indptr)
+            self._order = None
+            self._starts = None
+
+    @property
+    def num_voters(self) -> int:
+        """Number of voters."""
+        return len(self._counts)
+
+    @property
+    def degrees(self) -> np.ndarray:
+        """Vertex degrees, indexed by voter."""
+        return self._degrees
+
+    @property
+    def approved_counts(self) -> np.ndarray:
+        """``|J(i) ∩ N(i)|`` for every voter."""
+        return self._counts
+
+    def approved_count(self, voter: int) -> int:
+        """``|J(voter) ∩ N(voter)|``."""
+        return int(self._counts[voter])
+
+    def approved_neighbors(self, voter: int) -> Tuple[int, ...]:
+        """The approved neighbours of ``voter`` (unordered)."""
+        if self._complete:
+            return tuple(int(v) for v in self._order[self._starts[voter]:])
+        lo, hi = self._indptr[voter], self._indptr[voter + 1]
+        return tuple(int(v) for v in self._indices[lo:hi])
+
+    def sample_approved(self, voter: int, rng: np.random.Generator) -> int:
+        """A uniformly random approved neighbour of ``voter``."""
+        count = int(self._counts[voter])
+        if count == 0:
+            raise ValueError(f"voter {voter} has no approved neighbours")
+        k = int(rng.integers(count))
+        if self._complete:
+            return int(self._order[self._starts[voter] + k])
+        return int(self._indices[self._indptr[voter] + k])
+
+    def sample_approved_many(
+        self, voters: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Vectorised :meth:`sample_approved` over an array of voters.
+
+        All listed voters must have at least one approved neighbour.
+        """
+        counts = self._counts[voters]
+        if np.any(counts == 0):
+            bad = int(voters[np.argmax(counts == 0)])
+            raise ValueError(f"voter {bad} has no approved neighbours")
+        offsets = rng.integers(counts)
+        return self._resolve_offsets(voters, offsets)
+
+    def sample_best_of_k_many(
+        self, voters: np.ndarray, k: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """For each voter, the most competent of ``k`` uniform approved picks.
+
+        Segments are stored in ascending competency (ties by index), so
+        "best of k picks" is simply the maximal offset among k uniform
+        offsets — the same tie-breaking as the local-view ranking.
+        """
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        counts = self._counts[voters]
+        if np.any(counts == 0):
+            bad = int(voters[np.argmax(counts == 0)])
+            raise ValueError(f"voter {bad} has no approved neighbours")
+        offsets = rng.integers(np.broadcast_to(counts, (k, len(voters)))).max(axis=0)
+        return self._resolve_offsets(voters, offsets)
+
+    def _resolve_offsets(self, voters: np.ndarray, offsets: np.ndarray) -> np.ndarray:
+        if self._complete:
+            return self._order[self._starts[voters] + offsets]
+        return self._indices[self._indptr[voters] + offsets]

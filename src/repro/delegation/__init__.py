@@ -1,0 +1,23 @@
+"""Delegation graphs: resolving mechanism outputs into weighted sinks.
+
+A delegation mechanism outputs, per voter, a distribution over "delegate
+to neighbour j" / "vote directly".  Sampling those choices yields a
+functional digraph; with an approval threshold ``α > 0`` it is a forest
+whose roots ("sinks") cast weighted votes.  This package materialises
+that forest, computes sink weights, verifies acyclicity, and measures
+the weight-concentration statistics the paper's variance conditions are
+about.
+"""
+
+from repro.delegation.graph import DelegationCycleError, DelegationGraph
+from repro.delegation.metrics import WeightProfile, weight_profile
+from repro.delegation.render import render_forest, render_summary
+
+__all__ = [
+    "DelegationGraph",
+    "DelegationCycleError",
+    "WeightProfile",
+    "weight_profile",
+    "render_forest",
+    "render_summary",
+]

@@ -1,0 +1,199 @@
+"""The induced delegation graph (Section 2.2, "Delegation").
+
+Each voter either votes directly (a *sink*) or delegates to exactly one
+other voter; following delegations transitively, each voter's vote lands
+on a unique sink.  The sink's *weight* is the number of votes it carries,
+including its own.
+
+Because approval requires strictly higher competency (``α > 0``),
+delegation graphs induced by approval mechanisms are acyclic.  The
+resolver nevertheless detects cycles explicitly — non-approval mechanisms
+(used in counterexample experiments) could create them, and votes caught
+in a cycle would otherwise silently vanish.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+SELF = -1
+"""Sentinel delegate value meaning "vote directly" (no delegation)."""
+
+
+class DelegationCycleError(ValueError):
+    """Raised when delegation choices contain a cycle.
+
+    Carries the offending ``cycle`` as a list of voter indices in
+    delegation order.
+    """
+
+    def __init__(self, cycle: List[int]) -> None:
+        self.cycle = cycle
+        super().__init__(f"delegation cycle detected: {' -> '.join(map(str, cycle))}")
+
+
+class DelegationGraph:
+    """Resolved delegation choices with sink assignment and weights.
+
+    Parameters
+    ----------
+    delegates:
+        ``delegates[i]`` is the voter ``i`` delegates to, or ``SELF``
+        (= -1) when ``i`` votes directly.  Delegating to oneself is
+        normalised to ``SELF``.
+
+    Raises
+    ------
+    DelegationCycleError
+        If following delegations from some voter never reaches a sink.
+    """
+
+    __slots__ = ("_delegates", "_sink_of", "_sinks", "_weights", "_depths")
+
+    def __init__(self, delegates: Sequence[int]) -> None:
+        n = len(delegates)
+        normalised = np.empty(n, dtype=np.int64)
+        for i, target in enumerate(delegates):
+            t = int(target)
+            if t == i:
+                t = SELF
+            if t != SELF and not 0 <= t < n:
+                raise ValueError(
+                    f"voter {i} delegates to out-of-range target {target}"
+                )
+            normalised[i] = t
+        self._delegates = normalised
+        self._delegates.setflags(write=False)
+        self._sink_of = self._resolve_sinks(normalised)
+        self._sink_of.setflags(write=False)
+        sinks = np.nonzero(normalised == SELF)[0]
+        self._sinks: Tuple[int, ...] = tuple(int(s) for s in sinks)
+        weights = np.bincount(self._sink_of, minlength=n)
+        self._weights = weights
+        self._weights.setflags(write=False)
+        self._depths: Optional[np.ndarray] = None
+
+    @staticmethod
+    def _resolve_sinks(delegates: np.ndarray) -> np.ndarray:
+        """Follow chains with iterative path compression; detect cycles."""
+        n = len(delegates)
+        sink_of = np.full(n, -2, dtype=np.int64)  # -2 = unresolved
+        for start in range(n):
+            if sink_of[start] != -2:
+                continue
+            path = []
+            v = start
+            while True:
+                if sink_of[v] != -2:
+                    terminal = int(sink_of[v])
+                    break
+                path.append(v)
+                nxt = int(delegates[v])
+                if nxt == SELF:
+                    terminal = v
+                    break
+                if nxt in path:
+                    # Walked back onto the current path: a cycle.
+                    idx = path.index(nxt)
+                    raise DelegationCycleError(path[idx:] + [nxt])
+                v = nxt
+            for u in path:
+                sink_of[u] = terminal
+        return sink_of
+
+    # -- accessors ----------------------------------------------------------
+
+    @property
+    def num_voters(self) -> int:
+        """Number of voters ``n``."""
+        return len(self._delegates)
+
+    @property
+    def delegates(self) -> np.ndarray:
+        """Per-voter delegate array (``SELF`` for direct voters)."""
+        return self._delegates
+
+    @property
+    def sinks(self) -> Tuple[int, ...]:
+        """Voters that vote directly, ascending."""
+        return self._sinks
+
+    @property
+    def num_sinks(self) -> int:
+        """Number of sinks."""
+        return len(self._sinks)
+
+    def sink_of(self, voter: int) -> int:
+        """The sink that ultimately carries ``voter``'s vote."""
+        return int(self._sink_of[voter])
+
+    def weight(self, voter: int) -> int:
+        """Votes carried by ``voter`` (0 unless ``voter`` is a sink)."""
+        return int(self._weights[voter])
+
+    def sink_weights(self) -> Dict[int, int]:
+        """Mapping sink → weight; weights sum to ``n``."""
+        return {s: int(self._weights[s]) for s in self._sinks}
+
+    @property
+    def num_delegators(self) -> int:
+        """Number of voters that delegated (Definition 2's ``Delegate(n)``)."""
+        return self.num_voters - self.num_sinks
+
+    def max_weight(self) -> int:
+        """Maximum sink weight ``w`` — the quantity Lemma 5 bounds."""
+        if self.num_voters == 0:
+            return 0
+        return int(self._weights.max())
+
+    def depth(self, voter: int) -> int:
+        """Number of delegation hops from ``voter`` to its sink."""
+        self._compute_depths()
+        assert self._depths is not None
+        return int(self._depths[voter])
+
+    def max_depth(self) -> int:
+        """Longest delegation chain in the forest."""
+        if self.num_voters == 0:
+            return 0
+        self._compute_depths()
+        assert self._depths is not None
+        return int(self._depths.max())
+
+    def _compute_depths(self) -> None:
+        if self._depths is not None:
+            return
+        n = self.num_voters
+        depths = np.full(n, -1, dtype=np.int64)
+        for start in range(n):
+            path = []
+            v = start
+            while depths[v] == -1 and int(self._delegates[v]) != SELF:
+                path.append(v)
+                v = int(self._delegates[v])
+            if depths[v] == -1:
+                depths[v] = 0  # v is a sink
+            base = int(depths[v])
+            for u in reversed(path):
+                base += 1
+                depths[u] = base
+        self._depths = depths
+
+    def is_acyclic(self) -> bool:
+        """Always True for constructed instances (cycles raise on build)."""
+        return True
+
+    def __repr__(self) -> str:
+        return (
+            f"DelegationGraph(n={self.num_voters}, sinks={self.num_sinks}, "
+            f"max_weight={self.max_weight()})"
+        )
+
+    # -- constructors ----------------------------------------------------------
+
+    @classmethod
+    def direct(cls, n: int) -> "DelegationGraph":
+        """The trivial delegation graph where everyone votes directly."""
+        return cls([SELF] * n)

@@ -1,0 +1,96 @@
+"""ASCII rendering of delegation forests.
+
+Small forests are easiest to debug visually; :func:`render_forest`
+draws each delegation tree root-first with weights and competencies,
+the format used by the Figure 2 experiment and the docs.
+
+Example output::
+
+    v1 [p=0.80, w=9]
+    ├── v2 [p=0.60]
+    │   ├── v4 [p=0.40]
+    │   │   └── v8 [p=0.20]
+    │   └── v5 [p=0.30]
+    ...
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.delegation.graph import SELF, DelegationGraph
+
+
+def _children(forest: DelegationGraph) -> Dict[int, List[int]]:
+    kids: Dict[int, List[int]] = {v: [] for v in range(forest.num_voters)}
+    for v in range(forest.num_voters):
+        target = int(forest.delegates[v])
+        if target != SELF:
+            kids[target].append(v)
+    return kids
+
+
+def _label(
+    voter: int,
+    forest: DelegationGraph,
+    competencies: Optional[Sequence[float]],
+    one_based: bool,
+) -> str:
+    name = f"v{voter + 1}" if one_based else f"v{voter}"
+    parts = []
+    if competencies is not None:
+        parts.append(f"p={float(competencies[voter]):.2f}")
+    if int(forest.delegates[voter]) == SELF:
+        parts.append(f"w={forest.weight(voter)}")
+    return f"{name} [{', '.join(parts)}]" if parts else name
+
+
+def render_forest(
+    forest: DelegationGraph,
+    competencies: Optional[Sequence[float]] = None,
+    one_based: bool = True,
+) -> str:
+    """Render ``forest`` as an ASCII tree, one block per sink.
+
+    Parameters
+    ----------
+    forest:
+        The delegation forest to draw.
+    competencies:
+        Optional per-voter competencies shown as ``p=…``.
+    one_based:
+        Label voters ``v1 …`` (paper convention) instead of ``v0 …``.
+    """
+    if competencies is not None and len(competencies) != forest.num_voters:
+        raise ValueError(
+            f"competency vector length {len(competencies)} does not match "
+            f"{forest.num_voters} voters"
+        )
+    kids = _children(forest)
+    lines: List[str] = []
+
+    def draw(voter: int, prefix: str, is_last: bool, is_root: bool) -> None:
+        label = _label(voter, forest, competencies, one_based)
+        if is_root:
+            lines.append(label)
+            child_prefix = ""
+        else:
+            connector = "└── " if is_last else "├── "
+            lines.append(prefix + connector + label)
+            child_prefix = prefix + ("    " if is_last else "│   ")
+        children = sorted(kids[voter])
+        for i, child in enumerate(children):
+            draw(child, child_prefix, i == len(children) - 1, False)
+
+    for sink in forest.sinks:
+        draw(sink, "", True, True)
+    return "\n".join(lines)
+
+
+def render_summary(forest: DelegationGraph) -> str:
+    """One-line structural summary of a forest."""
+    return (
+        f"{forest.num_voters} voters, {forest.num_sinks} sinks, "
+        f"{forest.num_delegators} delegations, max weight "
+        f"{forest.max_weight()}, max depth {forest.max_depth()}"
+    )

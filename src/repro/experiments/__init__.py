@@ -1,0 +1,45 @@
+"""Experiment harness reproducing every figure, lemma and theorem.
+
+Each experiment is a function ``run_*(config) -> ExperimentResult`` whose
+result renders as the table/series the corresponding paper artefact
+predicts.  The registry maps experiment ids (F1, L3, T2, …) to runners so
+benchmarks, the CLI in ``examples/`` and EXPERIMENTS.md stay in sync.
+
+Scaling: every runner accepts an :class:`ExperimentConfig` whose
+``scale`` field selects ``"smoke"`` (seconds — used by the benchmark
+suite), ``"default"`` or ``"full"`` parameter grids.
+"""
+
+from repro.experiments.base import (
+    ExperimentConfig,
+    ExperimentResult,
+    get_experiment,
+    list_experiments,
+    register_experiment,
+)
+from repro.experiments import (  # noqa: F401  (registration side effects)
+    ablations,
+    extensions,
+    figures,
+    impossibility,
+    lemmas,
+    power,
+    probabilistic,
+    theorems,
+)
+from repro.experiments.report import (
+    markdown_report,
+    markdown_section,
+    markdown_table,
+)
+
+__all__ = [
+    "ExperimentConfig",
+    "ExperimentResult",
+    "register_experiment",
+    "get_experiment",
+    "list_experiments",
+    "markdown_table",
+    "markdown_section",
+    "markdown_report",
+]

@@ -1,0 +1,103 @@
+"""Experiment result/record types and the experiment registry."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Sequence, Tuple
+
+from repro._util.tables import render_table
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Shared experiment knobs.
+
+    ``scale`` selects the parameter grid: ``"smoke"`` runs in seconds for
+    CI/benchmarks, ``"default"`` in tens of seconds, ``"full"`` is the
+    EXPERIMENTS.md configuration.
+    """
+
+    seed: int = 0
+    scale: str = "default"
+
+    def __post_init__(self) -> None:
+        if self.scale not in ("smoke", "default", "full"):
+            raise ValueError(
+                f"scale must be smoke/default/full, got {self.scale!r}"
+            )
+
+    def pick(self, smoke: Any, default: Any, full: Any) -> Any:
+        """Select a value by the configured scale."""
+        return {"smoke": smoke, "default": default, "full": full}[self.scale]
+
+
+@dataclass
+class ExperimentResult:
+    """A reproduced table: id, claim, headers and rows.
+
+    ``claim`` states the *shape* the paper predicts; ``observations``
+    collects one-line measured findings appended by the runner so that
+    EXPERIMENTS.md can quote paper-vs-measured directly.
+    """
+
+    experiment_id: str
+    title: str
+    claim: str
+    headers: Sequence[str]
+    rows: List[Sequence[Any]]
+    observations: List[str] = field(default_factory=list)
+    seed: int = 0
+    scale: str = "default"
+
+    def to_table(self, precision: int = 4) -> str:
+        """Render the result as an ASCII table with header and notes."""
+        lines = [
+            f"[{self.experiment_id}] {self.title} (seed={self.seed}, scale={self.scale})",
+            f"paper claim: {self.claim}",
+            render_table(self.headers, self.rows, precision=precision),
+        ]
+        for obs in self.observations:
+            lines.append(f"observed: {obs}")
+        return "\n".join(lines)
+
+    def column(self, name: str) -> List[Any]:
+        """Extract one column by header name."""
+        try:
+            idx = list(self.headers).index(name)
+        except ValueError:
+            raise KeyError(
+                f"no column {name!r}; available: {list(self.headers)}"
+            ) from None
+        return [row[idx] for row in self.rows]
+
+
+Runner = Callable[[ExperimentConfig], ExperimentResult]
+
+_REGISTRY: Dict[str, Tuple[str, Runner]] = {}
+
+
+def register_experiment(experiment_id: str, title: str) -> Callable[[Runner], Runner]:
+    """Decorator registering ``runner`` under ``experiment_id``."""
+
+    def decorate(runner: Runner) -> Runner:
+        if experiment_id in _REGISTRY:
+            raise ValueError(f"experiment id {experiment_id!r} already registered")
+        _REGISTRY[experiment_id] = (title, runner)
+        return runner
+
+    return decorate
+
+
+def get_experiment(experiment_id: str) -> Runner:
+    """Look up a registered experiment runner by id."""
+    try:
+        return _REGISTRY[experiment_id][1]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def list_experiments() -> List[Tuple[str, str]]:
+    """All registered ``(id, title)`` pairs, sorted by id."""
+    return sorted((eid, title) for eid, (title, _) in _REGISTRY.items())

@@ -1,0 +1,226 @@
+"""Experiments X1–X3: the Section 6 extensions.
+
+* **X1 — abstention**: restricted abstention (only voters able to
+  delegate may abstain) must preserve DNH; SPG persists with smaller gain.
+* **X2 — weighted / multi-delegate voting**: best-of-k delegation must
+  achieve gain at least that of the single random delegate (k = 1).
+* **X3 — topology audit**: measure the Lemma 3 / Lemma 5 sufficient
+  conditions on "realistic" network families (Barabási–Albert,
+  Watts–Strogatz, caveman, star-of-cliques) versus the paper's good
+  topologies; structural degree asymmetry should track condition failure
+  and weight concentration.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro._util.rng import spawn_generators
+from repro.analysis.conditions import (
+    audit_lemma3_conditions,
+    audit_lemma5_conditions,
+)
+from repro.analysis.gain import monte_carlo_gain
+from repro.core.competencies import bounded_uniform_competencies
+from repro.core.instance import ProblemInstance
+from repro.delegation.metrics import weight_profile
+from repro.experiments.base import (
+    ExperimentConfig,
+    ExperimentResult,
+    register_experiment,
+)
+from repro.graphs.generators import (
+    barabasi_albert_graph,
+    complete_graph,
+    connected_caveman_graph,
+    random_regular_graph,
+    star_graph,
+    star_of_cliques_graph,
+    watts_strogatz_graph,
+)
+from repro.graphs.properties import structural_asymmetry
+from repro.mechanisms.extensions import AbstentionMechanism, MultiDelegateWeighted
+from repro.mechanisms.threshold import ApprovalThreshold, RandomApproved
+from repro.voting.exact import direct_voting_probability
+from repro.voting.montecarlo import estimate_ballot_probability
+
+ALPHA = 0.05
+
+
+@register_experiment("X1", "Extension: restricted abstention")
+def run_abstention(config: ExperimentConfig = ExperimentConfig()) -> ExperimentResult:
+    """Gain of Algorithm 1 under increasing abstention rates."""
+    n = config.pick(smoke=256, default=1024, full=4096)
+    rounds = config.pick(smoke=40, default=150, full=400)
+    rates = config.pick(
+        smoke=[0.0, 0.5], default=[0.0, 0.3, 0.6, 0.9], full=[0.0, 0.15, 0.3, 0.45, 0.6, 0.75, 0.9]
+    )
+    base = ApprovalThreshold(lambda nn: max(1.0, nn ** (1.0 / 3.0)))
+    rows: List[List[object]] = []
+    gens = spawn_generators(config.seed, len(rates) + 1)
+    # One shared instance so the gain trend is attributable to abstention.
+    p = bounded_uniform_competencies(n, 0.35, seed=gens[-1])
+    inst = ProblemInstance(complete_graph(n), p, alpha=ALPHA)
+    for rate, gen in zip(rates, gens[: len(rates)]):
+        mech = AbstentionMechanism(base, rate)
+        ballot = mech.sample_ballot(inst, gen)
+        est = estimate_ballot_probability(inst, mech, rounds=rounds, seed=gen)
+        pd = direct_voting_probability(p)
+        rows.append(
+            [rate, len(ballot.abstaining), ballot.participating_weight,
+             pd, est.probability, est.probability - pd]
+        )
+    result = ExperimentResult(
+        experiment_id="X1",
+        title="Extension: restricted abstention",
+        claim=(
+            "abstention restricted to delegation-capable voters preserves "
+            "DNH (gain never significantly negative); SPG persists, with "
+            "the paper expecting a possibly smaller gain at high abstention"
+        ),
+        headers=["abstain_rate", "abstainers", "participating_weight",
+                 "P_direct", "P_mechanism", "gain"],
+        rows=rows,
+        seed=config.seed,
+        scale=config.scale,
+    )
+    gains = [r[5] for r in rows]
+    result.observations.append(
+        f"gain at q=0: {gains[0]:+.4f}; gain at q={rates[-1]}: {gains[-1]:+.4f}; "
+        f"min gain {min(gains):+.4f} (theory: stays >= ~0)"
+    )
+    return result
+
+
+@register_experiment("X2", "Extension: weighted majority via best-of-k delegates")
+def run_multidelegate(config: ExperimentConfig = ExperimentConfig()) -> ExperimentResult:
+    """Gain of best-of-k delegation as k grows."""
+    n = config.pick(smoke=256, default=1024, full=4096)
+    rounds = config.pick(smoke=40, default=150, full=400)
+    ks = config.pick(smoke=[1, 3], default=[1, 2, 3, 5], full=[1, 2, 3, 5, 8])
+    rows: List[List[object]] = []
+    gens = spawn_generators(config.seed, len(ks) + 1)
+    p = bounded_uniform_competencies(n, 0.35, seed=gens[-1])
+    inst = ProblemInstance(complete_graph(n), p, alpha=ALPHA)
+    threshold = max(1.0, n ** (1.0 / 3.0))
+    for k, gen in zip(ks, gens[: len(ks)]):
+        mech = MultiDelegateWeighted(k, threshold=threshold)
+        est = monte_carlo_gain(inst, mech, rounds=rounds, seed=gen)
+        # The gain saturates near 1, so also measure the mechanism-level
+        # signal: the realised competency of delegates and the expected
+        # fraction of correct votes E[Y]/n, both of which must grow in k.
+        forest = mech.sample_delegations(inst, gen)
+        delegated_to = forest.delegates[forest.delegates >= 0]
+        mean_delegate_p = (
+            float(np.mean(inst.competencies[delegated_to]))
+            if delegated_to.size
+            else float("nan")
+        )
+        expected_correct = (
+            sum(forest.weight(s) * inst.competencies[s] for s in forest.sinks)
+            / inst.num_voters
+        )
+        rows.append(
+            [k, forest.num_delegators, mean_delegate_p, expected_correct,
+             est.direct_probability, est.mechanism_probability, est.gain]
+        )
+    result = ExperimentResult(
+        experiment_id="X2",
+        title="Extension: weighted majority via best-of-k delegates",
+        claim=(
+            "best-of-k delegation (the paper's reduction of weighted "
+            "majority) increases delegate competency and the expected "
+            "correct-vote fraction monotonically in k, so the SPG "
+            "expectation argument transfers; the decision probability is "
+            "already saturated near 1 in this regime"
+        ),
+        headers=["k", "delegators", "mean_delegate_p", "E[correct]/n",
+                 "P_direct", "P_mechanism", "gain"],
+        rows=rows,
+        seed=config.seed,
+        scale=config.scale,
+    )
+    result.observations.append(
+        f"gain at k=1: {rows[0][6]:+.4f} -> k={ks[-1]}: {rows[-1][6]:+.4f}; "
+        f"mean delegate competency rises {rows[0][2]:.4f} -> {rows[-1][2]:.4f}; "
+        f"E[correct]/n rises {rows[0][3]:.4f} -> {rows[-1][3]:.4f}"
+    )
+    return result
+
+
+@register_experiment("X3", "Extension: condition audit on realistic topologies")
+def run_topology_audit(config: ExperimentConfig = ExperimentConfig()) -> ExperimentResult:
+    """Audit Lemma 3 / Lemma 5 conditions across network families."""
+    n = config.pick(smoke=257, default=1025, full=4097)
+    rounds = config.pick(smoke=30, default=100, full=300)
+    audit_rounds = config.pick(smoke=5, default=20, full=50)
+    gens = spawn_generators(config.seed, 8)
+    k_small_world = 8
+    families = [
+        ("complete", complete_graph(n)),
+        ("random-16-regular", random_regular_graph(n - (n * 16) % 2, 16, seed=gens[0])),
+        ("watts-strogatz", watts_strogatz_graph(n, k_small_world, 0.1, seed=gens[1])),
+        ("barabasi-albert", barabasi_albert_graph(n, 4, seed=gens[2])),
+        ("caveman", connected_caveman_graph(max(2, n // 16), 16)),
+        ("star-of-cliques", star_of_cliques_graph(max(2, (n - 1) // 8), 8)),
+        ("star", star_graph(n)),
+    ]
+    mechanism = RandomApproved()
+    rows: List[List[object]] = []
+    gen_pool = spawn_generators(config.seed + 1, len(families) + 1)
+    for (name, graph), gen in zip(families, gen_pool):
+        m = graph.num_vertices
+        p = bounded_uniform_competencies(m, 0.35, seed=gen)
+        inst = ProblemInstance(graph, p, alpha=ALPHA)
+        forest = mechanism.sample_delegations(inst, gen)
+        profile = weight_profile(forest)
+        lemma5 = audit_lemma5_conditions(inst, mechanism, rounds=audit_rounds, seed=gen)
+        est = monte_carlo_gain(inst, mechanism, rounds=rounds, seed=gen)
+        rows.append(
+            [name, m, structural_asymmetry(graph), profile.max_weight,
+             profile.effective_num_voters, lemma5.holds, est.gain]
+        )
+    # The Figure 1 star profile: the configuration where delegation truly
+    # harms.  Hub at 5/8, leaves at 9/16 — every leaf delegates to the hub.
+    gen = gen_pool[-1]
+    star = star_graph(n)
+    p_star = np.full(n, 9.0 / 16.0)
+    p_star[0] = 5.0 / 8.0
+    inst = ProblemInstance(star, p_star, alpha=0.01)
+    forest = mechanism.sample_delegations(inst, gen)
+    profile = weight_profile(forest)
+    lemma5 = audit_lemma5_conditions(inst, mechanism, rounds=audit_rounds, seed=gen)
+    est = monte_carlo_gain(inst, mechanism, rounds=rounds, seed=gen)
+    rows.append(
+        ["star(fig1-p)", n, structural_asymmetry(star), profile.max_weight,
+         profile.effective_num_voters, lemma5.holds, est.gain]
+    )
+    result = ExperimentResult(
+        experiment_id="X3",
+        title="Extension: condition audit on realistic topologies",
+        claim=(
+            "degree-symmetric graphs keep sink weights small and satisfy "
+            "the Lemma 5 condition; hub-heavy graphs (BA, star-of-cliques, "
+            "star) concentrate weight, and extreme asymmetry (the star) "
+            "produces actual negative gain"
+        ),
+        headers=["family", "n", "degree_asymmetry", "max_weight",
+                 "effective_voters", "lemma5_holds", "gain"],
+        rows=rows,
+        seed=config.seed,
+        scale=config.scale,
+    )
+    by_name = {r[0]: r for r in rows}
+    result.observations.append(
+        f"max weight: complete={by_name['complete'][3]}, "
+        f"barabasi-albert={by_name['barabasi-albert'][3]}, "
+        f"star={by_name['star'][3]} (weight concentration tracks asymmetry)"
+    )
+    fig1 = by_name["star(fig1-p)"]
+    result.observations.append(
+        f"Figure-1 star profile: lemma5 condition holds={fig1[5]}, "
+        f"gain={fig1[6]:+.4f} (theory: condition fails and gain is negative)"
+    )
+    return result

@@ -1,0 +1,93 @@
+"""Experiment X6: voting-power concentration across mechanisms.
+
+The empirical liquid-democracy studies the paper cites (LiquidFeedback,
+DAO governance) report extreme concentration of voting power; the
+paper's theory says exactly this concentration is what breaks
+do-no-harm.  X6 quantifies the chain on one instance family: for each
+mechanism, measure the Banzhaf-power concentration of the induced
+forests next to the measured gain — concentration and harm must move
+together, and the weight-capped mechanism must buy concentration down
+without giving up the gain.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro._util.rng import spawn_generators
+from repro.analysis.gain import monte_carlo_gain
+from repro.analysis.power import dictator_index, power_concentration
+from repro.core.instance import ProblemInstance
+from repro.experiments.base import (
+    ExperimentConfig,
+    ExperimentResult,
+    register_experiment,
+)
+from repro.graphs.generators import star_graph
+from repro.mechanisms.adversarial import AdversarialConcentrator
+from repro.mechanisms.direct import DirectVoting
+from repro.mechanisms.greedy import CappedRandomApproved, GreedyBest
+from repro.mechanisms.threshold import ApprovalThreshold, RandomApproved
+
+
+@register_experiment("X6", "Power concentration vs harm")
+def run_power_concentration(
+    config: ExperimentConfig = ExperimentConfig(),
+) -> ExperimentResult:
+    """Banzhaf concentration and gain, mechanism by mechanism."""
+    n = config.pick(smoke=129, default=513, full=2049)
+    rounds = config.pick(smoke=20, default=60, full=200)
+    # The Figure 1 star family: the topology where concentration is
+    # actually available to mechanisms that want it.
+    p = np.full(n, 9.0 / 16.0)
+    p[0] = 5.0 / 8.0
+    instance = ProblemInstance(star_graph(n), p, alpha=0.01)
+    mechanisms = [
+        DirectVoting(),
+        CappedRandomApproved(max_weight=4),
+        CappedRandomApproved(max_weight=int(round(np.sqrt(n)))),
+        AdversarialConcentrator(budget=int(round(np.sqrt(n)))),
+        RandomApproved(),
+        GreedyBest(),
+    ]
+    rows: List[List[object]] = []
+    gens = spawn_generators(config.seed, len(mechanisms))
+    for mechanism, gen in zip(mechanisms, gens):
+        forest = mechanism.sample_delegations(instance, gen)
+        est = monte_carlo_gain(instance, mechanism, rounds=rounds, seed=gen)
+        rows.append(
+            [
+                mechanism.name,
+                forest.num_sinks,
+                forest.max_weight(),
+                dictator_index(forest),
+                power_concentration(forest),
+                est.gain,
+            ]
+        )
+    result = ExperimentResult(
+        experiment_id="X6",
+        title="Power concentration vs harm",
+        claim=(
+            "harm tracks voting-power concentration: mechanisms whose "
+            "forests hand one sink a dominant Banzhaf index lose against "
+            "direct voting, while weight caps keep both concentration and "
+            "loss down (Figure 1 family)"
+        ),
+        headers=["mechanism", "sinks", "max_weight", "dictator_index",
+                 "power_gini", "gain"],
+        rows=rows,
+        seed=config.seed,
+        scale=config.scale,
+    )
+    by_name = {r[0]: r for r in rows}
+    greedy = by_name["greedy-best"]
+    capped = [r for r in rows if r[0].startswith("capped")][0]
+    result.observations.append(
+        f"greedy-best: dictator index {greedy[3]:.2f}, gain {greedy[5]:+.4f}; "
+        f"{capped[0]}: dictator index {capped[3]:.2f}, gain {capped[5]:+.4f} "
+        f"(theory: concentration ~ 1 implies loss ~ 3/8; capping removes both)"
+    )
+    return result

@@ -1,0 +1,60 @@
+"""Markdown report generation from experiment results.
+
+`EXPERIMENTS.md`-style output: one section per result with the paper
+claim, a GitHub-flavoured markdown table, and the recorded observations.
+Used by the CLI and by archival scripts; keeps hand-written docs and
+regenerated numbers from drifting apart.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro._util.tables import format_cell
+from repro.experiments.base import ExperimentResult
+
+
+def markdown_table(result: ExperimentResult, precision: int = 4) -> str:
+    """The result's rows as a GitHub-flavoured markdown table."""
+    headers = list(result.headers)
+    lines = [
+        "| " + " | ".join(headers) + " |",
+        "|" + "|".join("---" for _ in headers) + "|",
+    ]
+    for row in result.rows:
+        cells = [format_cell(cell, precision) for cell in row]
+        lines.append("| " + " | ".join(cells) + " |")
+    return "\n".join(lines)
+
+
+def markdown_section(result: ExperimentResult, precision: int = 4) -> str:
+    """One full report section for a result."""
+    parts = [
+        f"## {result.experiment_id} — {result.title}",
+        "",
+        f"**Paper claim:** {result.claim}",
+        "",
+        markdown_table(result, precision),
+    ]
+    if result.observations:
+        parts.append("")
+        for obs in result.observations:
+            parts.append(f"* measured: {obs}")
+    parts.append("")
+    parts.append(
+        f"*(seed={result.seed}, scale={result.scale})*"
+    )
+    return "\n".join(parts)
+
+
+def markdown_report(
+    results: Iterable[ExperimentResult],
+    title: str = "Experiment report",
+    precision: int = 4,
+) -> str:
+    """A complete markdown report over several results."""
+    sections: List[str] = [f"# {title}", ""]
+    for result in results:
+        sections.append(markdown_section(result, precision))
+        sections.append("")
+    return "\n".join(sections).rstrip() + "\n"

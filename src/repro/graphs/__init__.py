@@ -1,0 +1,52 @@
+"""Graph substrate for the liquid-democracy reproduction.
+
+Provides an immutable undirected :class:`Graph` type, generators for every
+topology studied in the paper (complete, star, random d-regular, bounded
+degree families) plus the "real-world-ish" families proposed for future
+work in Section 6 (Barabási–Albert, Watts–Strogatz, caveman), and degree /
+structural-asymmetry statistics.
+"""
+
+from repro.graphs.graph import Graph
+from repro.graphs.generators import (
+    barabasi_albert_graph,
+    complete_graph,
+    connected_caveman_graph,
+    cycle_graph,
+    erdos_renyi_graph,
+    grid_graph,
+    path_graph,
+    random_bounded_degree_graph,
+    random_min_degree_graph,
+    random_regular_graph,
+    star_graph,
+    star_of_cliques_graph,
+    watts_strogatz_graph,
+)
+from repro.graphs.properties import (
+    DegreeStatistics,
+    degree_statistics,
+    is_connected,
+    structural_asymmetry,
+)
+
+__all__ = [
+    "Graph",
+    "complete_graph",
+    "star_graph",
+    "cycle_graph",
+    "path_graph",
+    "grid_graph",
+    "random_regular_graph",
+    "erdos_renyi_graph",
+    "barabasi_albert_graph",
+    "watts_strogatz_graph",
+    "connected_caveman_graph",
+    "star_of_cliques_graph",
+    "random_bounded_degree_graph",
+    "random_min_degree_graph",
+    "DegreeStatistics",
+    "degree_statistics",
+    "is_connected",
+    "structural_asymmetry",
+]

@@ -1,0 +1,342 @@
+"""Graph generators for every topology the paper studies or suggests.
+
+All generators return :class:`repro.graphs.Graph` instances and accept a
+``seed`` (int, Generator or None) wherever randomness is involved.  The
+random d-regular generator uses the configuration (pairing) model with
+rejection of loops/multi-edges, which samples asymptotically uniformly for
+constant ``d`` — the regime covered by Theorem 3.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro._util.rng import SeedLike, as_generator
+from repro.graphs.graph import Graph
+
+
+def complete_graph(n: int) -> Graph:
+    """The complete graph :math:`K_n` (graph restriction ``K_n``)."""
+    return Graph(n, itertools.combinations(range(n), 2))
+
+
+def star_graph(n: int, centre: int = 0) -> Graph:
+    """A star on ``n`` vertices with the hub at ``centre``.
+
+    This is the Figure 1 counterexample topology: the single high-degree
+    hub lets a delegate-to-better mechanism concentrate all weight on one
+    voter, violating do-no-harm.
+    """
+    if n < 1:
+        raise ValueError(f"star graph needs at least 1 vertex, got {n}")
+    if not 0 <= centre < n:
+        raise ValueError(f"centre {centre} out of range for {n} vertices")
+    return Graph(n, ((centre, v) for v in range(n) if v != centre))
+
+
+def cycle_graph(n: int) -> Graph:
+    """The n-cycle — the simplest 2-regular bounded-degree graph."""
+    if n < 3:
+        raise ValueError(f"cycle graph needs at least 3 vertices, got {n}")
+    return Graph(n, ((i, (i + 1) % n) for i in range(n)))
+
+
+def path_graph(n: int) -> Graph:
+    """The n-path (maximum degree 2, minimum degree 1)."""
+    if n < 1:
+        raise ValueError(f"path graph needs at least 1 vertex, got {n}")
+    return Graph(n, ((i, i + 1) for i in range(n - 1)))
+
+
+def grid_graph(rows: int, cols: int) -> Graph:
+    """A rows x cols 2-D grid — a canonical Δ ≤ 4 bounded-degree graph."""
+    if rows < 1 or cols < 1:
+        raise ValueError(f"grid dimensions must be positive, got {rows}x{cols}")
+    edges = []
+    for r in range(rows):
+        for c in range(cols):
+            v = r * cols + c
+            if c + 1 < cols:
+                edges.append((v, v + 1))
+            if r + 1 < rows:
+                edges.append((v, v + cols))
+    return Graph(rows * cols, edges)
+
+
+def random_regular_graph(
+    n: int, d: int, seed: SeedLike = None, max_tries: int = 200
+) -> Graph:
+    """A random simple d-regular graph (Steger–Wormald pairing).
+
+    This realises the ``Rand(n, d)`` graph restriction.  Each vertex gets
+    ``d`` half-edges ("stubs"); stubs are matched progressively, skipping
+    pairs that would create a loop or multi-edge, restarting on a dead
+    end.  For ``d = o(n^{1/3})`` the output is asymptotically uniform
+    over simple d-regular graphs — the regime of Theorem 3, where ``d``
+    is constant or slowly growing.
+
+    Raises
+    ------
+    ValueError
+        If ``n * d`` is odd or ``d >= n`` (no simple d-regular graph
+        exists), or if ``max_tries`` restarts all dead-end.
+    """
+    if d < 0 or n < 0:
+        raise ValueError(f"n and d must be non-negative, got n={n}, d={d}")
+    if d >= n and not (n == 0 and d == 0):
+        raise ValueError(f"no simple {d}-regular graph on {n} vertices exists")
+    if (n * d) % 2 != 0:
+        raise ValueError(f"n*d must be even, got n={n}, d={d}")
+    if d == 0:
+        return Graph(n)
+    if d == n - 1:
+        return complete_graph(n)
+    rng = as_generator(seed)
+    for _ in range(max_tries):
+        edges = _pair_stubs(n, d, rng)
+        if edges is not None:
+            return Graph(n, edges)
+    raise ValueError(
+        f"failed to sample a simple {d}-regular graph on {n} vertices "
+        f"after {max_tries} attempts"
+    )
+
+
+def _pair_stubs(n: int, d: int, rng: np.random.Generator):
+    """One Steger–Wormald pairing attempt; None on a dead end."""
+    stubs = np.repeat(np.arange(n), d)
+    edges: Set[Tuple[int, int]] = set()
+    while stubs.size:
+        rng.shuffle(stubs)
+        leftover = []
+        progressed = False
+        for k in range(0, stubs.size - 1, 2):
+            u, v = int(stubs[k]), int(stubs[k + 1])
+            key = (u, v) if u < v else (v, u)
+            if u == v or key in edges:
+                leftover.extend((u, v))
+                continue
+            edges.add(key)
+            progressed = True
+        if stubs.size % 2:  # odd leftover from a previous round's carry
+            leftover.append(int(stubs[-1]))
+        if not progressed:
+            return None
+        stubs = np.asarray(leftover, dtype=np.int64)
+    return edges
+
+
+def erdos_renyi_graph(n: int, p: float, seed: SeedLike = None) -> Graph:
+    """The Erdős–Rényi graph G(n, p)."""
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"edge probability must lie in [0, 1], got {p}")
+    rng = as_generator(seed)
+    edges = []
+    if n >= 2 and p > 0.0:
+        # Vectorised draw over the upper triangle.
+        iu, ju = np.triu_indices(n, k=1)
+        mask = rng.random(iu.size) < p
+        edges = list(zip(iu[mask].tolist(), ju[mask].tolist()))
+    return Graph(n, edges)
+
+
+def barabasi_albert_graph(n: int, m: int, seed: SeedLike = None) -> Graph:
+    """Barabási–Albert preferential attachment graph.
+
+    Section 6 proposes auditing the paper's variance conditions on such
+    hub-heavy "social network" models; this generator feeds experiment X3.
+    Starts from a star on ``m + 1`` vertices, then attaches each new vertex
+    to ``m`` distinct existing vertices chosen proportionally to degree.
+    """
+    if m < 1:
+        raise ValueError(f"m must be at least 1, got {m}")
+    if n < m + 1:
+        raise ValueError(f"need n >= m + 1 = {m + 1}, got n={n}")
+    rng = as_generator(seed)
+    edges: List[Tuple[int, int]] = [(0, v) for v in range(1, m + 1)]
+    # repeated_nodes holds each endpoint once per incident edge, so uniform
+    # sampling from it is degree-proportional sampling.
+    repeated: List[int] = []
+    for u, v in edges:
+        repeated.extend((u, v))
+    for new in range(m + 1, n):
+        targets: Set[int] = set()
+        while len(targets) < m:
+            targets.add(int(repeated[rng.integers(len(repeated))]))
+        for t in targets:
+            edges.append((t, new))
+            repeated.extend((t, new))
+    return Graph(n, edges)
+
+
+def watts_strogatz_graph(
+    n: int, k: int, rewire_prob: float, seed: SeedLike = None
+) -> Graph:
+    """Watts–Strogatz small-world graph (ring lattice with rewiring).
+
+    ``k`` must be even; each vertex starts connected to its ``k`` nearest
+    ring neighbours, then each clockwise edge is rewired with probability
+    ``rewire_prob`` to a uniform non-duplicate target.
+    """
+    if k % 2 != 0 or k < 2:
+        raise ValueError(f"k must be even and >= 2, got {k}")
+    if n <= k:
+        raise ValueError(f"need n > k, got n={n}, k={k}")
+    if not 0.0 <= rewire_prob <= 1.0:
+        raise ValueError(f"rewire_prob must lie in [0, 1], got {rewire_prob}")
+    rng = as_generator(seed)
+    neighbor_sets: List[Set[int]] = [set() for _ in range(n)]
+    for u in range(n):
+        for offset in range(1, k // 2 + 1):
+            v = (u + offset) % n
+            neighbor_sets[u].add(v)
+            neighbor_sets[v].add(u)
+    for u in range(n):
+        for offset in range(1, k // 2 + 1):
+            v = (u + offset) % n
+            if rng.random() >= rewire_prob:
+                continue
+            if v not in neighbor_sets[u]:
+                continue  # already rewired away by the other endpoint
+            candidates = [
+                w for w in range(n) if w != u and w not in neighbor_sets[u]
+            ]
+            if not candidates:
+                continue
+            w = candidates[int(rng.integers(len(candidates)))]
+            neighbor_sets[u].discard(v)
+            neighbor_sets[v].discard(u)
+            neighbor_sets[u].add(w)
+            neighbor_sets[w].add(u)
+    edges = {(min(u, v), max(u, v)) for u in range(n) for v in neighbor_sets[u]}
+    return Graph(n, edges)
+
+
+def connected_caveman_graph(num_cliques: int, clique_size: int) -> Graph:
+    """Connected caveman graph: a ring of cliques sharing one rewired edge.
+
+    A clustered "corporate teams" topology: high minimum degree inside
+    cliques with a thin ring connecting them.
+    """
+    if num_cliques < 1 or clique_size < 2:
+        raise ValueError(
+            f"need num_cliques >= 1 and clique_size >= 2, got "
+            f"{num_cliques}, {clique_size}"
+        )
+    n = num_cliques * clique_size
+    edges: Set[Tuple[int, int]] = set()
+    for c in range(num_cliques):
+        base = c * clique_size
+        for u, v in itertools.combinations(range(base, base + clique_size), 2):
+            edges.add((u, v))
+    if num_cliques > 1:
+        for c in range(num_cliques):
+            base = c * clique_size
+            nxt = ((c + 1) % num_cliques) * clique_size
+            # Rewire one intra-clique edge to the next clique.
+            edges.discard((base, base + 1))
+            a, b = sorted((base, nxt + 1))
+            edges.add((a, b))
+    return Graph(n, edges)
+
+
+def star_of_cliques_graph(num_cliques: int, clique_size: int) -> Graph:
+    """A hub vertex connected to one member of each clique.
+
+    An extreme structural-asymmetry topology used in the condition-audit
+    experiment (X3): vertex 0 is the hub; cliques hang off it.
+    """
+    if num_cliques < 1 or clique_size < 1:
+        raise ValueError(
+            f"need num_cliques >= 1 and clique_size >= 1, got "
+            f"{num_cliques}, {clique_size}"
+        )
+    n = 1 + num_cliques * clique_size
+    edges: List[Tuple[int, int]] = []
+    for c in range(num_cliques):
+        base = 1 + c * clique_size
+        members = range(base, base + clique_size)
+        edges.extend(itertools.combinations(members, 2))
+        edges.append((0, base))
+    return Graph(n, edges)
+
+
+def random_bounded_degree_graph(
+    n: int, max_degree: int, target_edges: Optional[int] = None, seed: SeedLike = None
+) -> Graph:
+    """A random connected-ish graph with maximum degree at most ``max_degree``.
+
+    Realises the ``Δ ≤ k`` restriction (Theorem 4 workloads).  Greedily
+    adds uniformly random edges between vertices that still have spare
+    degree, starting from a spanning path (itself degree ≤ 2) so that the
+    result is connected whenever ``max_degree >= 2``.
+    """
+    if max_degree < 1:
+        raise ValueError(f"max_degree must be >= 1, got {max_degree}")
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    rng = as_generator(seed)
+    degrees = [0] * n
+    edges: Set[Tuple[int, int]] = set()
+    if max_degree >= 2 and n >= 2:
+        order = rng.permutation(n)
+        for i in range(n - 1):
+            u, v = int(order[i]), int(order[i + 1])
+            edges.add((min(u, v), max(u, v)))
+            degrees[u] += 1
+            degrees[v] += 1
+    elif max_degree == 1 and n >= 2:
+        order = rng.permutation(n)
+        for i in range(0, n - 1, 2):
+            u, v = int(order[i]), int(order[i + 1])
+            edges.add((min(u, v), max(u, v)))
+            degrees[u] += 1
+            degrees[v] += 1
+        return Graph(n, edges)
+    if target_edges is None:
+        target_edges = min(n * max_degree // 2, 2 * n)
+    attempts = 0
+    max_attempts = 20 * max(target_edges, 1) + 100
+    while len(edges) < target_edges and attempts < max_attempts:
+        attempts += 1
+        u = int(rng.integers(n))
+        v = int(rng.integers(n))
+        if u == v:
+            continue
+        key = (min(u, v), max(u, v))
+        if key in edges:
+            continue
+        if degrees[u] >= max_degree or degrees[v] >= max_degree:
+            continue
+        edges.add(key)
+        degrees[u] += 1
+        degrees[v] += 1
+    return Graph(n, edges)
+
+
+def random_min_degree_graph(n: int, min_degree: int, seed: SeedLike = None) -> Graph:
+    """A random graph with minimum degree at least ``min_degree``.
+
+    Realises the ``δ ≥ k`` restriction (Theorem 5 workloads).  Each vertex
+    links to ``min_degree`` distinct uniform partners; union of the
+    resulting directed picks gives minimum degree ≥ ``min_degree``.
+    """
+    if min_degree < 0:
+        raise ValueError(f"min_degree must be >= 0, got {min_degree}")
+    if min_degree >= n and n > 0:
+        raise ValueError(
+            f"min_degree must be < n for a simple graph, got "
+            f"min_degree={min_degree}, n={n}"
+        )
+    rng = as_generator(seed)
+    edges: Set[Tuple[int, int]] = set()
+    for u in range(n):
+        others = np.array([v for v in range(n) if v != u])
+        picks = rng.choice(others, size=min_degree, replace=False)
+        for v in picks:
+            v = int(v)
+            edges.add((min(u, v), max(u, v)))
+    return Graph(n, edges)

@@ -1,0 +1,186 @@
+"""An immutable undirected simple graph on vertices ``0 .. n-1``.
+
+The paper's model is an undirected graph ``(V, E)`` whose vertices are
+voters.  We implement our own lightweight structure rather than depending
+on :mod:`networkx` in the hot path: delegation resolution and Monte Carlo
+experiments iterate neighbourhoods millions of times, and tuple-based
+adjacency is both faster and guarantees immutability of problem instances.
+
+:mod:`networkx` interop is provided through :meth:`Graph.from_networkx`
+and :meth:`Graph.to_networkx` for tests and external tooling.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Sequence, Tuple
+
+Edge = Tuple[int, int]
+
+
+class Graph:
+    """Immutable undirected simple graph with vertices ``0 .. n-1``.
+
+    Parameters
+    ----------
+    num_vertices:
+        Number of vertices ``n``; vertices are the integers ``0 .. n-1``.
+    edges:
+        Iterable of ``(u, v)`` pairs.  Self-loops and duplicate edges are
+        rejected: the paper's model is a simple graph, and duplicates would
+        silently bias "random approved neighbour" sampling.
+    """
+
+    __slots__ = ("_n", "_adjacency", "_edges", "_neighbor_sets")
+
+    def __init__(self, num_vertices: int, edges: Iterable[Edge] = ()) -> None:
+        if num_vertices < 0:
+            raise ValueError(f"num_vertices must be non-negative, got {num_vertices}")
+        self._n = int(num_vertices)
+        adjacency: List[List[int]] = [[] for _ in range(self._n)]
+        seen = set()
+        edge_list: List[Edge] = []
+        for u, v in edges:
+            u, v = int(u), int(v)
+            if not (0 <= u < self._n and 0 <= v < self._n):
+                raise ValueError(
+                    f"edge ({u}, {v}) out of range for {self._n} vertices"
+                )
+            if u == v:
+                raise ValueError(f"self-loop at vertex {u} is not allowed")
+            key = (u, v) if u < v else (v, u)
+            if key in seen:
+                raise ValueError(f"duplicate edge {key}")
+            seen.add(key)
+            edge_list.append(key)
+            adjacency[u].append(v)
+            adjacency[v].append(u)
+        for nbrs in adjacency:
+            nbrs.sort()
+        self._adjacency: Tuple[Tuple[int, ...], ...] = tuple(
+            tuple(nbrs) for nbrs in adjacency
+        )
+        self._edges: Tuple[Edge, ...] = tuple(sorted(edge_list))
+        self._neighbor_sets: Tuple[FrozenSet[int], ...] = tuple(
+            frozenset(nbrs) for nbrs in adjacency
+        )
+
+    # -- basic accessors -------------------------------------------------
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices ``n``."""
+        return self._n
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges."""
+        return len(self._edges)
+
+    @property
+    def edges(self) -> Tuple[Edge, ...]:
+        """All edges as sorted ``(min, max)`` tuples, in sorted order."""
+        return self._edges
+
+    def neighbors(self, vertex: int) -> Tuple[int, ...]:
+        """Sorted tuple of neighbours of ``vertex``."""
+        return self._adjacency[vertex]
+
+    def degree(self, vertex: int) -> int:
+        """Degree of ``vertex``."""
+        return len(self._adjacency[vertex])
+
+    def degrees(self) -> List[int]:
+        """Degrees of all vertices, indexed by vertex."""
+        return [len(nbrs) for nbrs in self._adjacency]
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether the undirected edge ``{u, v}`` is present."""
+        if not (0 <= u < self._n and 0 <= v < self._n):
+            return False
+        return v in self._neighbor_sets[u]
+
+    def __len__(self) -> int:
+        return self._n
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(range(self._n))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return self._n == other._n and self._edges == other._edges
+
+    def __hash__(self) -> int:
+        return hash((self._n, self._edges))
+
+    def __repr__(self) -> str:
+        return f"Graph(n={self._n}, m={self.num_edges})"
+
+    # -- structure queries ------------------------------------------------
+
+    def max_degree(self) -> int:
+        """Maximum degree Δ (0 for the empty graph)."""
+        if self._n == 0:
+            return 0
+        return max(self.degrees())
+
+    def min_degree(self) -> int:
+        """Minimum degree δ (0 for the empty graph)."""
+        if self._n == 0:
+            return 0
+        return min(self.degrees())
+
+    def is_complete(self) -> bool:
+        """Whether every pair of distinct vertices is adjacent."""
+        return self.num_edges == self._n * (self._n - 1) // 2
+
+    def is_regular(self) -> bool:
+        """Whether all vertices share the same degree."""
+        if self._n == 0:
+            return True
+        degs = self.degrees()
+        return min(degs) == max(degs)
+
+    # -- interop ----------------------------------------------------------
+
+    @classmethod
+    def from_networkx(cls, nx_graph) -> "Graph":
+        """Build a :class:`Graph` from a networkx graph.
+
+        Vertices are relabelled ``0 .. n-1`` in sorted node order; the node
+        order therefore must be sortable.
+        """
+        nodes = sorted(nx_graph.nodes())
+        index: Dict[object, int] = {node: i for i, node in enumerate(nodes)}
+        edges = [(index[u], index[v]) for u, v in nx_graph.edges() if u != v]
+        return cls(len(nodes), edges)
+
+    def to_networkx(self):
+        """Convert to a :class:`networkx.Graph` (lazy import)."""
+        import networkx as nx
+
+        out = nx.Graph()
+        out.add_nodes_from(range(self._n))
+        out.add_edges_from(self._edges)
+        return out
+
+    # -- constructors -----------------------------------------------------
+
+    @classmethod
+    def from_adjacency(cls, adjacency: Sequence[Sequence[int]]) -> "Graph":
+        """Build from an adjacency-list representation.
+
+        The adjacency lists must be symmetric (``v in adjacency[u]`` iff
+        ``u in adjacency[v]``); violations raise ``ValueError``.
+        """
+        n = len(adjacency)
+        edges = []
+        for u, nbrs in enumerate(adjacency):
+            for v in nbrs:
+                if u not in adjacency[v]:
+                    raise ValueError(
+                        f"asymmetric adjacency: {v} in adj[{u}] but {u} not in adj[{v}]"
+                    )
+                if u < v:
+                    edges.append((u, v))
+        return cls(n, edges)

@@ -1,0 +1,118 @@
+"""Structural statistics of voting graphs.
+
+The paper's takeaway (Section 6) is that liquid democracy works on graphs
+"without too much structural asymmetry in the node degrees".  This module
+quantifies that: degree summaries, connectivity, and a degree-Gini-based
+structural-asymmetry score used by the topology-audit experiment (X3).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+
+
+@dataclass(frozen=True)
+class DegreeStatistics:
+    """Summary statistics of the degree sequence of a graph."""
+
+    num_vertices: int
+    num_edges: int
+    min_degree: int
+    max_degree: int
+    mean_degree: float
+    degree_variance: float
+    degree_gini: float
+
+    def is_regular(self) -> bool:
+        """Whether every vertex shares the same degree."""
+        return self.min_degree == self.max_degree
+
+
+def gini_coefficient(values: List[float]) -> float:
+    """Gini coefficient of a non-negative sequence (0 = equal, → 1 = skewed)."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        return 0.0
+    if np.any(arr < 0):
+        raise ValueError("gini_coefficient requires non-negative values")
+    total = arr.sum()
+    if total == 0:
+        return 0.0
+    sorted_arr = np.sort(arr)
+    n = arr.size
+    ranks = np.arange(1, n + 1)
+    return float((2.0 * np.sum(ranks * sorted_arr)) / (n * total) - (n + 1) / n)
+
+
+def degree_statistics(graph: Graph) -> DegreeStatistics:
+    """Compute :class:`DegreeStatistics` for ``graph``."""
+    degs = graph.degrees()
+    if not degs:
+        return DegreeStatistics(0, 0, 0, 0, 0.0, 0.0, 0.0)
+    arr = np.asarray(degs, dtype=float)
+    return DegreeStatistics(
+        num_vertices=graph.num_vertices,
+        num_edges=graph.num_edges,
+        min_degree=int(arr.min()),
+        max_degree=int(arr.max()),
+        mean_degree=float(arr.mean()),
+        degree_variance=float(arr.var()),
+        degree_gini=gini_coefficient(degs),
+    )
+
+
+def structural_asymmetry(graph: Graph) -> float:
+    """Degree-based asymmetry score in [0, 1).
+
+    Defined as the Gini coefficient of the degree sequence: 0 for regular
+    graphs (cycle, complete, random d-regular), approaching 1 for a star.
+    The paper predicts liquid democracy degrades as this score grows.
+    """
+    return degree_statistics(graph).degree_gini
+
+
+def is_connected(graph: Graph) -> bool:
+    """Breadth-first connectivity check (empty graph counts as connected)."""
+    n = graph.num_vertices
+    if n <= 1:
+        return True
+    seen = [False] * n
+    seen[0] = True
+    queue = deque([0])
+    count = 1
+    while queue:
+        u = queue.popleft()
+        for v in graph.neighbors(u):
+            if not seen[v]:
+                seen[v] = True
+                count += 1
+                queue.append(v)
+    return count == n
+
+
+def connected_components(graph: Graph) -> List[List[int]]:
+    """All connected components, each as a sorted vertex list."""
+    n = graph.num_vertices
+    seen = [False] * n
+    components: List[List[int]] = []
+    for start in range(n):
+        if seen[start]:
+            continue
+        seen[start] = True
+        queue = deque([start])
+        comp = [start]
+        while queue:
+            u = queue.popleft()
+            for v in graph.neighbors(u):
+                if not seen[v]:
+                    seen[v] = True
+                    comp.append(v)
+                    queue.append(v)
+        components.append(sorted(comp))
+    return components

@@ -1,0 +1,162 @@
+"""JSON (de)serialisation of instances, forests and experiment results.
+
+Reproducibility plumbing: experiments can persist the exact instance and
+realised delegation forest behind any reported number, and reload them
+bit-for-bit later.  The format is plain JSON — no pickle — so archives
+remain readable across library versions.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Union
+
+from repro.core.instance import ProblemInstance
+from repro.delegation.graph import DelegationGraph
+from repro.experiments.base import ExperimentResult
+from repro.graphs.graph import Graph
+
+FORMAT_VERSION = 1
+
+
+def graph_to_dict(graph: Graph) -> Dict[str, Any]:
+    """Serialise a graph to a JSON-compatible dict."""
+    return {
+        "version": FORMAT_VERSION,
+        "type": "graph",
+        "num_vertices": graph.num_vertices,
+        "edges": [list(e) for e in graph.edges],
+    }
+
+
+def graph_from_dict(data: Dict[str, Any]) -> Graph:
+    """Inverse of :func:`graph_to_dict`."""
+    _check(data, "graph")
+    return Graph(data["num_vertices"], [tuple(e) for e in data["edges"]])
+
+
+def instance_to_dict(instance: ProblemInstance) -> Dict[str, Any]:
+    """Serialise a problem instance (graph, competencies, alpha)."""
+    return {
+        "version": FORMAT_VERSION,
+        "type": "instance",
+        "graph": graph_to_dict(instance.graph),
+        "competencies": [float(p) for p in instance.competencies],
+        "alpha": instance.alpha,
+    }
+
+
+def instance_from_dict(data: Dict[str, Any]) -> ProblemInstance:
+    """Inverse of :func:`instance_to_dict`."""
+    _check(data, "instance")
+    return ProblemInstance(
+        graph_from_dict(data["graph"]),
+        data["competencies"],
+        alpha=data["alpha"],
+    )
+
+
+def forest_to_dict(forest: DelegationGraph) -> Dict[str, Any]:
+    """Serialise a delegation forest as its delegate array."""
+    return {
+        "version": FORMAT_VERSION,
+        "type": "forest",
+        "delegates": [int(d) for d in forest.delegates],
+    }
+
+
+def forest_from_dict(data: Dict[str, Any]) -> DelegationGraph:
+    """Inverse of :func:`forest_to_dict`."""
+    _check(data, "forest")
+    return DelegationGraph(data["delegates"])
+
+
+def result_to_dict(result: ExperimentResult) -> Dict[str, Any]:
+    """Serialise an experiment result (headers, rows, observations)."""
+    return {
+        "version": FORMAT_VERSION,
+        "type": "result",
+        "experiment_id": result.experiment_id,
+        "title": result.title,
+        "claim": result.claim,
+        "headers": list(result.headers),
+        "rows": [list(row) for row in result.rows],
+        "observations": list(result.observations),
+        "seed": result.seed,
+        "scale": result.scale,
+    }
+
+
+def result_from_dict(data: Dict[str, Any]) -> ExperimentResult:
+    """Inverse of :func:`result_to_dict`."""
+    _check(data, "result")
+    return ExperimentResult(
+        experiment_id=data["experiment_id"],
+        title=data["title"],
+        claim=data["claim"],
+        headers=data["headers"],
+        rows=[list(row) for row in data["rows"]],
+        observations=list(data["observations"]),
+        seed=data["seed"],
+        scale=data["scale"],
+    )
+
+
+_SERIALIZERS = {
+    Graph: graph_to_dict,
+    ProblemInstance: instance_to_dict,
+    DelegationGraph: forest_to_dict,
+    ExperimentResult: result_to_dict,
+}
+
+_DESERIALIZERS = {
+    "graph": graph_from_dict,
+    "instance": instance_from_dict,
+    "forest": forest_from_dict,
+    "result": result_from_dict,
+}
+
+Serializable = Union[Graph, ProblemInstance, DelegationGraph, ExperimentResult]
+
+
+def dumps(obj: Serializable, indent: int = None) -> str:
+    """Serialise any supported object to a JSON string."""
+    for cls, serializer in _SERIALIZERS.items():
+        if isinstance(obj, cls):
+            return json.dumps(serializer(obj), indent=indent)
+    raise TypeError(f"cannot serialise objects of type {type(obj).__name__}")
+
+
+def loads(text: str) -> Serializable:
+    """Deserialise a JSON string produced by :func:`dumps`."""
+    data = json.loads(text)
+    if not isinstance(data, dict) or "type" not in data:
+        raise ValueError("not a repro-serialised object")
+    kind = data["type"]
+    if kind not in _DESERIALIZERS:
+        raise ValueError(f"unknown serialised type {kind!r}")
+    return _DESERIALIZERS[kind](data)
+
+
+def save(obj: Serializable, path: str) -> None:
+    """Write ``obj`` as JSON to ``path``."""
+    with open(path, "w") as handle:
+        handle.write(dumps(obj, indent=2))
+
+
+def load(path: str) -> Serializable:
+    """Read an object previously written with :func:`save`."""
+    with open(path) as handle:
+        return loads(handle.read())
+
+
+def _check(data: Dict[str, Any], expected: str) -> None:
+    if data.get("type") != expected:
+        raise ValueError(
+            f"expected serialised {expected!r}, got {data.get('type')!r}"
+        )
+    version = data.get("version")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported format version {version!r} (supported: {FORMAT_VERSION})"
+        )

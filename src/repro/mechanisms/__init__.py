@@ -1,0 +1,63 @@
+"""Delegation mechanisms (Section 2.2) and Section 6 extensions.
+
+Paper algorithms
+----------------
+* :class:`ApprovalThreshold` — Algorithm 1 (complete-graph mechanism):
+  delegate to a uniform approved neighbour when the approved count meets a
+  threshold ``j(·)``.
+* :class:`SampledNeighbourhood` — Algorithm 2 (random d-regular view):
+  sample ``d`` random neighbours, delegate if at least ``j(d)`` approved.
+* :class:`FractionApproved` — Theorem 5's mechanism: delegate when at
+  least a fraction (default ½) of neighbours are approved.
+
+Baselines and counterexamples
+-----------------------------
+* :class:`DirectVoting` — Example 2 (nobody delegates).
+* :class:`RandomApproved` — delegate whenever any neighbour is approved
+  (Algorithm 1 with threshold 1); on a star this is the Figure 1 failure.
+* :class:`GreedyBest` — *non-local* delegate-to-most-competent-neighbour;
+  the dictatorship-style mechanism behind impossibility examples.
+* :class:`CappedRandomApproved` — weight-capped delegation in the spirit
+  of Gölz et al.'s max-weight minimisation.
+
+Extensions (Section 6)
+----------------------
+* :class:`AbstentionMechanism` — voters who could delegate may abstain.
+* :class:`MultiDelegateWeighted` — best-of-k delegate sampling, the
+  paper's reading of weighted majority delegation.
+"""
+
+from repro.mechanisms.base import (
+    Ballot,
+    DelegationMechanism,
+    LocalDelegationMechanism,
+)
+from repro.mechanisms.direct import DirectVoting
+from repro.mechanisms.threshold import ApprovalThreshold, RandomApproved
+from repro.mechanisms.sampled import SampledNeighbourhood
+from repro.mechanisms.fraction import FractionApproved
+from repro.mechanisms.greedy import CappedRandomApproved, GreedyBest
+from repro.mechanisms.adversarial import (
+    AdversarialConcentrator,
+    LeastCompetentApproved,
+)
+from repro.mechanisms.extensions import AbstentionMechanism, MultiDelegateWeighted
+from repro.mechanisms.weighted_majority import WeightedMajorityDelegation
+
+__all__ = [
+    "Ballot",
+    "DelegationMechanism",
+    "LocalDelegationMechanism",
+    "DirectVoting",
+    "ApprovalThreshold",
+    "RandomApproved",
+    "SampledNeighbourhood",
+    "FractionApproved",
+    "GreedyBest",
+    "CappedRandomApproved",
+    "AbstentionMechanism",
+    "MultiDelegateWeighted",
+    "AdversarialConcentrator",
+    "LeastCompetentApproved",
+    "WeightedMajorityDelegation",
+]

@@ -1,0 +1,118 @@
+"""Adversarial delegation: legal moves chosen to maximise harm.
+
+The paper's negative results are driven by adversaries who exploit the
+delegation rules — every delegation is still to an *approved* (strictly
+more competent) neighbour, yet the pattern of who delegates where
+concentrates power.  These mechanisms make that adversary executable so
+DNH experiments can stress mechanisms against the worst legal inputs,
+not just random ones.
+
+* :class:`AdversarialConcentrator` — pick the voter that the most
+  neighbours approve, and have (up to a budget of) those neighbours
+  delegate to it; the single-sink concentration behind Figure 1.
+* :class:`LeastCompetentApproved` — every voter delegates to its *worst*
+  approved neighbour: legal, upward, but extracting the minimum possible
+  expectation gain per delegation (≈ α instead of the average).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro._util.rng import SeedLike, as_generator
+from repro.core.instance import ProblemInstance
+from repro.delegation.graph import SELF, DelegationGraph
+from repro.mechanisms.base import DelegationMechanism
+
+
+class AdversarialConcentrator(DelegationMechanism):
+    """Concentrate as many votes as legally possible on one voter.
+
+    Picks the target ``t`` maximising the number of neighbours that
+    approve ``t``; up to ``budget`` of those neighbours delegate to
+    ``t`` (all of them when ``budget`` is None).  Everyone else votes
+    directly.  Deterministic (ties broken by vertex index).
+
+    This is the worst case Lemma 3 reasons about: ``budget`` delegations
+    that all land on a single sink.  With ``budget < n^{1/2-ε}`` and
+    bounded competencies the lemma still guarantees vanishing harm —
+    the stress test the L3 experiments run.
+    """
+
+    def __init__(self, budget: Optional[int] = None) -> None:
+        if budget is not None and budget < 0:
+            raise ValueError(f"budget must be non-negative, got {budget}")
+        self._budget = budget
+
+    @property
+    def name(self) -> str:
+        b = "all" if self._budget is None else str(self._budget)
+        return f"adversarial-concentrator(budget={b})"
+
+    @property
+    def is_local(self) -> bool:
+        return False  # coordinated adversary
+
+    def pick_target(self, instance: ProblemInstance) -> Optional[int]:
+        """The voter approved by the most neighbours (None if nobody is)."""
+        best, best_count = None, 0
+        for t in range(instance.num_voters):
+            count = sum(
+                1
+                for v in instance.graph.neighbors(t)
+                if instance.approves(v, t)
+            )
+            if count > best_count:
+                best, best_count = t, count
+        return best
+
+    def sample_delegations(
+        self, instance: ProblemInstance, rng: SeedLike = None
+    ) -> DelegationGraph:
+        n = instance.num_voters
+        delegates = [SELF] * n
+        target = self.pick_target(instance)
+        if target is None:
+            return DelegationGraph(delegates)
+        moved = 0
+        limit = n if self._budget is None else self._budget
+        for v in instance.graph.neighbors(target):
+            if moved >= limit:
+                break
+            if instance.approves(v, target):
+                delegates[v] = target
+                moved += 1
+        return DelegationGraph(delegates)
+
+
+class LeastCompetentApproved(DelegationMechanism):
+    """Delegate to the *least* competent approved neighbour.
+
+    Still upward (gains ≥ α per delegation — the Lemma 7 floor) but
+    extracts the minimum legal improvement; the pessimistic counterpart
+    of :class:`~repro.mechanisms.greedy.GreedyBest`.  Deterministic.
+    """
+
+    @property
+    def name(self) -> str:
+        return "least-competent-approved"
+
+    @property
+    def is_local(self) -> bool:
+        return False
+
+    def sample_delegations(
+        self, instance: ProblemInstance, rng: SeedLike = None
+    ) -> DelegationGraph:
+        comp = instance.competencies
+        delegates: List[int] = []
+        for voter in range(instance.num_voters):
+            approved = instance.approved_neighbors(voter)
+            if not approved:
+                delegates.append(SELF)
+                continue
+            worst = min(approved, key=lambda v: (comp[v], v))
+            delegates.append(int(worst))
+        return DelegationGraph(delegates)

@@ -1,0 +1,143 @@
+"""Mechanism abstractions.
+
+A delegation mechanism maps a problem instance to, per voter, a
+probability distribution over "delegate to j" / "vote directly"
+(Section 2.2).  The executable form here is sampling: a mechanism draws
+one delegation forest per call.
+
+*Local* mechanisms (the paper's focus) are a subclass whose per-voter
+decision receives only a :class:`~repro.core.instance.LocalView` —
+locality is enforced structurally, not by convention.
+
+Ballots generalise forests with an abstaining set so the Section 6
+abstention extension shares the same evaluation pipeline.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional
+
+import numpy as np
+
+from repro._util.rng import SeedLike, as_generator
+from repro.core.instance import LocalView, ProblemInstance
+from repro.delegation.graph import SELF, DelegationGraph
+
+
+@dataclass(frozen=True)
+class Ballot:
+    """A resolved election input: a delegation forest plus abstainers.
+
+    ``abstaining`` must be a subset of the forest's sinks — a voter who
+    delegated cannot also abstain.  Votes delegated to an abstaining sink
+    are lost (the footnote-4 hazard the paper's restricted abstention
+    model is designed around).
+    """
+
+    forest: DelegationGraph
+    abstaining: FrozenSet[int] = field(default_factory=frozenset)
+
+    def __post_init__(self) -> None:
+        sinks = set(self.forest.sinks)
+        extra = set(self.abstaining) - sinks
+        if extra:
+            raise ValueError(
+                f"abstaining voters must be sinks, but {sorted(extra)} delegated"
+            )
+
+    @property
+    def participating_weight(self) -> int:
+        """Total weight carried by non-abstaining sinks."""
+        return sum(
+            self.forest.weight(s)
+            for s in self.forest.sinks
+            if s not in self.abstaining
+        )
+
+
+class DelegationMechanism(abc.ABC):
+    """Base class for all delegation mechanisms."""
+
+    @property
+    @abc.abstractmethod
+    def name(self) -> str:
+        """Short identifier used in experiment reports."""
+
+    @property
+    def is_local(self) -> bool:
+        """Whether the mechanism uses only local views (Section 2.2)."""
+        return isinstance(self, LocalDelegationMechanism)
+
+    @abc.abstractmethod
+    def sample_delegations(
+        self, instance: ProblemInstance, rng: SeedLike = None
+    ) -> DelegationGraph:
+        """Draw one delegation forest for ``instance``."""
+
+    def sample_ballot(
+        self, instance: ProblemInstance, rng: SeedLike = None
+    ) -> Ballot:
+        """Draw one ballot; default mechanisms never abstain."""
+        return Ballot(self.sample_delegations(instance, rng))
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class LocalDelegationMechanism(DelegationMechanism):
+    """A mechanism whose per-voter choice sees only the local view.
+
+    Subclasses implement :meth:`decide`; :meth:`distribution` has a
+    default Monte Carlo-free implementation for mechanisms whose decision
+    is "delegate uniformly over approved when condition holds", which
+    subclasses with richer behaviour override.
+    """
+
+    @abc.abstractmethod
+    def decide(self, view: LocalView, rng: np.random.Generator) -> Optional[int]:
+        """Return the delegate chosen by ``view.voter`` or ``None`` to vote."""
+
+    def should_delegate(self, view: LocalView) -> bool:
+        """Whether the voter's *deterministic* condition to delegate holds.
+
+        Only meaningful for mechanisms where the delegate/vote decision is
+        a deterministic function of the view (true for Algorithm 1,
+        Theorem 5's mechanism, direct voting).  Mechanisms with random
+        conditions override :meth:`distribution` instead.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not expose a deterministic condition"
+        )
+
+    def distribution(self, view: LocalView) -> Dict[Optional[int], float]:
+        """The mechanism's output distribution for one voter.
+
+        Keys are delegate indices plus ``None`` for "vote directly";
+        values sum to 1.  Default: uniform over approved neighbours when
+        :meth:`should_delegate` holds, else vote.
+        """
+        if self.should_delegate(view) and view.approved:
+            share = 1.0 / len(view.approved)
+            return {j: share for j in view.approved}
+        return {None: 1.0}
+
+    def sample_delegations(
+        self, instance: ProblemInstance, rng: SeedLike = None
+    ) -> DelegationGraph:
+        gen = as_generator(rng)
+        delegates: List[int] = []
+        for voter in range(instance.num_voters):
+            choice = self.decide(instance.local_view(voter), gen)
+            delegates.append(SELF if choice is None else int(choice))
+        return DelegationGraph(delegates)
+
+
+def uniform_choice(
+    options: tuple, rng: np.random.Generator
+) -> int:
+    """Uniformly choose one element of a non-empty tuple."""
+    if not options:
+        raise ValueError("cannot choose from an empty option set")
+    return int(options[int(rng.integers(len(options)))])

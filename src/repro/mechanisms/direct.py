@@ -1,0 +1,31 @@
+"""Direct voting (Example 2): the mechanism that never delegates."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.core.instance import LocalView
+from repro.mechanisms.base import LocalDelegationMechanism
+
+
+class DirectVoting(LocalDelegationMechanism):
+    """Every voter casts their own vote; ``P^D(G)`` is its correctness.
+
+    The baseline against which gain (Section 2.2) is measured.  It is a
+    *local* delegation mechanism — Example 2 makes the point explicitly.
+    """
+
+    @property
+    def name(self) -> str:
+        return "direct"
+
+    def should_delegate(self, view: LocalView) -> bool:
+        return False
+
+    def decide(self, view: LocalView, rng: np.random.Generator) -> Optional[int]:
+        return None
+
+    def distribution(self, view: LocalView) -> Dict[Optional[int], float]:
+        return {None: 1.0}

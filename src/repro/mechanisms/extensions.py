@@ -1,0 +1,149 @@
+"""Section 6 extensions: abstention and weighted (multi-delegate) voting.
+
+**Abstention.** The paper's restricted model: a voter may abstain *only
+if it could delegate* (its approved neighbourhood is non-empty).  This
+models decision-agnostic voters while provably preserving DNH — in
+contrast to unrestricted abstention, which can empty the electorate.
+
+**Weighted majority / multi-delegate.**  The paper conjectures its SPG
+analysis transfers because multi-delegation "is similar to sampling the
+random delegate multiple times and taking the best outcome".  We
+implement exactly that reading: sample ``k`` approved candidates with
+replacement and delegate to the best of them.  "Best" is resolved by the
+voter's local ranking over approved neighbours, which we instantiate as
+the competency order (any fixed ranking is allowed by the model).
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List, Optional
+
+import numpy as np
+
+from repro._util.rng import SeedLike, as_generator
+from repro._util.validation import check_probability
+from repro.core.instance import LocalView, ProblemInstance
+from repro.delegation.graph import SELF, DelegationGraph
+from repro.mechanisms.base import (
+    Ballot,
+    DelegationMechanism,
+    LocalDelegationMechanism,
+)
+
+
+class AbstentionMechanism(DelegationMechanism):
+    """Wrap a local mechanism with restricted abstention.
+
+    Each voter first runs the base mechanism.  A voter whose approved
+    neighbourhood is non-empty (i.e. who *could* delegate) abstains with
+    probability ``abstain_prob``; abstaining replaces whatever the base
+    mechanism decided.  Voters with empty approval sets can never abstain,
+    matching the paper's footnote-4 restriction.
+    """
+
+    def __init__(
+        self, base: LocalDelegationMechanism, abstain_prob: float
+    ) -> None:
+        self._base = base
+        self._abstain_prob = check_probability("abstain_prob", abstain_prob)
+
+    @property
+    def name(self) -> str:
+        return f"abstaining({self._base.name}, q={self._abstain_prob})"
+
+    @property
+    def base(self) -> LocalDelegationMechanism:
+        """The wrapped mechanism."""
+        return self._base
+
+    @property
+    def abstain_prob(self) -> float:
+        """Probability an abstention-eligible voter abstains."""
+        return self._abstain_prob
+
+    def sample_delegations(
+        self, instance: ProblemInstance, rng: SeedLike = None
+    ) -> DelegationGraph:
+        return self.sample_ballot(instance, rng).forest
+
+    def sample_ballot(
+        self, instance: ProblemInstance, rng: SeedLike = None
+    ) -> Ballot:
+        """Sample the base forest, then overwrite abstainers.
+
+        The abstention coin is independent of the base mechanism's
+        choice, so sampling the base forest first and replacing the
+        decisions of abstaining voters is distributionally identical to
+        interleaving the draws voter by voter (and reuses the base
+        mechanism's fast sampler).
+        """
+        gen = as_generator(rng)
+        base_forest = self._base.sample_delegations(instance, gen)
+        counts = instance.approval_structure().approved_counts
+        eligible = counts > 0
+        coins = gen.random(instance.num_voters)
+        abstains = eligible & (coins < self._abstain_prob)
+        delegates = np.array(base_forest.delegates, dtype=np.int64)
+        delegates[abstains] = SELF
+        return Ballot(
+            DelegationGraph(delegates),
+            frozenset(int(v) for v in np.nonzero(abstains)[0]),
+        )
+
+
+class MultiDelegateWeighted(LocalDelegationMechanism):
+    """Best-of-k delegation: the weighted-majority extension, reduced.
+
+    Runs the base condition of Algorithm 1 (``|approved| >= threshold``),
+    then samples ``k`` approved candidates with replacement and delegates
+    to the best-ranked of them.  With ``k = 1`` this is exactly the
+    uniform random approved delegate; larger ``k`` stochastically improves
+    the delegate's competency, matching the paper's claim that SPG
+    transfers with gain at least as large.
+    """
+
+    def __init__(self, k: int, threshold: float = 1.0) -> None:
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self._k = int(k)
+        self._threshold = float(threshold)
+
+    @property
+    def name(self) -> str:
+        return f"multi-delegate(k={self._k}, j={self._threshold})"
+
+    @property
+    def k(self) -> int:
+        """Number of candidate delegates sampled."""
+        return self._k
+
+    def should_delegate(self, view: LocalView) -> bool:
+        return bool(view.approved) and view.approval_count >= self._threshold
+
+    def decide(self, view: LocalView, rng: np.random.Generator) -> Optional[int]:
+        if not self.should_delegate(view):
+            return None
+        candidates = [
+            view.approved[int(i)]
+            for i in rng.integers(len(view.approved), size=self._k)
+        ]
+        # The view lists approved neighbours in the voter's fixed local
+        # ranking (ascending); "best" is the highest-ranked candidate.
+        rank = {v: i for i, v in enumerate(view.approved)}
+        return max(candidates, key=lambda v: rank[v])
+
+    def sample_delegations(
+        self, instance: ProblemInstance, rng: SeedLike = None
+    ) -> DelegationGraph:
+        """Vectorised sampler, distributionally identical to ``decide``."""
+        gen = as_generator(rng)
+        structure = instance.approval_structure()
+        counts = structure.approved_counts
+        mask = (counts > 0) & (counts >= self._threshold)
+        delegates = np.full(instance.num_voters, SELF, dtype=np.int64)
+        movers = np.nonzero(mask)[0]
+        if movers.size:
+            delegates[movers] = structure.sample_best_of_k_many(
+                movers, self._k, gen
+            )
+        return DelegationGraph(delegates)

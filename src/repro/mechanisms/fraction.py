@@ -1,0 +1,65 @@
+"""Theorem 5's mechanism: delegate when a fraction of neighbours approve.
+
+"Let M be a delegation mechanism where a voter delegates if at least half
+of its neighbors are approved."  On bounded-minimal-degree graphs
+(``δ ≥ n^ε``) this achieves SPG and DNH.  The fraction is a parameter
+(default ½) so ablations can sweep it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro._util.rng import SeedLike, as_generator
+from repro._util.validation import check_fraction
+from repro.core.instance import LocalView, ProblemInstance
+from repro.delegation.graph import SELF, DelegationGraph
+from repro.mechanisms.base import LocalDelegationMechanism, uniform_choice
+
+
+class FractionApproved(LocalDelegationMechanism):
+    """Delegate iff ``|approved| >= fraction * num_neighbors``.
+
+    Delegation target is a uniformly random approved neighbour.
+    """
+
+    def __init__(self, fraction: float = 0.5) -> None:
+        self._fraction = check_fraction("fraction", fraction)
+
+    @property
+    def name(self) -> str:
+        return f"fraction-approved({self._fraction})"
+
+    @property
+    def fraction(self) -> float:
+        """The neighbourhood fraction that must be approved."""
+        return self._fraction
+
+    def should_delegate(self, view: LocalView) -> bool:
+        if view.num_neighbors == 0:
+            return False
+        return view.approval_count >= self._fraction * view.num_neighbors
+
+    def decide(self, view: LocalView, rng: np.random.Generator) -> Optional[int]:
+        if not view.approved or not self.should_delegate(view):
+            return None
+        return uniform_choice(view.approved, rng)
+
+    def sample_delegations(
+        self, instance: ProblemInstance, rng: SeedLike = None
+    ) -> DelegationGraph:
+        """Vectorised sampler, distributionally identical to ``decide``."""
+        gen = as_generator(rng)
+        structure = instance.approval_structure()
+        degrees = structure.degrees
+        counts = structure.approved_counts
+        mask = (counts > 0) & (degrees > 0) & (
+            counts >= self._fraction * degrees
+        )
+        delegates = np.full(instance.num_voters, SELF, dtype=np.int64)
+        movers = np.nonzero(mask)[0]
+        if movers.size:
+            delegates[movers] = structure.sample_approved_many(movers, gen)
+        return DelegationGraph(delegates)

@@ -1,0 +1,114 @@
+"""Non-local baselines: greedy-best delegation and weight-capped delegation.
+
+:class:`GreedyBest` is the "dictatorship" mechanism behind impossibility
+results: every voter delegates to its most competent approved neighbour.
+It needs competencies, so it is *not* local in the paper's sense; it
+exists to reproduce the Figure 1 / Kahng-et-al. failure modes.
+
+:class:`CappedRandomApproved` delegates like the threshold mechanism but
+refuses any delegation that would push a sink's weight above a cap — the
+style of intervention Gölz et al. study and Lemma 5 justifies: keeping the
+maximum weight at ``w`` keeps the outcome within ``√(n^{1+ε}) · w`` of its
+mean, preserving DNH.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro._util.rng import SeedLike, as_generator
+from repro.core.instance import ProblemInstance
+from repro.delegation.graph import SELF, DelegationGraph
+from repro.mechanisms.base import DelegationMechanism
+
+
+class GreedyBest(DelegationMechanism):
+    """Delegate to the most competent approved neighbour (non-local).
+
+    Ties in competency are broken by the lowest vertex index, making the
+    induced forest deterministic — convenient for exact counterexample
+    computations (Figure 1).
+    """
+
+    @property
+    def name(self) -> str:
+        return "greedy-best"
+
+    @property
+    def is_local(self) -> bool:
+        return False
+
+    def sample_delegations(
+        self, instance: ProblemInstance, rng: SeedLike = None
+    ) -> DelegationGraph:
+        comp = instance.competencies
+        delegates: List[int] = []
+        for voter in range(instance.num_voters):
+            approved = instance.approved_neighbors(voter)
+            if not approved:
+                delegates.append(SELF)
+                continue
+            best = max(approved, key=lambda v: (comp[v], -v))
+            delegates.append(int(best))
+        return DelegationGraph(delegates)
+
+
+class CappedRandomApproved(DelegationMechanism):
+    """Random approved delegation subject to a maximum sink weight.
+
+    Voters are processed in a random order; each delegates to a uniformly
+    random approved neighbour *unless* attaching its current subtree would
+    push the receiving sink's weight above ``max_weight``, in which case it
+    votes directly.  The cap requires knowing accumulated weights, so the
+    mechanism is coordinated (non-local); it serves as the Lemma 5
+    reference point showing how capping ``w`` restores DNH on bad
+    topologies.
+    """
+
+    def __init__(self, max_weight: int) -> None:
+        if max_weight < 1:
+            raise ValueError(f"max_weight must be >= 1, got {max_weight}")
+        self._max_weight = int(max_weight)
+
+    @property
+    def name(self) -> str:
+        return f"capped-random-approved(w<={self._max_weight})"
+
+    @property
+    def is_local(self) -> bool:
+        return False
+
+    @property
+    def max_weight(self) -> int:
+        """The per-sink weight cap."""
+        return self._max_weight
+
+    def sample_delegations(
+        self, instance: ProblemInstance, rng: SeedLike = None
+    ) -> DelegationGraph:
+        gen = as_generator(rng)
+        n = instance.num_voters
+        delegates = [SELF] * n
+        carried = [1] * n  # weight currently landing on each sink
+
+        def sink_of(v: int) -> int:
+            while delegates[v] != SELF:
+                v = delegates[v]
+            return v
+
+        for voter in gen.permutation(n):
+            voter = int(voter)
+            approved = instance.approved_neighbors(voter)
+            if not approved:
+                continue
+            target = int(approved[int(gen.integers(len(approved)))])
+            sink = sink_of(target)
+            if sink == voter:
+                continue  # would create a cycle through stale approval
+            if carried[sink] + carried[voter] > self._max_weight:
+                continue
+            delegates[voter] = target
+            carried[sink] += carried[voter]
+        return DelegationGraph(delegates)

@@ -1,0 +1,157 @@
+"""Algorithm 2: sampled-neighbourhood delegation (random d-regular view).
+
+In the paper, Algorithm 2 *creates* ``Rand(n, d)`` and delegates in one
+step: each voter samples ``d`` random neighbours and delegates to a
+random approved one if at least ``j(d)`` of the sampled neighbours are
+approved.  Here the graph is an input (generated separately with
+:func:`repro.graphs.random_regular_graph`), and the mechanism samples
+``d`` of the voter's neighbours — on a d-regular graph that is the whole
+neighbourhood, exactly Algorithm 2's behaviour after the graph is fixed;
+on general graphs it is the natural "poll a random subsample" variant.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Union
+
+import numpy as np
+
+from repro._util.rng import SeedLike, as_generator
+from repro.core.instance import LocalView, ProblemInstance
+from repro.delegation.graph import SELF, DelegationGraph
+from repro.mechanisms.base import LocalDelegationMechanism
+
+ThresholdFn = Callable[[int], float]
+
+
+class SampledNeighbourhood(LocalDelegationMechanism):
+    """Algorithm 2: sample ``d`` neighbours, delegate if ``>= j(d)`` approved.
+
+    Parameters
+    ----------
+    d:
+        Number of neighbours each voter polls.  ``None`` means "poll the
+        whole neighbourhood" (the d-regular case where the graph already
+        encodes the sample).
+    threshold:
+        Constant or function ``j(d) -> float``; the paper uses a fraction
+        of ``d`` (e.g. ``j(d) = j(n) * d / n`` to mirror Algorithm 1).
+    """
+
+    def __init__(
+        self,
+        threshold: Union[int, float, ThresholdFn],
+        d: Optional[int] = None,
+    ) -> None:
+        if d is not None and d < 1:
+            raise ValueError(f"d must be positive when given, got {d}")
+        self._d = d
+        if callable(threshold):
+            self._threshold: ThresholdFn = threshold
+            self._label = getattr(threshold, "__name__", "fn")
+        else:
+            value = float(threshold)
+            self._threshold = lambda _d: value
+            self._label = repr(threshold)
+
+    @property
+    def name(self) -> str:
+        d_label = "deg" if self._d is None else str(self._d)
+        return f"sampled-neighbourhood(d={d_label}, j={self._label})"
+
+    def sample_size(self, view: LocalView) -> int:
+        """How many neighbours this voter polls."""
+        if self._d is None:
+            return view.num_neighbors
+        return min(self._d, view.num_neighbors)
+
+    def decide(self, view: LocalView, rng: np.random.Generator) -> Optional[int]:
+        size = self.sample_size(view)
+        if size == 0:
+            return None
+        if size == view.num_neighbors:
+            sampled = view.neighbors
+        else:
+            idx = rng.choice(view.num_neighbors, size=size, replace=False)
+            sampled = tuple(view.neighbors[int(i)] for i in idx)
+        approved_set = frozenset(view.approved)
+        sampled_approved = [v for v in sampled if v in approved_set]
+        if not sampled_approved or len(sampled_approved) < self._threshold(size):
+            return None
+        return sampled_approved[int(rng.integers(len(sampled_approved)))]
+
+    def sample_delegations(
+        self, instance: ProblemInstance, rng: SeedLike = None
+    ) -> DelegationGraph:
+        """Vectorised sampler, distributionally identical to ``decide``.
+
+        The number of approved neighbours in a uniform without-replacement
+        sample of size ``s`` is hypergeometric; conditioned on delegating,
+        exchangeability makes the delegate uniform over *all* approved
+        neighbours.  Both facts let us skip materialising the sample.
+        """
+        gen = as_generator(rng)
+        structure = instance.approval_structure()
+        degrees = structure.degrees
+        counts = structure.approved_counts
+        n = instance.num_voters
+        delegates = np.full(n, SELF, dtype=np.int64)
+        active = np.nonzero(degrees > 0)[0]
+        if active.size == 0:
+            return DelegationGraph(delegates)
+        deg = degrees[active]
+        cnt = counts[active]
+        if self._d is None:
+            sizes = deg
+        else:
+            sizes = np.minimum(self._d, deg)
+        full = sizes == deg
+        approved_in_sample = np.empty(active.size, dtype=np.int64)
+        approved_in_sample[full] = cnt[full]
+        partial = ~full
+        if np.any(partial):
+            approved_in_sample[partial] = gen.hypergeometric(
+                cnt[partial], deg[partial] - cnt[partial], sizes[partial]
+            )
+        thresholds = np.array([self._threshold(int(s)) for s in sizes])
+        mask = (approved_in_sample > 0) & (approved_in_sample >= thresholds)
+        movers = active[mask]
+        if movers.size:
+            delegates[movers] = structure.sample_approved_many(movers, gen)
+        return DelegationGraph(delegates)
+
+    def distribution(self, view: LocalView) -> Dict[Optional[int], float]:
+        """Exact output distribution (hypergeometric over the sample).
+
+        For the full-neighbourhood case the distribution is deterministic
+        in the condition; for subsampling we compute the probability that
+        the drawn sample contains at least ``j`` approved neighbours and,
+        by symmetry, split the delegation mass uniformly over approved
+        neighbours.
+        """
+        from math import comb
+
+        size = self.sample_size(view)
+        n_nbrs = view.num_neighbors
+        n_app = view.approval_count
+        if size == 0 or n_app == 0:
+            return {None: 1.0}
+        j = self._threshold(size)
+        if size == n_nbrs:
+            if n_app >= j:
+                share = 1.0 / n_app
+                return {v: share for v in view.approved}
+            return {None: 1.0}
+        # P[sample has a approved] hypergeometric; delegate mass for a >= j
+        # splits uniformly over the approved by exchangeability.
+        delegate_mass = 0.0
+        for a in range(max(1, int(np.ceil(j))), min(size, n_app) + 1):
+            delegate_mass += (
+                comb(n_app, a) * comb(n_nbrs - n_app, size - a) / comb(n_nbrs, size)
+            )
+        dist: Dict[Optional[int], float] = {None: 1.0 - delegate_mass}
+        if delegate_mass > 0:
+            share = delegate_mass / n_app
+            for v in view.approved:
+                dist[v] = share
+        return dist

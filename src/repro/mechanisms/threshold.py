@@ -1,0 +1,110 @@
+"""Algorithm 1: approval-set-size threshold delegation.
+
+Voter ``v_i`` counts its approved neighbours; if the count reaches the
+threshold ``j(deg)`` (a function of the neighbourhood size — on the
+complete graph the neighbourhood size is ``n - 1 ≈ n``), it delegates to
+a uniformly random approved neighbour, otherwise it votes directly.
+
+Theorem 2 proves this mechanism achieves SPG and DNH on complete graphs;
+the threshold should satisfy ``j(n) ∈ o(n)`` but grow with ``n`` — large
+enough that delegation never concentrates on a handful of experts, small
+enough that most voters delegate.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Union
+
+import numpy as np
+
+from repro._util.rng import SeedLike, as_generator
+from repro.core.instance import LocalView, ProblemInstance
+from repro.delegation.graph import SELF, DelegationGraph
+from repro.mechanisms.base import LocalDelegationMechanism, uniform_choice
+
+ThresholdFn = Callable[[int], float]
+
+
+def _as_threshold_fn(threshold: Union[int, float, ThresholdFn]) -> ThresholdFn:
+    if callable(threshold):
+        return threshold
+    value = float(threshold)
+    return lambda _deg: value
+
+
+class ApprovalThreshold(LocalDelegationMechanism):
+    """Algorithm 1 with threshold ``j``.
+
+    Parameters
+    ----------
+    threshold:
+        Either a constant or a function ``j(num_neighbors) -> float``.
+        The voter delegates iff ``|approved| >= j(num_neighbors)``.
+        Common paper-motivated choices: ``lambda n: n ** (1/3)`` or
+        ``lambda n: math.log2(n + 1)`` (both ``o(n)``).
+    """
+
+    def __init__(self, threshold: Union[int, float, ThresholdFn]) -> None:
+        self._threshold = _as_threshold_fn(threshold)
+        self._label = (
+            getattr(threshold, "__name__", "fn")
+            if callable(threshold)
+            else repr(threshold)
+        )
+
+    @property
+    def name(self) -> str:
+        return f"approval-threshold(j={self._label})"
+
+    def threshold_at(self, num_neighbors: int) -> float:
+        """The numeric threshold ``j`` applied at this neighbourhood size."""
+        return float(self._threshold(num_neighbors))
+
+    def should_delegate(self, view: LocalView) -> bool:
+        return view.approval_count >= self.threshold_at(view.num_neighbors)
+
+    def decide(self, view: LocalView, rng: np.random.Generator) -> Optional[int]:
+        if not view.approved:
+            return None
+        if not self.should_delegate(view):
+            return None
+        return uniform_choice(view.approved, rng)
+
+    def sample_delegations(
+        self, instance: ProblemInstance, rng: SeedLike = None
+    ) -> DelegationGraph:
+        """Vectorised sampler, distributionally identical to ``decide``.
+
+        Uses the instance's cached approval structure: the per-voter
+        decision depends only on ``(degree, approved count)`` and the
+        delegate is uniform over the approved neighbours.
+        """
+        gen = as_generator(rng)
+        structure = instance.approval_structure()
+        degrees = structure.degrees
+        counts = structure.approved_counts
+        thresholds = np.array(
+            [self.threshold_at(int(d)) for d in degrees], dtype=float
+        )
+        mask = (counts > 0) & (counts >= thresholds)
+        delegates = np.full(instance.num_voters, SELF, dtype=np.int64)
+        movers = np.nonzero(mask)[0]
+        if movers.size:
+            delegates[movers] = structure.sample_approved_many(movers, gen)
+        return DelegationGraph(delegates)
+
+
+class RandomApproved(ApprovalThreshold):
+    """Delegate whenever *any* neighbour is approved (threshold 1).
+
+    The maximally eager local mechanism.  On a star with a competent hub
+    this is exactly the Figure 1 counterexample: every leaf delegates to
+    the hub, voting power collapses onto one voter, and DNH fails.
+    """
+
+    def __init__(self) -> None:
+        super().__init__(1)
+
+    @property
+    def name(self) -> str:
+        return "random-approved"

@@ -1,0 +1,28 @@
+"""Recycle sampling (Section 3.1): the paper's dependency model.
+
+Provides the :class:`RecycleSamplingGraph` of Definition 6, a sampler
+realizing the associated random variable ``X_n``, partition machinery,
+the Lemma 1/2 concentration bounds, and a builder that converts a
+delegation-mechanism run into its recycle-sampling abstraction (the step
+Lemma 7 performs for Algorithm 1).
+"""
+
+from repro.sampling.recycle import RecycleNode, RecycleSamplingGraph
+from repro.sampling.partitions import competency_partitions, partition_complexity
+from repro.sampling.concentration import (
+    lemma1_deviation_bound,
+    lemma2_lower_bound,
+    recycle_failure_probability_bound,
+)
+from repro.sampling.builders import recycle_graph_from_mechanism_run
+
+__all__ = [
+    "RecycleNode",
+    "RecycleSamplingGraph",
+    "competency_partitions",
+    "partition_complexity",
+    "lemma1_deviation_bound",
+    "lemma2_lower_bound",
+    "recycle_failure_probability_bound",
+    "recycle_graph_from_mechanism_run",
+]

@@ -1,0 +1,75 @@
+"""Build recycle-sampling graphs from delegation mechanisms.
+
+This is the abstraction step of Lemma 7: running a local delegation
+mechanism on an instance induces exactly a recycle-sampling process —
+order voters from most to least competent; a voter either votes fresh
+(Bernoulli with its own competency) or recycles the realised outcome of
+a uniformly random approved neighbour, all of whom appear earlier in the
+order.  The builder extracts ``(z_i, p_i, successors)`` from the
+mechanism's per-voter output distribution.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.core.instance import ProblemInstance
+from repro.mechanisms.base import LocalDelegationMechanism
+from repro.sampling.recycle import RecycleNode, RecycleSamplingGraph
+
+
+def recycle_graph_from_mechanism_run(
+    instance: ProblemInstance,
+    mechanism: LocalDelegationMechanism,
+    tolerance: float = 1e-9,
+) -> Tuple[RecycleSamplingGraph, np.ndarray]:
+    """The recycle-sampling abstraction of ``mechanism`` on ``instance``.
+
+    Returns ``(graph, order)`` where ``order[k]`` is the voter occupying
+    recycle-node ``k`` (voters sorted descending by competency, ties by
+    index).  Requires the mechanism's delegation mass to be uniform over
+    the approved neighbours — the structure Definition 6 models; a
+    non-uniform mechanism raises ``ValueError``.
+    """
+    p = instance.competencies
+    # Descending competency; stable on ties so the map is deterministic.
+    order = np.argsort(-p, kind="stable")
+    position = np.empty(instance.num_voters, dtype=np.int64)
+    position[order] = np.arange(instance.num_voters)
+
+    nodes: List[RecycleNode] = []
+    prefix = 0
+    prefix_open = True
+    for k, voter in enumerate(order):
+        voter = int(voter)
+        view = instance.local_view(voter)
+        dist = mechanism.distribution(view)
+        z = float(dist.get(None, 0.0))
+        targets = [t for t in dist if t is not None]
+        if targets:
+            masses = [dist[t] for t in targets]
+            expected = (1.0 - z) / len(targets)
+            if any(abs(m - expected) > tolerance for m in masses):
+                raise ValueError(
+                    f"voter {voter} delegates non-uniformly; recycle "
+                    f"sampling models uniform delegation only"
+                )
+        successors = tuple(sorted(int(position[t]) for t in targets))
+        if successors and max(successors) >= k:
+            raise ValueError(
+                f"voter {voter} may delegate to an equally-or-less "
+                f"competent voter; approval with alpha > 0 should prevent this"
+            )
+        if z >= 1.0 - tolerance or not successors:
+            node = RecycleNode(1.0, float(p[voter]))
+        else:
+            node = RecycleNode(z, float(p[voter]), successors)
+        nodes.append(node)
+        if prefix_open and not node.successors:
+            prefix = k + 1
+        else:
+            prefix_open = False
+    graph = RecycleSamplingGraph(nodes, independent_prefix=prefix)
+    return graph, order

@@ -1,0 +1,110 @@
+"""Concentration bounds for recycle sampling (Lemmas 1 and 2).
+
+These functions compute the paper's *predicted* deviation thresholds and
+failure probabilities so that experiments can check empirical samples
+against them.  The Ω/Θ constants hidden in the paper's asymptotics are
+exposed as explicit parameters (default 1) — the experiments measure the
+decay exponents, not the constants.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.sampling.recycle import RecycleSamplingGraph
+
+
+def lemma1_deviation_bound(mu: float, j: int, epsilon: float) -> float:
+    """Lemma 1 threshold: ``(1 − ε / j^{1/3}) · μ(X_i)``.
+
+    With probability at least ``1 − e^{−Ω(j^{1/3})}``, every prefix sum
+    ``X_i`` with ``i > j`` stays above this fraction of its mean.
+    """
+    if j <= 0:
+        raise ValueError(f"j must be positive, got {j}")
+    if epsilon < 0:
+        raise ValueError(f"epsilon must be non-negative, got {epsilon}")
+    return (1.0 - epsilon / j ** (1.0 / 3.0)) * mu
+
+
+def lemma2_lower_bound(
+    mu_n: float, n: int, j: int, c: int, epsilon: float
+) -> float:
+    """Lemma 2 threshold: ``μ(X_n) − c · ε · n / j^{1/3}``.
+
+    A ``(j, c, n)``-recycle-sampled sum exceeds this with probability at
+    least ``1 − e^{−Ω(j^{1/3})}``.
+    """
+    if j <= 0 or n <= 0 or c <= 0:
+        raise ValueError(f"n, j, c must be positive, got n={n}, j={j}, c={c}")
+    if epsilon < 0:
+        raise ValueError(f"epsilon must be non-negative, got {epsilon}")
+    return mu_n - c * epsilon * n / j ** (1.0 / 3.0)
+
+
+def recycle_failure_probability_bound(
+    j: int, constant: float = 1.0
+) -> float:
+    """The Lemma 1/2 failure probability shape ``e^{−constant · j^{1/3}}``."""
+    if j <= 0:
+        raise ValueError(f"j must be positive, got {j}")
+    if constant <= 0:
+        raise ValueError(f"constant must be positive, got {constant}")
+    return math.exp(-constant * j ** (1.0 / 3.0))
+
+
+def empirical_failure_rate(
+    graph: RecycleSamplingGraph,
+    epsilon: float,
+    rounds: int,
+    rng,
+) -> float:
+    """Empirical probability that ``X_n`` falls below the Lemma 2 bound.
+
+    Samples ``rounds`` realisations and counts how often the sum drops
+    below ``μ(X_n) − c · ε · n / j^{1/3}``.  Used by the L1L2 experiment
+    to confirm the failure probability decays in ``j``.
+    """
+    if rounds <= 0:
+        raise ValueError(f"rounds must be positive, got {rounds}")
+    n = graph.num_nodes
+    j = max(1, graph.independent_prefix)
+    c = graph.partition_complexity()
+    mu = graph.mean_sum()
+    bound = lemma2_lower_bound(mu, n, j, c, epsilon)
+    failures = 0
+    for _ in range(rounds):
+        if graph.sample_sum(rng) < bound:
+            failures += 1
+    return failures / rounds
+
+
+def chernoff_lower_tail(mu: float, delta: float) -> float:
+    """Multiplicative Chernoff bound ``P[X ≤ (1−δ)μ] ≤ e^{−δ²μ/2}``.
+
+    The classical bound Lemma 1 builds on, for independent Bernoulli sums.
+    """
+    if mu < 0:
+        raise ValueError(f"mu must be non-negative, got {mu}")
+    if not 0.0 <= delta <= 1.0:
+        raise ValueError(f"delta must lie in [0, 1], got {delta}")
+    return math.exp(-delta * delta * mu / 2.0)
+
+
+def deviation_exponent_fit(js: np.ndarray, failure_rates: np.ndarray) -> float:
+    """Fit ``log failure ≈ −a · j^{1/3}`` and return the slope ``a``.
+
+    Zero failure rates are clipped to one-half observation so the log is
+    defined; a positive fitted slope confirms the Lemma 1/2 decay shape.
+    """
+    js = np.asarray(js, dtype=float)
+    rates = np.asarray(failure_rates, dtype=float)
+    if js.shape != rates.shape or js.size < 2:
+        raise ValueError("need at least two (j, rate) points of equal shape")
+    rates = np.clip(rates, 1e-12, 1.0)
+    x = js ** (1.0 / 3.0)
+    y = np.log(rates)
+    slope = np.polyfit(x, y, 1)[0]
+    return float(-slope)

@@ -1,0 +1,52 @@
+"""Partitions of voters by competency level (the Lemma 7 construction).
+
+The proof of Lemma 7 splits ``[0, 1]`` into intervals of width ``α``; no
+voter approves another voter in its own interval, so each interval is an
+antichain of the approval order and the partition complexity of the
+induced recycle-sampling graph is at most ``⌈1/α⌉``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence
+
+from repro.sampling.recycle import RecycleSamplingGraph
+
+
+def competency_partitions(
+    competencies: Sequence[float], alpha: float
+) -> List[List[int]]:
+    """Partition voter indices into ``α``-width competency bands.
+
+    Band ``t`` contains voters with ``p ∈ [t·α, (t+1)·α)`` (the top band
+    is closed at 1).  Empty bands are dropped; bands are returned from the
+    highest competency level downwards, matching the realisation order of
+    the delegation recycle graph (most competent first).
+    """
+    if not alpha > 0:
+        raise ValueError(f"alpha must be > 0, got {alpha}")
+    num_bands = max(1, math.ceil(1.0 / alpha))
+    bands: List[List[int]] = [[] for _ in range(num_bands)]
+    for voter, p in enumerate(competencies):
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"competency {p} of voter {voter} outside [0, 1]")
+        band = min(int(p / alpha), num_bands - 1)
+        bands[band].append(voter)
+    return [band for band in reversed(bands) if band]
+
+
+def partition_complexity(graph: RecycleSamplingGraph) -> int:
+    """Partition complexity ``c`` of a recycle sampling graph.
+
+    Alias of :meth:`RecycleSamplingGraph.partition_complexity`, exposed
+    here so analysis code can treat it as a free function.
+    """
+    return graph.partition_complexity()
+
+
+def max_partition_complexity(alpha: float) -> int:
+    """The trivial mechanism-independent bound ``c ≤ ⌈1/α⌉``."""
+    if not alpha > 0:
+        raise ValueError(f"alpha must be > 0, got {alpha}")
+    return math.ceil(1.0 / alpha)

@@ -1,0 +1,244 @@
+"""Recycle sampling graphs (Definition 6).
+
+A ``(j, c, n)``-recycle sampling graph has ordered vertices
+``v_0 … v_{n-1}`` (index 0 plays the role of the paper's ``v_1``) where:
+
+* the first ``j`` vertices have no out-edges — they are always "fresh"
+  Bernoulli draws (in the delegation application these are the top-``j``
+  voters, who never delegate);
+* each later vertex ``v_i`` may have directed edges to a prefix of
+  earlier vertices (its *successors* — the voters it could delegate to);
+* vertex ``v_i`` carries a pair ``(z_i, p_i)``: with probability ``z_i``
+  its variable ``x_i`` is a fresh Bernoulli(``p_i``) draw, with
+  probability ``1 − z_i`` it *recycles* the realised value of a uniformly
+  random successor;
+* the longest directed path (the *partition complexity*) has at most
+  ``c`` vertices.
+
+``X_n = Σ x_i`` is the recycle sampling random variable — the abstraction
+of the number of correct votes under a delegation mechanism.  Lemma 2
+shows ``X_n`` concentrates almost as well as an independent sum, degraded
+only by a factor proportional to ``c``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro._util.rng import SeedLike, as_generator
+from repro._util.validation import check_probability
+
+
+@dataclass(frozen=True)
+class RecycleNode:
+    """One vertex of a recycle sampling graph.
+
+    Attributes
+    ----------
+    fresh_prob:
+        ``z_i`` — probability the node draws a fresh Bernoulli rather
+        than recycling a successor's value.
+    bernoulli_param:
+        ``p_i`` — parameter of the fresh Bernoulli draw.
+    successors:
+        Indices of earlier vertices whose realised value may be recycled,
+        chosen uniformly.  Must all be strictly smaller than this node's
+        own index; empty iff the node is always fresh.
+    """
+
+    fresh_prob: float
+    bernoulli_param: float
+    successors: Tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        check_probability("fresh_prob", self.fresh_prob)
+        check_probability("bernoulli_param", self.bernoulli_param)
+        if not self.successors and self.fresh_prob < 1.0:
+            raise ValueError(
+                "a node without successors must be always fresh (fresh_prob=1)"
+            )
+
+
+class RecycleSamplingGraph:
+    """A ``(j, c, n)``-recycle sampling graph and its sampler.
+
+    Parameters
+    ----------
+    nodes:
+        The ordered vertices.  ``nodes[i].successors`` must contain only
+        indices ``< i``.
+    independent_prefix:
+        The parameter ``j``: the first ``j`` nodes must have no
+        successors.  Defaults to the largest prefix without successors.
+    """
+
+    def __init__(
+        self,
+        nodes: Sequence[RecycleNode],
+        independent_prefix: int = 0,
+    ) -> None:
+        self._nodes: Tuple[RecycleNode, ...] = tuple(nodes)
+        n = len(self._nodes)
+        for i, node in enumerate(self._nodes):
+            for s in node.successors:
+                if not 0 <= s < i:
+                    raise ValueError(
+                        f"node {i} has successor {s}; successors must be "
+                        f"earlier vertices"
+                    )
+        if not 0 <= independent_prefix <= n:
+            raise ValueError(
+                f"independent_prefix must lie in [0, {n}], got {independent_prefix}"
+            )
+        for i in range(independent_prefix):
+            if self._nodes[i].successors:
+                raise ValueError(
+                    f"node {i} lies in the independent prefix of size "
+                    f"{independent_prefix} but has successors"
+                )
+        self._j = independent_prefix
+
+    # -- structure ---------------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of vertices ``n``."""
+        return len(self._nodes)
+
+    @property
+    def nodes(self) -> Tuple[RecycleNode, ...]:
+        """The ordered vertices."""
+        return self._nodes
+
+    @property
+    def independent_prefix(self) -> int:
+        """The parameter ``j`` — size of the successor-free prefix."""
+        return self._j
+
+    def partition_complexity(self) -> int:
+        """Number of vertices on the longest directed path (``c``).
+
+        Computed by DP over the DAG (edges point to smaller indices); an
+        isolated vertex has complexity 1.
+        """
+        n = self.num_nodes
+        if n == 0:
+            return 0
+        depth = [1] * n
+        for i, node in enumerate(self._nodes):
+            for s in node.successors:
+                depth[i] = max(depth[i], depth[s] + 1)
+        return max(depth)
+
+    def is_recycle_graph(self, j: int, c: int) -> bool:
+        """Whether this is a valid ``(j, c, n)``-recycle sampling graph."""
+        return self._j >= j and self.partition_complexity() <= c
+
+    # -- distributional quantities -----------------------------------------
+
+    def expectations(self) -> np.ndarray:
+        """``E[x_i]`` for every node, by the recycling recurrence.
+
+        ``E[x_i] = z_i p_i + (1 − z_i) · mean_{s ∈ succ(i)} E[x_s]``.
+        """
+        out = np.empty(self.num_nodes)
+        for i, node in enumerate(self._nodes):
+            fresh = node.fresh_prob * node.bernoulli_param
+            if node.successors:
+                recycled = (1.0 - node.fresh_prob) * float(
+                    np.mean([out[s] for s in node.successors])
+                )
+            else:
+                recycled = 0.0
+            out[i] = fresh + recycled
+        return out
+
+    def mean_sum(self, upto: int = -1) -> float:
+        """``μ(X_i) = E[Σ_{k ≤ i} x_k]`` (full sum when ``upto`` is -1)."""
+        exp = self.expectations()
+        if upto == -1:
+            return float(exp.sum())
+        if not 0 <= upto <= self.num_nodes:
+            raise ValueError(f"upto must lie in [0, {self.num_nodes}], got {upto}")
+        return float(exp[:upto].sum())
+
+    # -- sampling -------------------------------------------------------------
+
+    def sample(self, rng: SeedLike = None) -> np.ndarray:
+        """Realise the graph once; returns the 0/1 vector ``(x_0 … x_{n-1})``.
+
+        Realisation follows Definition 6: for increasing ``i``, ``x_i`` is
+        fresh with probability ``z_i``, otherwise equal to the already
+        realised value of a uniformly random successor.
+        """
+        gen = as_generator(rng)
+        n = self.num_nodes
+        values = np.empty(n, dtype=np.int8)
+        fresh_draws = gen.random(n)
+        bern_draws = gen.random(n)
+        for i, node in enumerate(self._nodes):
+            if not node.successors or fresh_draws[i] < node.fresh_prob:
+                values[i] = 1 if bern_draws[i] < node.bernoulli_param else 0
+            else:
+                pick = node.successors[int(gen.integers(len(node.successors)))]
+                values[i] = values[pick]
+        return values
+
+    def sample_sum(self, rng: SeedLike = None) -> int:
+        """One realisation of ``X_n``."""
+        return int(self.sample(rng).sum())
+
+    def sample_prefix_sums(self, rng: SeedLike = None) -> np.ndarray:
+        """One realisation of the prefix sums ``(X_1 … X_n)``."""
+        return np.cumsum(self.sample(rng))
+
+    def __repr__(self) -> str:
+        return (
+            f"RecycleSamplingGraph(n={self.num_nodes}, j={self._j}, "
+            f"c={self.partition_complexity()})"
+        )
+
+    # -- constructors ------------------------------------------------------------
+
+    @classmethod
+    def independent(
+        cls, params: Sequence[float]
+    ) -> "RecycleSamplingGraph":
+        """A recycle graph with no edges: an ordinary independent sum."""
+        nodes = [RecycleNode(1.0, float(p)) for p in params]
+        return cls(nodes, independent_prefix=len(nodes))
+
+    @classmethod
+    def layered(
+        cls,
+        layer_params: Sequence[Sequence[float]],
+        fresh_prob: float,
+    ) -> "RecycleSamplingGraph":
+        """Synthetic layered graph used by the Lemma 1/2 experiments.
+
+        Layer 0 nodes are independent; each node in layer ``t > 0``
+        recycles (with probability ``1 − fresh_prob``) a uniformly random
+        node of layer ``t − 1``.  The partition complexity equals the
+        number of layers.
+        """
+        check_probability("fresh_prob", fresh_prob)
+        nodes: List[RecycleNode] = []
+        prev_layer: List[int] = []
+        for t, layer in enumerate(layer_params):
+            if not layer:
+                raise ValueError(f"layer {t} is empty")
+            current: List[int] = []
+            for p in layer:
+                idx = len(nodes)
+                if t == 0:
+                    nodes.append(RecycleNode(1.0, float(p)))
+                else:
+                    nodes.append(
+                        RecycleNode(fresh_prob, float(p), tuple(prev_layer))
+                    )
+                current.append(idx)
+            prev_layer = current
+        return cls(nodes, independent_prefix=len(layer_params[0]))

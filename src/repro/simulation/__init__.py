@@ -1,0 +1,30 @@
+"""Repeated-election simulation (the deployment layer).
+
+Section 6's "practical considerations" imagine liquid democracy running
+continuously in a real organisation: many ballots over time, voter
+competencies drifting between them, operators watching whether
+delegation keeps outperforming direct voting.  This package provides
+that longitudinal layer: competency drift models and an
+:class:`ElectionSeries` harness recording per-round outcomes, realised
+gain and weight-concentration trajectories.
+"""
+
+from repro.simulation.drift import (
+    CompetencyDrift,
+    NoDrift,
+    OrnsteinUhlenbeckDrift,
+    RandomWalkDrift,
+    ShockDrift,
+)
+from repro.simulation.series import ElectionRecord, ElectionSeries, SeriesSummary
+
+__all__ = [
+    "CompetencyDrift",
+    "NoDrift",
+    "RandomWalkDrift",
+    "OrnsteinUhlenbeckDrift",
+    "ShockDrift",
+    "ElectionSeries",
+    "ElectionRecord",
+    "SeriesSummary",
+]

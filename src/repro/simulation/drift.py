@@ -1,0 +1,117 @@
+"""Competency drift models for repeated elections.
+
+Between ballots, voters learn, forget, change roles; drift models evolve
+the competency vector while keeping it inside a bounded interval (so
+the Lemma 3 condition keeps holding across the series when it held
+initially).
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro._util.validation import check_fraction, check_positive
+
+
+class CompetencyDrift(abc.ABC):
+    """Evolves a competency vector by one election step."""
+
+    @abc.abstractmethod
+    def step(self, competencies: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Return the next competency vector (a new array)."""
+
+    def clip(self, values: np.ndarray) -> np.ndarray:
+        """Clamp into the drift's bounded interval."""
+        return np.clip(values, self.low, self.high)
+
+    #: bounded support; subclasses may override.
+    low: float = 0.02
+    high: float = 0.98
+
+
+class NoDrift(CompetencyDrift):
+    """Competencies are constant across elections."""
+
+    def step(self, competencies: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        return competencies.copy()
+
+
+class RandomWalkDrift(CompetencyDrift):
+    """Independent Gaussian steps, reflected into the bounded interval."""
+
+    def __init__(self, sigma: float, low: float = 0.02, high: float = 0.98) -> None:
+        check_positive("sigma", sigma)
+        if not 0.0 <= low < high <= 1.0:
+            raise ValueError(f"need 0 <= low < high <= 1, got [{low}, {high}]")
+        self.sigma = float(sigma)
+        self.low = float(low)
+        self.high = float(high)
+
+    def step(self, competencies: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        return self.clip(competencies + rng.normal(0.0, self.sigma, competencies.shape))
+
+
+class OrnsteinUhlenbeckDrift(CompetencyDrift):
+    """Mean-reverting drift: competencies pull back toward a baseline.
+
+    ``p' = p + rate · (baseline − p) + σ·ξ`` — models organisations where
+    expertise regresses to a stable long-run level.
+    """
+
+    def __init__(
+        self,
+        baseline: float,
+        rate: float,
+        sigma: float,
+        low: float = 0.02,
+        high: float = 0.98,
+    ) -> None:
+        check_fraction("rate", rate)
+        check_positive("sigma", sigma)
+        if not 0.0 <= low < high <= 1.0:
+            raise ValueError(f"need 0 <= low < high <= 1, got [{low}, {high}]")
+        self.baseline = float(baseline)
+        self.rate = float(rate)
+        self.sigma = float(sigma)
+        self.low = float(low)
+        self.high = float(high)
+
+    def step(self, competencies: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        pull = self.rate * (self.baseline - competencies)
+        noise = rng.normal(0.0, self.sigma, competencies.shape)
+        return self.clip(competencies + pull + noise)
+
+
+class ShockDrift(CompetencyDrift):
+    """Rare large shocks on top of a base drift.
+
+    With probability ``shock_prob`` per election, a random
+    ``shock_fraction`` of voters have their competency resampled
+    uniformly in the bounded interval — modelling reorganisations or
+    topic changes that invalidate old expertise.
+    """
+
+    def __init__(
+        self,
+        base: CompetencyDrift,
+        shock_prob: float,
+        shock_fraction: float,
+    ) -> None:
+        check_fraction("shock_prob", shock_prob)
+        check_fraction("shock_fraction", shock_fraction)
+        self.base = base
+        self.shock_prob = float(shock_prob)
+        self.shock_fraction = float(shock_fraction)
+        self.low = base.low
+        self.high = base.high
+
+    def step(self, competencies: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        out = self.base.step(competencies, rng)
+        if rng.random() < self.shock_prob:
+            n = len(out)
+            count = max(1, int(round(self.shock_fraction * n)))
+            hit = rng.choice(n, size=count, replace=False)
+            out[hit] = rng.uniform(self.low, self.high, size=count)
+        return out

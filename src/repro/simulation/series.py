@@ -1,0 +1,174 @@
+"""Longitudinal election series over a fixed network.
+
+Runs ``T`` elections on one voting graph: before each, the competency
+vector drifts; the mechanism induces a delegation forest; the exact
+conditional correctness probability and the realised binary outcome are
+recorded, together with weight-concentration statistics.  The summary
+answers the operator's question — *has delegation actually been paying
+off on this network?* — with per-round evidence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Optional, Tuple
+
+import numpy as np
+
+from repro._util.rng import SeedLike, as_generator
+from repro.core.instance import ProblemInstance
+from repro.delegation.metrics import weight_profile
+from repro.graphs.graph import Graph
+from repro.simulation.drift import CompetencyDrift, NoDrift
+from repro.voting.exact import direct_voting_probability, forest_correct_probability
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mechanisms.base import DelegationMechanism
+
+
+@dataclass(frozen=True)
+class ElectionRecord:
+    """Everything recorded about one election round."""
+
+    round_index: int
+    mean_competency: float
+    p_correct_delegated: float
+    p_correct_direct: float
+    realized_correct: bool
+    num_delegators: int
+    max_weight: int
+    effective_voters: float
+
+    @property
+    def gain(self) -> float:
+        """Exact conditional gain of this round's forest."""
+        return self.p_correct_delegated - self.p_correct_direct
+
+
+@dataclass(frozen=True)
+class SeriesSummary:
+    """Aggregates over a completed election series."""
+
+    rounds: int
+    mean_gain: float
+    min_gain: float
+    rounds_with_loss: int
+    realized_accuracy: float
+    expected_direct_accuracy: float
+    worst_max_weight: int
+
+    def describe(self) -> str:
+        """One-paragraph operator summary."""
+        return (
+            f"{self.rounds} elections: mean gain {self.mean_gain:+.4f} "
+            f"(min {self.min_gain:+.4f}, {self.rounds_with_loss} rounds at a "
+            f"loss); realised accuracy {self.realized_accuracy:.3f} vs "
+            f"direct-voting expectation {self.expected_direct_accuracy:.3f}; "
+            f"worst weight concentration {self.worst_max_weight}"
+        )
+
+
+class ElectionSeries:
+    """Repeated elections with drifting competencies on one network.
+
+    Parameters
+    ----------
+    graph:
+        The fixed voting graph.
+    initial_competencies:
+        Competency vector for round 0.
+    mechanism:
+        The delegation mechanism under evaluation.
+    drift:
+        Between-round competency evolution (default: none).
+    alpha:
+        Approval threshold used every round.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        initial_competencies,
+        mechanism: "DelegationMechanism",
+        drift: Optional[CompetencyDrift] = None,
+        alpha: float = 0.05,
+    ) -> None:
+        self._graph = graph
+        self._competencies = np.asarray(initial_competencies, dtype=float).copy()
+        if len(self._competencies) != graph.num_vertices:
+            raise ValueError(
+                f"competency vector length {len(self._competencies)} does not "
+                f"match graph size {graph.num_vertices}"
+            )
+        self._mechanism = mechanism
+        self._drift = drift if drift is not None else NoDrift()
+        self._alpha = alpha
+        self._records: List[ElectionRecord] = []
+
+    @property
+    def records(self) -> Tuple[ElectionRecord, ...]:
+        """All recorded rounds so far."""
+        return tuple(self._records)
+
+    @property
+    def current_competencies(self) -> np.ndarray:
+        """The competency vector the *next* round will use."""
+        return self._competencies.copy()
+
+    def run(self, rounds: int, seed: SeedLike = None) -> SeriesSummary:
+        """Run ``rounds`` further elections; returns the overall summary."""
+        if rounds <= 0:
+            raise ValueError(f"rounds must be positive, got {rounds}")
+        rng = as_generator(seed)
+        for _ in range(rounds):
+            self._run_one(rng)
+        return self.summary()
+
+    def _run_one(self, rng: np.random.Generator) -> None:
+        index = len(self._records)
+        if index > 0:
+            self._competencies = self._drift.step(self._competencies, rng)
+        instance = ProblemInstance(
+            self._graph, self._competencies, alpha=self._alpha
+        )
+        forest = self._mechanism.sample_delegations(instance, rng)
+        profile = weight_profile(forest)
+        p_deleg = forest_correct_probability(forest, instance.competencies)
+        p_direct = direct_voting_probability(instance.competencies)
+        # Realise the decision: sample the sinks' votes once.
+        correct_weight = 0
+        for sink in forest.sinks:
+            if rng.random() < instance.competencies[sink]:
+                correct_weight += forest.weight(sink)
+        realized = correct_weight * 2 > instance.num_voters
+        self._records.append(
+            ElectionRecord(
+                round_index=index,
+                mean_competency=float(instance.competencies.mean()),
+                p_correct_delegated=p_deleg,
+                p_correct_direct=p_direct,
+                realized_correct=realized,
+                num_delegators=profile.num_delegators,
+                max_weight=profile.max_weight,
+                effective_voters=profile.effective_num_voters,
+            )
+        )
+
+    def summary(self) -> SeriesSummary:
+        """Aggregate the recorded rounds (raises before any round ran)."""
+        if not self._records:
+            raise ValueError("no elections have been run yet")
+        gains = [r.gain for r in self._records]
+        return SeriesSummary(
+            rounds=len(self._records),
+            mean_gain=float(np.mean(gains)),
+            min_gain=float(np.min(gains)),
+            rounds_with_loss=sum(1 for g in gains if g < -1e-12),
+            realized_accuracy=float(
+                np.mean([r.realized_correct for r in self._records])
+            ),
+            expected_direct_accuracy=float(
+                np.mean([r.p_correct_direct for r in self._records])
+            ),
+            worst_max_weight=max(r.max_weight for r in self._records),
+        )

@@ -1,0 +1,41 @@
+"""Voting-outcome evaluation.
+
+Computes the probability of a correct weighted-majority decision
+(`P^M(G)` in the paper) in three ways:
+
+* **exact** for a fixed delegation forest — a subset-sum DP over sink
+  weights (weighted Poisson binomial tail);
+* **exact** for direct voting — ordinary Poisson binomial tail;
+* **Monte Carlo** over mechanism randomness, optionally using the exact
+  conditional probability per sampled forest (a Rao–Blackwellised
+  estimator that removes all vote-sampling noise).
+"""
+
+from repro.voting.exact import (
+    direct_voting_probability,
+    forest_correct_probability,
+    normal_approx_probability,
+    poisson_binomial_pmf,
+    tail_from_pmf,
+    weighted_bernoulli_pmf,
+)
+from repro.voting.montecarlo import (
+    CorrectnessEstimate,
+    estimate_correct_probability,
+    sample_outcome,
+)
+from repro.voting.outcome import TiePolicy, majority_correct
+
+__all__ = [
+    "TiePolicy",
+    "majority_correct",
+    "poisson_binomial_pmf",
+    "weighted_bernoulli_pmf",
+    "tail_from_pmf",
+    "normal_approx_probability",
+    "direct_voting_probability",
+    "forest_correct_probability",
+    "CorrectnessEstimate",
+    "estimate_correct_probability",
+    "sample_outcome",
+]

@@ -1,0 +1,41 @@
+"""Outcome evaluation for ballots with abstention (Section 6).
+
+Abstaining sinks cast no vote: the decision is a strict weighted majority
+over the *participating* weight only, and votes delegated to an
+abstaining sink are lost with it.  When nobody participates there is no
+strict majority for the correct option, so the decision counts as
+incorrect (coin-flip tie policy gives it ½).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.mechanisms.base import Ballot
+from repro.voting.exact import tail_from_pmf, weighted_bernoulli_pmf
+from repro.voting.outcome import TiePolicy
+
+
+def ballot_correct_probability(
+    ballot: Ballot,
+    competencies: Sequence[float],
+    tie_policy: TiePolicy = TiePolicy.INCORRECT,
+) -> float:
+    """Exact correct-decision probability for a fixed ballot."""
+    comp = np.asarray(competencies, dtype=float)
+    forest = ballot.forest
+    if len(comp) != forest.num_voters:
+        raise ValueError(
+            f"competency vector length {len(comp)} does not match "
+            f"{forest.num_voters} voters"
+        )
+    participating = [s for s in forest.sinks if s not in ballot.abstaining]
+    weights = [forest.weight(s) for s in participating]
+    total = int(sum(weights))
+    if total == 0:
+        return 0.5 if tie_policy is TiePolicy.COIN_FLIP else 0.0
+    probs = [float(comp[s]) for s in participating]
+    pmf = weighted_bernoulli_pmf(weights, probs)
+    return tail_from_pmf(pmf, total, tie_policy)

@@ -1,0 +1,159 @@
+"""Monte Carlo estimation of ``P^M(G)`` over mechanism randomness.
+
+Two estimators:
+
+* ``exact_conditional=True`` (default) — Rao–Blackwellised: sample only
+  the delegation forest, then add the *exact* conditional correctness
+  probability of that forest.  Vote-sampling variance vanishes, so a few
+  hundred rounds suffice even for tiny gains.
+* ``exact_conditional=False`` — the naive full simulation (sample forest
+  and votes, record the 0/1 outcome), kept for validation of the exact DP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional, Tuple
+
+import numpy as np
+
+from repro._util.mathx import wilson_interval
+from repro._util.rng import SeedLike, as_generator
+from repro.core.instance import ProblemInstance
+from repro.voting.exact import forest_correct_probability
+from repro.voting.outcome import TiePolicy, majority_correct
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.mechanisms.base import DelegationMechanism
+
+
+@dataclass(frozen=True)
+class CorrectnessEstimate:
+    """Estimated correct-decision probability with uncertainty.
+
+    ``std_error`` is the standard error of the mean; ``ci_low/ci_high``
+    are a 95% interval (Wilson for 0/1 outcomes, normal for the
+    Rao–Blackwellised estimator whose per-round values lie in [0, 1]).
+    """
+
+    probability: float
+    rounds: int
+    std_error: float
+    ci_low: float
+    ci_high: float
+
+    def __float__(self) -> float:
+        return self.probability
+
+
+def sample_outcome(
+    instance: ProblemInstance,
+    mechanism: "DelegationMechanism",
+    rng: np.random.Generator,
+    tie_policy: TiePolicy = TiePolicy.INCORRECT,
+) -> float:
+    """One full simulation round: sample forest, sample votes, decide.
+
+    Returns 1.0 / 0.0 (or 0.5 on a coin-flip tie).
+    """
+    forest = mechanism.sample_delegations(instance, rng)
+    comp = instance.competencies
+    total = float(instance.num_voters)
+    correct = 0.0
+    for s in forest.sinks:
+        if rng.random() < comp[s]:
+            correct += forest.weight(s)
+    return majority_correct(correct, total, tie_policy)
+
+
+def estimate_correct_probability(
+    instance: ProblemInstance,
+    mechanism: "DelegationMechanism",
+    rounds: int = 400,
+    seed: SeedLike = None,
+    tie_policy: TiePolicy = TiePolicy.INCORRECT,
+    exact_conditional: bool = True,
+) -> CorrectnessEstimate:
+    """Estimate ``P^M(G)`` over ``rounds`` independent mechanism draws."""
+    if rounds <= 0:
+        raise ValueError(f"rounds must be positive, got {rounds}")
+    rng = as_generator(seed)
+    values = np.empty(rounds)
+    for r in range(rounds):
+        if exact_conditional:
+            forest = mechanism.sample_delegations(instance, rng)
+            values[r] = forest_correct_probability(
+                forest, instance.competencies, tie_policy
+            )
+        else:
+            values[r] = sample_outcome(instance, mechanism, rng, tie_policy)
+    mean = float(values.mean())
+    if exact_conditional:
+        se = float(values.std(ddof=1) / np.sqrt(rounds)) if rounds > 1 else 0.0
+        ci = (max(0.0, mean - 1.96 * se), min(1.0, mean + 1.96 * se))
+    else:
+        successes = int(round(values.sum()))
+        successes = min(max(successes, 0), rounds)
+        ci = wilson_interval(successes, rounds)
+        se = float(np.sqrt(mean * (1 - mean) / rounds))
+    return CorrectnessEstimate(
+        probability=mean, rounds=rounds, std_error=se, ci_low=ci[0], ci_high=ci[1]
+    )
+
+
+def estimate_ballot_probability(
+    instance: ProblemInstance,
+    mechanism: "DelegationMechanism",
+    rounds: int = 400,
+    seed: SeedLike = None,
+    tie_policy: TiePolicy = TiePolicy.INCORRECT,
+) -> CorrectnessEstimate:
+    """Estimate ``P^M(G)`` for mechanisms that may abstain.
+
+    Uses :meth:`~repro.mechanisms.base.DelegationMechanism.sample_ballot`
+    and the abstention-aware exact conditional probability, so it agrees
+    with :func:`estimate_correct_probability` for never-abstaining
+    mechanisms.
+    """
+    from repro.voting.ballots import ballot_correct_probability
+
+    if rounds <= 0:
+        raise ValueError(f"rounds must be positive, got {rounds}")
+    rng = as_generator(seed)
+    values = np.empty(rounds)
+    for r in range(rounds):
+        ballot = mechanism.sample_ballot(instance, rng)
+        values[r] = ballot_correct_probability(
+            ballot, instance.competencies, tie_policy
+        )
+    mean = float(values.mean())
+    se = float(values.std(ddof=1) / np.sqrt(rounds)) if rounds > 1 else 0.0
+    return CorrectnessEstimate(
+        probability=mean,
+        rounds=rounds,
+        std_error=se,
+        ci_low=max(0.0, mean - 1.96 * se),
+        ci_high=min(1.0, mean + 1.96 * se),
+    )
+
+
+def estimate_gain(
+    instance: ProblemInstance,
+    mechanism: "DelegationMechanism",
+    rounds: int = 400,
+    seed: SeedLike = None,
+    tie_policy: TiePolicy = TiePolicy.INCORRECT,
+) -> Tuple[float, CorrectnessEstimate, float]:
+    """Estimate ``gain(M, G) = P^M(G) − P^D(G)``.
+
+    Direct voting is computed exactly, so the gain estimate inherits only
+    the mechanism-sampling uncertainty.  Returns
+    ``(gain, mechanism_estimate, direct_probability)``.
+    """
+    from repro.voting.exact import direct_voting_probability
+
+    direct = direct_voting_probability(instance.competencies, tie_policy)
+    est = estimate_correct_probability(
+        instance, mechanism, rounds=rounds, seed=seed, tie_policy=tie_policy
+    )
+    return est.probability - direct, est, direct

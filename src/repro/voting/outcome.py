@@ -1,0 +1,56 @@
+"""Weighted-majority decision rule and tie policies (Section 2.2).
+
+The paper's rule is strict: the correct option wins only if the weight of
+correct sinks strictly exceeds the weight of incorrect sinks; a tie counts
+as incorrect.  :class:`TiePolicy` also offers a fair-coin variant used in
+robustness checks — none of the paper's asymptotic statements depend on
+the tie rule, and the tests confirm the two policies agree up to the tie
+probability mass.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Sequence
+
+
+class TiePolicy(enum.Enum):
+    """How a tied weighted majority is resolved."""
+
+    INCORRECT = "incorrect"
+    """The paper's rule: correct needs a *strict* majority; ties lose."""
+
+    COIN_FLIP = "coin_flip"
+    """A tie is decided by a fair coin (contributes 1/2 probability)."""
+
+
+def majority_correct(
+    correct_weight: float, total_weight: float, tie_policy: TiePolicy = TiePolicy.INCORRECT
+) -> float:
+    """Probability the decision is correct given realised sink votes.
+
+    Returns 1.0 / 0.0 for decided outcomes and the tie mass (0.0 or 0.5
+    depending on ``tie_policy``) on an exact tie.
+    """
+    if total_weight < 0 or correct_weight < 0:
+        raise ValueError("weights must be non-negative")
+    if correct_weight > total_weight:
+        raise ValueError(
+            f"correct weight {correct_weight} exceeds total {total_weight}"
+        )
+    incorrect_weight = total_weight - correct_weight
+    if correct_weight > incorrect_weight:
+        return 1.0
+    if correct_weight < incorrect_weight:
+        return 0.0
+    return 0.5 if tie_policy is TiePolicy.COIN_FLIP else 0.0
+
+
+def decide(votes: Sequence[bool], weights: Sequence[float],
+           tie_policy: TiePolicy = TiePolicy.INCORRECT) -> float:
+    """Decision correctness for explicit per-sink votes and weights."""
+    if len(votes) != len(weights):
+        raise ValueError("votes and weights must have equal length")
+    total = float(sum(weights))
+    correct = float(sum(w for v, w in zip(votes, weights) if v))
+    return majority_correct(correct, total, tie_policy)

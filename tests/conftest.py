@@ -1,0 +1,37 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    ProblemInstance,
+    complete_graph,
+    linear_competencies,
+    star_graph,
+)
+
+
+@pytest.fixture
+def rng():
+    """A deterministic generator for tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_complete_instance():
+    """K_10 with evenly spaced competencies, alpha small."""
+    n = 10
+    return ProblemInstance(
+        complete_graph(n), linear_competencies(n, 0.2, 0.8), alpha=0.05
+    )
+
+
+@pytest.fixture
+def figure1_instance():
+    """The Figure 1 star: hub 5/8 at vertex 0, leaves 9/16."""
+    n = 33
+    p = np.full(n, 9.0 / 16.0)
+    p[0] = 5.0 / 8.0
+    return ProblemInstance(star_graph(n), p, alpha=0.01)

@@ -1,0 +1,91 @@
+"""Tests for classical bounds and Lemma 5/6 instantiations."""
+
+import math
+
+import pytest
+
+from repro.analysis.bounds import (
+    chernoff_lower_tail_bound,
+    hoeffding_tail_bound,
+    hoeffding_weighted_deviation_bound,
+    lemma5_deviation,
+    lemma5_failure_probability,
+    lemma6_min_sinks,
+)
+
+
+class TestHoeffding:
+    def test_formula(self):
+        # n fair coins: P[|S - n/2| >= t] <= 2 exp(-2t^2 / n)
+        assert hoeffding_tail_bound(100, 10) == pytest.approx(
+            2 * math.exp(-2 * 100 / 100)
+        )
+
+    def test_capped_at_one(self):
+        assert hoeffding_tail_bound(100, 0) == 1.0
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            hoeffding_tail_bound(0, 1)
+        with pytest.raises(ValueError):
+            hoeffding_tail_bound(1, -1)
+
+    def test_weighted_version(self):
+        assert hoeffding_weighted_deviation_bound([1, 1], 1) == pytest.approx(
+            hoeffding_tail_bound(2, 1)
+        )
+
+    def test_weighted_zero_weights(self):
+        assert hoeffding_weighted_deviation_bound([], 1) == 0.0
+        assert hoeffding_weighted_deviation_bound([], 0) == 1.0
+
+    def test_heavier_weights_loosen_bound(self):
+        light = hoeffding_weighted_deviation_bound([1] * 100, 20)
+        heavy = hoeffding_weighted_deviation_bound([10] * 10, 20)
+        assert heavy > light
+
+
+class TestChernoff:
+    def test_monotone_in_mu(self):
+        assert chernoff_lower_tail_bound(200, 0.1) < chernoff_lower_tail_bound(
+            20, 0.1
+        )
+
+    def test_capped(self):
+        assert chernoff_lower_tail_bound(0.0, 0.01) == 1.0
+        assert chernoff_lower_tail_bound(0.1, 0.01) <= 1.0
+
+
+class TestLemma5:
+    def test_min_sinks(self):
+        assert lemma6_min_sinks(100, 10) == 10.0
+
+    def test_min_sinks_rejects(self):
+        with pytest.raises(ValueError):
+            lemma6_min_sinks(10, 0)
+
+    def test_deviation_grows_with_weight(self):
+        assert lemma5_deviation(1000, 0.1, 10) > lemma5_deviation(1000, 0.1, 1)
+
+    def test_deviation_formula(self):
+        assert lemma5_deviation(100, 0.0, 2) == pytest.approx(
+            math.sqrt(100) * 2
+        )
+
+    def test_deviation_scaled_by_c(self):
+        assert lemma5_deviation(100, 0.0, 2, c=2.0) == pytest.approx(
+            math.sqrt(100)
+        )
+
+    def test_failure_probability_decays(self):
+        assert lemma5_failure_probability(10000, 0.5) < lemma5_failure_probability(
+            100, 0.5
+        )
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            lemma5_deviation(-1, 0.1, 1)
+        with pytest.raises(ValueError):
+            lemma5_deviation(10, 0.1, 0)
+        with pytest.raises(ValueError):
+            lemma5_failure_probability(10, -0.1)

@@ -1,0 +1,154 @@
+"""Tests for theorem certificates."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.certificates import (
+    Certificate,
+    _epsilon_for_max_degree,
+    certify,
+    summarize_certificates,
+)
+from repro.core.instance import ProblemInstance
+from repro.graphs.generators import (
+    complete_graph,
+    random_min_degree_graph,
+    random_regular_graph,
+    star_graph,
+)
+from repro.mechanisms.direct import DirectVoting
+from repro.mechanisms.fraction import FractionApproved
+from repro.mechanisms.greedy import CappedRandomApproved
+from repro.mechanisms.sampled import SampledNeighbourhood
+from repro.mechanisms.threshold import ApprovalThreshold
+
+
+def balanced_instance(graph, seed=0):
+    rng = np.random.default_rng(seed)
+    p = rng.uniform(0.4, 0.6, graph.num_vertices)
+    return ProblemInstance(graph, p, alpha=0.05)
+
+
+def find(certs, fragment):
+    matches = [c for c in certs if fragment in c.statement]
+    assert matches, f"no certificate mentioning {fragment!r}"
+    return matches[0]
+
+
+class TestTheorem2Certificate:
+    def test_applies_on_complete_with_algorithm1(self):
+        inst = balanced_instance(complete_graph(50))
+        certs = certify(inst, ApprovalThreshold(3))
+        assert find(certs, "Theorem 2").applies
+
+    def test_fails_on_unbalanced_competencies(self):
+        inst = ProblemInstance(complete_graph(10), [0.9] * 10, alpha=0.05)
+        certs = certify(inst, ApprovalThreshold(3))
+        assert not find(certs, "Theorem 2").applies
+
+    def test_fails_on_star(self):
+        inst = balanced_instance(star_graph(10))
+        certs = certify(inst, ApprovalThreshold(3))
+        assert not find(certs, "Theorem 2").applies
+
+
+class TestTheorem3Certificate:
+    def test_applies_on_regular_with_algorithm2(self):
+        inst = balanced_instance(random_regular_graph(40, 4, seed=0))
+        certs = certify(inst, SampledNeighbourhood(threshold=1, d=4))
+        assert find(certs, "Theorem 3").applies
+
+    def test_absent_for_other_mechanisms(self):
+        inst = balanced_instance(random_regular_graph(40, 4, seed=0))
+        certs = certify(inst, DirectVoting())
+        assert not any("Theorem 3" in c.statement for c in certs)
+
+
+class TestTheorem4Certificate:
+    def test_applies_for_small_degree(self):
+        from repro.graphs.generators import cycle_graph
+
+        inst = balanced_instance(cycle_graph(1000))
+        cert = find(certify(inst, DirectVoting()), "Theorem 4")
+        assert cert.applies
+
+    def test_fails_for_large_degree(self):
+        inst = balanced_instance(complete_graph(50))
+        cert = find(certify(inst, DirectVoting()), "Theorem 4")
+        assert not cert.applies
+
+    def test_fails_for_unbounded_competencies(self):
+        from repro.graphs.generators import cycle_graph
+
+        inst = ProblemInstance(
+            cycle_graph(100), [1.0] + [0.5] * 99, alpha=0.05
+        )
+        cert = find(certify(inst, DirectVoting()), "Theorem 4")
+        assert not cert.applies
+
+
+class TestTheorem5Certificate:
+    def test_applies_for_high_min_degree(self):
+        g = random_min_degree_graph(100, 12, seed=0)
+        inst = balanced_instance(g)
+        cert = find(certify(inst, FractionApproved(0.5)), "Theorem 5")
+        assert cert.applies
+
+    def test_fails_for_low_min_degree(self):
+        from repro.graphs.generators import path_graph
+
+        inst = balanced_instance(path_graph(100))
+        cert = find(certify(inst, FractionApproved(0.5)), "Theorem 5")
+        assert not cert.applies
+
+
+class TestLemmaCertificates:
+    def test_lemma3_applies_to_direct_voting(self):
+        inst = balanced_instance(complete_graph(20))
+        cert = find(certify(inst, DirectVoting()), "Lemma 3")
+        assert cert.applies
+
+    def test_lemma3_deferred_for_delegating_mechanisms(self):
+        inst = balanced_instance(complete_graph(20))
+        cert = find(certify(inst, ApprovalThreshold(1)), "Lemma 3")
+        assert not cert.applies
+        assert "runtime" in cert.reason
+
+    def test_lemma5_applies_to_capped_mechanism(self):
+        inst = balanced_instance(complete_graph(200))
+        cert = find(certify(inst, CappedRandomApproved(3)), "Lemma 5")
+        assert cert.applies
+
+    def test_lemma5_deferred_without_cap(self):
+        inst = balanced_instance(complete_graph(20))
+        cert = find(certify(inst, ApprovalThreshold(1)), "Lemma 5")
+        assert not cert.applies
+
+
+class TestEpsilonSolver:
+    def test_degree_one_trivial(self):
+        assert _epsilon_for_max_degree(100, 1) == 0.0
+
+    def test_small_degree_solvable(self):
+        eps = _epsilon_for_max_degree(10**6, 4)
+        assert eps is not None and 0 < eps < 1
+
+    def test_large_degree_unsolvable(self):
+        assert _epsilon_for_max_degree(100, 50) is None
+
+    def test_degree_equals_n(self):
+        assert _epsilon_for_max_degree(10, 10) is None
+
+
+class TestSummary:
+    def test_summary_format(self):
+        certs = [
+            Certificate("Theorem X", True, "g", "because"),
+            Certificate("Theorem Y", False, "", "nope"),
+        ]
+        text = summarize_certificates(certs)
+        assert "✔ Theorem X" in text
+        assert "✘ Theorem Y" in text
+
+    def test_empty(self):
+        assert "no paper guarantee" in summarize_certificates([])

@@ -1,0 +1,91 @@
+"""Tests for the Lemma 3 / Lemma 5 condition audits."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.conditions import (
+    audit_lemma3_conditions,
+    audit_lemma5_conditions,
+    lemma5_margin_ratio,
+)
+from repro.core.instance import ProblemInstance
+from repro.graphs.generators import complete_graph, star_graph
+from repro.mechanisms.direct import DirectVoting
+from repro.mechanisms.greedy import CappedRandomApproved, GreedyBest
+from repro.mechanisms.threshold import RandomApproved
+
+
+@pytest.fixture
+def bounded_instance():
+    rng = np.random.default_rng(0)
+    return ProblemInstance(
+        complete_graph(64), rng.uniform(0.35, 0.65, 64), alpha=0.05
+    )
+
+
+class TestLemma3Audit:
+    def test_direct_voting_passes(self, bounded_instance):
+        audit = audit_lemma3_conditions(bounded_instance, DirectVoting(), seed=0)
+        assert audit.holds
+        assert audit.measured == 0.0
+        assert "holds" in audit.describe()
+
+    def test_eager_delegation_fails_volume(self, bounded_instance):
+        # everyone delegates: way more than n^(1/2 - eps)
+        audit = audit_lemma3_conditions(bounded_instance, RandomApproved(), seed=0)
+        assert not audit.holds
+
+    def test_unbounded_competencies_fail(self):
+        inst = ProblemInstance(complete_graph(4), [0.0, 0.5, 0.6, 1.0], alpha=0.05)
+        audit = audit_lemma3_conditions(inst, DirectVoting(), seed=0)
+        assert not audit.holds
+        assert "not bounded" in audit.detail
+
+    def test_rejects_bad_epsilon(self, bounded_instance):
+        with pytest.raises(ValueError):
+            audit_lemma3_conditions(bounded_instance, DirectVoting(), epsilon=0.6)
+
+
+class TestLemma5Audit:
+    def test_capped_mechanism_passes(self, bounded_instance):
+        audit = audit_lemma5_conditions(
+            bounded_instance, CappedRandomApproved(3), seed=0
+        )
+        assert audit.holds
+        assert audit.measured <= 3
+
+    def test_star_dictator_fails(self, figure1_instance):
+        audit = audit_lemma5_conditions(figure1_instance, GreedyBest(), seed=0)
+        assert not audit.holds
+        assert audit.measured == figure1_instance.num_voters
+
+    def test_threshold_scales_with_n(self):
+        rng = np.random.default_rng(1)
+        small = ProblemInstance(
+            complete_graph(16), rng.uniform(0.3, 0.7, 16), alpha=0.05
+        )
+        a_small = audit_lemma5_conditions(small, DirectVoting(), seed=0)
+        assert a_small.threshold == pytest.approx(16 ** 0.9)
+
+    def test_rejects_bad_epsilon(self, bounded_instance):
+        with pytest.raises(ValueError):
+            audit_lemma5_conditions(bounded_instance, DirectVoting(), epsilon=1.5)
+
+
+class TestMarginRatio:
+    def test_direct_voting_small_ratio(self, bounded_instance):
+        ratio = lemma5_margin_ratio(bounded_instance, DirectVoting(), seed=0)
+        # w = 1: radius sqrt(n^1.05) over n/2 -> small for n = 64? ~8.6/32
+        assert ratio < 1.0
+
+    def test_dictator_large_ratio(self, figure1_instance):
+        ratio = lemma5_margin_ratio(figure1_instance, GreedyBest(), seed=0)
+        assert ratio > 1.0
+
+    def test_empty_instance(self):
+        from repro.graphs.graph import Graph
+
+        inst = ProblemInstance(Graph(1), [0.5], alpha=0.1)
+        # single voter: ratio = sqrt(1) * 1 / 0.5 = 2 — defined and finite
+        ratio = lemma5_margin_ratio(inst, DirectVoting(), seed=0)
+        assert np.isfinite(ratio)

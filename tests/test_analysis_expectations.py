@@ -1,0 +1,128 @@
+"""Tests for exact mechanism expectations."""
+
+import numpy as np
+import pytest
+
+from repro._util.rng import spawn_generators
+from repro.analysis.expectations import (
+    delegation_probabilities,
+    expected_inflow,
+    expected_num_delegators,
+    expected_vote_lift,
+    expected_weight_histogram,
+    lemma7_floor,
+)
+from repro.core.instance import ProblemInstance
+from repro.graphs.generators import complete_graph, erdos_renyi_graph
+from repro.mechanisms.direct import DirectVoting
+from repro.mechanisms.threshold import ApprovalThreshold, RandomApproved
+
+
+@pytest.fixture
+def instance():
+    rng = np.random.default_rng(8)
+    return ProblemInstance(
+        erdos_renyi_graph(30, 0.3, seed=2), rng.uniform(0.2, 0.8, 30), alpha=0.05
+    )
+
+
+class TestDelegationProbabilities:
+    def test_direct_voting_all_zero(self, instance):
+        assert expected_num_delegators(instance, DirectVoting()) == 0.0
+
+    def test_deterministic_mechanism_binary(self, instance):
+        probs = delegation_probabilities(instance, RandomApproved())
+        assert set(np.unique(probs)) <= {0.0, 1.0}
+
+    def test_matches_monte_carlo(self, instance):
+        mech = ApprovalThreshold(2)
+        exact = expected_num_delegators(instance, mech)
+        counts = [
+            mech.sample_delegations(instance, g).num_delegators
+            for g in spawn_generators(0, 100)
+        ]
+        assert np.mean(counts) == pytest.approx(exact, abs=0.5)
+
+
+class TestExpectedInflow:
+    def test_inflow_sums_to_delegators(self, instance):
+        mech = RandomApproved()
+        inflow = expected_inflow(instance, mech)
+        assert inflow.sum() == pytest.approx(
+            expected_num_delegators(instance, mech)
+        )
+
+    def test_best_voter_gets_inflow(self, instance):
+        inflow = expected_inflow(instance, RandomApproved())
+        best = int(np.argmax(instance.competencies))
+        neighbors_approving = [
+            v for v in instance.graph.neighbors(best)
+            if instance.approves(v, best)
+        ]
+        if neighbors_approving:
+            assert inflow[best] > 0
+
+    def test_matches_monte_carlo(self, instance):
+        mech = RandomApproved()
+        exact = expected_inflow(instance, mech)
+        n = instance.num_voters
+        counts = np.zeros(n)
+        rounds = 300
+        for g in spawn_generators(1, rounds):
+            forest = mech.sample_delegations(instance, g)
+            for v in range(n):
+                t = int(forest.delegates[v])
+                if t >= 0:
+                    counts[t] += 1
+        empirical = counts / rounds
+        assert np.allclose(empirical, exact, atol=0.15)
+
+
+class TestVoteLift:
+    def test_direct_voting_zero_lift(self, instance):
+        assert expected_vote_lift(instance, DirectVoting()) == 0.0
+
+    def test_lift_dominates_lemma7_floor(self, instance):
+        mech = RandomApproved()
+        assert expected_vote_lift(instance, mech) >= lemma7_floor(
+            instance, mech
+        ) - 1e-9
+
+    def test_lift_positive_when_delegation_happens(self, instance):
+        mech = RandomApproved()
+        if expected_num_delegators(instance, mech) > 0:
+            assert expected_vote_lift(instance, mech) > 0
+
+    def test_lift_matches_recycle_mean(self, instance):
+        # the recycle-graph expectation of a one-shot delegation equals
+        # direct mean + exact lift when no chains occur; with chains the
+        # recycle mean can only be larger.
+        from repro.sampling.builders import recycle_graph_from_mechanism_run
+
+        mech = RandomApproved()
+        graph, _ = recycle_graph_from_mechanism_run(instance, mech)
+        base = float(instance.competencies.sum())
+        assert graph.mean_sum() >= base + expected_vote_lift(
+            instance, mech
+        ) - 1e-9
+
+
+class TestWeightHistogram:
+    def test_counts_sum_to_sinks(self, instance):
+        mech = ApprovalThreshold(1)
+        hist = expected_weight_histogram(instance, mech, rounds=50, seed=0)
+        avg_sinks = sum(hist.values())
+        counts = [
+            mech.sample_delegations(instance, g).num_sinks
+            for g in spawn_generators(9, 50)
+        ]
+        assert avg_sinks == pytest.approx(np.mean(counts), abs=1.0)
+
+    def test_direct_voting_all_weight_one(self, instance):
+        hist = expected_weight_histogram(instance, DirectVoting(), rounds=3, seed=0)
+        assert list(hist) == [1]
+        assert hist[1] == instance.num_voters
+
+    def test_rejects_zero_rounds(self, instance):
+        with pytest.raises(ValueError):
+            expected_weight_histogram(instance, DirectVoting(), rounds=0)

@@ -1,0 +1,166 @@
+"""Tests for gain computation and desiderata verdicts."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.desiderata import (
+    check_delegate_restriction,
+    empirical_dnh,
+    empirical_spg,
+)
+from repro.analysis.gain import exact_gain, monte_carlo_gain
+from repro.core.competencies import bounded_uniform_competencies
+from repro.core.instance import ProblemInstance
+from repro.graphs.generators import complete_graph, star_graph
+from repro.mechanisms.direct import DirectVoting
+from repro.mechanisms.greedy import GreedyBest
+from repro.mechanisms.threshold import ApprovalThreshold, RandomApproved
+
+
+class TestExactGain:
+    def test_direct_voting_zero_gain(self, small_complete_instance):
+        est = exact_gain(small_complete_instance, DirectVoting())
+        assert est.gain == pytest.approx(0.0)
+        assert est.std_error == 0.0
+
+    def test_star_exact_loss(self, figure1_instance):
+        est = exact_gain(figure1_instance, GreedyBest())
+        assert est.mechanism_probability == pytest.approx(0.625)
+        assert est.gain < 0
+        assert est.is_negative()
+
+    def test_ci_properties(self, figure1_instance):
+        est = exact_gain(figure1_instance, GreedyBest())
+        assert est.ci_low == est.gain == est.ci_high
+
+
+class TestMonteCarloGain:
+    def test_positive_gain_detected(self, small_complete_instance):
+        est = monte_carlo_gain(
+            small_complete_instance, RandomApproved(), rounds=100, seed=0
+        )
+        assert est.gain > 0
+        assert est.is_positive()
+
+    def test_reproducible(self, small_complete_instance):
+        a = monte_carlo_gain(small_complete_instance, RandomApproved(), rounds=30, seed=4)
+        b = monte_carlo_gain(small_complete_instance, RandomApproved(), rounds=30, seed=4)
+        assert a.gain == b.gain
+
+    def test_direct_probability_exact(self, small_complete_instance):
+        from repro.voting.exact import direct_voting_probability
+
+        est = monte_carlo_gain(small_complete_instance, RandomApproved(), rounds=10, seed=0)
+        assert est.direct_probability == pytest.approx(
+            direct_voting_probability(small_complete_instance.competencies)
+        )
+
+
+class TestDelegateRestriction:
+    def test_direct_fails_any_minimum(self, small_complete_instance):
+        assert not check_delegate_restriction(
+            small_complete_instance, DirectVoting(), minimum=1, seed=0
+        )
+
+    def test_zero_minimum_always_holds(self, small_complete_instance):
+        assert check_delegate_restriction(
+            small_complete_instance, DirectVoting(), minimum=0, seed=0
+        )
+
+    def test_eager_mechanism_meets_fraction(self, small_complete_instance):
+        n = small_complete_instance.num_voters
+        assert check_delegate_restriction(
+            small_complete_instance, RandomApproved(), minimum=n // 2, seed=0
+        )
+
+    def test_rejects_negative_minimum(self, small_complete_instance):
+        with pytest.raises(ValueError):
+            check_delegate_restriction(
+                small_complete_instance, DirectVoting(), minimum=-1
+            )
+
+
+class TestEmpiricalDnh:
+    @staticmethod
+    def factory(n, rng):
+        return ProblemInstance(
+            complete_graph(n),
+            bounded_uniform_competencies(n, 0.35, seed=rng),
+            alpha=0.05,
+        )
+
+    def test_good_mechanism_passes(self):
+        verdict = empirical_dnh(
+            self.factory,
+            ApprovalThreshold(lambda d: max(1.0, d ** (1 / 3))),
+            sizes=[32, 128, 512],
+            rounds=60,
+            seed=0,
+            tolerance=0.05,
+        )
+        assert verdict.satisfied
+        assert "DNH holds" in verdict.describe()
+
+    def test_star_dictator_fails(self):
+        def star_factory(n, rng):
+            p = np.full(n, 9 / 16)
+            p[0] = 5 / 8
+            return ProblemInstance(star_graph(n), p, alpha=0.01)
+
+        verdict = empirical_dnh(
+            star_factory, GreedyBest(), sizes=[33, 129, 513], rounds=10, seed=0
+        )
+        assert not verdict.satisfied
+        assert "VIOLATED" in verdict.describe()
+        assert verdict.final_loss > 0.3
+
+    def test_needs_two_sizes(self):
+        with pytest.raises(ValueError):
+            empirical_dnh(self.factory, DirectVoting(), sizes=[10])
+
+
+class TestEmpiricalSpg:
+    def test_positive_gain_family(self):
+        instances = [
+            ProblemInstance(
+                complete_graph(n),
+                bounded_uniform_competencies(n, 0.35, seed=n),
+                alpha=0.05,
+            )
+            for n in (64, 128)
+        ]
+        verdict = empirical_spg(
+            instances,
+            RandomApproved(),
+            gamma=0.01,
+            delegate_minimum=lambda n: n / 4,
+            rounds=80,
+            seed=0,
+        )
+        assert verdict.satisfied
+        assert verdict.num_instances == 2
+        assert "SPG holds" in verdict.describe()
+
+    def test_direct_voting_excluded_by_restriction(self):
+        instances = [
+            ProblemInstance(
+                complete_graph(32),
+                bounded_uniform_competencies(32, 0.35, seed=1),
+                alpha=0.05,
+            )
+        ]
+        verdict = empirical_spg(
+            instances,
+            DirectVoting(),
+            gamma=0.01,
+            delegate_minimum=lambda n: 1,
+            rounds=10,
+            seed=0,
+        )
+        # no instance satisfies the delegate restriction -> vacuous failure
+        assert verdict.num_instances == 0
+        assert not verdict.satisfied
+
+    def test_rejects_bad_gamma(self):
+        with pytest.raises(ValueError):
+            empirical_spg([], DirectVoting(), gamma=0.0, delegate_minimum=lambda n: 0)

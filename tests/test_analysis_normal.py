@@ -1,0 +1,108 @@
+"""Tests for the normal approximation and Lemma 3's bound."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.normal import (
+    direct_vote_stats,
+    lemma3_loss_probability_bound,
+    normal_band_probability,
+    normal_tail_probability,
+    worst_case_loss_bound,
+)
+from repro.voting.exact import poisson_binomial_pmf
+
+
+class TestDirectVoteStats:
+    def test_mean_variance(self):
+        stats = direct_vote_stats([0.5, 0.5])
+        assert stats.mean == pytest.approx(1.0)
+        assert stats.variance == pytest.approx(0.5)
+        assert stats.std == pytest.approx(math.sqrt(0.5))
+
+    def test_normalized_std_bounded_below(self):
+        # p in (beta, 1-beta) implies sigma/sqrt(n) >= sqrt(beta(1-beta))
+        beta = 0.3
+        rng = np.random.default_rng(0)
+        p = rng.uniform(beta, 1 - beta, size=500)
+        stats = direct_vote_stats(p)
+        assert stats.normalized_std >= math.sqrt(beta * (1 - beta)) - 1e-9
+
+    def test_degenerate(self):
+        stats = direct_vote_stats([1.0, 0.0])
+        assert stats.variance == 0.0
+
+
+class TestNormalHelpers:
+    def test_tail_at_zero(self):
+        assert normal_tail_probability(0.0) == pytest.approx(0.5)
+
+    def test_tail_symmetric(self):
+        assert normal_tail_probability(1.5) == pytest.approx(
+            1 - normal_tail_probability(-1.5)
+        )
+
+    def test_band_total(self):
+        assert normal_band_probability(0, 1, -50, 50) == pytest.approx(1.0)
+
+    def test_band_zero_std(self):
+        assert normal_band_probability(0, 0, -1, 1) == 1.0
+        assert normal_band_probability(5, 0, -1, 1) == 0.0
+
+    def test_band_rejects_empty(self):
+        with pytest.raises(ValueError):
+            normal_band_probability(0, 1, 2, 1)
+
+    def test_band_matches_poisson_binomial(self):
+        # Normal band mass approximates the exact PMF band for large n.
+        n = 2000
+        p = [0.5] * n
+        pmf = poisson_binomial_pmf(p)
+        lo, hi = n // 2 - 40, n // 2 + 40
+        exact = pmf[lo : hi + 1].sum()
+        approx = normal_band_probability(n / 2, math.sqrt(n / 4), lo, hi)
+        assert approx == pytest.approx(exact, abs=0.03)
+
+
+class TestLemma3Bound:
+    def test_decays_in_n(self):
+        b1 = lemma3_loss_probability_bound(100, 0.1, 0.3)
+        b2 = lemma3_loss_probability_bound(100000, 0.1, 0.3)
+        assert b2 < b1
+
+    def test_decays_in_epsilon(self):
+        assert lemma3_loss_probability_bound(
+            10000, 0.2, 0.3
+        ) < lemma3_loss_probability_bound(10000, 0.05, 0.3)
+
+    def test_in_unit_interval(self):
+        for n in (10, 1000, 100000):
+            b = lemma3_loss_probability_bound(n, 0.1, 0.25)
+            assert 0 <= b <= 1
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            lemma3_loss_probability_bound(0, 0.1, 0.3)
+        with pytest.raises(ValueError):
+            lemma3_loss_probability_bound(10, 0.0, 0.3)
+        with pytest.raises(ValueError):
+            lemma3_loss_probability_bound(10, 0.1, 0.6)
+
+
+class TestWorstCaseLoss:
+    def test_two_votes_per_delegation(self):
+        assert worst_case_loss_bound(100, 10) == 20.0
+
+    def test_capped_at_n(self):
+        assert worst_case_loss_bound(100, 80) == 100.0
+
+    def test_zero_delegations(self):
+        assert worst_case_loss_bound(100, 0) == 0.0
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            worst_case_loss_bound(0, 1)
+        with pytest.raises(ValueError):
+            worst_case_loss_bound(10, -1)

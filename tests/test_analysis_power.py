@@ -1,0 +1,141 @@
+"""Tests for voting-power indices."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.analysis.power import (
+    banzhaf_indices,
+    dictator_index,
+    forest_banzhaf,
+    normalized_banzhaf,
+    power_concentration,
+    shapley_shubik_indices,
+)
+from repro.delegation.graph import SELF, DelegationGraph
+
+
+def brute_banzhaf(weights):
+    """Enumerate coalitions; reference for small games (strict quota)."""
+    m = len(weights)
+    total = sum(weights)
+    out = []
+    for i in range(m):
+        others = [w for j, w in enumerate(weights) if j != i]
+        pivotal = 0
+        for coalition in itertools.product([0, 1], repeat=m - 1):
+            s = sum(w for take, w in zip(coalition, others) if take)
+            if s <= total / 2 < s + weights[i]:
+                pivotal += 1
+        out.append(pivotal / 2 ** (m - 1))
+    return np.array(out)
+
+
+def brute_shapley(weights):
+    """Enumerate orderings; reference for small games."""
+    m = len(weights)
+    total = sum(weights)
+    counts = np.zeros(m)
+    for perm in itertools.permutations(range(m)):
+        acc = 0.0
+        for player in perm:
+            if acc <= total / 2 < acc + weights[player]:
+                counts[player] += 1
+                break
+            acc += weights[player]
+    import math
+
+    return counts / math.factorial(m)
+
+
+class TestBanzhaf:
+    @pytest.mark.parametrize(
+        "weights",
+        [[1, 1, 1], [3, 1, 1], [2, 2, 1], [4, 2, 1, 1], [5, 3, 1, 1, 1]],
+    )
+    def test_matches_bruteforce(self, weights):
+        assert np.allclose(banzhaf_indices(weights), brute_banzhaf(weights))
+
+    def test_symmetric_players_equal(self):
+        values = banzhaf_indices([2, 2, 2, 2])
+        assert np.allclose(values, values[0])
+
+    def test_dictator_gets_one(self):
+        values = banzhaf_indices([10, 1, 1, 1])
+        assert values[0] == pytest.approx(1.0)
+        # with a strict-majority dictator the others are never pivotal
+        assert np.allclose(values[1:], 0.0)
+
+    def test_zero_weight_no_power(self):
+        values = banzhaf_indices([3, 2, 0])
+        assert values[2] == 0.0
+
+    def test_empty(self):
+        assert banzhaf_indices([]).size == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            banzhaf_indices([1, -1])
+
+    def test_normalised_sums_to_one(self):
+        values = normalized_banzhaf([3, 2, 2, 1])
+        assert values.sum() == pytest.approx(1.0)
+
+    def test_normalised_degenerate(self):
+        assert normalized_banzhaf([0, 0]).sum() == 0.0
+
+
+class TestShapleyShubik:
+    @pytest.mark.parametrize(
+        "weights", [[1, 1, 1], [3, 1, 1], [2, 2, 1], [4, 2, 1, 1]]
+    )
+    def test_matches_bruteforce(self, weights):
+        assert np.allclose(
+            shapley_shubik_indices(weights), brute_shapley(weights), atol=1e-9
+        )
+
+    def test_sums_to_one(self):
+        values = shapley_shubik_indices([5, 3, 2, 1, 1])
+        assert values.sum() == pytest.approx(1.0)
+
+    def test_dictator(self):
+        values = shapley_shubik_indices([10, 1, 1])
+        assert values[0] == pytest.approx(1.0)
+
+    def test_symmetric_equal(self):
+        values = shapley_shubik_indices([1, 1, 1, 1, 1])
+        assert np.allclose(values, 0.2)
+
+    def test_empty(self):
+        assert shapley_shubik_indices([]).size == 0
+
+
+class TestForestPower:
+    def test_direct_voting_equal_power(self):
+        forest = DelegationGraph.direct(5)
+        power = forest_banzhaf(forest)
+        assert np.allclose(power, power[0])
+        assert power[0] > 0
+
+    def test_delegators_lose_power(self):
+        forest = DelegationGraph([2, 2, SELF, SELF, SELF])
+        power = forest_banzhaf(forest)
+        assert power[0] == 0.0 and power[1] == 0.0
+        assert power[2] > power[3]  # weight 3 sink beats weight 1 sinks
+
+    def test_star_dictatorship(self):
+        n = 9
+        forest = DelegationGraph([SELF] + [0] * (n - 1))
+        assert dictator_index(forest) == pytest.approx(1.0)
+        assert power_concentration(forest) == pytest.approx(0.0)  # single sink
+
+    def test_concentration_orders_configurations(self):
+        uniform = DelegationGraph.direct(8)
+        # one sink holds 5 of 8 votes; three singleton sinks remain
+        skewed = DelegationGraph([SELF, 0, 0, 0, 0, SELF, SELF, SELF])
+        assert power_concentration(skewed) > power_concentration(uniform)
+
+    def test_empty_forest(self):
+        assert power_concentration(DelegationGraph([])) == 0.0
+        assert dictator_index(DelegationGraph([])) == 0.0

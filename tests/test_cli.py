@@ -1,0 +1,88 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_list_command(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "F1"])
+        assert args.experiment == "F1"
+        assert args.scale == "default"
+        assert args.seed == 0
+
+    def test_run_options(self):
+        args = build_parser().parse_args(
+            ["run", "T2", "--scale", "smoke", "--seed", "9"]
+        )
+        assert args.scale == "smoke"
+        assert args.seed == 9
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "T2", "--scale", "huge"])
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_list_outputs_all_experiments(self):
+        out = io.StringIO()
+        assert main(["list"], out=out) == 0
+        text = out.getvalue()
+        for eid in ("F1", "T2", "X3", "A2"):
+            assert eid in text
+
+    def test_info(self):
+        out = io.StringIO()
+        assert main(["info"], out=out) == 0
+        assert "repro" in out.getvalue()
+        assert "registered experiments" in out.getvalue()
+
+    def test_run_single_experiment(self):
+        out = io.StringIO()
+        code = main(["run", "F2", "--scale", "smoke", "--seed", "1"], out=out)
+        assert code == 0
+        assert "[F2]" in out.getvalue()
+        assert "wall time" in out.getvalue()
+
+    def test_run_unknown_experiment(self):
+        out = io.StringIO()
+        assert main(["run", "NOPE"], out=out) == 2
+
+    def test_run_respects_precision(self):
+        out = io.StringIO()
+        main(["run", "F1", "--scale", "smoke", "--precision", "2"], out=out)
+        assert "0.62" in out.getvalue()
+
+
+class TestReportCommand:
+    def test_writes_markdown(self, tmp_path):
+        out = io.StringIO()
+        path = tmp_path / "report.md"
+        code = main(
+            ["report", "F1", "F2", "--out", str(path), "--scale", "smoke",
+             "--title", "Mini report"],
+            out=out,
+        )
+        assert code == 0
+        text = path.read_text()
+        assert text.startswith("# Mini report")
+        assert "## F1" in text and "## F2" in text
+        assert "| n |" in text  # F1 table header
+
+    def test_unknown_experiment_fails(self, tmp_path):
+        out = io.StringIO()
+        code = main(
+            ["report", "NOPE", "--out", str(tmp_path / "x.md")], out=out
+        )
+        assert code == 2

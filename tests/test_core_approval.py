@@ -1,0 +1,78 @@
+"""Tests for approval sets and the ApprovalOracle."""
+
+import numpy as np
+import pytest
+
+from repro.core.approval import ApprovalOracle, approval_set
+from repro.core.instance import ProblemInstance
+from repro.graphs.generators import complete_graph
+
+
+class TestApprovalSet:
+    def test_basic(self):
+        p = [0.1, 0.3, 0.5, 0.9]
+        assert approval_set(p, 0, alpha=0.15) == (1, 2, 3)
+        assert approval_set(p, 2, alpha=0.15) == (3,)
+        assert approval_set(p, 3, alpha=0.15) == ()
+
+    def test_threshold_inclusive(self):
+        # Dyadic values so the boundary comparison is exact in binary FP.
+        assert approval_set([0.25, 0.5], 0, alpha=0.25) == (1,)
+
+    def test_excludes_self(self):
+        # equal competency never approved because alpha > 0
+        assert approval_set([0.5, 0.5], 0, alpha=0.01) == ()
+
+    def test_rejects_bad_voter(self):
+        with pytest.raises(ValueError):
+            approval_set([0.5], 1, alpha=0.1)
+
+    def test_rejects_non_positive_alpha(self):
+        with pytest.raises(ValueError):
+            approval_set([0.5, 0.6], 0, alpha=0.0)
+
+
+class TestApprovalOracle:
+    @pytest.fixture
+    def oracle(self):
+        inst = ProblemInstance(
+            complete_graph(5), [0.1, 0.3, 0.5, 0.7, 0.9], alpha=0.25
+        )
+        return ApprovalOracle(inst)
+
+    def test_counts_match_bruteforce(self, oracle):
+        inst = oracle.instance
+        for v in range(5):
+            brute = sum(
+                1 for u in range(5) if inst.approves(v, u)
+            )
+            assert oracle.approval_count(v) == brute
+
+    def test_members_match_bruteforce(self, oracle):
+        inst = oracle.instance
+        for v in range(5):
+            brute = tuple(
+                u for u in range(5) if inst.approves(v, u)
+            )
+            assert oracle.approval_members(v) == brute
+
+    def test_is_approved_delegates(self, oracle):
+        assert oracle.is_approved(0, 4)
+        assert not oracle.is_approved(4, 0)
+
+    def test_partition_complexity_spacing(self):
+        # competencies 0.1, 0.35, 0.6, 0.85 with alpha 0.25: chain of 4
+        inst = ProblemInstance(
+            complete_graph(4), [0.1, 0.35, 0.6, 0.85], alpha=0.25
+        )
+        assert ApprovalOracle(inst).partition_complexity() == 4
+
+    def test_partition_complexity_all_equal(self):
+        inst = ProblemInstance(complete_graph(4), [0.5] * 4, alpha=0.1)
+        assert ApprovalOracle(inst).partition_complexity() == 1
+
+    def test_partition_complexity_le_one_over_alpha(self):
+        rng = np.random.default_rng(0)
+        p = rng.uniform(0, 1, size=50)
+        inst = ProblemInstance(complete_graph(50), p, alpha=0.2)
+        assert ApprovalOracle(inst).partition_complexity() <= 6  # ceil(1/0.2)+1

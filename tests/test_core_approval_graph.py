@@ -1,0 +1,126 @@
+"""Tests for approval-graph static analysis."""
+
+import numpy as np
+import pytest
+
+from repro.core.approval_graph import (
+    approval_graph_stats,
+    potential_hub_voters,
+)
+from repro.core.instance import ProblemInstance
+from repro.graphs.generators import complete_graph, path_graph, star_graph
+from repro.graphs.graph import Graph
+
+
+class TestApprovalGraphStats:
+    def test_equal_competencies_no_edges(self):
+        inst = ProblemInstance(complete_graph(5), [0.5] * 5, alpha=0.05)
+        stats = approval_graph_stats(inst)
+        assert stats.num_approval_edges == 0
+        assert stats.num_possible_delegators == 0
+        assert stats.num_potential_sinks == 5
+        assert stats.longest_chain == 1
+
+    def test_complete_graph_linear_competencies(self):
+        n = 6
+        inst = ProblemInstance(
+            complete_graph(n), np.linspace(0.1, 0.6, n), alpha=0.05
+        )
+        stats = approval_graph_stats(inst)
+        # voter i approves everyone above it: n(n-1)/2 edges
+        assert stats.num_approval_edges == n * (n - 1) // 2
+        assert stats.max_out_degree == n - 1
+        assert stats.max_in_degree == n - 1
+        assert stats.num_possible_delegators == n - 1
+        assert stats.longest_chain == n
+
+    def test_star_hub_is_the_only_target(self):
+        inst = ProblemInstance(
+            star_graph(6), [0.9, 0.5, 0.5, 0.5, 0.5, 0.5], alpha=0.1
+        )
+        stats = approval_graph_stats(inst)
+        assert stats.max_in_degree == 5
+        assert stats.num_approval_edges == 5
+        assert stats.longest_chain == 2
+
+    def test_path_chain(self):
+        n = 5
+        inst = ProblemInstance(
+            path_graph(n), np.linspace(0.1, 0.9, n), alpha=0.05
+        )
+        stats = approval_graph_stats(inst)
+        assert stats.longest_chain == n
+        assert stats.max_in_degree == 1
+
+    def test_longest_chain_bounded_by_alpha(self):
+        rng = np.random.default_rng(0)
+        inst = ProblemInstance(
+            complete_graph(60), rng.uniform(0, 1, 60), alpha=0.2
+        )
+        stats = approval_graph_stats(inst)
+        assert stats.longest_chain <= 6  # ceil(1/0.2) + 1
+
+    def test_mean_out_degree(self):
+        inst = ProblemInstance(
+            complete_graph(4), [0.1, 0.3, 0.5, 0.7], alpha=0.15
+        )
+        stats = approval_graph_stats(inst)
+        assert stats.mean_out_degree == pytest.approx(
+            stats.num_approval_edges / 4
+        )
+
+    def test_describe(self):
+        inst = ProblemInstance(complete_graph(3), [0.2, 0.5, 0.8], alpha=0.1)
+        assert "approval edges" in approval_graph_stats(inst).describe()
+
+    def test_empty_instance(self):
+        inst = ProblemInstance(Graph(1), [0.5], alpha=0.1)
+        stats = approval_graph_stats(inst)
+        assert stats.num_approval_edges == 0
+        assert stats.longest_chain == 1
+
+
+class TestPotentialHubs:
+    def test_star_hub_ranked_first(self):
+        inst = ProblemInstance(
+            star_graph(8), [0.9] + [0.4] * 7, alpha=0.1
+        )
+        hubs = potential_hub_voters(inst, top=3)
+        assert hubs[0] == (0, 7)
+
+    def test_top_respected(self):
+        inst = ProblemInstance(
+            complete_graph(10), np.linspace(0.1, 0.9, 10), alpha=0.05
+        )
+        assert len(potential_hub_voters(inst, top=4)) == 4
+
+    def test_in_degrees_descending(self):
+        rng = np.random.default_rng(1)
+        inst = ProblemInstance(
+            complete_graph(20), rng.uniform(0.2, 0.8, 20), alpha=0.05
+        )
+        hubs = potential_hub_voters(inst, top=10)
+        degrees = [d for _, d in hubs]
+        assert degrees == sorted(degrees, reverse=True)
+
+    def test_rejects_bad_top(self):
+        inst = ProblemInstance(complete_graph(3), [0.2, 0.5, 0.8], alpha=0.1)
+        with pytest.raises(ValueError):
+            potential_hub_voters(inst, top=0)
+
+    def test_hub_in_degree_bounds_mechanism_inflow(self):
+        # one-step inflow under any approval mechanism <= approval in-degree
+        from repro.analysis.expectations import expected_inflow
+        from repro.mechanisms.threshold import RandomApproved
+
+        rng = np.random.default_rng(2)
+        inst = ProblemInstance(
+            complete_graph(15), rng.uniform(0.2, 0.8, 15), alpha=0.05
+        )
+        inflow = expected_inflow(inst, RandomApproved())
+        structure = inst.approval_structure()
+        in_deg = np.zeros(15)
+        for v in range(15):
+            for t in structure.approved_neighbors(v):
+                in_deg[t] += 1
+        assert np.all(inflow <= in_deg + 1e-9)

@@ -1,0 +1,148 @@
+"""Tests for competency-vector constructors."""
+
+import numpy as np
+import pytest
+
+from repro.core.competencies import (
+    beta_competencies,
+    bounded_uniform_competencies,
+    competency_interval,
+    constant_competencies,
+    linear_competencies,
+    plausible_changeability,
+    sampled_competencies,
+    satisfies_plausible_changeability,
+    two_block_competencies,
+)
+
+
+class TestConstant:
+    def test_values(self):
+        p = constant_competencies(4, 0.7)
+        assert p.tolist() == [0.7] * 4
+
+    def test_empty(self):
+        assert constant_competencies(0, 0.5).size == 0
+
+    def test_rejects_bad_p(self):
+        with pytest.raises(ValueError):
+            constant_competencies(3, 1.5)
+
+    def test_rejects_negative_n(self):
+        with pytest.raises(ValueError):
+            constant_competencies(-1, 0.5)
+
+
+class TestLinear:
+    def test_endpoints(self):
+        p = linear_competencies(5, 0.2, 0.8)
+        assert p[0] == pytest.approx(0.2)
+        assert p[-1] == pytest.approx(0.8)
+
+    def test_ascending(self):
+        p = linear_competencies(10, 0.1, 0.9)
+        assert np.all(np.diff(p) > 0)
+
+    def test_single(self):
+        assert linear_competencies(1, 0.3, 0.9).tolist() == [0.3]
+
+    def test_empty(self):
+        assert linear_competencies(0, 0.3, 0.9).size == 0
+
+    def test_descending_allowed(self):
+        p = linear_competencies(3, 0.9, 0.1)
+        assert p[0] > p[-1]
+
+
+class TestBoundedUniform:
+    def test_within_bounds(self):
+        p = bounded_uniform_competencies(1000, 0.3, seed=0)
+        assert np.all(p > 0.3)
+        assert np.all(p < 0.7)
+
+    def test_deterministic(self):
+        a = bounded_uniform_competencies(10, 0.2, seed=5)
+        b = bounded_uniform_competencies(10, 0.2, seed=5)
+        assert np.array_equal(a, b)
+
+    def test_rejects_beta_half(self):
+        with pytest.raises(ValueError):
+            bounded_uniform_competencies(5, 0.5)
+
+    def test_rejects_beta_zero(self):
+        with pytest.raises(ValueError):
+            bounded_uniform_competencies(5, 0.0)
+
+
+class TestTwoBlock:
+    def test_partition(self):
+        p = two_block_competencies(5, 0.2, 0.9, num_high=2)
+        assert p.tolist() == [0.2, 0.2, 0.2, 0.9, 0.9]
+
+    def test_zero_high(self):
+        p = two_block_competencies(3, 0.4, 0.9, num_high=0)
+        assert p.tolist() == [0.4] * 3
+
+    def test_all_high(self):
+        p = two_block_competencies(3, 0.4, 0.9, num_high=3)
+        assert p.tolist() == [0.9] * 3
+
+    def test_rejects_overflow(self):
+        with pytest.raises(ValueError):
+            two_block_competencies(3, 0.4, 0.9, num_high=4)
+
+
+class TestSampled:
+    def test_beta_in_range(self):
+        p = beta_competencies(500, 2, 2, seed=0)
+        assert np.all((p >= 0) & (p <= 1))
+
+    def test_beta_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            beta_competencies(5, 0, 1)
+
+    def test_custom_sampler_clipped(self):
+        p = sampled_competencies(3, lambda rng, n: np.array([1.5, -0.5, 0.5]))
+        assert p.tolist() == [1.0, 0.0, 0.5]
+
+    def test_custom_sampler_shape_checked(self):
+        with pytest.raises(ValueError, match="shape"):
+            sampled_competencies(3, lambda rng, n: np.zeros(2))
+
+
+class TestPlausibleChangeability:
+    def test_balanced_is_zero(self):
+        assert plausible_changeability([0.4, 0.6]) == pytest.approx(0.0)
+
+    def test_witness_value(self):
+        assert plausible_changeability([0.7, 0.7]) == pytest.approx(0.2)
+
+    def test_satisfies(self):
+        assert satisfies_plausible_changeability([0.55, 0.55], 0.05)
+        assert not satisfies_plausible_changeability([0.7, 0.7], 0.1)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            plausible_changeability([])
+
+    def test_rejects_negative_a(self):
+        with pytest.raises(ValueError):
+            satisfies_plausible_changeability([0.5], -0.1)
+
+
+class TestCompetencyInterval:
+    def test_interior_vector(self):
+        assert competency_interval([0.3, 0.6]) == pytest.approx(0.3)
+
+    def test_symmetric(self):
+        assert competency_interval([0.4, 0.5, 0.6]) == pytest.approx(0.4)
+
+    def test_touching_zero_none(self):
+        assert competency_interval([0.0, 0.5]) is None
+
+    def test_touching_one_none(self):
+        assert competency_interval([0.5, 1.0]) is None
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            competency_interval([])

@@ -1,0 +1,154 @@
+"""Tests for competency distributions (probabilistic-competency model)."""
+
+import numpy as np
+import pytest
+
+from repro.core.distributions import (
+    BetaCompetency,
+    MixtureCompetency,
+    PointMass,
+    TruncatedNormalCompetency,
+    UniformCompetency,
+)
+
+
+def empirical_moments(dist, n=40000, seed=0):
+    values = dist.sample_vector(n, seed=seed)
+    return float(values.mean()), float(values.var())
+
+
+class TestPointMass:
+    def test_moments(self):
+        d = PointMass(0.7)
+        assert d.mean() == 0.7
+        assert d.variance() == 0.0
+        assert d.support() == (0.7, 0.7)
+
+    def test_sampling(self):
+        assert set(PointMass(0.3).sample_vector(5, seed=0)) == {0.3}
+
+    def test_bounded_margin(self):
+        assert PointMass(0.7).bounded_margin() == pytest.approx(0.3)
+        assert PointMass(1.0).bounded_margin() == 0.0
+
+    def test_rejects_bad_value(self):
+        with pytest.raises(ValueError):
+            PointMass(1.5)
+
+
+class TestUniform:
+    def test_exact_moments(self):
+        d = UniformCompetency(0.2, 0.8)
+        assert d.mean() == pytest.approx(0.5)
+        assert d.variance() == pytest.approx(0.36 / 12)
+
+    def test_empirical_moments_match(self):
+        d = UniformCompetency(0.3, 0.7)
+        mean, var = empirical_moments(d)
+        assert mean == pytest.approx(d.mean(), abs=0.01)
+        assert var == pytest.approx(d.variance(), abs=0.005)
+
+    def test_support_and_margin(self):
+        d = UniformCompetency(0.35, 0.65)
+        assert d.support() == (0.35, 0.65)
+        assert d.bounded_margin() == pytest.approx(0.35)
+
+    def test_plausible_changeability(self):
+        assert UniformCompetency(0.4, 0.8).plausible_changeability() == pytest.approx(0.1)
+
+    def test_rejects_inverted(self):
+        with pytest.raises(ValueError):
+            UniformCompetency(0.8, 0.2)
+
+
+class TestBeta:
+    def test_exact_moments_unscaled(self):
+        d = BetaCompetency(2, 2)
+        assert d.mean() == pytest.approx(0.5)
+        assert d.variance() == pytest.approx(0.05)
+
+    def test_scaled_moments(self):
+        d = BetaCompetency(2, 2, low=0.4, high=0.6)
+        assert d.mean() == pytest.approx(0.5)
+        assert d.variance() == pytest.approx(0.05 * 0.2**2)
+
+    def test_empirical_match(self):
+        d = BetaCompetency(3, 5, low=0.2, high=0.9)
+        mean, var = empirical_moments(d)
+        assert mean == pytest.approx(d.mean(), abs=0.01)
+        assert var == pytest.approx(d.variance(), abs=0.005)
+
+    def test_samples_in_support(self):
+        d = BetaCompetency(1, 3, low=0.25, high=0.75)
+        values = d.sample_vector(1000, seed=1)
+        lo, hi = d.support()
+        assert np.all(values >= lo) and np.all(values <= hi)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            BetaCompetency(0, 1)
+
+
+class TestTruncatedNormal:
+    def test_symmetric_mean(self):
+        d = TruncatedNormalCompetency(0.5, 0.1, low=0.3, high=0.7)
+        assert d.mean() == pytest.approx(0.5)
+
+    def test_empirical_match(self):
+        d = TruncatedNormalCompetency(0.6, 0.15, low=0.3, high=0.9)
+        mean, var = empirical_moments(d)
+        assert mean == pytest.approx(d.mean(), abs=0.01)
+        assert var == pytest.approx(d.variance(), abs=0.005)
+
+    def test_variance_below_untruncated(self):
+        d = TruncatedNormalCompetency(0.5, 0.2, low=0.3, high=0.7)
+        assert d.variance() < 0.2**2
+
+    def test_samples_in_support(self):
+        d = TruncatedNormalCompetency(0.9, 0.3, low=0.4, high=0.6)
+        values = d.sample_vector(500, seed=2)
+        assert np.all((values >= 0.4) & (values <= 0.6))
+
+    def test_rejects_bad_sigma(self):
+        with pytest.raises(ValueError):
+            TruncatedNormalCompetency(0.5, 0.0)
+
+
+class TestMixture:
+    @pytest.fixture
+    def mixture(self):
+        return MixtureCompetency(
+            [UniformCompetency(0.3, 0.5), PointMass(0.8)], weights=[0.75, 0.25]
+        )
+
+    def test_mean(self, mixture):
+        assert mixture.mean() == pytest.approx(0.75 * 0.4 + 0.25 * 0.8)
+
+    def test_variance_law_of_total_variance(self, mixture):
+        mean = mixture.mean()
+        expected = (
+            0.75 * (UniformCompetency(0.3, 0.5).variance() + 0.4**2)
+            + 0.25 * (0.0 + 0.8**2)
+            - mean**2
+        )
+        assert mixture.variance() == pytest.approx(expected)
+
+    def test_empirical_match(self, mixture):
+        mean, var = empirical_moments(mixture)
+        assert mean == pytest.approx(mixture.mean(), abs=0.01)
+        assert var == pytest.approx(mixture.variance(), abs=0.005)
+
+    def test_support_union(self, mixture):
+        assert mixture.support() == (0.3, 0.8)
+
+    def test_weights_normalised(self):
+        m = MixtureCompetency([PointMass(0.2), PointMass(0.8)], weights=[2, 2])
+        assert m.mean() == pytest.approx(0.5)
+
+    def test_rejects_mismatched(self):
+        with pytest.raises(ValueError):
+            MixtureCompetency([PointMass(0.5)], weights=[0.5, 0.5])
+
+    def test_rejects_negative_weight(self):
+        with pytest.raises(ValueError):
+            MixtureCompetency([PointMass(0.5)], weights=[-1])

@@ -1,0 +1,152 @@
+"""Tests for ProblemInstance and LocalView."""
+
+import numpy as np
+import pytest
+
+from repro.core.instance import ProblemInstance
+from repro.graphs.generators import complete_graph, path_graph, star_graph
+from repro.graphs.graph import Graph
+
+
+class TestConstruction:
+    def test_basic(self):
+        inst = ProblemInstance(complete_graph(3), [0.2, 0.5, 0.8], alpha=0.1)
+        assert inst.num_voters == 3
+        assert inst.alpha == 0.1
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError, match="does not match"):
+            ProblemInstance(complete_graph(3), [0.5, 0.5])
+
+    def test_rejects_non_positive_alpha(self):
+        with pytest.raises(ValueError, match="alpha"):
+            ProblemInstance(complete_graph(2), [0.4, 0.6], alpha=0.0)
+
+    def test_rejects_bad_competency(self):
+        with pytest.raises(ValueError):
+            ProblemInstance(complete_graph(2), [0.4, 1.2])
+
+    def test_competencies_read_only(self):
+        inst = ProblemInstance(complete_graph(2), [0.4, 0.6])
+        with pytest.raises(ValueError):
+            inst.competencies[0] = 0.9
+
+    def test_competency_accessor(self):
+        inst = ProblemInstance(complete_graph(2), [0.4, 0.6])
+        assert inst.competency(1) == 0.6
+        with pytest.raises(ValueError):
+            inst.competency(2)
+
+    def test_mean_competency(self):
+        inst = ProblemInstance(complete_graph(2), [0.4, 0.6])
+        assert inst.mean_competency() == pytest.approx(0.5)
+
+
+class TestApproval:
+    @pytest.fixture
+    def inst(self):
+        return ProblemInstance(
+            complete_graph(4), [0.2, 0.4, 0.6, 0.8], alpha=0.25
+        )
+
+    def test_approves_strict_threshold(self, inst):
+        assert inst.approves(0, 2)  # 0.2 + 0.25 <= 0.6
+        assert inst.approves(0, 3)
+        assert not inst.approves(0, 1)  # 0.2 + 0.25 > 0.4
+
+    def test_boundary_inclusive(self):
+        # Dyadic values so p_i + alpha == p_j holds exactly in binary FP.
+        inst = ProblemInstance(complete_graph(2), [0.25, 0.5], alpha=0.25)
+        assert inst.approves(0, 1)  # 0.25 + 0.25 <= 0.5 exactly
+
+    def test_never_self_approves(self, inst):
+        assert not any(inst.approves(v, v) for v in range(4))
+
+    def test_approved_neighbors(self, inst):
+        assert inst.approved_neighbors(0) == (2, 3)
+        assert inst.approved_neighbors(3) == ()
+
+    def test_approval_respects_graph(self):
+        # path 0-1-2-3: voter 0 cannot approve non-neighbour 3.
+        inst = ProblemInstance(path_graph(4), [0.2, 0.4, 0.6, 0.8], alpha=0.15)
+        assert inst.approved_neighbors(0) == (1,)
+
+
+class TestLocalView:
+    def test_view_contents(self):
+        inst = ProblemInstance(
+            star_graph(4), [0.9, 0.3, 0.5, 0.2], alpha=0.1
+        )
+        view = inst.local_view(1)  # leaf sees only the hub
+        assert view.voter == 1
+        assert view.neighbors == (0,)
+        assert view.approved == (0,)
+        assert view.approval_count == 1
+
+    def test_view_hub(self):
+        inst = ProblemInstance(
+            star_graph(4), [0.9, 0.3, 0.5, 0.2], alpha=0.1
+        )
+        view = inst.local_view(0)
+        assert view.num_neighbors == 3
+        assert view.approved == ()
+
+    def test_approved_ranked_by_competency(self):
+        # graph: voter 0 adjacent to 1, 2, 3 with competencies out of index order
+        inst = ProblemInstance(
+            star_graph(4), [0.1, 0.9, 0.5, 0.7], alpha=0.1
+        )
+        view = inst.local_view(0)
+        assert view.approved == (2, 3, 1)  # ascending competency
+
+    def test_view_rejects_bad_voter(self):
+        inst = ProblemInstance(complete_graph(2), [0.4, 0.6])
+        with pytest.raises(ValueError):
+            inst.local_view(5)
+
+
+class TestTransforms:
+    def test_sorted_by_competency(self):
+        g = Graph(3, [(0, 1), (1, 2)])
+        inst = ProblemInstance(g, [0.9, 0.1, 0.5], alpha=0.05)
+        sorted_inst, perm = inst.sorted_by_competency()
+        assert list(sorted_inst.competencies) == [0.1, 0.5, 0.9]
+        assert perm.tolist() == [1, 2, 0]
+        # Edge structure preserved under relabelling: old (0,1) -> new (2,0)
+        assert sorted_inst.graph.has_edge(0, 2)
+        assert sorted_inst.graph.has_edge(0, 1)  # old (1,2) -> new (0,1)
+        assert not sorted_inst.graph.has_edge(1, 2)
+
+    def test_sorted_stable_on_ties(self):
+        inst = ProblemInstance(complete_graph(3), [0.5, 0.5, 0.2])
+        _, perm = inst.sorted_by_competency()
+        assert perm.tolist() == [2, 0, 1]
+
+    def test_with_competencies(self):
+        inst = ProblemInstance(complete_graph(2), [0.4, 0.6], alpha=0.1)
+        new = inst.with_competencies([0.1, 0.2])
+        assert list(new.competencies) == [0.1, 0.2]
+        assert new.alpha == 0.1
+        assert new.graph is inst.graph
+
+    def test_with_alpha(self):
+        inst = ProblemInstance(complete_graph(2), [0.4, 0.6], alpha=0.1)
+        assert inst.with_alpha(0.2).alpha == 0.2
+
+    def test_repr(self):
+        inst = ProblemInstance(complete_graph(2), [0.4, 0.6])
+        assert "n=2" in repr(inst)
+
+
+class TestApprovalStructureCache:
+    def test_cached_identity(self):
+        inst = ProblemInstance(complete_graph(5), np.linspace(0.1, 0.9, 5))
+        assert inst.approval_structure() is inst.approval_structure()
+
+    def test_counts_match_views(self):
+        inst = ProblemInstance(
+            path_graph(6), [0.1, 0.5, 0.3, 0.9, 0.2, 0.7], alpha=0.1
+        )
+        structure = inst.approval_structure()
+        for v in range(6):
+            assert structure.approved_count(v) == inst.local_view(v).approval_count

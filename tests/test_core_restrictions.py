@@ -1,0 +1,140 @@
+"""Tests for graph restrictions (Definition 1)."""
+
+import pytest
+
+from repro.core.instance import ProblemInstance
+from repro.core.restrictions import (
+    BoundedCompetency,
+    CompleteGraph,
+    MaxDegreeAtMost,
+    MinDegreeAtLeast,
+    PlausibleChangeability,
+    RandomRegular,
+    RestrictionSet,
+)
+from repro.graphs.generators import (
+    complete_graph,
+    cycle_graph,
+    random_regular_graph,
+    star_graph,
+)
+
+
+def make(graph, p, alpha=0.05):
+    return ProblemInstance(graph, p, alpha=alpha)
+
+
+class TestCompleteGraphRestriction:
+    def test_satisfied(self):
+        assert CompleteGraph().is_satisfied(make(complete_graph(4), [0.5] * 4))
+
+    def test_violated(self):
+        assert not CompleteGraph().is_satisfied(make(star_graph(4), [0.5] * 4))
+
+    def test_describe(self):
+        assert CompleteGraph().describe() == "K_n"
+
+
+class TestRandomRegular:
+    def test_satisfied(self):
+        g = random_regular_graph(10, 3, seed=0)
+        assert RandomRegular(3).is_satisfied(make(g, [0.5] * 10))
+
+    def test_wrong_degree(self):
+        g = random_regular_graph(10, 3, seed=0)
+        assert not RandomRegular(4).is_satisfied(make(g, [0.5] * 10))
+
+    def test_irregular(self):
+        assert not RandomRegular(1).is_satisfied(make(star_graph(4), [0.5] * 4))
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            RandomRegular(-1)
+
+
+class TestDegreeRestrictions:
+    def test_max_degree(self):
+        inst = make(cycle_graph(5), [0.5] * 5)
+        assert MaxDegreeAtMost(2).is_satisfied(inst)
+        assert not MaxDegreeAtMost(1).is_satisfied(inst)
+
+    def test_min_degree(self):
+        inst = make(cycle_graph(5), [0.5] * 5)
+        assert MinDegreeAtLeast(2).is_satisfied(inst)
+        assert not MinDegreeAtLeast(3).is_satisfied(inst)
+
+    def test_describe(self):
+        assert "≤ 3" in MaxDegreeAtMost(3).describe()
+        assert "≥ 3" in MinDegreeAtLeast(3).describe()
+
+
+class TestPlausibleChangeability:
+    def test_satisfied(self):
+        inst = make(complete_graph(2), [0.45, 0.55])
+        assert PlausibleChangeability(0.01).is_satisfied(inst)
+
+    def test_violated(self):
+        inst = make(complete_graph(2), [0.9, 0.9])
+        assert not PlausibleChangeability(0.1).is_satisfied(inst)
+
+    def test_boundary(self):
+        inst = make(complete_graph(2), [0.6, 0.6])
+        assert PlausibleChangeability(0.1).is_satisfied(inst)
+
+
+class TestBoundedCompetency:
+    def test_satisfied(self):
+        inst = make(complete_graph(2), [0.4, 0.6])
+        assert BoundedCompetency(0.3).is_satisfied(inst)
+
+    def test_boundary_excluded(self):
+        inst = make(complete_graph(2), [0.3, 0.6])
+        assert not BoundedCompetency(0.3).is_satisfied(inst)
+
+    def test_rejects_bad_beta(self):
+        with pytest.raises(ValueError):
+            BoundedCompetency(0.5)
+        with pytest.raises(ValueError):
+            BoundedCompetency(0.0)
+
+
+class TestRestrictionSet:
+    def test_conjunction(self):
+        rs = RestrictionSet([CompleteGraph(), BoundedCompetency(0.2)])
+        good = make(complete_graph(3), [0.4, 0.5, 0.6])
+        bad_comp = make(complete_graph(3), [0.1, 0.5, 0.6])
+        assert rs.is_satisfied(good)
+        assert not rs.is_satisfied(bad_comp)
+
+    def test_violations_listed(self):
+        rs = RestrictionSet([CompleteGraph(), BoundedCompetency(0.2)])
+        bad = make(star_graph(3), [0.1, 0.5, 0.6])
+        assert len(rs.violations(bad)) == 2
+
+    def test_require_raises(self):
+        rs = RestrictionSet([CompleteGraph()])
+        with pytest.raises(ValueError):
+            rs.require(make(star_graph(3), [0.5] * 3))
+
+    def test_require_passthrough(self):
+        rs = RestrictionSet([CompleteGraph()])
+        inst = make(complete_graph(3), [0.5] * 3)
+        assert rs.require(inst) is inst
+
+    def test_and_composition(self):
+        a = RestrictionSet([CompleteGraph()])
+        b = RestrictionSet([BoundedCompetency(0.2)])
+        combined = a & b
+        assert len(combined) == 2
+
+    def test_describe(self):
+        rs = RestrictionSet([CompleteGraph(), MaxDegreeAtMost(5)])
+        assert rs.describe() == "{K_n, Δ ≤ 5}"
+
+    def test_iteration(self):
+        rs = RestrictionSet([CompleteGraph()])
+        assert [r.describe() for r in rs] == ["K_n"]
+
+    def test_empty_set_always_satisfied(self):
+        rs = RestrictionSet()
+        assert rs.is_satisfied(make(star_graph(3), [0.5] * 3))

@@ -1,0 +1,145 @@
+"""Targeted tests for behaviours not covered elsewhere."""
+
+import numpy as np
+import pytest
+
+from repro.core.instance import ProblemInstance
+from repro.core.restrictions import (
+    BoundedCompetency,
+    CompleteGraph,
+    MinDegreeAtLeast,
+    RandomRegular,
+    RestrictionSet,
+)
+from repro.delegation.graph import SELF, DelegationGraph
+from repro.graphs.generators import (
+    complete_graph,
+    random_regular_graph,
+)
+from repro.mechanisms.base import Ballot, uniform_choice
+from repro.mechanisms.threshold import ApprovalThreshold
+from repro.voting.exact import normal_approx_probability, weighted_bernoulli_pmf
+from repro.voting.outcome import TiePolicy
+
+
+class TestRestrictionComposition:
+    def test_generated_regular_graphs_satisfy_their_restriction(self):
+        for d in (2, 4, 8):
+            g = random_regular_graph(30, d, seed=d)
+            inst = ProblemInstance(g, [0.5] * 30, alpha=0.05)
+            assert RandomRegular(d).is_satisfied(inst)
+            assert MinDegreeAtLeast(d).is_satisfied(inst)
+
+    def test_and_with_non_restriction_set(self):
+        rs = RestrictionSet([CompleteGraph()])
+        with pytest.raises(TypeError):
+            rs & [BoundedCompetency(0.1)]
+
+    def test_violation_message_names_property(self):
+        inst = ProblemInstance(complete_graph(3), [0.9] * 3, alpha=0.05)
+        message = BoundedCompetency(0.2).violation(inst)
+        assert "p ∈" in message
+
+    def test_violation_empty_when_satisfied(self):
+        inst = ProblemInstance(complete_graph(3), [0.5] * 3, alpha=0.05)
+        assert CompleteGraph().violation(inst) == ""
+
+    def test_repr(self):
+        assert "K_n" in repr(CompleteGraph())
+        assert "RestrictionSet" in repr(RestrictionSet([CompleteGraph()]))
+
+
+class TestUniformChoice:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            uniform_choice((), np.random.default_rng(0))
+
+    def test_single_option(self):
+        assert uniform_choice((7,), np.random.default_rng(0)) == 7
+
+    def test_covers_all_options(self):
+        rng = np.random.default_rng(1)
+        seen = {uniform_choice((1, 2, 3), rng) for _ in range(100)}
+        assert seen == {1, 2, 3}
+
+
+class TestBallotDefaults:
+    def test_default_ballot_never_abstains(self, small_complete_instance):
+        mech = ApprovalThreshold(1)
+        ballot = mech.sample_ballot(small_complete_instance, 0)
+        assert isinstance(ballot, Ballot)
+        assert ballot.abstaining == frozenset()
+        assert ballot.participating_weight == small_complete_instance.num_voters
+
+
+class TestNormalApproximationEdgeCases:
+    def test_weighted_case_tracks_exact(self):
+        # moderate weights: CLT applies, approximation close
+        weights = [4, 4, 4] + [1] * 200
+        probs = [0.7, 0.7, 0.7] + [0.55] * 200
+        pmf = weighted_bernoulli_pmf(weights, probs)
+        from repro.voting.exact import tail_from_pmf
+
+        exact = tail_from_pmf(pmf, sum(weights))
+        approx = normal_approx_probability(weights, probs)
+        assert approx == pytest.approx(exact, abs=0.03)
+
+    def test_heavy_atoms_degrade_approximation(self):
+        # two sinks carrying a quarter of the weight each break
+        # normality; the approximation error must be visible (this is
+        # why the library uses the exact DP, not the CLT, by default).
+        weights = [50, 50] + [1] * 100
+        probs = [0.7, 0.7] + [0.55] * 100
+        pmf = weighted_bernoulli_pmf(weights, probs)
+        from repro.voting.exact import tail_from_pmf
+
+        exact = tail_from_pmf(pmf, sum(weights))
+        approx = normal_approx_probability(weights, probs)
+        assert abs(approx - exact) > 0.02
+
+    def test_coin_flip_policy_bounds_strict(self):
+        weights = [1] * 10
+        probs = [0.5] * 10
+        strict = normal_approx_probability(weights, probs, TiePolicy.INCORRECT)
+        coin = normal_approx_probability(weights, probs, TiePolicy.COIN_FLIP)
+        assert coin >= strict
+
+
+class TestDelegationGraphDeepChains:
+    def test_very_long_chain_resolves(self):
+        n = 5000
+        delegates = list(range(1, n)) + [SELF]
+        forest = DelegationGraph(delegates)
+        assert forest.sink_of(0) == n - 1
+        assert forest.weight(n - 1) == n
+        assert forest.max_depth() == n - 1
+
+    def test_wide_star_resolves(self):
+        n = 5000
+        forest = DelegationGraph([SELF] + [0] * (n - 1))
+        assert forest.max_weight() == n
+        assert forest.max_depth() == 1
+
+
+class TestInstanceTransformsPreserveStructure:
+    def test_sorted_instance_same_gain_semantics(self):
+        # relabelling voters must not change direct-voting probability
+        from repro.voting.exact import direct_voting_probability
+
+        rng = np.random.default_rng(3)
+        inst = ProblemInstance(
+            complete_graph(12), rng.uniform(0.2, 0.8, 12), alpha=0.05
+        )
+        sorted_inst, _ = inst.sorted_by_competency()
+        assert direct_voting_probability(
+            sorted_inst.competencies
+        ) == pytest.approx(direct_voting_probability(inst.competencies))
+
+    def test_with_alpha_resets_structure_cache(self):
+        inst = ProblemInstance(
+            complete_graph(6), np.linspace(0.2, 0.7, 6), alpha=0.05
+        )
+        wide = inst.with_alpha(0.4)
+        assert wide.approval_structure().approved_counts.sum() < (
+            inst.approval_structure().approved_counts.sum()
+        )

@@ -1,0 +1,112 @@
+"""Tests for DelegationGraph resolution."""
+
+import pytest
+
+from repro.delegation.graph import SELF, DelegationCycleError, DelegationGraph
+
+
+class TestConstruction:
+    def test_all_direct(self):
+        d = DelegationGraph.direct(4)
+        assert d.sinks == (0, 1, 2, 3)
+        assert d.num_delegators == 0
+        assert all(d.weight(v) == 1 for v in range(4))
+
+    def test_simple_chain(self):
+        # 0 -> 1 -> 2, 3 votes
+        d = DelegationGraph([1, 2, SELF, SELF])
+        assert d.sinks == (2, 3)
+        assert d.sink_of(0) == 2
+        assert d.sink_of(1) == 2
+        assert d.weight(2) == 3
+        assert d.weight(3) == 1
+        assert d.weight(0) == 0
+
+    def test_self_delegation_normalised(self):
+        d = DelegationGraph([0, SELF])
+        assert d.sinks == (0, 1)
+
+    def test_star_concentration(self):
+        d = DelegationGraph([SELF, 0, 0, 0, 0])
+        assert d.max_weight() == 5
+        assert d.num_sinks == 1
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="out-of-range"):
+            DelegationGraph([5, SELF])
+
+    def test_two_cycle_detected(self):
+        with pytest.raises(DelegationCycleError) as err:
+            DelegationGraph([1, 0])
+        assert set(err.value.cycle) >= {0, 1}
+
+    def test_long_cycle_detected(self):
+        with pytest.raises(DelegationCycleError):
+            DelegationGraph([1, 2, 3, 0])
+
+    def test_cycle_with_tail_detected(self):
+        # 0 -> 1 -> 2 -> 1 : cycle {1, 2} reached from 0
+        with pytest.raises(DelegationCycleError):
+            DelegationGraph([1, 2, 1])
+
+    def test_empty(self):
+        d = DelegationGraph([])
+        assert d.num_voters == 0
+        assert d.max_weight() == 0
+        assert d.max_depth() == 0
+
+
+class TestWeights:
+    def test_weights_sum_to_n(self):
+        d = DelegationGraph([2, 2, SELF, SELF, 3])
+        assert sum(d.sink_weights().values()) == 5
+
+    def test_tree_weights(self):
+        #     4
+        #   /   \
+        #  2     3
+        #  |    / \
+        #  0   1   5    (all point up; 4 is sink)
+        d = DelegationGraph([2, 3, 4, 4, SELF, 3])
+        assert d.weight(4) == 6
+        assert d.sinks == (4,)
+
+    def test_forest_weights(self):
+        d = DelegationGraph([SELF, 0, SELF, 2, 2])
+        assert d.sink_weights() == {0: 2, 2: 3}
+
+    def test_num_delegators(self):
+        d = DelegationGraph([SELF, 0, 0, SELF])
+        assert d.num_delegators == 2
+
+
+class TestDepths:
+    def test_depths(self):
+        d = DelegationGraph([1, 2, SELF, SELF])
+        assert d.depth(0) == 2
+        assert d.depth(1) == 1
+        assert d.depth(2) == 0
+        assert d.depth(3) == 0
+        assert d.max_depth() == 2
+
+    def test_depth_order_independent(self):
+        # resolve from different starting points
+        d = DelegationGraph([SELF, 0, 1, 2, 3])
+        assert [d.depth(v) for v in range(5)] == [0, 1, 2, 3, 4]
+
+    def test_depth_all_direct(self):
+        assert DelegationGraph.direct(3).max_depth() == 0
+
+
+class TestAccessors:
+    def test_delegates_readonly(self):
+        d = DelegationGraph([SELF, 0])
+        with pytest.raises(ValueError):
+            d.delegates[0] = 1
+
+    def test_repr(self):
+        d = DelegationGraph([SELF, 0])
+        assert "sinks=1" in repr(d)
+
+    def test_is_acyclic(self):
+        assert DelegationGraph([SELF, 0]).is_acyclic()

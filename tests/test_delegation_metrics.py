@@ -1,0 +1,87 @@
+"""Tests for weight-concentration metrics."""
+
+import numpy as np
+import pytest
+
+from repro.delegation.graph import SELF, DelegationGraph
+from repro.delegation.metrics import (
+    effective_num_voters,
+    normalized_outcome_std,
+    outcome_variance,
+    weight_profile,
+)
+
+
+class TestEffectiveNumVoters:
+    def test_uniform_weights(self):
+        assert effective_num_voters(np.array([1, 1, 1, 1])) == pytest.approx(4.0)
+
+    def test_dictatorship(self):
+        assert effective_num_voters(np.array([10])) == pytest.approx(1.0)
+
+    def test_skewed_below_count(self):
+        e = effective_num_voters(np.array([7, 1, 1, 1]))
+        assert 1.0 < e < 4.0
+
+    def test_empty(self):
+        assert effective_num_voters(np.array([])) == 0.0
+
+
+class TestWeightProfile:
+    def test_direct_voting_profile(self):
+        profile = weight_profile(DelegationGraph.direct(5))
+        assert profile.num_sinks == 5
+        assert profile.max_weight == 1
+        assert profile.delegation_fraction == 0.0
+        assert profile.weight_gini == pytest.approx(0.0)
+        assert profile.effective_num_voters == pytest.approx(5.0)
+        assert profile.max_depth == 0
+
+    def test_dictatorship_profile(self):
+        profile = weight_profile(DelegationGraph([SELF, 0, 0, 0]))
+        assert profile.num_sinks == 1
+        assert profile.max_weight == 4
+        assert profile.delegation_fraction == pytest.approx(0.75)
+        assert profile.effective_num_voters == pytest.approx(1.0)
+
+    def test_max_weight_bound_check(self):
+        profile = weight_profile(DelegationGraph([SELF, 0, SELF]))
+        assert profile.satisfies_max_weight_bound(2)
+        assert not profile.satisfies_max_weight_bound(1.5)
+
+    def test_mean_weight(self):
+        profile = weight_profile(DelegationGraph([SELF, 0, SELF]))
+        assert profile.mean_weight == pytest.approx(1.5)
+
+
+class TestOutcomeVariance:
+    def test_direct_voting_variance(self):
+        d = DelegationGraph.direct(3)
+        p = np.array([0.5, 0.5, 0.5])
+        assert outcome_variance(d, p) == pytest.approx(3 * 0.25)
+
+    def test_dictator_variance_scales_quadratically(self):
+        d = DelegationGraph([SELF, 0, 0, 0])
+        p = np.array([0.5] * 4)
+        assert outcome_variance(d, p) == pytest.approx(16 * 0.25)
+
+    def test_deterministic_sink_no_variance(self):
+        d = DelegationGraph.direct(2)
+        p = np.array([1.0, 0.0])
+        assert outcome_variance(d, p) == 0.0
+
+    def test_normalized_std_direct_bounded(self):
+        n = 100
+        d = DelegationGraph.direct(n)
+        p = np.full(n, 0.5)
+        assert normalized_outcome_std(d, p) == pytest.approx(0.5)
+
+    def test_normalized_std_dictator_grows(self):
+        n = 100
+        d = DelegationGraph([SELF] + [0] * (n - 1))
+        p = np.full(n, 0.5)
+        # dictator: std = n/2, normalized = n/2/sqrt(n) = sqrt(n)/2
+        assert normalized_outcome_std(d, p) == pytest.approx(np.sqrt(n) / 2)
+
+    def test_empty(self):
+        assert normalized_outcome_std(DelegationGraph([]), np.array([])) == 0.0

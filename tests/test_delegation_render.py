@@ -1,0 +1,74 @@
+"""Tests for ASCII forest rendering."""
+
+import pytest
+
+from repro.delegation.graph import SELF, DelegationGraph
+from repro.delegation.render import render_forest, render_summary
+
+
+class TestRenderForest:
+    def test_direct_voting_all_roots(self):
+        forest = DelegationGraph.direct(3)
+        out = render_forest(forest)
+        lines = out.splitlines()
+        assert len(lines) == 3
+        assert all(line.startswith("v") for line in lines)
+
+    def test_tree_structure_markers(self):
+        # 1 -> 0, 2 -> 0, 3 votes
+        forest = DelegationGraph([SELF, 0, 0, SELF])
+        out = render_forest(forest)
+        assert "├── v2" in out
+        assert "└── v3" in out
+        assert "v4" in out
+
+    def test_chain_indentation(self):
+        forest = DelegationGraph([1, 2, SELF])
+        out = render_forest(forest)
+        lines = out.splitlines()
+        assert lines[0].startswith("v3")
+        assert lines[1].startswith("└── v2")
+        assert lines[2].startswith("    └── v1")
+
+    def test_competencies_shown(self):
+        forest = DelegationGraph([1, SELF])
+        out = render_forest(forest, competencies=[0.25, 0.75])
+        assert "p=0.75" in out
+        assert "p=0.25" in out
+
+    def test_weight_only_on_sinks(self):
+        forest = DelegationGraph([1, SELF])
+        out = render_forest(forest)
+        lines = out.splitlines()
+        assert "w=2" in lines[0]
+        assert "w=" not in lines[1]
+
+    def test_zero_based_labels(self):
+        forest = DelegationGraph.direct(2)
+        out = render_forest(forest, one_based=False)
+        assert "v0" in out and "v1" in out
+
+    def test_every_voter_appears_once(self):
+        forest = DelegationGraph([2, 2, SELF, SELF, 3])
+        out = render_forest(forest)
+        for v in range(1, 6):
+            assert out.count(f"v{v} ") + out.count(f"v{v}\n") + (
+                1 if out.endswith(f"v{v}") else 0
+            ) >= 1
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            render_forest(DelegationGraph.direct(2), competencies=[0.5])
+
+    def test_empty_forest(self):
+        assert render_forest(DelegationGraph([])) == ""
+
+
+class TestRenderSummary:
+    def test_contents(self):
+        forest = DelegationGraph([1, 2, SELF, SELF])
+        out = render_summary(forest)
+        assert "4 voters" in out
+        assert "2 sinks" in out
+        assert "max weight 3" in out
+        assert "max depth 2" in out

@@ -1,0 +1,56 @@
+"""Smoke tests for the runnable examples.
+
+Every example must at least parse and expose a ``main`` function; the
+fastest one is executed end to end as a subprocess so regressions in
+the public API surface in CI, not on a user's terminal.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+ALL_EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+class TestExampleStructure:
+    def test_expected_examples_present(self):
+        names = {p.name for p in ALL_EXAMPLES}
+        assert {
+            "quickstart.py",
+            "dao_governance.py",
+            "corporate_network.py",
+            "topology_audit.py",
+            "election_planner.py",
+            "continuous_governance.py",
+        } <= names
+
+    @pytest.mark.parametrize("path", ALL_EXAMPLES, ids=lambda p: p.name)
+    def test_examples_compile(self, path):
+        compile(path.read_text(), str(path), "exec")
+
+    @pytest.mark.parametrize("path", ALL_EXAMPLES, ids=lambda p: p.name)
+    def test_examples_have_main_guard(self, path):
+        text = path.read_text()
+        assert 'if __name__ == "__main__":' in text
+        assert "def main(" in text
+
+    @pytest.mark.parametrize("path", ALL_EXAMPLES, ids=lambda p: p.name)
+    def test_examples_have_docstring(self, path):
+        text = path.read_text()
+        assert text.lstrip().startswith('#!/usr/bin/env python\n"""')
+
+
+class TestQuickstartRuns:
+    def test_quickstart_end_to_end(self):
+        result = subprocess.run(
+            [sys.executable, str(EXAMPLES_DIR / "quickstart.py")],
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert result.returncode == 0, result.stderr
+        assert "gain" in result.stdout
+        assert "do-no-harm violation" in result.stdout

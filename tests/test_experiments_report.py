@@ -1,0 +1,70 @@
+"""Tests for markdown report generation."""
+
+import pytest
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.report import (
+    markdown_report,
+    markdown_section,
+    markdown_table,
+)
+
+
+@pytest.fixture
+def result():
+    return ExperimentResult(
+        experiment_id="T0",
+        title="demo experiment",
+        claim="something should hold",
+        headers=["n", "gain"],
+        rows=[[10, 0.123456], [20, -0.5]],
+        observations=["gain positive at n=10"],
+        seed=1,
+        scale="smoke",
+    )
+
+
+class TestMarkdownTable:
+    def test_structure(self, result):
+        table = markdown_table(result)
+        lines = table.splitlines()
+        assert lines[0] == "| n | gain |"
+        assert lines[1] == "|---|---|"
+        assert len(lines) == 4
+
+    def test_precision(self, result):
+        assert "0.12" in markdown_table(result, precision=2)
+        assert "0.1235" in markdown_table(result, precision=4)
+
+    def test_empty_rows(self, result):
+        result.rows = []
+        assert markdown_table(result).count("\n") == 1
+
+
+class TestMarkdownSection:
+    def test_contains_parts(self, result):
+        section = markdown_section(result)
+        assert "## T0 — demo experiment" in section
+        assert "**Paper claim:** something should hold" in section
+        assert "* measured: gain positive at n=10" in section
+        assert "seed=1" in section
+
+    def test_no_observations(self, result):
+        result.observations = []
+        section = markdown_section(result)
+        assert "measured" not in section
+
+
+class TestMarkdownReport:
+    def test_multiple_sections(self, result):
+        other = ExperimentResult(
+            "T1", "second", "also holds", ["x"], [[1]], [], 0, "smoke"
+        )
+        report = markdown_report([result, other], title="My report")
+        assert report.startswith("# My report")
+        assert "## T0" in report and "## T1" in report
+        assert report.endswith("\n")
+
+    def test_empty_report(self):
+        report = markdown_report([], title="Nothing")
+        assert report == "# Nothing\n"

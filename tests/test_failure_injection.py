@@ -1,0 +1,131 @@
+"""Failure-injection tests: broken mechanisms, malformed inputs, misuse.
+
+A production library must fail loudly and precisely when handed garbage;
+these tests inject the failure modes a downstream integration would hit.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.instance import ProblemInstance
+from repro.delegation.graph import SELF, DelegationCycleError, DelegationGraph
+from repro.graphs.generators import complete_graph
+from repro.graphs.graph import Graph
+from repro.mechanisms.base import DelegationMechanism
+from repro.voting.exact import forest_correct_probability
+from repro.voting.montecarlo import estimate_correct_probability
+
+
+class CyclicMechanism(DelegationMechanism):
+    """A buggy mechanism that ignores approval and builds a 2-cycle."""
+
+    @property
+    def name(self):
+        return "cyclic-bug"
+
+    def sample_delegations(self, instance, rng=None):
+        delegates = [SELF] * instance.num_voters
+        if instance.num_voters >= 2:
+            delegates[0], delegates[1] = 1, 0
+        return DelegationGraph(delegates)
+
+
+class OutOfRangeMechanism(DelegationMechanism):
+    """A buggy mechanism that delegates to a non-existent voter."""
+
+    @property
+    def name(self):
+        return "out-of-range-bug"
+
+    def sample_delegations(self, instance, rng=None):
+        return DelegationGraph([instance.num_voters] * instance.num_voters)
+
+
+@pytest.fixture
+def instance():
+    return ProblemInstance(complete_graph(6), np.linspace(0.2, 0.8, 6), alpha=0.05)
+
+
+class TestBrokenMechanisms:
+    def test_cycle_surfaces_with_cycle_details(self, instance):
+        with pytest.raises(DelegationCycleError) as err:
+            CyclicMechanism().sample_delegations(instance)
+        assert 0 in err.value.cycle and 1 in err.value.cycle
+
+    def test_cycle_error_is_value_error(self, instance):
+        # integrations catching ValueError keep working
+        with pytest.raises(ValueError):
+            CyclicMechanism().sample_delegations(instance)
+
+    def test_out_of_range_rejected(self, instance):
+        with pytest.raises(ValueError, match="out-of-range"):
+            OutOfRangeMechanism().sample_delegations(instance)
+
+    def test_monte_carlo_propagates_mechanism_bugs(self, instance):
+        with pytest.raises(DelegationCycleError):
+            estimate_correct_probability(
+                instance, CyclicMechanism(), rounds=3, seed=0
+            )
+
+
+class TestMalformedEvaluationInputs:
+    def test_forest_evaluation_rejects_short_competencies(self):
+        forest = DelegationGraph.direct(3)
+        with pytest.raises(ValueError, match="does not match"):
+            forest_correct_probability(forest, [0.5, 0.5])
+
+    def test_forest_evaluation_rejects_bad_probabilities(self):
+        forest = DelegationGraph.direct(2)
+        with pytest.raises(ValueError):
+            forest_correct_probability(forest, [0.5, 1.5])
+
+    def test_instance_rejects_graph_mismatch(self):
+        with pytest.raises(ValueError):
+            ProblemInstance(Graph(3), [0.5, 0.5])
+
+
+class TestMisuseOfViews:
+    def test_views_are_immutable(self, instance):
+        view = instance.local_view(0)
+        with pytest.raises(AttributeError):
+            view.voter = 5
+
+    def test_competency_vector_immutable_via_instance(self, instance):
+        with pytest.raises(ValueError):
+            instance.competencies[:] = 0.5
+
+    def test_delegates_array_immutable(self, instance):
+        from repro.mechanisms.threshold import RandomApproved
+
+        forest = RandomApproved().sample_delegations(instance, 0)
+        with pytest.raises(ValueError):
+            forest.delegates[0] = 3
+
+
+class TestDegenerateSizes:
+    def test_single_voter_instance(self):
+        inst = ProblemInstance(Graph(1), [0.7], alpha=0.1)
+        from repro.mechanisms.threshold import RandomApproved
+        from repro.voting.exact import direct_voting_probability
+
+        forest = RandomApproved().sample_delegations(inst, 0)
+        assert forest.num_delegators == 0
+        assert direct_voting_probability(inst.competencies) == pytest.approx(0.7)
+
+    def test_two_voter_tie_semantics(self):
+        inst = ProblemInstance(complete_graph(2), [0.5, 0.5], alpha=0.01)
+        from repro.voting.exact import direct_voting_probability
+        from repro.voting.outcome import TiePolicy
+
+        # strict majority of 2 equal voters requires both correct
+        assert direct_voting_probability(inst.competencies) == pytest.approx(0.25)
+        assert direct_voting_probability(
+            inst.competencies, TiePolicy.COIN_FLIP
+        ) == pytest.approx(0.5)
+
+    def test_disconnected_voters_never_delegate(self):
+        inst = ProblemInstance(Graph(5), np.linspace(0.1, 0.9, 5), alpha=0.01)
+        from repro.mechanisms.threshold import RandomApproved
+
+        forest = RandomApproved().sample_delegations(inst, 0)
+        assert forest.num_delegators == 0

@@ -1,0 +1,237 @@
+"""Tests for graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.generators import (
+    barabasi_albert_graph,
+    complete_graph,
+    connected_caveman_graph,
+    cycle_graph,
+    erdos_renyi_graph,
+    grid_graph,
+    path_graph,
+    random_bounded_degree_graph,
+    random_min_degree_graph,
+    random_regular_graph,
+    star_graph,
+    star_of_cliques_graph,
+    watts_strogatz_graph,
+)
+from repro.graphs.properties import is_connected
+
+
+class TestCompleteGraph:
+    def test_edge_count(self):
+        g = complete_graph(6)
+        assert g.num_edges == 15
+        assert g.is_complete()
+
+    def test_trivial_sizes(self):
+        assert complete_graph(0).num_edges == 0
+        assert complete_graph(1).num_edges == 0
+        assert complete_graph(2).num_edges == 1
+
+
+class TestStarGraph:
+    def test_structure(self):
+        g = star_graph(5)
+        assert g.degree(0) == 4
+        assert all(g.degree(v) == 1 for v in range(1, 5))
+
+    def test_custom_centre(self):
+        g = star_graph(5, centre=2)
+        assert g.degree(2) == 4
+
+    def test_single_vertex(self):
+        assert star_graph(1).num_edges == 0
+
+    def test_rejects_bad_centre(self):
+        with pytest.raises(ValueError):
+            star_graph(5, centre=5)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            star_graph(0)
+
+
+class TestCyclePathGrid:
+    def test_cycle_regular(self):
+        g = cycle_graph(7)
+        assert g.is_regular()
+        assert g.degree(0) == 2
+        assert g.num_edges == 7
+
+    def test_cycle_min_size(self):
+        with pytest.raises(ValueError):
+            cycle_graph(2)
+
+    def test_path_degrees(self):
+        g = path_graph(5)
+        assert g.degree(0) == 1
+        assert g.degree(2) == 2
+        assert g.num_edges == 4
+
+    def test_grid_shape(self):
+        g = grid_graph(3, 4)
+        assert g.num_vertices == 12
+        assert g.num_edges == 3 * 3 + 2 * 4  # horizontal + vertical
+        assert g.max_degree() == 4 or g.max_degree() == 3  # interior exists for 3x4? 3x4 has interior
+        assert is_connected(g)
+
+    def test_grid_1x1(self):
+        assert grid_graph(1, 1).num_vertices == 1
+
+
+class TestRandomRegular:
+    @pytest.mark.parametrize("n,d", [(10, 3), (50, 4), (100, 16), (64, 63)])
+    def test_regularity(self, n, d):
+        g = random_regular_graph(n, d, seed=0)
+        assert g.num_vertices == n
+        assert all(deg == d for deg in g.degrees())
+
+    def test_d_zero(self):
+        assert random_regular_graph(5, 0).num_edges == 0
+
+    def test_rejects_odd_product(self):
+        with pytest.raises(ValueError, match="even"):
+            random_regular_graph(5, 3)
+
+    def test_rejects_d_too_large(self):
+        with pytest.raises(ValueError):
+            random_regular_graph(5, 5)
+
+    def test_deterministic_with_seed(self):
+        a = random_regular_graph(20, 4, seed=1)
+        b = random_regular_graph(20, 4, seed=1)
+        assert a == b
+
+    def test_different_seeds_vary(self):
+        a = random_regular_graph(40, 4, seed=1)
+        b = random_regular_graph(40, 4, seed=2)
+        assert a != b
+
+
+class TestErdosRenyi:
+    def test_p_zero_empty(self):
+        assert erdos_renyi_graph(20, 0.0, seed=0).num_edges == 0
+
+    def test_p_one_complete(self):
+        assert erdos_renyi_graph(10, 1.0, seed=0).is_complete()
+
+    def test_edge_count_plausible(self):
+        g = erdos_renyi_graph(200, 0.1, seed=0)
+        expected = 0.1 * 200 * 199 / 2
+        assert 0.7 * expected < g.num_edges < 1.3 * expected
+
+    def test_rejects_bad_p(self):
+        with pytest.raises(ValueError):
+            erdos_renyi_graph(5, 1.5)
+
+
+class TestBarabasiAlbert:
+    def test_sizes(self):
+        g = barabasi_albert_graph(50, 3, seed=0)
+        assert g.num_vertices == 50
+        # star seed: m edges; each of the n-m-1 later vertices adds m edges.
+        assert g.num_edges == 3 + (50 - 4) * 3
+
+    def test_min_degree(self):
+        g = barabasi_albert_graph(50, 2, seed=0)
+        assert g.min_degree() >= 1
+
+    def test_hub_emerges(self):
+        g = barabasi_albert_graph(300, 2, seed=0)
+        assert g.max_degree() > 4 * g.min_degree()
+
+    def test_connected(self):
+        assert is_connected(barabasi_albert_graph(100, 2, seed=1))
+
+    def test_rejects_small_n(self):
+        with pytest.raises(ValueError):
+            barabasi_albert_graph(3, 3)
+
+    def test_rejects_zero_m(self):
+        with pytest.raises(ValueError):
+            barabasi_albert_graph(5, 0)
+
+
+class TestWattsStrogatz:
+    def test_no_rewire_is_ring_lattice(self):
+        g = watts_strogatz_graph(20, 4, 0.0, seed=0)
+        assert g.is_regular()
+        assert g.degree(0) == 4
+
+    def test_rewire_preserves_edge_count(self):
+        g = watts_strogatz_graph(50, 6, 0.5, seed=0)
+        assert g.num_edges == 50 * 3
+
+    def test_rejects_odd_k(self):
+        with pytest.raises(ValueError):
+            watts_strogatz_graph(10, 3, 0.1)
+
+    def test_rejects_n_le_k(self):
+        with pytest.raises(ValueError):
+            watts_strogatz_graph(4, 4, 0.1)
+
+
+class TestCavemanAndCliqueStar:
+    def test_caveman_size(self):
+        g = connected_caveman_graph(4, 5)
+        assert g.num_vertices == 20
+        assert is_connected(g)
+
+    def test_caveman_single_clique(self):
+        g = connected_caveman_graph(1, 4)
+        assert g.is_complete()
+
+    def test_star_of_cliques(self):
+        g = star_of_cliques_graph(3, 4)
+        assert g.num_vertices == 13
+        assert g.degree(0) == 3  # hub touches one member per clique
+        assert is_connected(g)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            connected_caveman_graph(0, 3)
+        with pytest.raises(ValueError):
+            star_of_cliques_graph(2, 0)
+
+
+class TestBoundedDegree:
+    @pytest.mark.parametrize("delta", [2, 4, 16])
+    def test_respects_bound(self, delta):
+        g = random_bounded_degree_graph(100, delta, seed=0)
+        assert g.max_degree() <= delta
+
+    def test_connected_for_delta_ge_2(self):
+        g = random_bounded_degree_graph(60, 3, seed=1)
+        assert is_connected(g)
+
+    def test_matching_for_delta_1(self):
+        g = random_bounded_degree_graph(10, 1, seed=0)
+        assert g.max_degree() <= 1
+
+    def test_rejects_bad_delta(self):
+        with pytest.raises(ValueError):
+            random_bounded_degree_graph(10, 0)
+
+
+class TestMinDegree:
+    @pytest.mark.parametrize("delta", [1, 3, 8])
+    def test_respects_bound(self, delta):
+        g = random_min_degree_graph(40, delta, seed=0)
+        assert g.min_degree() >= delta
+
+    def test_zero_min_degree(self):
+        g = random_min_degree_graph(5, 0, seed=0)
+        assert g.num_edges == 0
+
+    def test_rejects_impossible(self):
+        with pytest.raises(ValueError):
+            random_min_degree_graph(5, 5)
+
+    def test_deterministic(self):
+        a = random_min_degree_graph(30, 4, seed=7)
+        b = random_min_degree_graph(30, 4, seed=7)
+        assert a == b

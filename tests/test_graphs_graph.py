@@ -1,0 +1,135 @@
+"""Tests for the Graph type."""
+
+import pytest
+
+from repro.graphs.graph import Graph
+
+
+class TestConstruction:
+    def test_empty(self):
+        g = Graph(0)
+        assert g.num_vertices == 0
+        assert g.num_edges == 0
+
+    def test_basic(self):
+        g = Graph(3, [(0, 1), (1, 2)])
+        assert g.num_vertices == 3
+        assert g.num_edges == 2
+
+    def test_edges_normalised_sorted(self):
+        g = Graph(3, [(2, 1), (1, 0)])
+        assert g.edges == ((0, 1), (1, 2))
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(ValueError, match="self-loop"):
+            Graph(2, [(0, 0)])
+
+    def test_rejects_duplicate_edge(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Graph(3, [(0, 1), (1, 0)])
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError, match="out of range"):
+            Graph(2, [(0, 2)])
+
+    def test_rejects_negative_vertex_count(self):
+        with pytest.raises(ValueError):
+            Graph(-1)
+
+
+class TestAccessors:
+    @pytest.fixture
+    def triangle_plus(self):
+        # triangle 0-1-2 plus pendant 3 attached to 0
+        return Graph(4, [(0, 1), (1, 2), (0, 2), (0, 3)])
+
+    def test_neighbors_sorted(self, triangle_plus):
+        assert triangle_plus.neighbors(0) == (1, 2, 3)
+
+    def test_degree(self, triangle_plus):
+        assert triangle_plus.degree(0) == 3
+        assert triangle_plus.degree(3) == 1
+
+    def test_degrees(self, triangle_plus):
+        assert triangle_plus.degrees() == [3, 2, 2, 1]
+
+    def test_has_edge(self, triangle_plus):
+        assert triangle_plus.has_edge(0, 1)
+        assert triangle_plus.has_edge(1, 0)
+        assert not triangle_plus.has_edge(1, 3)
+
+    def test_has_edge_out_of_range_false(self, triangle_plus):
+        assert not triangle_plus.has_edge(0, 10)
+
+    def test_len_and_iter(self, triangle_plus):
+        assert len(triangle_plus) == 4
+        assert list(triangle_plus) == [0, 1, 2, 3]
+
+    def test_max_min_degree(self, triangle_plus):
+        assert triangle_plus.max_degree() == 3
+        assert triangle_plus.min_degree() == 1
+
+    def test_empty_graph_degrees(self):
+        g = Graph(0)
+        assert g.max_degree() == 0
+        assert g.min_degree() == 0
+
+
+class TestPredicates:
+    def test_complete_detection(self):
+        g = Graph(3, [(0, 1), (1, 2), (0, 2)])
+        assert g.is_complete()
+
+    def test_not_complete(self):
+        assert not Graph(3, [(0, 1)]).is_complete()
+
+    def test_regular(self):
+        cycle = Graph(4, [(0, 1), (1, 2), (2, 3), (3, 0)])
+        assert cycle.is_regular()
+
+    def test_not_regular(self):
+        assert not Graph(3, [(0, 1)]).is_regular()
+
+    def test_empty_is_regular(self):
+        assert Graph(0).is_regular()
+
+
+class TestEqualityHash:
+    def test_equal(self):
+        a = Graph(3, [(0, 1)])
+        b = Graph(3, [(1, 0)])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_unequal_edges(self):
+        assert Graph(3, [(0, 1)]) != Graph(3, [(0, 2)])
+
+    def test_unequal_sizes(self):
+        assert Graph(3) != Graph(4)
+
+    def test_non_graph_comparison(self):
+        assert Graph(1) != "graph"
+
+
+class TestInterop:
+    def test_networkx_roundtrip(self):
+        g = Graph(4, [(0, 1), (2, 3), (1, 2)])
+        back = Graph.from_networkx(g.to_networkx())
+        assert back == g
+
+    def test_from_networkx_relabels(self):
+        import networkx as nx
+
+        nxg = nx.Graph()
+        nxg.add_edge(10, 20)
+        g = Graph.from_networkx(nxg)
+        assert g.num_vertices == 2
+        assert g.has_edge(0, 1)
+
+    def test_from_adjacency(self):
+        g = Graph.from_adjacency([[1], [0, 2], [1]])
+        assert g.edges == ((0, 1), (1, 2))
+
+    def test_from_adjacency_rejects_asymmetric(self):
+        with pytest.raises(ValueError, match="asymmetric"):
+            Graph.from_adjacency([[1], []])

@@ -1,0 +1,104 @@
+"""Tests for graph structural statistics."""
+
+import pytest
+
+from repro.graphs.generators import (
+    barabasi_albert_graph,
+    complete_graph,
+    cycle_graph,
+    path_graph,
+    star_graph,
+)
+from repro.graphs.graph import Graph
+from repro.graphs.properties import (
+    connected_components,
+    degree_statistics,
+    gini_coefficient,
+    is_connected,
+    structural_asymmetry,
+)
+
+
+class TestGini:
+    def test_uniform_is_zero(self):
+        assert gini_coefficient([3, 3, 3, 3]) == pytest.approx(0.0)
+
+    def test_single_holder_near_one(self):
+        g = gini_coefficient([0] * 99 + [100])
+        assert g > 0.95
+
+    def test_empty_is_zero(self):
+        assert gini_coefficient([]) == 0.0
+
+    def test_all_zero_is_zero(self):
+        assert gini_coefficient([0, 0, 0]) == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            gini_coefficient([1, -1])
+
+    def test_scale_invariant(self):
+        a = gini_coefficient([1, 2, 3])
+        b = gini_coefficient([10, 20, 30])
+        assert a == pytest.approx(b)
+
+
+class TestDegreeStatistics:
+    def test_complete(self):
+        stats = degree_statistics(complete_graph(5))
+        assert stats.min_degree == stats.max_degree == 4
+        assert stats.is_regular()
+        assert stats.degree_variance == 0.0
+
+    def test_star(self):
+        stats = degree_statistics(star_graph(10))
+        assert stats.max_degree == 9
+        assert stats.min_degree == 1
+        assert not stats.is_regular()
+        assert stats.degree_gini > 0.3
+
+    def test_empty(self):
+        stats = degree_statistics(Graph(0))
+        assert stats.num_vertices == 0
+        assert stats.mean_degree == 0.0
+
+    def test_mean_degree(self):
+        stats = degree_statistics(path_graph(4))
+        assert stats.mean_degree == pytest.approx(2 * 3 / 4)
+
+
+class TestStructuralAsymmetry:
+    def test_regular_graphs_zero(self):
+        assert structural_asymmetry(cycle_graph(10)) == pytest.approx(0.0)
+        assert structural_asymmetry(complete_graph(10)) == pytest.approx(0.0)
+
+    def test_star_high(self):
+        assert structural_asymmetry(star_graph(100)) > 0.4
+
+    def test_ba_between(self):
+        ba = structural_asymmetry(barabasi_albert_graph(200, 2, seed=0))
+        assert 0.05 < ba < 0.7
+
+
+class TestConnectivity:
+    def test_connected_cases(self):
+        assert is_connected(path_graph(5))
+        assert is_connected(complete_graph(4))
+        assert is_connected(Graph(1))
+        assert is_connected(Graph(0))
+
+    def test_disconnected(self):
+        g = Graph(4, [(0, 1), (2, 3)])
+        assert not is_connected(g)
+
+    def test_isolated_vertex(self):
+        g = Graph(3, [(0, 1)])
+        assert not is_connected(g)
+
+    def test_components(self):
+        g = Graph(5, [(0, 1), (2, 3)])
+        comps = connected_components(g)
+        assert sorted(map(tuple, comps)) == [(0, 1), (2, 3), (4,)]
+
+    def test_components_single(self):
+        assert connected_components(complete_graph(3)) == [[0, 1, 2]]

@@ -1,0 +1,185 @@
+"""Integration tests: the paper's end-to-end claims on real pipelines.
+
+These tests exercise multiple modules together — instance construction,
+mechanism execution, delegation resolution, exact evaluation, analysis —
+asserting the quantitative shapes the paper proves.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    ApprovalThreshold,
+    CappedRandomApproved,
+    DirectVoting,
+    GreedyBest,
+    ProblemInstance,
+    RandomApproved,
+    SampledNeighbourhood,
+    bounded_uniform_competencies,
+    complete_graph,
+    exact_gain,
+    lemma3_loss_probability_bound,
+    monte_carlo_gain,
+    random_regular_graph,
+    star_graph,
+    weight_profile,
+)
+from repro.delegation.metrics import normalized_outcome_std
+from repro.sampling.builders import recycle_graph_from_mechanism_run
+from repro.voting.exact import direct_voting_probability, forest_correct_probability
+
+
+class TestStarCounterexample:
+    """Figure 1 / Kahng et al.'s impossibility engine, end to end."""
+
+    @staticmethod
+    def star_instance(n):
+        p = np.full(n, 9 / 16)
+        p[0] = 5 / 8
+        return ProblemInstance(star_graph(n), p, alpha=0.01)
+
+    def test_direct_probability_converges_to_one(self):
+        probs = [
+            direct_voting_probability(self.star_instance(n).competencies)
+            for n in (9, 65, 513)
+        ]
+        assert probs == sorted(probs)
+        assert probs[-1] > 0.95
+
+    def test_delegation_stuck_at_hub_competency(self):
+        for n in (9, 65, 513):
+            inst = self.star_instance(n)
+            est = exact_gain(inst, GreedyBest())
+            assert est.mechanism_probability == pytest.approx(5 / 8)
+
+    def test_loss_converges_to_three_eighths(self):
+        inst = self.star_instance(2049)
+        est = exact_gain(inst, GreedyBest())
+        assert est.gain == pytest.approx(-3 / 8, abs=0.01)
+
+    def test_variance_collapse_is_the_cause(self):
+        # the paper's thesis: delegation destroys outcome variance.
+        inst = self.star_instance(513)
+        forest = GreedyBest().sample_delegations(inst, 0)
+        direct_std = normalized_outcome_std(
+            DirectVoting().sample_delegations(inst, 0), inst.competencies
+        )
+        deleg_std = normalized_outcome_std(forest, inst.competencies)
+        # dictator: std scales like sqrt(n) * sqrt(p(1-p)) per normalised
+        # unit; direct voting keeps it constant.
+        assert direct_std < 1.0
+        assert deleg_std > 10.0
+
+    def test_weight_cap_restores_dnh(self):
+        # Lemma 5 in action: cap the hub's weight and the loss vanishes.
+        inst = self.star_instance(513)
+        capped = CappedRandomApproved(4)
+        est = monte_carlo_gain(inst, capped, rounds=40, seed=0)
+        assert est.gain > -0.01
+
+
+class TestCompleteGraphTheorem2:
+    def test_gain_positive_across_sizes(self):
+        for n in (64, 256, 1024):
+            inst = ProblemInstance(
+                complete_graph(n),
+                bounded_uniform_competencies(n, 0.35, seed=n),
+                alpha=0.05,
+            )
+            mech = ApprovalThreshold(lambda d: max(1.0, d ** (1 / 3)))
+            est = monte_carlo_gain(inst, mech, rounds=60, seed=n)
+            assert est.gain > 0.1, f"n={n}"
+
+    def test_delegation_dominates_direct_in_expectation(self):
+        n = 256
+        inst = ProblemInstance(
+            complete_graph(n),
+            bounded_uniform_competencies(n, 0.35, seed=0),
+            alpha=0.05,
+        )
+        mech = RandomApproved()
+        graph, _ = recycle_graph_from_mechanism_run(inst, mech)
+        num_delegators = sum(1 for node in graph.nodes if node.successors)
+        # Lemma 7: mu(Y) >= mu(X) + (n - k) * alpha
+        assert graph.mean_sum() >= (
+            float(inst.competencies.sum()) + num_delegators * inst.alpha - 1e-9
+        )
+
+    def test_partition_complexity_at_most_one_over_alpha(self):
+        inst = ProblemInstance(
+            complete_graph(128),
+            bounded_uniform_competencies(128, 0.35, seed=1),
+            alpha=0.05,
+        )
+        graph, _ = recycle_graph_from_mechanism_run(inst, RandomApproved())
+        assert graph.partition_complexity() <= 21  # 1/alpha + 1
+
+
+class TestRandomRegularTheorem3:
+    def test_gain_positive(self):
+        n, d = 512, 16
+        inst = ProblemInstance(
+            random_regular_graph(n, d, seed=0),
+            bounded_uniform_competencies(n, 0.35, seed=0),
+            alpha=0.05,
+        )
+        mech = SampledNeighbourhood(threshold=lambda s: max(1.0, s ** (1 / 3)), d=d)
+        est = monte_carlo_gain(inst, mech, rounds=60, seed=0)
+        assert est.gain > 0.1
+
+    def test_weights_stay_moderate(self):
+        n, d = 512, 16
+        inst = ProblemInstance(
+            random_regular_graph(n, d, seed=1),
+            bounded_uniform_competencies(n, 0.35, seed=1),
+            alpha=0.05,
+        )
+        forest = SampledNeighbourhood(threshold=2, d=d).sample_delegations(inst, 0)
+        profile = weight_profile(forest)
+        assert profile.max_weight < n ** 0.75
+
+
+class TestLemma3EndToEnd:
+    def test_exact_flip_probability_below_erf_bound(self):
+        beta, eps = 0.3, 0.1
+        from repro.voting.exact import poisson_binomial_pmf
+
+        for n in (100, 400, 1600):
+            p = bounded_uniform_competencies(n, beta, seed=n)
+            d = int(n ** (0.5 - eps))
+            pmf = poisson_binomial_pmf(p)
+            half = n // 2
+            lo, hi = max(0, half - 2 * d), min(n, half + 2 * d)
+            flip = float(pmf[lo : hi + 1].sum())
+            assert flip <= lemma3_loss_probability_bound(n, eps, beta) + 1e-9
+
+    def test_flip_probability_decreases_in_n(self):
+        beta, eps = 0.3, 0.15
+        from repro.voting.exact import poisson_binomial_pmf
+
+        flips = []
+        for n in (100, 1600, 6400):
+            p = np.full(n, 0.5)  # worst case: mean exactly at the boundary
+            d = int(n ** (0.5 - eps))
+            pmf = poisson_binomial_pmf(p)
+            half = n // 2
+            flips.append(float(pmf[half - 2 * d : half + 2 * d + 1].sum()))
+        assert flips == sorted(flips, reverse=True)
+
+
+class TestDictatorshipFootnote:
+    """Footnote 1: 'delegating all votes to a single dictator leads to
+    worse outcomes' — verified as exact probabilities."""
+
+    def test_dictator_vs_crowd(self):
+        n = 201
+        p = np.full(n, 0.55)
+        p[-1] = 0.8  # the would-be dictator is genuinely better ...
+        inst = ProblemInstance(complete_graph(n), p, alpha=0.1)
+        dictator = GreedyBest()
+        est = exact_gain(inst, dictator)
+        # ... but the crowd of weaker voters still beats one strong voter.
+        assert est.mechanism_probability == pytest.approx(0.8)
+        assert est.direct_probability > 0.9
+        assert est.gain < -0.1

@@ -1,0 +1,93 @@
+"""Integration tests across the tooling layers: CLI, report, io, registry.
+
+These exercise multi-module flows end to end with real experiments at
+smoke scale.
+"""
+
+import io as stringio
+import json
+
+import pytest
+
+from repro import io as repro_io
+from repro.cli import main
+from repro.experiments import (
+    ExperimentConfig,
+    get_experiment,
+    list_experiments,
+    markdown_report,
+)
+
+
+class TestRunAllPipeline:
+    def test_registry_report_roundtrip(self, tmp_path):
+        """Run a handful of experiments, render and serialise them."""
+        cfg = ExperimentConfig(seed=5, scale="smoke")
+        ids = ["F1", "L5", "A3"]
+        results = [get_experiment(eid)(cfg) for eid in ids]
+
+        # markdown report contains every section
+        report = markdown_report(results, title="Integration check")
+        for eid in ids:
+            assert f"## {eid}" in report
+
+        # JSON round-trip preserves rows exactly
+        for result in results:
+            data = repro_io.dumps(result)
+            back = repro_io.loads(data)
+            assert back.rows == result.rows
+            assert back.claim == result.claim
+
+        # and the serialised form is plain JSON
+        parsed = json.loads(repro_io.dumps(results[0]))
+        assert parsed["type"] == "result"
+
+    def test_cli_run_multiple_sections(self):
+        out = stringio.StringIO()
+        code = main(["run", "F1", "--scale", "smoke"], out=out)
+        assert code == 0
+        text = out.getvalue()
+        assert "[F1]" in text
+        assert "P_delegation" in text
+
+    def test_every_registered_experiment_has_bench(self):
+        """Each experiment id must be exercised by a benchmarks/ file."""
+        import pathlib
+
+        bench_dir = pathlib.Path(__file__).resolve().parent.parent / "benchmarks"
+        bench_source = "\n".join(
+            p.read_text() for p in bench_dir.glob("bench_*.py")
+        )
+        missing = [
+            eid
+            for eid, _ in list_experiments()
+            if f'run_experiment("{eid}")' not in bench_source
+        ]
+        assert not missing, f"experiments without benches: {missing}"
+
+    def test_experiments_md_covers_every_experiment(self):
+        import pathlib
+
+        doc = (
+            pathlib.Path(__file__).resolve().parent.parent / "EXPERIMENTS.md"
+        ).read_text()
+        missing = [
+            eid for eid, _ in list_experiments() if f"## {eid} " not in doc
+        ]
+        assert not missing, f"experiments undocumented in EXPERIMENTS.md: {missing}"
+
+
+class TestSeedStability:
+    """The same (id, seed, scale) must reproduce identical rows."""
+
+    @pytest.mark.parametrize("eid", ["F1", "L3", "A3"])
+    def test_deterministic_experiments(self, eid):
+        cfg = ExperimentConfig(seed=9, scale="smoke")
+        a = get_experiment(eid)(cfg)
+        b = get_experiment(eid)(cfg)
+        assert a.rows == b.rows
+
+    def test_seed_changes_stochastic_rows(self):
+        r1 = get_experiment("T2")(ExperimentConfig(seed=1, scale="smoke"))
+        r2 = get_experiment("T2")(ExperimentConfig(seed=2, scale="smoke"))
+        assert r1.rows != r2.rows

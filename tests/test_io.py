@@ -1,0 +1,104 @@
+"""Tests for JSON serialisation."""
+
+import numpy as np
+import pytest
+
+from repro import io as repro_io
+from repro.core.instance import ProblemInstance
+from repro.delegation.graph import SELF, DelegationGraph
+from repro.experiments.base import ExperimentResult
+from repro.graphs.generators import complete_graph, erdos_renyi_graph
+from repro.graphs.graph import Graph
+
+
+class TestGraphRoundtrip:
+    def test_roundtrip(self):
+        g = erdos_renyi_graph(15, 0.3, seed=0)
+        assert repro_io.loads(repro_io.dumps(g)) == g
+
+    def test_empty_graph(self):
+        assert repro_io.loads(repro_io.dumps(Graph(0))) == Graph(0)
+
+    def test_type_tag(self):
+        import json
+
+        data = json.loads(repro_io.dumps(Graph(2, [(0, 1)])))
+        assert data["type"] == "graph"
+        assert data["version"] == repro_io.FORMAT_VERSION
+
+
+class TestInstanceRoundtrip:
+    def test_roundtrip(self):
+        rng = np.random.default_rng(1)
+        inst = ProblemInstance(
+            complete_graph(8), rng.uniform(0.1, 0.9, 8), alpha=0.07
+        )
+        back = repro_io.loads(repro_io.dumps(inst))
+        assert back.graph == inst.graph
+        assert np.allclose(back.competencies, inst.competencies)
+        assert back.alpha == inst.alpha
+
+
+class TestForestRoundtrip:
+    def test_roundtrip(self):
+        forest = DelegationGraph([2, 2, SELF, SELF, 3])
+        back = repro_io.loads(repro_io.dumps(forest))
+        assert np.array_equal(back.delegates, forest.delegates)
+        assert back.sinks == forest.sinks
+
+
+class TestResultRoundtrip:
+    def test_roundtrip(self):
+        result = ExperimentResult(
+            experiment_id="T9",
+            title="demo",
+            claim="it works",
+            headers=["a", "b"],
+            rows=[[1, 2.5], ["x", True]],
+            observations=["fine"],
+            seed=3,
+            scale="smoke",
+        )
+        back = repro_io.loads(repro_io.dumps(result))
+        assert back.experiment_id == "T9"
+        assert back.rows == [[1, 2.5], ["x", True]]
+        assert back.observations == ["fine"]
+        assert back.scale == "smoke"
+
+
+class TestFileIO:
+    def test_save_load(self, tmp_path):
+        g = complete_graph(4)
+        path = tmp_path / "graph.json"
+        repro_io.save(g, str(path))
+        assert repro_io.load(str(path)) == g
+
+    def test_indentation_readable(self, tmp_path):
+        path = tmp_path / "g.json"
+        repro_io.save(complete_graph(3), str(path))
+        assert "\n" in path.read_text()
+
+
+class TestErrors:
+    def test_unknown_type_dump(self):
+        with pytest.raises(TypeError):
+            repro_io.dumps(42)
+
+    def test_unknown_type_load(self):
+        with pytest.raises(ValueError, match="unknown serialised type"):
+            repro_io.loads('{"type": "alien", "version": 1}')
+
+    def test_non_object_load(self):
+        with pytest.raises(ValueError):
+            repro_io.loads("[1, 2, 3]")
+
+    def test_wrong_kind_nested(self):
+        g = repro_io.dumps(complete_graph(2))
+        with pytest.raises(ValueError, match="expected serialised"):
+            repro_io.instance_from_dict(__import__("json").loads(g))
+
+    def test_version_mismatch(self):
+        with pytest.raises(ValueError, match="version"):
+            repro_io.loads(
+                '{"type": "graph", "version": 99, "num_vertices": 1, "edges": []}'
+            )

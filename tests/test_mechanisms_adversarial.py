@@ -1,0 +1,136 @@
+"""Tests for adversarial delegation mechanisms."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.bounds import theorem4_weight_bound
+from repro.core.instance import ProblemInstance
+from repro.delegation.graph import SELF
+from repro.graphs.generators import (
+    complete_graph,
+    random_bounded_degree_graph,
+    star_graph,
+)
+from repro.mechanisms.adversarial import (
+    AdversarialConcentrator,
+    LeastCompetentApproved,
+)
+from repro.mechanisms.threshold import RandomApproved
+
+
+class TestAdversarialConcentrator:
+    def test_star_full_concentration(self, figure1_instance):
+        forest = AdversarialConcentrator().sample_delegations(figure1_instance, 0)
+        assert forest.max_weight() == figure1_instance.num_voters
+
+    def test_budget_respected(self, figure1_instance):
+        forest = AdversarialConcentrator(budget=5).sample_delegations(
+            figure1_instance, 0
+        )
+        assert forest.num_delegators == 5
+        assert forest.max_weight() == 6
+
+    def test_zero_budget_is_direct(self, figure1_instance):
+        forest = AdversarialConcentrator(budget=0).sample_delegations(
+            figure1_instance, 0
+        )
+        assert forest.num_delegators == 0
+
+    def test_delegations_legal(self, small_complete_instance):
+        forest = AdversarialConcentrator().sample_delegations(
+            small_complete_instance, 0
+        )
+        inst = small_complete_instance
+        for v in range(inst.num_voters):
+            t = int(forest.delegates[v])
+            if t != SELF:
+                assert inst.approves(v, t)
+
+    def test_no_approvals_no_delegation(self):
+        inst = ProblemInstance(complete_graph(4), [0.5] * 4, alpha=0.05)
+        forest = AdversarialConcentrator().sample_delegations(inst, 0)
+        assert forest.num_delegators == 0
+
+    def test_concentrates_more_than_random(self, small_complete_instance):
+        adv = AdversarialConcentrator().sample_delegations(
+            small_complete_instance, 0
+        )
+        rand = RandomApproved().sample_delegations(small_complete_instance, 0)
+        assert adv.max_weight() >= rand.max_weight()
+
+    def test_deterministic(self, small_complete_instance):
+        a = AdversarialConcentrator().sample_delegations(small_complete_instance, 0)
+        b = AdversarialConcentrator().sample_delegations(small_complete_instance, 7)
+        assert np.array_equal(a.delegates, b.delegates)
+
+    def test_rejects_negative_budget(self):
+        with pytest.raises(ValueError):
+            AdversarialConcentrator(budget=-1)
+
+    def test_not_local(self):
+        assert not AdversarialConcentrator().is_local
+
+
+class TestLeastCompetentApproved:
+    def test_targets_worst_approved(self, small_complete_instance):
+        forest = LeastCompetentApproved().sample_delegations(
+            small_complete_instance, 0
+        )
+        inst = small_complete_instance
+        comp = inst.competencies
+        for v in range(inst.num_voters):
+            t = int(forest.delegates[v])
+            if t == SELF:
+                continue
+            approved = inst.approved_neighbors(v)
+            assert comp[t] == min(comp[a] for a in approved)
+
+    def test_still_upward(self, small_complete_instance):
+        forest = LeastCompetentApproved().sample_delegations(
+            small_complete_instance, 0
+        )
+        inst = small_complete_instance
+        for v in range(inst.num_voters):
+            t = int(forest.delegates[v])
+            if t != SELF:
+                assert inst.competencies[t] >= (
+                    inst.competencies[v] + inst.alpha - 1e-12
+                )
+
+    def test_longer_chains_than_greedy_best(self):
+        from repro.mechanisms.greedy import GreedyBest
+
+        n = 20
+        inst = ProblemInstance(
+            complete_graph(n), np.linspace(0.1, 0.9, n), alpha=0.03
+        )
+        pessimist = LeastCompetentApproved().sample_delegations(inst, 0)
+        optimist = GreedyBest().sample_delegations(inst, 0)
+        assert pessimist.max_depth() > optimist.max_depth()
+
+
+class TestTheorem4WeightBound:
+    def test_bound_holds_empirically(self):
+        n, delta, alpha = 400, 4, 0.3
+        rng = np.random.default_rng(0)
+        graph = random_bounded_degree_graph(n, delta, seed=1)
+        inst = ProblemInstance(graph, rng.uniform(0.2, 0.8, n), alpha=alpha)
+        bound = theorem4_weight_bound(delta, alpha)
+        for seed in range(5):
+            forest = RandomApproved().sample_delegations(inst, seed)
+            assert forest.max_weight() <= bound
+
+    def test_monotone_in_degree(self):
+        assert theorem4_weight_bound(8, 0.2) > theorem4_weight_bound(4, 0.2)
+
+    def test_monotone_in_alpha(self):
+        assert theorem4_weight_bound(4, 0.1) > theorem4_weight_bound(4, 0.5)
+
+    def test_degree_one(self):
+        assert theorem4_weight_bound(1, 0.5) == 3.0
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            theorem4_weight_bound(-1, 0.5)
+        with pytest.raises(ValueError):
+            theorem4_weight_bound(4, 0.0)

@@ -1,0 +1,150 @@
+"""Tests for DirectVoting, ApprovalThreshold, RandomApproved, FractionApproved."""
+
+import numpy as np
+import pytest
+
+from repro.core.instance import ProblemInstance
+from repro.delegation.graph import SELF
+from repro.graphs.generators import complete_graph, path_graph, star_graph
+from repro.mechanisms.direct import DirectVoting
+from repro.mechanisms.fraction import FractionApproved
+from repro.mechanisms.threshold import ApprovalThreshold, RandomApproved
+
+
+class TestDirectVoting:
+    def test_nobody_delegates(self, small_complete_instance):
+        forest = DirectVoting().sample_delegations(small_complete_instance, 0)
+        assert forest.num_delegators == 0
+
+    def test_distribution(self, small_complete_instance):
+        view = small_complete_instance.local_view(0)
+        assert DirectVoting().distribution(view) == {None: 1.0}
+
+    def test_is_local(self):
+        assert DirectVoting().is_local
+
+    def test_name(self):
+        assert DirectVoting().name == "direct"
+
+
+class TestApprovalThreshold:
+    def test_constant_threshold(self, small_complete_instance):
+        # threshold 3: voters with >= 3 approved delegate
+        mech = ApprovalThreshold(3)
+        forest = mech.sample_delegations(small_complete_instance, 0)
+        inst = small_complete_instance
+        for v in range(inst.num_voters):
+            count = inst.local_view(v).approval_count
+            if count >= 3:
+                assert forest.delegates[v] != SELF
+            else:
+                assert forest.delegates[v] == SELF
+
+    def test_delegates_only_to_approved(self, small_complete_instance):
+        mech = ApprovalThreshold(1)
+        forest = mech.sample_delegations(small_complete_instance, 0)
+        inst = small_complete_instance
+        for v in range(inst.num_voters):
+            t = int(forest.delegates[v])
+            if t != SELF:
+                assert inst.approves(v, t)
+
+    def test_threshold_function_receives_degree(self):
+        seen = []
+
+        def record(deg):
+            seen.append(deg)
+            return 1
+
+        inst = ProblemInstance(star_graph(4), [0.1, 0.5, 0.6, 0.7], alpha=0.05)
+        ApprovalThreshold(record).sample_delegations(inst, 0)
+        assert sorted(seen) == [1, 1, 1, 3]
+
+    def test_impossible_threshold_means_direct(self, small_complete_instance):
+        mech = ApprovalThreshold(10**9)
+        forest = mech.sample_delegations(small_complete_instance, 0)
+        assert forest.num_delegators == 0
+
+    def test_threshold_zero_delegates_when_possible(self, small_complete_instance):
+        mech = ApprovalThreshold(0)
+        forest = mech.sample_delegations(small_complete_instance, 0)
+        inst = small_complete_instance
+        expected = sum(
+            1 for v in range(inst.num_voters)
+            if inst.local_view(v).approval_count > 0
+        )
+        assert forest.num_delegators == expected
+
+    def test_distribution_uniform_over_approved(self, small_complete_instance):
+        mech = ApprovalThreshold(1)
+        view = small_complete_instance.local_view(0)
+        dist = mech.distribution(view)
+        assert None not in dist
+        assert len(dist) == view.approval_count
+        assert all(
+            v == pytest.approx(1.0 / view.approval_count) for v in dist.values()
+        )
+
+    def test_distribution_vote_when_below(self, small_complete_instance):
+        mech = ApprovalThreshold(10**9)
+        view = small_complete_instance.local_view(0)
+        assert mech.distribution(view) == {None: 1.0}
+
+    def test_name_includes_threshold(self):
+        assert "3" in ApprovalThreshold(3).name
+
+
+class TestRandomApproved:
+    def test_star_all_leaves_delegate(self, figure1_instance):
+        forest = RandomApproved().sample_delegations(figure1_instance, 0)
+        n = figure1_instance.num_voters
+        assert forest.num_delegators == n - 1
+        assert forest.max_weight() == n
+        assert forest.sinks == (0,)
+
+    def test_acyclic_forests(self, small_complete_instance):
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            forest = RandomApproved().sample_delegations(
+                small_complete_instance, rng
+            )
+            assert forest.is_acyclic()
+
+    def test_most_competent_never_delegates(self, small_complete_instance):
+        forest = RandomApproved().sample_delegations(small_complete_instance, 0)
+        best = int(np.argmax(small_complete_instance.competencies))
+        assert forest.delegates[best] == SELF
+
+
+class TestFractionApproved:
+    def test_half_rule(self):
+        # path 0-1-2: middle voter has 2 neighbours; needs 1 approved.
+        inst = ProblemInstance(path_graph(3), [0.3, 0.5, 0.9], alpha=0.1)
+        forest = FractionApproved(0.5).sample_delegations(inst, 0)
+        assert forest.delegates[1] == 2  # only approved neighbour
+        assert forest.delegates[0] == 1
+        assert forest.delegates[2] == SELF
+
+    def test_below_fraction_votes(self):
+        # hub has 3 neighbours, only 1 approved -> 1/3 < 1/2: vote.
+        inst = ProblemInstance(
+            star_graph(4), [0.5, 0.3, 0.4, 0.9], alpha=0.1
+        )
+        forest = FractionApproved(0.5).sample_delegations(inst, 0)
+        assert forest.delegates[0] == SELF
+
+    def test_fraction_accessor(self):
+        assert FractionApproved(0.25).fraction == 0.25
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            FractionApproved(0.0)
+        with pytest.raises(ValueError):
+            FractionApproved(1.0)
+
+    def test_isolated_voter_votes(self):
+        from repro.graphs.graph import Graph
+
+        inst = ProblemInstance(Graph(2), [0.4, 0.6], alpha=0.05)
+        forest = FractionApproved(0.5).sample_delegations(inst, 0)
+        assert forest.num_delegators == 0

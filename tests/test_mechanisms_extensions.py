@@ -1,0 +1,132 @@
+"""Tests for the Section 6 extension mechanisms."""
+
+import numpy as np
+import pytest
+
+from repro.core.instance import ProblemInstance
+from repro.delegation.graph import SELF
+from repro.graphs.generators import complete_graph, star_graph
+from repro.mechanisms.extensions import AbstentionMechanism, MultiDelegateWeighted
+from repro.mechanisms.threshold import ApprovalThreshold, RandomApproved
+
+
+@pytest.fixture
+def instance():
+    return ProblemInstance(
+        complete_graph(12), np.linspace(0.25, 0.75, 12), alpha=0.04
+    )
+
+
+class TestAbstentionMechanism:
+    def test_zero_rate_matches_base(self, instance):
+        mech = AbstentionMechanism(RandomApproved(), 0.0)
+        ballot = mech.sample_ballot(instance, 0)
+        assert ballot.abstaining == frozenset()
+
+    def test_full_rate_all_eligible_abstain(self, instance):
+        mech = AbstentionMechanism(RandomApproved(), 1.0)
+        ballot = mech.sample_ballot(instance, 0)
+        eligible = {
+            v for v in range(instance.num_voters)
+            if instance.local_view(v).approval_count > 0
+        }
+        assert ballot.abstaining == frozenset(eligible)
+
+    def test_ineligible_never_abstain(self, instance):
+        mech = AbstentionMechanism(RandomApproved(), 1.0)
+        ballot = mech.sample_ballot(instance, 0)
+        best = int(np.argmax(instance.competencies))
+        assert best not in ballot.abstaining
+
+    def test_abstainers_are_sinks(self, instance):
+        mech = AbstentionMechanism(RandomApproved(), 0.5)
+        rng = np.random.default_rng(1)
+        for _ in range(10):
+            ballot = mech.sample_ballot(instance, rng)
+            assert set(ballot.abstaining) <= set(ballot.forest.sinks)
+
+    def test_rate_controls_abstainer_count(self, instance):
+        rng = np.random.default_rng(2)
+        low = np.mean([
+            len(AbstentionMechanism(RandomApproved(), 0.2).sample_ballot(instance, rng).abstaining)
+            for _ in range(30)
+        ])
+        high = np.mean([
+            len(AbstentionMechanism(RandomApproved(), 0.8).sample_ballot(instance, rng).abstaining)
+            for _ in range(30)
+        ])
+        assert high > low
+
+    def test_sample_delegations_drops_abstention_info(self, instance):
+        mech = AbstentionMechanism(RandomApproved(), 0.5)
+        forest = mech.sample_delegations(instance, 0)
+        assert forest.num_voters == instance.num_voters
+
+    def test_rejects_bad_probability(self, instance):
+        with pytest.raises(ValueError):
+            AbstentionMechanism(RandomApproved(), 1.5)
+
+    def test_accessors(self):
+        base = RandomApproved()
+        mech = AbstentionMechanism(base, 0.3)
+        assert mech.base is base
+        assert mech.abstain_prob == 0.3
+        assert "0.3" in mech.name
+
+
+class TestMultiDelegateWeighted:
+    def test_k1_uniform_over_approved(self, instance):
+        mech = MultiDelegateWeighted(1)
+        forest = mech.sample_delegations(instance, 0)
+        for v in range(instance.num_voters):
+            t = int(forest.delegates[v])
+            if t != SELF:
+                assert instance.approves(v, t)
+
+    def test_large_k_selects_best(self, instance):
+        mech = MultiDelegateWeighted(100)
+        forest = mech.sample_delegations(instance, 0)
+        worst = int(np.argmin(instance.competencies))
+        best = int(np.argmax(instance.competencies))
+        # with k=100 over ~11 approved, the worst voter almost surely
+        # delegates to the global best
+        assert forest.delegates[worst] == best
+
+    def test_mean_delegate_competency_increases_with_k(self, instance):
+        rng = np.random.default_rng(3)
+        p = instance.competencies
+
+        def mean_delegate(k):
+            vals = []
+            for _ in range(30):
+                forest = MultiDelegateWeighted(k).sample_delegations(instance, rng)
+                targets = forest.delegates[forest.delegates >= 0]
+                vals.append(p[targets].mean())
+            return np.mean(vals)
+
+        assert mean_delegate(5) > mean_delegate(1)
+
+    def test_threshold_respected(self, instance):
+        mech = MultiDelegateWeighted(2, threshold=10**9)
+        forest = mech.sample_delegations(instance, 0)
+        assert forest.num_delegators == 0
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            MultiDelegateWeighted(0)
+
+    def test_decide_matches_fast_path_support(self, instance):
+        # decide() and the vectorised sampler must draw from the same
+        # support: approved neighbours only.
+        mech = MultiDelegateWeighted(3)
+        rng = np.random.default_rng(4)
+        v = int(np.argmin(instance.competencies))
+        view = instance.local_view(v)
+        for _ in range(20):
+            choice = mech.decide(view, rng)
+            assert choice in view.approved
+
+    def test_k_accessor_and_name(self):
+        mech = MultiDelegateWeighted(4, threshold=2)
+        assert mech.k == 4
+        assert "k=4" in mech.name

@@ -1,0 +1,116 @@
+"""Statistical equivalence of the vectorised samplers and the decide() path.
+
+Every mechanism with a fast ``sample_delegations`` override must induce
+the same per-voter delegation distribution as the generic per-view
+``decide`` path.  We check (a) identical *deterministic* delegation sets
+(who delegates is deterministic for these mechanisms) and (b) matching
+empirical delegate frequencies.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.instance import ProblemInstance
+from repro.delegation.graph import SELF, DelegationGraph
+from repro.graphs.generators import erdos_renyi_graph, complete_graph
+from repro.mechanisms.base import LocalDelegationMechanism
+from repro.mechanisms.extensions import MultiDelegateWeighted
+from repro.mechanisms.fraction import FractionApproved
+from repro.mechanisms.sampled import SampledNeighbourhood
+from repro.mechanisms.threshold import ApprovalThreshold
+
+
+def slow_sample(mechanism, instance, rng):
+    """The generic decide()-based sampler, bypassing fast overrides."""
+    delegates = []
+    for voter in range(instance.num_voters):
+        choice = mechanism.decide(instance.local_view(voter), rng)
+        delegates.append(SELF if choice is None else int(choice))
+    return DelegationGraph(delegates)
+
+
+@pytest.fixture(params=["complete", "sparse"])
+def instance(request):
+    rng = np.random.default_rng(17)
+    n = 24
+    if request.param == "complete":
+        graph = complete_graph(n)
+    else:
+        graph = erdos_renyi_graph(n, 0.3, seed=5)
+    return ProblemInstance(graph, rng.uniform(0.2, 0.8, n), alpha=0.06)
+
+
+DETERMINISTIC_CONDITION_MECHS = [
+    ApprovalThreshold(1),
+    ApprovalThreshold(3),
+    ApprovalThreshold(lambda d: d ** 0.5),
+    FractionApproved(0.5),
+    FractionApproved(0.25),
+    MultiDelegateWeighted(1, threshold=2),
+    MultiDelegateWeighted(3, threshold=1),
+    SampledNeighbourhood(threshold=2, d=None),
+]
+
+
+@pytest.mark.parametrize(
+    "mechanism", DETERMINISTIC_CONDITION_MECHS, ids=lambda m: m.name
+)
+class TestWhoDelegatesMatches:
+    def test_same_delegator_set(self, mechanism, instance):
+        rng = np.random.default_rng(0)
+        fast = mechanism.sample_delegations(instance, rng)
+        slow = slow_sample(mechanism, instance, np.random.default_rng(0))
+        assert np.array_equal(fast.delegates == SELF, slow.delegates == SELF)
+
+
+@pytest.mark.parametrize(
+    "mechanism",
+    [ApprovalThreshold(1), FractionApproved(0.5), MultiDelegateWeighted(2, threshold=1)],
+    ids=lambda m: m.name,
+)
+class TestDelegateFrequenciesMatch:
+    def test_marginals_agree(self, mechanism, instance):
+        trials = 600
+        n = instance.num_voters
+        fast_counts = np.zeros((n, n + 1))
+        slow_counts = np.zeros((n, n + 1))
+        rng_fast = np.random.default_rng(1)
+        rng_slow = np.random.default_rng(2)
+        for _ in range(trials):
+            f = mechanism.sample_delegations(instance, rng_fast)
+            s = slow_sample(mechanism, instance, rng_slow)
+            for v in range(n):
+                fast_counts[v, int(f.delegates[v])] += 1
+                slow_counts[v, int(s.delegates[v])] += 1
+        # Compare per-voter delegate frequencies: 5-sigma binomial band.
+        for v in range(n):
+            for t in range(-1, n):
+                pf = fast_counts[v, t] / trials
+                ps = slow_counts[v, t] / trials
+                band = 5 * np.sqrt(max(ps * (1 - ps), pf * (1 - pf)) / trials) + 1e-9
+                assert abs(pf - ps) <= band, (v, t, pf, ps)
+
+
+class TestSampledNeighbourhoodSubsample:
+    def test_delegation_rate_matches_distribution(self):
+        rng = np.random.default_rng(7)
+        n = 30
+        inst = ProblemInstance(
+            complete_graph(n), rng.uniform(0.2, 0.8, n), alpha=0.06
+        )
+        mech = SampledNeighbourhood(threshold=2, d=5)
+        # Expected delegation probability per voter from the exact
+        # hypergeometric distribution.
+        expected = np.array([
+            1.0 - mech.distribution(inst.local_view(v)).get(None, 0.0)
+            for v in range(n)
+        ])
+        trials = 800
+        counts = np.zeros(n)
+        gen = np.random.default_rng(8)
+        for _ in range(trials):
+            forest = mech.sample_delegations(inst, gen)
+            counts += np.asarray(forest.delegates) != SELF
+        empirical = counts / trials
+        band = 5 * np.sqrt(np.maximum(expected * (1 - expected), 1e-4) / trials)
+        assert np.all(np.abs(empirical - expected) <= band + 1e-9)

@@ -1,0 +1,97 @@
+"""Tests for GreedyBest and CappedRandomApproved."""
+
+import numpy as np
+import pytest
+
+from repro.core.instance import ProblemInstance
+from repro.delegation.graph import SELF
+from repro.graphs.generators import complete_graph, path_graph, star_graph
+from repro.mechanisms.greedy import CappedRandomApproved, GreedyBest
+
+
+class TestGreedyBest:
+    def test_not_local(self):
+        assert not GreedyBest().is_local
+
+    def test_deterministic(self, small_complete_instance):
+        a = GreedyBest().sample_delegations(small_complete_instance, 0)
+        b = GreedyBest().sample_delegations(small_complete_instance, 99)
+        assert np.array_equal(a.delegates, b.delegates)
+
+    def test_everyone_delegates_to_best_neighbour(self, small_complete_instance):
+        forest = GreedyBest().sample_delegations(small_complete_instance, 0)
+        inst = small_complete_instance
+        best = int(np.argmax(inst.competencies))
+        # complete graph: everyone except the best delegates straight to it
+        for v in range(inst.num_voters):
+            if v == best:
+                assert forest.delegates[v] == SELF
+            else:
+                assert forest.delegates[v] == best
+
+    def test_star_concentrates_on_hub(self, figure1_instance):
+        forest = GreedyBest().sample_delegations(figure1_instance, 0)
+        assert forest.sinks == (0,)
+        assert forest.max_weight() == figure1_instance.num_voters
+
+    def test_tie_broken_by_lowest_index(self):
+        inst = ProblemInstance(
+            star_graph(4, centre=0), [0.1, 0.7, 0.7, 0.7], alpha=0.05
+        )
+        forest = GreedyBest().sample_delegations(inst, 0)
+        assert forest.delegates[0] == 1
+
+    def test_chain_on_path(self):
+        inst = ProblemInstance(path_graph(4), [0.2, 0.4, 0.6, 0.8], alpha=0.1)
+        forest = GreedyBest().sample_delegations(inst, 0)
+        assert forest.delegates.tolist() == [1, 2, 3, SELF]
+        assert forest.max_depth() == 3
+
+
+class TestCappedRandomApproved:
+    def test_cap_respected(self, small_complete_instance):
+        rng = np.random.default_rng(0)
+        for cap in (1, 2, 3, 5):
+            mech = CappedRandomApproved(cap)
+            for _ in range(5):
+                forest = mech.sample_delegations(small_complete_instance, rng)
+                assert forest.max_weight() <= cap
+
+    def test_cap_one_means_direct(self, small_complete_instance):
+        forest = CappedRandomApproved(1).sample_delegations(
+            small_complete_instance, 0
+        )
+        assert forest.num_delegators == 0
+
+    def test_large_cap_allows_delegation(self, small_complete_instance):
+        forest = CappedRandomApproved(100).sample_delegations(
+            small_complete_instance, 0
+        )
+        assert forest.num_delegators > 0
+
+    def test_delegates_only_to_approved(self, small_complete_instance):
+        forest = CappedRandomApproved(4).sample_delegations(
+            small_complete_instance, 0
+        )
+        inst = small_complete_instance
+        for v in range(inst.num_voters):
+            t = int(forest.delegates[v])
+            if t != SELF:
+                assert inst.approves(v, t)
+
+    def test_star_capped_restores_variance(self, figure1_instance):
+        # Figure 1 failure is max_weight = n; capping fixes it.
+        mech = CappedRandomApproved(4)
+        forest = mech.sample_delegations(figure1_instance, 0)
+        assert forest.max_weight() <= 4
+        assert forest.num_sinks > figure1_instance.num_voters // 8
+
+    def test_rejects_bad_cap(self):
+        with pytest.raises(ValueError):
+            CappedRandomApproved(0)
+
+    def test_not_local(self):
+        assert not CappedRandomApproved(3).is_local
+
+    def test_name_mentions_cap(self):
+        assert "7" in CappedRandomApproved(7).name

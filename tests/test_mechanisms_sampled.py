@@ -1,0 +1,118 @@
+"""Tests for the Algorithm 2 mechanism (SampledNeighbourhood)."""
+
+import numpy as np
+import pytest
+
+from repro.core.instance import ProblemInstance
+from repro.delegation.graph import SELF
+from repro.graphs.generators import complete_graph, random_regular_graph, star_graph
+from repro.mechanisms.sampled import SampledNeighbourhood
+
+
+@pytest.fixture
+def regular_instance():
+    g = random_regular_graph(60, 8, seed=0)
+    rng = np.random.default_rng(1)
+    return ProblemInstance(g, rng.uniform(0.2, 0.8, 60), alpha=0.05)
+
+
+class TestDecide:
+    def test_full_neighbourhood_equivalent_to_threshold(self, regular_instance):
+        # d=None polls the whole neighbourhood: condition is deterministic.
+        mech = SampledNeighbourhood(threshold=2, d=None)
+        forest = mech.sample_delegations(regular_instance, 0)
+        inst = regular_instance
+        for v in range(inst.num_voters):
+            count = inst.local_view(v).approval_count
+            if count >= 2:
+                assert forest.delegates[v] != SELF
+            else:
+                assert forest.delegates[v] == SELF
+
+    def test_delegates_only_to_approved(self, regular_instance):
+        mech = SampledNeighbourhood(threshold=1, d=4)
+        forest = mech.sample_delegations(regular_instance, 0)
+        for v in range(regular_instance.num_voters):
+            t = int(forest.delegates[v])
+            if t != SELF:
+                assert regular_instance.approves(v, t)
+
+    def test_subsample_delegates_less_than_full(self, regular_instance):
+        # with a threshold of 2, sampling fewer neighbours can only reduce
+        # the expected number of delegators.
+        full = SampledNeighbourhood(threshold=2, d=None)
+        sub = SampledNeighbourhood(threshold=2, d=3)
+        rng = np.random.default_rng(2)
+        full_count = np.mean(
+            [full.sample_delegations(regular_instance, rng).num_delegators
+             for _ in range(20)]
+        )
+        sub_count = np.mean(
+            [sub.sample_delegations(regular_instance, rng).num_delegators
+             for _ in range(20)]
+        )
+        assert sub_count <= full_count + 1e-9
+
+    def test_isolated_voter_votes(self):
+        from repro.graphs.graph import Graph
+
+        inst = ProblemInstance(Graph(3), [0.2, 0.5, 0.8], alpha=0.05)
+        forest = SampledNeighbourhood(threshold=1, d=2).sample_delegations(inst, 0)
+        assert forest.num_delegators == 0
+
+    def test_rejects_bad_d(self):
+        with pytest.raises(ValueError):
+            SampledNeighbourhood(threshold=1, d=0)
+
+
+class TestDistribution:
+    def test_full_neighbourhood_distribution(self):
+        inst = ProblemInstance(
+            star_graph(4), [0.1, 0.5, 0.6, 0.7], alpha=0.05
+        )
+        mech = SampledNeighbourhood(threshold=2, d=None)
+        dist = mech.distribution(inst.local_view(0))
+        assert dist.get(None, 0.0) == 0.0 or None not in dist
+        assert len([k for k in dist if k is not None]) == 3
+
+    def test_distribution_sums_to_one(self, regular_instance):
+        mech = SampledNeighbourhood(threshold=2, d=4)
+        for v in range(0, 60, 7):
+            dist = mech.distribution(regular_instance.local_view(v))
+            assert sum(dist.values()) == pytest.approx(1.0)
+
+    def test_distribution_matches_empirical(self, regular_instance):
+        mech = SampledNeighbourhood(threshold=2, d=4)
+        v = min(
+            range(60),
+            key=lambda u: regular_instance.competencies[u],
+        )
+        view = regular_instance.local_view(v)
+        dist = mech.distribution(view)
+        delegate_mass = 1.0 - dist.get(None, 0.0)
+        rng = np.random.default_rng(3)
+        trials = 3000
+        delegated = sum(
+            1 for _ in range(trials) if mech.decide(view, rng) is not None
+        )
+        assert delegated / trials == pytest.approx(delegate_mass, abs=0.03)
+
+    def test_no_approved_always_votes(self, regular_instance):
+        mech = SampledNeighbourhood(threshold=1, d=4)
+        best = int(np.argmax(regular_instance.competencies))
+        assert mech.distribution(regular_instance.local_view(best)) == {None: 1.0}
+
+    def test_threshold_zero_with_empty_sample(self):
+        # threshold 0 must still not "delegate to nobody".
+        inst = ProblemInstance(
+            star_graph(3), [0.9, 0.1, 0.2], alpha=0.05
+        )
+        mech = SampledNeighbourhood(threshold=0, d=1)
+        rng = np.random.default_rng(0)
+        # hub approves nobody: must always vote
+        for _ in range(10):
+            assert mech.decide(inst.local_view(0), rng) is None
+
+    def test_name(self):
+        assert "d=4" in SampledNeighbourhood(threshold=1, d=4).name
+        assert "deg" in SampledNeighbourhood(threshold=1).name

@@ -1,0 +1,84 @@
+"""Property-based tests for the weighted-majority DAG model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.voting.dag import DelegateWeights, WeightedDelegationDag
+
+
+@st.composite
+def random_dags(draw):
+    """DAGs whose delegates always point to lower indices (acyclic)."""
+    n = draw(st.integers(2, 12))
+    choices = {}
+    for voter in range(1, n):
+        if not draw(st.booleans()):
+            continue
+        count = draw(st.integers(1, min(3, voter)))
+        delegates = draw(
+            st.lists(
+                st.integers(0, voter - 1),
+                min_size=count,
+                max_size=count,
+                unique=True,
+            )
+        )
+        weights = draw(
+            st.lists(
+                st.floats(0.5, 3.0, allow_nan=False),
+                min_size=count,
+                max_size=count,
+            )
+        )
+        choices[voter] = DelegateWeights(tuple(delegates), tuple(weights))
+    return WeightedDelegationDag(n, choices)
+
+
+class TestDagProperties:
+    @settings(deadline=None, max_examples=50)
+    @given(random_dags(), st.integers(0, 10**6))
+    def test_effective_votes_binary(self, dag, seed):
+        p = np.full(dag.num_voters, 0.5)
+        votes = dag.sample_effective_votes(p, rng=seed)
+        assert set(np.unique(votes)) <= {0, 1}
+
+    @settings(deadline=None, max_examples=50)
+    @given(random_dags(), st.integers(0, 10**6))
+    def test_unanimous_certainty_propagates(self, dag, seed):
+        # all direct voters certain-correct -> everyone votes correctly
+        p = np.ones(dag.num_voters)
+        votes = dag.sample_effective_votes(p, rng=seed)
+        assert np.all(votes == 1)
+
+    @settings(deadline=None, max_examples=50)
+    @given(random_dags(), st.integers(0, 10**6))
+    def test_unanimous_wrongness_propagates(self, dag, seed):
+        p = np.zeros(dag.num_voters)
+        votes = dag.sample_effective_votes(p, rng=seed)
+        assert np.all(votes == 0)
+
+    @settings(deadline=None, max_examples=30)
+    @given(random_dags())
+    def test_structure_invariants(self, dag):
+        n = dag.num_voters
+        assert len(dag.direct_voters) + dag.num_delegators == n
+        assert 0 <= dag.max_fan_in() <= n - 1
+        for v in dag.direct_voters:
+            assert dag.choice(v) is None
+
+    @settings(deadline=None, max_examples=20)
+    @given(random_dags(), st.integers(0, 10**6))
+    def test_estimate_in_unit_interval(self, dag, seed):
+        p = np.full(dag.num_voters, 0.6)
+        est, lo, hi = dag.estimate_correct_probability(p, rounds=40, seed=seed)
+        assert 0.0 <= lo <= est <= hi <= 1.0
+
+    @settings(deadline=None, max_examples=30)
+    @given(random_dags(), st.integers(0, 10**6))
+    def test_reproducible_with_seed(self, dag, seed):
+        p = np.full(dag.num_voters, 0.5)
+        a = dag.sample_effective_votes(p, rng=seed)
+        b = dag.sample_effective_votes(p, rng=seed)
+        assert np.array_equal(a, b)

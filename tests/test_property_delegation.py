@@ -1,0 +1,117 @@
+"""Property-based tests for delegation graphs and mechanisms."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.instance import ProblemInstance
+from repro.delegation.graph import SELF, DelegationGraph
+from repro.delegation.metrics import weight_profile
+from repro.graphs.generators import complete_graph, erdos_renyi_graph
+from repro.mechanisms.threshold import ApprovalThreshold
+
+
+@st.composite
+def acyclic_delegations(draw):
+    """Delegation arrays where voters only point to lower indices.
+
+    Pointing strictly downward guarantees acyclicity, matching the
+    approval structure (delegate to strictly more competent = earlier in
+    some fixed order).
+    """
+    n = draw(st.integers(1, 40))
+    delegates = []
+    for i in range(n):
+        if i == 0:
+            delegates.append(SELF)
+        else:
+            choice = draw(st.integers(-1, i - 1))
+            delegates.append(SELF if choice < 0 else choice)
+    return delegates
+
+
+class TestDelegationGraphProperties:
+    @given(acyclic_delegations())
+    def test_weights_sum_to_n(self, delegates):
+        forest = DelegationGraph(delegates)
+        assert sum(forest.sink_weights().values()) == len(delegates)
+
+    @given(acyclic_delegations())
+    def test_sink_of_is_sink(self, delegates):
+        forest = DelegationGraph(delegates)
+        sinks = set(forest.sinks)
+        for v in range(len(delegates)):
+            assert forest.sink_of(v) in sinks
+
+    @given(acyclic_delegations())
+    def test_sinks_have_no_delegate(self, delegates):
+        forest = DelegationGraph(delegates)
+        for s in forest.sinks:
+            assert forest.delegates[s] == SELF
+
+    @given(acyclic_delegations())
+    def test_delegators_plus_sinks_is_n(self, delegates):
+        forest = DelegationGraph(delegates)
+        assert forest.num_delegators + forest.num_sinks == forest.num_voters
+
+    @given(acyclic_delegations())
+    def test_max_weight_bounds(self, delegates):
+        forest = DelegationGraph(delegates)
+        n = forest.num_voters
+        assert 1 <= forest.max_weight() <= n
+
+    @given(acyclic_delegations())
+    def test_depth_zero_iff_sink(self, delegates):
+        forest = DelegationGraph(delegates)
+        for v in range(forest.num_voters):
+            if v in forest.sinks:
+                assert forest.depth(v) == 0
+            else:
+                assert forest.depth(v) >= 1
+
+    @given(acyclic_delegations())
+    def test_effective_voters_at_most_sinks(self, delegates):
+        forest = DelegationGraph(delegates)
+        profile = weight_profile(forest)
+        assert profile.effective_num_voters <= profile.num_sinks + 1e-9
+
+
+@st.composite
+def random_instances(draw):
+    n = draw(st.integers(3, 25))
+    seed = draw(st.integers(0, 10**6))
+    dense = draw(st.booleans())
+    rng = np.random.default_rng(seed)
+    graph = complete_graph(n) if dense else erdos_renyi_graph(n, 0.4, seed=seed)
+    p = rng.uniform(0.05, 0.95, n)
+    alpha = draw(st.sampled_from([0.01, 0.05, 0.15]))
+    return ProblemInstance(graph, p, alpha=alpha)
+
+
+class TestMechanismProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(random_instances(), st.integers(0, 5), st.integers(0, 10**6))
+    def test_threshold_mechanism_invariants(self, instance, threshold, seed):
+        mech = ApprovalThreshold(threshold)
+        forest = mech.sample_delegations(instance, seed)
+        # resolves without cycles, weights conserve votes
+        assert sum(forest.sink_weights().values()) == instance.num_voters
+        # every delegation strictly increases competency by >= alpha
+        for v in range(instance.num_voters):
+            t = int(forest.delegates[v])
+            if t != SELF:
+                assert (
+                    instance.competencies[t]
+                    >= instance.competencies[v] + instance.alpha - 1e-12
+                )
+                assert instance.graph.has_edge(v, t)
+
+    @settings(max_examples=20, deadline=None)
+    @given(random_instances(), st.integers(0, 10**6))
+    def test_depth_bounded_by_competency_levels(self, instance, seed):
+        import math
+
+        mech = ApprovalThreshold(1)
+        forest = mech.sample_delegations(instance, seed)
+        assert forest.max_depth() <= math.ceil(1.0 / instance.alpha)

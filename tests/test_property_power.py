@@ -1,0 +1,100 @@
+"""Property-based tests for power indices and serialisation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import io as repro_io
+from repro.analysis.power import (
+    banzhaf_indices,
+    normalized_banzhaf,
+    shapley_shubik_indices,
+)
+from repro.delegation.graph import SELF, DelegationGraph
+from repro.graphs.graph import Graph
+
+weight_lists = st.lists(st.integers(0, 8), min_size=1, max_size=8)
+
+
+class TestPowerProperties:
+    @settings(deadline=None)
+    @given(weight_lists)
+    def test_banzhaf_in_unit_interval(self, weights):
+        values = banzhaf_indices(weights)
+        assert np.all(values >= 0) and np.all(values <= 1)
+
+    @settings(deadline=None)
+    @given(weight_lists)
+    def test_banzhaf_monotone_in_weight(self, weights):
+        # a strictly heavier player is at least as powerful
+        values = banzhaf_indices(weights)
+        order = np.argsort(weights)
+        sorted_values = values[order]
+        assert np.all(np.diff(sorted_values) >= -1e-12)
+
+    @settings(deadline=None)
+    @given(weight_lists)
+    def test_shapley_efficiency(self, weights):
+        values = shapley_shubik_indices(weights)
+        if sum(weights) == 0:
+            assert values.sum() == 0.0
+        else:
+            assert values.sum() == pytest.approx(1.0)
+
+    @settings(deadline=None)
+    @given(weight_lists)
+    def test_shapley_symmetry(self, weights):
+        values = shapley_shubik_indices(weights)
+        by_weight = {}
+        for w, v in zip(weights, values):
+            by_weight.setdefault(w, []).append(v)
+        for group in by_weight.values():
+            assert max(group) - min(group) < 1e-9
+
+    @settings(deadline=None)
+    @given(weight_lists)
+    def test_normalized_banzhaf_distribution(self, weights):
+        values = normalized_banzhaf(weights)
+        total = values.sum()
+        assert total == pytest.approx(1.0) or total == 0.0
+
+    @settings(deadline=None, max_examples=30)
+    @given(weight_lists, st.integers(1, 5))
+    def test_scaling_invariance(self, weights, factor):
+        # multiplying all weights by a constant preserves the game
+        base = banzhaf_indices(weights)
+        scaled = banzhaf_indices([w * factor for w in weights])
+        assert np.allclose(base, scaled, atol=1e-9)
+
+
+@st.composite
+def forests(draw):
+    n = draw(st.integers(1, 15))
+    delegates = []
+    for i in range(n):
+        choice = draw(st.integers(-1, i - 1)) if i else -1
+        delegates.append(SELF if choice < 0 else choice)
+    return DelegationGraph(delegates)
+
+
+@st.composite
+def graphs(draw):
+    n = draw(st.integers(0, 12))
+    possible = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    edges = draw(st.lists(st.sampled_from(possible), unique=True)) if possible else []
+    return Graph(n, edges)
+
+
+class TestSerializationProperties:
+    @settings(deadline=None, max_examples=40)
+    @given(graphs())
+    def test_graph_roundtrip(self, graph):
+        assert repro_io.loads(repro_io.dumps(graph)) == graph
+
+    @settings(deadline=None, max_examples=40)
+    @given(forests())
+    def test_forest_roundtrip(self, forest):
+        back = repro_io.loads(repro_io.dumps(forest))
+        assert np.array_equal(back.delegates, forest.delegates)
+        assert back.sink_weights() == forest.sink_weights()

@@ -1,0 +1,95 @@
+"""Property-based tests for recycle sampling and graph generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.generators import (
+    barabasi_albert_graph,
+    random_bounded_degree_graph,
+    random_min_degree_graph,
+    random_regular_graph,
+)
+from repro.sampling.recycle import RecycleNode, RecycleSamplingGraph
+
+
+@st.composite
+def layered_graphs(draw):
+    num_layers = draw(st.integers(1, 4))
+    layers = []
+    for _ in range(num_layers):
+        size = draw(st.integers(1, 8))
+        layers.append(
+            [draw(st.floats(0.0, 1.0, allow_nan=False)) for _ in range(size)]
+        )
+    fresh = draw(st.floats(0.0, 1.0, allow_nan=False))
+    return RecycleSamplingGraph.layered(layers, fresh), num_layers
+
+
+class TestRecycleProperties:
+    @settings(deadline=None)
+    @given(layered_graphs())
+    def test_partition_complexity_is_layer_count(self, built):
+        graph, num_layers = built
+        assert graph.partition_complexity() == num_layers
+
+    @settings(deadline=None)
+    @given(layered_graphs())
+    def test_expectations_in_unit_interval(self, built):
+        graph, _ = built
+        exp = graph.expectations()
+        assert np.all(exp >= -1e-12)
+        assert np.all(exp <= 1 + 1e-12)
+
+    @settings(deadline=None)
+    @given(layered_graphs(), st.integers(0, 10**6))
+    def test_sample_values_binary(self, built, seed):
+        graph, _ = built
+        values = graph.sample(seed)
+        assert set(np.unique(values)) <= {0, 1}
+
+    @settings(deadline=None)
+    @given(layered_graphs(), st.integers(0, 10**6))
+    def test_sum_bounded(self, built, seed):
+        graph, _ = built
+        total = graph.sample_sum(seed)
+        assert 0 <= total <= graph.num_nodes
+
+    @settings(deadline=None, max_examples=20)
+    @given(st.lists(st.floats(0, 1, allow_nan=False), min_size=1, max_size=15))
+    def test_independent_graph_expectations(self, params):
+        graph = RecycleSamplingGraph.independent(params)
+        assert graph.expectations().tolist() == pytest.approx(params)
+        assert graph.independent_prefix == len(params)
+
+
+class TestGeneratorProperties:
+    @settings(deadline=None, max_examples=25)
+    @given(st.integers(4, 40), st.integers(1, 5), st.integers(0, 10**6))
+    def test_regular_graphs_regular(self, n, d, seed):
+        if (n * d) % 2 == 1 or d >= n:
+            return
+        g = random_regular_graph(n, d, seed=seed)
+        assert all(deg == d for deg in g.degrees())
+
+    @settings(deadline=None, max_examples=25)
+    @given(st.integers(2, 50), st.integers(1, 8), st.integers(0, 10**6))
+    def test_bounded_degree_respected(self, n, delta, seed):
+        g = random_bounded_degree_graph(n, delta, seed=seed)
+        assert g.max_degree() <= delta
+
+    @settings(deadline=None, max_examples=25)
+    @given(st.integers(5, 40), st.integers(0, 4), st.integers(0, 10**6))
+    def test_min_degree_respected(self, n, delta, seed):
+        g = random_min_degree_graph(n, delta, seed=seed)
+        assert g.min_degree() >= delta
+
+    @settings(deadline=None, max_examples=20)
+    @given(st.integers(5, 60), st.integers(1, 4), st.integers(0, 10**6))
+    def test_ba_edge_count(self, n, m, seed):
+        if n < m + 1:
+            return
+        g = barabasi_albert_graph(n, m, seed=seed)
+        assert g.num_vertices == n
+        assert g.num_edges == m + (n - m - 1) * m

@@ -1,0 +1,105 @@
+"""Tests for the mechanism-run → recycle-graph builder (the Lemma 7 step)."""
+
+import numpy as np
+import pytest
+
+from repro.core.instance import ProblemInstance
+from repro.graphs.generators import complete_graph, path_graph
+from repro.mechanisms.direct import DirectVoting
+from repro.mechanisms.threshold import ApprovalThreshold, RandomApproved
+from repro.sampling.builders import recycle_graph_from_mechanism_run
+
+
+@pytest.fixture
+def instance():
+    return ProblemInstance(
+        complete_graph(8),
+        [0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9],
+        alpha=0.15,
+    )
+
+
+class TestBuilder:
+    def test_direct_voting_is_independent(self, instance):
+        graph, order = recycle_graph_from_mechanism_run(instance, DirectVoting())
+        assert graph.independent_prefix == instance.num_voters
+        assert graph.partition_complexity() == 1
+
+    def test_order_is_descending_competency(self, instance):
+        _, order = recycle_graph_from_mechanism_run(instance, RandomApproved())
+        p = instance.competencies[order]
+        assert np.all(np.diff(p) <= 0)
+
+    def test_node_params_match_voters(self, instance):
+        graph, order = recycle_graph_from_mechanism_run(instance, RandomApproved())
+        for k, voter in enumerate(order):
+            assert graph.nodes[k].bernoulli_param == pytest.approx(
+                instance.competency(int(voter))
+            )
+
+    def test_successors_point_to_approved(self, instance):
+        graph, order = recycle_graph_from_mechanism_run(instance, RandomApproved())
+        position_to_voter = {k: int(v) for k, v in enumerate(order)}
+        for k, node in enumerate(graph.nodes):
+            voter = position_to_voter[k]
+            approved = set(instance.approved_neighbors(voter))
+            for s in node.successors:
+                assert position_to_voter[s] in approved
+
+    def test_fresh_prob_matches_distribution(self, instance):
+        mech = ApprovalThreshold(3)
+        graph, order = recycle_graph_from_mechanism_run(instance, mech)
+        for k, voter in enumerate(order):
+            dist = mech.distribution(instance.local_view(int(voter)))
+            assert graph.nodes[k].fresh_prob == pytest.approx(
+                dist.get(None, 0.0)
+            )
+
+    def test_partition_complexity_bounded_by_alpha(self, instance):
+        graph, _ = recycle_graph_from_mechanism_run(instance, RandomApproved())
+        import math
+
+        assert graph.partition_complexity() <= math.ceil(1 / instance.alpha) + 1
+
+    def test_expected_sum_at_least_direct(self, instance):
+        # Delegation to strictly better voters raises the expected sum.
+        graph, _ = recycle_graph_from_mechanism_run(instance, RandomApproved())
+        assert graph.mean_sum() >= instance.competencies.sum() - 1e-9
+
+    def test_expectation_increase_at_least_alpha_per_delegation(self, instance):
+        # Lemma 7's key step: every delegating voter gains >= alpha.
+        graph, order = recycle_graph_from_mechanism_run(
+            instance, RandomApproved()
+        )
+        expectations = graph.expectations()
+        num_delegators = sum(1 for node in graph.nodes if node.successors)
+        lift = graph.mean_sum() - float(instance.competencies.sum())
+        assert lift >= num_delegators * instance.alpha - 1e-9
+
+    def test_path_graph_locality(self):
+        inst = ProblemInstance(path_graph(4), [0.2, 0.4, 0.6, 0.8], alpha=0.1)
+        graph, order = recycle_graph_from_mechanism_run(inst, RandomApproved())
+        # voter 0 (p=0.2) may only recycle its neighbour 1 (p=0.4)
+        pos = {int(v): k for k, v in enumerate(order)}
+        node = graph.nodes[pos[0]]
+        assert [pos[1]] == list(node.successors)
+
+    def test_rejects_non_uniform_mechanism(self, instance):
+        class Lopsided(ApprovalThreshold):
+            def distribution(self, view):
+                if view.approval_count >= 2:
+                    targets = list(view.approved)
+                    out = {t: 0.0 for t in targets}
+                    out[targets[0]] = 0.9
+                    out[targets[1]] = 0.1
+                    return out
+                return {None: 1.0}
+
+        with pytest.raises(ValueError, match="non-uniform"):
+            recycle_graph_from_mechanism_run(instance, Lopsided(1))
+
+    def test_empirical_sum_close_to_expectation(self, instance):
+        graph, _ = recycle_graph_from_mechanism_run(instance, RandomApproved())
+        rng = np.random.default_rng(0)
+        sums = [graph.sample_sum(rng) for _ in range(3000)]
+        assert np.mean(sums) == pytest.approx(graph.mean_sum(), rel=0.05)

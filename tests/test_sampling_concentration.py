@@ -1,0 +1,102 @@
+"""Tests for the Lemma 1/2 concentration machinery."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.sampling.concentration import (
+    chernoff_lower_tail,
+    deviation_exponent_fit,
+    empirical_failure_rate,
+    lemma1_deviation_bound,
+    lemma2_lower_bound,
+    recycle_failure_probability_bound,
+)
+from repro.sampling.recycle import RecycleSamplingGraph
+
+
+class TestBoundFormulas:
+    def test_lemma1_shape(self):
+        # larger j -> threshold closer to the mean
+        mu = 100.0
+        b_small = lemma1_deviation_bound(mu, 8, 1.0)
+        b_large = lemma1_deviation_bound(mu, 1000, 1.0)
+        assert b_small < b_large < mu
+
+    def test_lemma1_zero_epsilon(self):
+        assert lemma1_deviation_bound(50.0, 10, 0.0) == 50.0
+
+    def test_lemma1_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            lemma1_deviation_bound(10, 0, 1.0)
+        with pytest.raises(ValueError):
+            lemma1_deviation_bound(10, 5, -1.0)
+
+    def test_lemma2_monotone_in_c(self):
+        mu, n, j = 500.0, 1000, 100
+        assert lemma2_lower_bound(mu, n, j, 1, 1.0) > lemma2_lower_bound(
+            mu, n, j, 4, 1.0
+        )
+
+    def test_lemma2_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            lemma2_lower_bound(1.0, 0, 1, 1, 1.0)
+
+    def test_failure_probability_decays_in_j(self):
+        assert recycle_failure_probability_bound(
+            1000
+        ) < recycle_failure_probability_bound(10)
+
+    def test_failure_probability_in_unit_interval(self):
+        for j in (1, 10, 100):
+            assert 0 < recycle_failure_probability_bound(j) < 1
+
+    def test_chernoff_basic(self):
+        assert chernoff_lower_tail(100, 0.5) == pytest.approx(
+            math.exp(-0.5**2 * 100 / 2)
+        )
+
+    def test_chernoff_rejects_bad_delta(self):
+        with pytest.raises(ValueError):
+            chernoff_lower_tail(10, 1.5)
+
+
+class TestEmpiricalFailureRate:
+    def test_loose_bound_rarely_fails(self):
+        g = RecycleSamplingGraph.layered(
+            [[0.5] * 50, [0.5] * 50], fresh_prob=0.5
+        )
+        rate = empirical_failure_rate(g, epsilon=2.0, rounds=200,
+                                      rng=np.random.default_rng(0))
+        assert rate < 0.05
+
+    def test_tiny_epsilon_fails_often(self):
+        # epsilon ~ 0 puts the bound just below the mean: ~half of the
+        # samples fall under it.
+        g = RecycleSamplingGraph.layered([[0.5] * 20, [0.5] * 20], 0.5)
+        rate = empirical_failure_rate(g, epsilon=1e-6, rounds=200,
+                                      rng=np.random.default_rng(0))
+        assert rate > 0.25
+
+    def test_rejects_zero_rounds(self):
+        g = RecycleSamplingGraph.independent([0.5])
+        with pytest.raises(ValueError):
+            empirical_failure_rate(g, 1.0, 0, np.random.default_rng(0))
+
+
+class TestDeviationExponentFit:
+    def test_recovers_planted_slope(self):
+        js = np.array([10, 50, 200, 1000], dtype=float)
+        rates = np.exp(-0.7 * js ** (1 / 3))
+        assert deviation_exponent_fit(js, rates) == pytest.approx(0.7)
+
+    def test_zero_rates_clipped(self):
+        js = np.array([10.0, 1000.0])
+        rates = np.array([0.1, 0.0])
+        slope = deviation_exponent_fit(js, rates)
+        assert slope > 0
+
+    def test_rejects_single_point(self):
+        with pytest.raises(ValueError):
+            deviation_exponent_fit(np.array([10.0]), np.array([0.1]))

@@ -1,0 +1,76 @@
+"""Tests for competency partitions and partition complexity helpers."""
+
+import pytest
+
+from repro.sampling.partitions import (
+    competency_partitions,
+    max_partition_complexity,
+    partition_complexity,
+)
+from repro.sampling.recycle import RecycleSamplingGraph
+
+
+class TestCompetencyPartitions:
+    def test_basic_banding(self):
+        p = [0.05, 0.15, 0.95]
+        bands = competency_partitions(p, alpha=0.1)
+        # highest band first
+        assert bands[0] == [2]
+        assert [0] in bands and [1] in bands
+
+    def test_no_intra_band_approval(self):
+        # within a band, no voter is alpha above another
+        p = [0.50, 0.52, 0.54, 0.71, 0.73]
+        alpha = 0.1
+        bands = competency_partitions(p, alpha)
+        for band in bands:
+            for a in band:
+                for b in band:
+                    assert not (p[a] + alpha <= p[b])
+
+    def test_all_voters_assigned(self):
+        p = [0.1, 0.5, 0.5, 0.9, 0.3]
+        bands = competency_partitions(p, 0.25)
+        flat = sorted(v for band in bands for v in band)
+        assert flat == [0, 1, 2, 3, 4]
+
+    def test_band_count_bounded(self):
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        p = rng.random(100)
+        bands = competency_partitions(p, 0.2)
+        assert len(bands) <= max_partition_complexity(0.2)
+
+    def test_competency_one_in_top_band(self):
+        bands = competency_partitions([1.0, 0.0], 0.3)
+        assert bands[0] == [0]
+
+    def test_rejects_bad_alpha(self):
+        with pytest.raises(ValueError):
+            competency_partitions([0.5], 0.0)
+
+    def test_rejects_bad_competency(self):
+        with pytest.raises(ValueError):
+            competency_partitions([1.5], 0.1)
+
+    def test_empty_bands_dropped(self):
+        bands = competency_partitions([0.05, 0.95], 0.1)
+        assert len(bands) == 2
+
+
+class TestMaxPartitionComplexity:
+    def test_values(self):
+        assert max_partition_complexity(0.5) == 2
+        assert max_partition_complexity(0.1) == 10
+        assert max_partition_complexity(0.3) == 4  # ceil(1/0.3)
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            max_partition_complexity(0)
+
+
+class TestPartitionComplexityAlias:
+    def test_alias(self):
+        g = RecycleSamplingGraph.layered([[0.5] * 2, [0.5] * 2], 0.5)
+        assert partition_complexity(g) == g.partition_complexity() == 2

@@ -1,0 +1,177 @@
+"""Tests for recycle sampling graphs (Definition 6)."""
+
+import numpy as np
+import pytest
+
+from repro.sampling.recycle import RecycleNode, RecycleSamplingGraph
+
+
+class TestRecycleNode:
+    def test_basic(self):
+        node = RecycleNode(0.5, 0.7, (0, 1))
+        assert node.fresh_prob == 0.5
+        assert node.successors == (0, 1)
+
+    def test_no_successors_requires_fresh(self):
+        with pytest.raises(ValueError, match="always fresh"):
+            RecycleNode(0.5, 0.7)
+
+    def test_always_fresh_ok(self):
+        RecycleNode(1.0, 0.7)
+
+    def test_rejects_bad_probabilities(self):
+        with pytest.raises(ValueError):
+            RecycleNode(1.5, 0.5)
+        with pytest.raises(ValueError):
+            RecycleNode(1.0, -0.1)
+
+
+class TestGraphValidation:
+    def test_successors_must_be_earlier(self):
+        nodes = [RecycleNode(1.0, 0.5), RecycleNode(0.5, 0.5, (1,))]
+        with pytest.raises(ValueError, match="earlier"):
+            RecycleSamplingGraph(nodes)
+
+    def test_prefix_must_be_successor_free(self):
+        nodes = [RecycleNode(1.0, 0.5), RecycleNode(0.5, 0.5, (0,))]
+        with pytest.raises(ValueError, match="independent prefix"):
+            RecycleSamplingGraph(nodes, independent_prefix=2)
+
+    def test_prefix_bounds(self):
+        nodes = [RecycleNode(1.0, 0.5)]
+        with pytest.raises(ValueError):
+            RecycleSamplingGraph(nodes, independent_prefix=2)
+
+
+class TestPartitionComplexity:
+    def test_independent_is_one(self):
+        g = RecycleSamplingGraph.independent([0.5] * 5)
+        assert g.partition_complexity() == 1
+
+    def test_chain(self):
+        nodes = [RecycleNode(1.0, 0.5)]
+        for i in range(1, 4):
+            nodes.append(RecycleNode(0.5, 0.5, (i - 1,)))
+        g = RecycleSamplingGraph(nodes, independent_prefix=1)
+        assert g.partition_complexity() == 4
+
+    def test_layered(self):
+        g = RecycleSamplingGraph.layered(
+            [[0.5] * 3, [0.5] * 3, [0.5] * 3], fresh_prob=0.5
+        )
+        assert g.partition_complexity() == 3
+        assert g.independent_prefix == 3
+
+    def test_empty(self):
+        g = RecycleSamplingGraph([])
+        assert g.partition_complexity() == 0
+
+    def test_is_recycle_graph(self):
+        g = RecycleSamplingGraph.layered([[0.5] * 4, [0.5] * 4], fresh_prob=0.5)
+        assert g.is_recycle_graph(j=4, c=2)
+        assert g.is_recycle_graph(j=2, c=5)
+        assert not g.is_recycle_graph(j=5, c=2)
+        assert not g.is_recycle_graph(j=2, c=1)
+
+
+class TestExpectations:
+    def test_independent_expectations(self):
+        g = RecycleSamplingGraph.independent([0.2, 0.7])
+        assert g.expectations().tolist() == pytest.approx([0.2, 0.7])
+
+    def test_pure_recycler_inherits_mean(self):
+        nodes = [
+            RecycleNode(1.0, 0.8),
+            RecycleNode(0.0, 0.1, (0,)),  # always recycles node 0
+        ]
+        g = RecycleSamplingGraph(nodes, independent_prefix=1)
+        assert g.expectations()[1] == pytest.approx(0.8)
+
+    def test_mixture(self):
+        nodes = [
+            RecycleNode(1.0, 0.8),
+            RecycleNode(0.5, 0.2, (0,)),
+        ]
+        g = RecycleSamplingGraph(nodes, independent_prefix=1)
+        # E = 0.5*0.2 + 0.5*0.8
+        assert g.expectations()[1] == pytest.approx(0.5)
+
+    def test_multi_successor_average(self):
+        nodes = [
+            RecycleNode(1.0, 1.0),
+            RecycleNode(1.0, 0.0),
+            RecycleNode(0.0, 0.5, (0, 1)),
+        ]
+        g = RecycleSamplingGraph(nodes, independent_prefix=2)
+        assert g.expectations()[2] == pytest.approx(0.5)
+
+    def test_mean_sum_prefix(self):
+        g = RecycleSamplingGraph.independent([0.2, 0.3, 0.4])
+        assert g.mean_sum(2) == pytest.approx(0.5)
+        assert g.mean_sum() == pytest.approx(0.9)
+        with pytest.raises(ValueError):
+            g.mean_sum(4)
+
+
+class TestSampling:
+    def test_values_binary(self):
+        g = RecycleSamplingGraph.layered([[0.5] * 4, [0.5] * 4], 0.3)
+        values = g.sample(0)
+        assert set(np.unique(values)) <= {0, 1}
+
+    def test_deterministic_node(self):
+        g = RecycleSamplingGraph.independent([1.0, 0.0])
+        assert g.sample(0).tolist() == [1, 0]
+
+    def test_pure_recycler_copies(self):
+        nodes = [
+            RecycleNode(1.0, 1.0),  # always 1
+            RecycleNode(0.0, 0.0, (0,)),  # always copies node 0
+        ]
+        g = RecycleSamplingGraph(nodes, independent_prefix=1)
+        for seed in range(5):
+            assert g.sample(seed).tolist() == [1, 1]
+
+    def test_empirical_mean_matches_expectation(self):
+        g = RecycleSamplingGraph.layered(
+            [[0.6] * 10, [0.4] * 10, [0.5] * 10], fresh_prob=0.4
+        )
+        rng = np.random.default_rng(0)
+        sums = [g.sample_sum(rng) for _ in range(2000)]
+        assert np.mean(sums) == pytest.approx(g.mean_sum(), rel=0.03)
+
+    def test_prefix_sums_monotone(self):
+        g = RecycleSamplingGraph.layered([[0.5] * 5, [0.5] * 5], 0.5)
+        ps = g.sample_prefix_sums(0)
+        assert np.all(np.diff(ps) >= 0)
+
+    def test_recycling_creates_positive_correlation(self):
+        # A layer that recycles a single fresh node must be perfectly
+        # correlated with it.
+        nodes = [RecycleNode(1.0, 0.5)] + [
+            RecycleNode(0.0, 0.5, (0,)) for _ in range(10)
+        ]
+        g = RecycleSamplingGraph(nodes, independent_prefix=1)
+        rng = np.random.default_rng(1)
+        for _ in range(10):
+            values = g.sample(rng)
+            assert np.all(values == values[0])
+
+    def test_repr(self):
+        g = RecycleSamplingGraph.layered([[0.5] * 2, [0.5]], 0.5)
+        assert "c=2" in repr(g)
+
+
+class TestLayeredConstructor:
+    def test_rejects_empty_layer(self):
+        with pytest.raises(ValueError, match="empty"):
+            RecycleSamplingGraph.layered([[0.5], []], 0.5)
+
+    def test_rejects_bad_fresh_prob(self):
+        with pytest.raises(ValueError):
+            RecycleSamplingGraph.layered([[0.5]], 1.5)
+
+    def test_single_layer_is_independent(self):
+        g = RecycleSamplingGraph.layered([[0.3] * 6], 0.2)
+        assert g.independent_prefix == 6
+        assert g.partition_complexity() == 1

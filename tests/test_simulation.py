@@ -1,0 +1,151 @@
+"""Tests for the repeated-election simulation layer."""
+
+import numpy as np
+import pytest
+
+from repro.core.competencies import bounded_uniform_competencies
+from repro.graphs.generators import complete_graph, star_graph
+from repro.mechanisms.direct import DirectVoting
+from repro.mechanisms.greedy import GreedyBest
+from repro.mechanisms.threshold import ApprovalThreshold
+from repro.simulation.drift import (
+    NoDrift,
+    OrnsteinUhlenbeckDrift,
+    RandomWalkDrift,
+    ShockDrift,
+)
+from repro.simulation.series import ElectionSeries
+
+
+class TestDriftModels:
+    @pytest.fixture
+    def p(self):
+        return np.linspace(0.3, 0.7, 20)
+
+    def test_no_drift_identity(self, p):
+        out = NoDrift().step(p, np.random.default_rng(0))
+        assert np.array_equal(out, p)
+        assert out is not p  # a copy, not an alias
+
+    def test_random_walk_stays_bounded(self, p):
+        drift = RandomWalkDrift(sigma=0.5, low=0.1, high=0.9)
+        rng = np.random.default_rng(1)
+        current = p
+        for _ in range(20):
+            current = drift.step(current, rng)
+            assert np.all((current >= 0.1) & (current <= 0.9))
+
+    def test_random_walk_moves(self, p):
+        out = RandomWalkDrift(sigma=0.05).step(p, np.random.default_rng(2))
+        assert not np.array_equal(out, p)
+
+    def test_ou_pulls_to_baseline(self, p):
+        drift = OrnsteinUhlenbeckDrift(baseline=0.5, rate=0.5, sigma=1e-6)
+        rng = np.random.default_rng(3)
+        current = p.copy()
+        for _ in range(30):
+            current = drift.step(current, rng)
+        assert np.all(np.abs(current - 0.5) < 0.05)
+
+    def test_shock_changes_fraction(self, p):
+        drift = ShockDrift(NoDrift(), shock_prob=0.999, shock_fraction=0.5)
+        out = drift.step(p, np.random.default_rng(4))
+        changed = np.sum(out != p)
+        assert changed == 10
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            RandomWalkDrift(sigma=0.0)
+        with pytest.raises(ValueError):
+            RandomWalkDrift(sigma=0.1, low=0.9, high=0.1)
+        with pytest.raises(ValueError):
+            OrnsteinUhlenbeckDrift(0.5, rate=1.5, sigma=0.1)
+
+
+class TestElectionSeries:
+    @pytest.fixture
+    def series(self):
+        n = 64
+        return ElectionSeries(
+            complete_graph(n),
+            bounded_uniform_competencies(n, 0.35, seed=0),
+            ApprovalThreshold(lambda d: max(1.0, d ** (1 / 3))),
+            drift=RandomWalkDrift(sigma=0.01, low=0.3, high=0.7),
+            alpha=0.05,
+        )
+
+    def test_records_accumulate(self, series):
+        series.run(5, seed=0)
+        assert len(series.records) == 5
+        series.run(3, seed=1)
+        assert len(series.records) == 8
+        assert [r.round_index for r in series.records] == list(range(8))
+
+    def test_summary_fields(self, series):
+        summary = series.run(10, seed=0)
+        assert summary.rounds == 10
+        assert -1.0 <= summary.min_gain <= summary.mean_gain <= 1.0
+        assert 0.0 <= summary.realized_accuracy <= 1.0
+        assert summary.worst_max_weight >= 1
+        assert "10 elections" in summary.describe()
+
+    def test_good_mechanism_sustains_gain(self, series):
+        summary = series.run(12, seed=2)
+        assert summary.mean_gain > 0.1
+        assert summary.rounds_with_loss <= 1
+
+    def test_direct_voting_zero_gain_series(self):
+        n = 32
+        series = ElectionSeries(
+            complete_graph(n),
+            bounded_uniform_competencies(n, 0.35, seed=1),
+            DirectVoting(),
+        )
+        summary = series.run(5, seed=0)
+        assert summary.mean_gain == pytest.approx(0.0, abs=1e-12)
+        assert summary.rounds_with_loss == 0
+
+    def test_star_dictator_series_loses(self):
+        n = 129
+        p = np.full(n, 9 / 16)
+        p[0] = 5 / 8
+        series = ElectionSeries(
+            star_graph(n), p, GreedyBest(), alpha=0.01
+        )
+        summary = series.run(8, seed=0)
+        assert summary.mean_gain < -0.1
+        assert summary.rounds_with_loss == 8
+        assert summary.worst_max_weight == n
+
+    def test_no_drift_keeps_competencies(self):
+        n = 16
+        p0 = bounded_uniform_competencies(n, 0.3, seed=3)
+        series = ElectionSeries(complete_graph(n), p0, DirectVoting())
+        series.run(4, seed=0)
+        assert np.allclose(series.current_competencies, p0)
+
+    def test_reproducible(self):
+        n = 32
+        p0 = bounded_uniform_competencies(n, 0.35, seed=4)
+
+        def build():
+            return ElectionSeries(
+                complete_graph(n), p0, ApprovalThreshold(2),
+                drift=RandomWalkDrift(sigma=0.02),
+            )
+
+        a = build().run(6, seed=11)
+        b = build().run(6, seed=11)
+        assert a == b
+
+    def test_summary_before_running_rejected(self, series):
+        with pytest.raises(ValueError):
+            series.summary()
+
+    def test_rejects_zero_rounds(self, series):
+        with pytest.raises(ValueError):
+            series.run(0)
+
+    def test_rejects_mismatched_competencies(self):
+        with pytest.raises(ValueError):
+            ElectionSeries(complete_graph(4), [0.5] * 5, DirectVoting())

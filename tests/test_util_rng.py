@@ -1,0 +1,72 @@
+"""Tests for repro._util.rng."""
+
+import numpy as np
+import pytest
+
+from repro._util.rng import as_generator, derive_seed, spawn_generators
+
+
+class TestAsGenerator:
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = as_generator(7).random(5)
+        b = as_generator(7).random(5)
+        assert np.array_equal(a, b)
+
+    def test_distinct_seeds_differ(self):
+        a = as_generator(7).random(5)
+        b = as_generator(8).random(5)
+        assert not np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert as_generator(gen) is gen
+
+    def test_seed_sequence_accepted(self):
+        seq = np.random.SeedSequence(42)
+        gen = as_generator(seq)
+        assert isinstance(gen, np.random.Generator)
+
+
+class TestSpawnGenerators:
+    def test_count(self):
+        gens = spawn_generators(0, 5)
+        assert len(gens) == 5
+
+    def test_children_are_independent_streams(self):
+        g1, g2 = spawn_generators(0, 2)
+        assert not np.array_equal(g1.random(10), g2.random(10))
+
+    def test_deterministic_under_same_seed(self):
+        a = [g.random() for g in spawn_generators(3, 4)]
+        b = [g.random() for g in spawn_generators(3, 4)]
+        assert a == b
+
+    def test_zero_count(self):
+        assert spawn_generators(0, 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_generators(0, -1)
+
+    def test_spawn_from_generator(self):
+        gen = np.random.default_rng(9)
+        gens = spawn_generators(gen, 3)
+        assert len(gens) == 3
+
+
+class TestDeriveSeed:
+    def test_none_passthrough(self):
+        assert derive_seed(None, 3) is None
+
+    def test_deterministic(self):
+        assert derive_seed(5, 2) == derive_seed(5, 2)
+
+    def test_index_changes_seed(self):
+        assert derive_seed(5, 1) != derive_seed(5, 2)
+
+    def test_generator_rejected(self):
+        with pytest.raises(TypeError):
+            derive_seed(np.random.default_rng(0), 0)

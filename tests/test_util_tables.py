@@ -1,0 +1,54 @@
+"""Tests for repro._util.tables."""
+
+import pytest
+
+from repro._util.tables import format_cell, render_table
+
+
+class TestFormatCell:
+    def test_float_precision(self):
+        assert format_cell(0.123456, precision=3) == "0.123"
+
+    def test_bool(self):
+        assert format_cell(True) == "yes"
+        assert format_cell(False) == "no"
+
+    def test_int(self):
+        assert format_cell(42) == "42"
+
+    def test_string(self):
+        assert format_cell("abc") == "abc"
+
+    def test_nan(self):
+        assert format_cell(float("nan")) == "nan"
+
+    def test_large_float_scientific(self):
+        assert "e" in format_cell(1.5e7)
+
+    def test_tiny_float_scientific(self):
+        assert "e" in format_cell(1.5e-7)
+
+
+class TestRenderTable:
+    def test_basic_structure(self):
+        out = render_table(["a", "bb"], [[1, 2], [3, 4]])
+        lines = out.splitlines()
+        assert len(lines) == 4  # header, separator, two rows
+        assert "a" in lines[0] and "bb" in lines[0]
+
+    def test_title(self):
+        out = render_table(["x"], [[1]], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+
+    def test_alignment_consistent(self):
+        out = render_table(["col"], [[1], [100]])
+        lines = out.splitlines()
+        assert len(lines[2]) == len(lines[3])
+
+    def test_mismatched_row_rejected(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [[1]])
+
+    def test_empty_rows_ok(self):
+        out = render_table(["a"], [])
+        assert "a" in out

@@ -1,0 +1,150 @@
+"""Tests for repro._util.validation and repro._util.mathx."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro._util.mathx import clamp, is_power_of_two, logsumexp, wilson_interval
+from repro._util.validation import (
+    check_fraction,
+    check_index,
+    check_positive,
+    check_probability,
+    check_probability_vector,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive("x", 1.5) == 1.5
+
+    def test_rejects_zero_strict(self):
+        with pytest.raises(ValueError, match="x must be > 0"):
+            check_positive("x", 0)
+
+    def test_accepts_zero_non_strict(self):
+        assert check_positive("x", 0, strict=False) == 0
+
+    def test_rejects_negative_non_strict(self):
+        with pytest.raises(ValueError):
+            check_positive("x", -1, strict=False)
+
+
+class TestCheckProbability:
+    @pytest.mark.parametrize("value", [0.0, 0.5, 1.0])
+    def test_accepts_valid(self, value):
+        assert check_probability("p", value) == value
+
+    @pytest.mark.parametrize("value", [-0.01, 1.01, 5])
+    def test_rejects_out_of_range(self, value):
+        with pytest.raises(ValueError):
+            check_probability("p", value)
+
+
+class TestCheckFraction:
+    def test_accepts_interior(self):
+        assert check_fraction("f", 0.5) == 0.5
+
+    @pytest.mark.parametrize("value", [0.0, 1.0, -0.1, 1.1])
+    def test_rejects_boundary_and_outside(self, value):
+        with pytest.raises(ValueError):
+            check_fraction("f", value)
+
+
+class TestCheckProbabilityVector:
+    def test_returns_array(self):
+        out = check_probability_vector("p", [0.1, 0.9])
+        assert isinstance(out, np.ndarray)
+        assert out.tolist() == [0.1, 0.9]
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            check_probability_vector("p", [])
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="NaN"):
+            check_probability_vector("p", [0.5, float("nan")])
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            check_probability_vector("p", [0.5, 1.5])
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError, match="one-dimensional"):
+            check_probability_vector("p", [[0.5], [0.5]])
+
+
+class TestCheckIndex:
+    def test_accepts_valid(self):
+        assert check_index("i", 3, 5) == 3
+
+    def test_accepts_numpy_integer(self):
+        assert check_index("i", np.int64(2), 5) == 2
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_index("i", -1, 5)
+
+    def test_rejects_too_large(self):
+        with pytest.raises(ValueError):
+            check_index("i", 5, 5)
+
+    def test_rejects_float(self):
+        with pytest.raises(TypeError):
+            check_index("i", 1.5, 5)
+
+
+class TestWilsonInterval:
+    def test_contains_point_estimate(self):
+        lo, hi = wilson_interval(50, 100)
+        assert lo < 0.5 < hi
+
+    def test_zero_successes(self):
+        lo, hi = wilson_interval(0, 100)
+        assert lo == 0.0
+        assert hi > 0.0
+
+    def test_all_successes(self):
+        lo, hi = wilson_interval(100, 100)
+        assert hi == pytest.approx(1.0)
+        assert lo < 1.0
+
+    def test_narrows_with_trials(self):
+        lo1, hi1 = wilson_interval(5, 10)
+        lo2, hi2 = wilson_interval(500, 1000)
+        assert (hi2 - lo2) < (hi1 - lo1)
+
+    def test_rejects_bad_counts(self):
+        with pytest.raises(ValueError):
+            wilson_interval(5, 0)
+        with pytest.raises(ValueError):
+            wilson_interval(11, 10)
+
+
+class TestMathHelpers:
+    def test_logsumexp_matches_direct(self):
+        vals = np.array([-1.0, -2.0, -3.0])
+        expected = math.log(sum(math.exp(v) for v in vals))
+        assert logsumexp(vals) == pytest.approx(expected)
+
+    def test_logsumexp_empty(self):
+        assert logsumexp(np.array([])) == float("-inf")
+
+    def test_logsumexp_large_values_stable(self):
+        assert logsumexp(np.array([1000.0, 1000.0])) == pytest.approx(
+            1000.0 + math.log(2)
+        )
+
+    def test_clamp(self):
+        assert clamp(5, 0, 1) == 1
+        assert clamp(-5, 0, 1) == 0
+        assert clamp(0.5, 0, 1) == 0.5
+
+    def test_clamp_empty_interval(self):
+        with pytest.raises(ValueError):
+            clamp(0.5, 1, 0)
+
+    @pytest.mark.parametrize("value,expected", [(1, True), (2, True), (3, False), (0, False), (-4, False), (1024, True)])
+    def test_is_power_of_two(self, value, expected):
+        assert is_power_of_two(value) is expected

@@ -1,0 +1,63 @@
+"""Tests for abstention-aware ballot evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.delegation.graph import SELF, DelegationGraph
+from repro.mechanisms.base import Ballot
+from repro.voting.ballots import ballot_correct_probability
+from repro.voting.exact import forest_correct_probability
+from repro.voting.outcome import TiePolicy
+
+
+class TestBallotValidation:
+    def test_abstaining_must_be_sinks(self):
+        forest = DelegationGraph([1, SELF])
+        with pytest.raises(ValueError, match="must be sinks"):
+            Ballot(forest, frozenset({0}))
+
+    def test_empty_abstention_ok(self):
+        ballot = Ballot(DelegationGraph.direct(3))
+        assert ballot.participating_weight == 3
+
+    def test_participating_weight(self):
+        forest = DelegationGraph([2, 2, SELF, SELF])
+        ballot = Ballot(forest, frozenset({3}))
+        assert ballot.participating_weight == 3
+
+
+class TestBallotCorrectProbability:
+    def test_no_abstention_matches_forest(self):
+        forest = DelegationGraph([2, 2, SELF, SELF])
+        p = [0.5, 0.5, 0.8, 0.4]
+        ballot = Ballot(forest)
+        assert ballot_correct_probability(ballot, p) == pytest.approx(
+            forest_correct_probability(forest, p)
+        )
+
+    def test_abstention_drops_sink(self):
+        # Sinks 2 (weight 3) and 3 (weight 1); if 3 abstains only 2 decides.
+        forest = DelegationGraph([2, 2, SELF, SELF])
+        p = [0.5, 0.5, 0.8, 0.4]
+        ballot = Ballot(forest, frozenset({3}))
+        assert ballot_correct_probability(ballot, p) == pytest.approx(0.8)
+
+    def test_everyone_abstains(self):
+        forest = DelegationGraph.direct(2)
+        ballot = Ballot(forest, frozenset({0, 1}))
+        assert ballot_correct_probability(ballot, [0.9, 0.9]) == 0.0
+        assert ballot_correct_probability(
+            ballot, [0.9, 0.9], TiePolicy.COIN_FLIP
+        ) == 0.5
+
+    def test_votes_delegated_to_abstainer_lost(self):
+        # 0 and 1 delegate to 2 who abstains; only 3 (weight 1) participates.
+        forest = DelegationGraph([2, 2, SELF, SELF])
+        p = [0.99, 0.99, 0.99, 0.3]
+        ballot = Ballot(forest, frozenset({2}))
+        assert ballot_correct_probability(ballot, p) == pytest.approx(0.3)
+
+    def test_length_mismatch_rejected(self):
+        ballot = Ballot(DelegationGraph.direct(2))
+        with pytest.raises(ValueError):
+            ballot_correct_probability(ballot, [0.5])

@@ -1,0 +1,229 @@
+"""Tests for weighted-majority delegation DAGs."""
+
+import numpy as np
+import pytest
+
+from repro.core.instance import ProblemInstance
+from repro.graphs.generators import complete_graph
+from repro.mechanisms.weighted_majority import WeightedMajorityDelegation
+from repro.voting.dag import DelegateWeights, WeightedDelegationDag
+
+
+class TestDelegateWeights:
+    def test_basic(self):
+        dw = DelegateWeights((1, 2), (1.0, 2.0))
+        assert dw.delegates == (1, 2)
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError):
+            DelegateWeights((1,), (1.0, 2.0))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            DelegateWeights((), ())
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            DelegateWeights((1, 1), (1.0, 1.0))
+
+    def test_rejects_non_positive_weight(self):
+        with pytest.raises(ValueError):
+            DelegateWeights((1,), (0.0,))
+
+
+class TestDagConstruction:
+    def test_all_direct(self):
+        dag = WeightedDelegationDag(3, {})
+        assert dag.direct_voters == (0, 1, 2)
+        assert dag.num_delegators == 0
+        assert dag.max_fan_in() == 0
+
+    def test_simple_dag(self):
+        dag = WeightedDelegationDag(
+            3, {0: DelegateWeights((1, 2), (1.0, 1.0))}
+        )
+        assert dag.num_delegators == 1
+        assert dag.direct_voters == (1, 2)
+        assert dag.max_fan_in() == 1
+
+    def test_rejects_self_delegation(self):
+        with pytest.raises(ValueError, match="itself"):
+            WeightedDelegationDag(2, {0: DelegateWeights((0,), (1.0,))})
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError, match="out-of-range"):
+            WeightedDelegationDag(2, {0: DelegateWeights((5,), (1.0,))})
+
+    def test_rejects_cycle(self):
+        with pytest.raises(ValueError, match="cycle"):
+            WeightedDelegationDag(
+                2,
+                {
+                    0: DelegateWeights((1,), (1.0,)),
+                    1: DelegateWeights((0,), (1.0,)),
+                },
+            )
+
+    def test_rejects_longer_cycle(self):
+        with pytest.raises(ValueError, match="cycle"):
+            WeightedDelegationDag(
+                3,
+                {
+                    0: DelegateWeights((1,), (1.0,)),
+                    1: DelegateWeights((2,), (1.0,)),
+                    2: DelegateWeights((0,), (1.0,)),
+                },
+            )
+
+    def test_fan_in(self):
+        dag = WeightedDelegationDag(
+            4,
+            {
+                0: DelegateWeights((3,), (1.0,)),
+                1: DelegateWeights((3,), (1.0,)),
+                2: DelegateWeights((3,), (1.0,)),
+            },
+        )
+        assert dag.max_fan_in() == 3
+
+
+class TestEffectiveVotes:
+    def test_deterministic_majority(self):
+        # voters 1, 2 certain-correct; 3 certain-wrong; 0 takes majority
+        dag = WeightedDelegationDag(
+            4, {0: DelegateWeights((1, 2, 3), (1.0, 1.0, 1.0))}
+        )
+        votes = dag.sample_effective_votes([0.0, 1.0, 1.0, 0.0], rng=0)
+        assert votes[0] == 1  # 2-of-3 correct advisors
+
+    def test_weights_flip_majority(self):
+        # wrong advisor has weight 3 vs two correct with weight 1 each
+        dag = WeightedDelegationDag(
+            4, {0: DelegateWeights((1, 2, 3), (1.0, 1.0, 3.0))}
+        )
+        votes = dag.sample_effective_votes([1.0, 1.0, 1.0, 0.0], rng=0)
+        assert votes[0] == 0
+
+    def test_tie_falls_back_to_own_competency(self):
+        # one correct, one wrong advisor, equal weights; own p = 1
+        dag = WeightedDelegationDag(
+            3, {0: DelegateWeights((1, 2), (1.0, 1.0))}
+        )
+        votes = dag.sample_effective_votes([1.0, 1.0, 0.0], rng=0)
+        assert votes[0] == 1
+
+    def test_tie_coin_flip_mode(self):
+        dag = WeightedDelegationDag(
+            3, {0: DelegateWeights((1, 2), (1.0, 1.0))}
+        )
+        rng = np.random.default_rng(0)
+        outcomes = [
+            dag.sample_effective_votes(
+                [1.0, 1.0, 0.0], rng, tie_break_own_vote=False
+            )[0]
+            for _ in range(200)
+        ]
+        assert 0.3 < np.mean(outcomes) < 0.7
+
+    def test_chained_resolution(self):
+        # 0 follows 1; 1 follows 2; 2 is certain-correct.
+        dag = WeightedDelegationDag(
+            3,
+            {
+                0: DelegateWeights((1,), (1.0,)),
+                1: DelegateWeights((2,), (1.0,)),
+            },
+        )
+        votes = dag.sample_effective_votes([0.0, 0.0, 1.0], rng=0)
+        assert votes.tolist() == [1, 1, 1]
+
+    def test_length_mismatch_rejected(self):
+        dag = WeightedDelegationDag(2, {})
+        with pytest.raises(ValueError):
+            dag.sample_effective_votes([0.5], rng=0)
+
+
+class TestCorrectProbability:
+    def test_certain_population(self):
+        dag = WeightedDelegationDag(3, {})
+        est, lo, hi = dag.estimate_correct_probability([1.0, 1.0, 1.0], rounds=20, seed=0)
+        assert est == 1.0
+
+    def test_strict_majority_needed(self):
+        # 2 voters: a 1-1 split is a tie -> incorrect.
+        dag = WeightedDelegationDag(2, {})
+        est, _, _ = dag.estimate_correct_probability([1.0, 0.0], rounds=50, seed=0)
+        assert est == 0.0
+
+    def test_ci_brackets_estimate(self):
+        dag = WeightedDelegationDag(5, {})
+        est, lo, hi = dag.estimate_correct_probability(
+            [0.6] * 5, rounds=300, seed=1
+        )
+        assert lo <= est <= hi
+
+    def test_rejects_zero_rounds(self):
+        dag = WeightedDelegationDag(2, {})
+        with pytest.raises(ValueError):
+            dag.estimate_correct_probability([0.5, 0.5], rounds=0)
+
+
+class TestWeightedMajorityMechanism:
+    @pytest.fixture
+    def instance(self):
+        rng = np.random.default_rng(4)
+        return ProblemInstance(
+            complete_graph(20), rng.uniform(0.25, 0.75, 20), alpha=0.05
+        )
+
+    def test_dag_targets_are_approved(self, instance):
+        mech = WeightedMajorityDelegation(3, threshold=1)
+        dag = mech.sample_dag(instance, 0)
+        for voter in range(instance.num_voters):
+            choice = dag.choice(voter)
+            if choice is None:
+                continue
+            for d in choice.delegates:
+                assert instance.approves(voter, d)
+
+    def test_k_caps_delegate_count(self, instance):
+        mech = WeightedMajorityDelegation(2, threshold=1)
+        dag = mech.sample_dag(instance, 0)
+        for voter in range(instance.num_voters):
+            choice = dag.choice(voter)
+            if choice is not None:
+                assert len(choice.delegates) <= 2
+
+    def test_threshold_respected(self, instance):
+        mech = WeightedMajorityDelegation(3, threshold=10**9)
+        dag = mech.sample_dag(instance, 0)
+        assert dag.num_delegators == 0
+
+    def test_rank_weights_ascending(self, instance):
+        mech = WeightedMajorityDelegation(3, threshold=1, weighting="rank")
+        dag = mech.sample_dag(instance, 0)
+        p = instance.competencies
+        for voter in range(instance.num_voters):
+            choice = dag.choice(voter)
+            if choice is None or len(choice.delegates) < 2:
+                continue
+            # weights increase with the delegate's competency rank
+            comps = [p[d] for d in choice.delegates]
+            assert list(choice.weights) == sorted(choice.weights)
+            assert comps == sorted(comps)
+
+    def test_estimate_probability_reasonable(self, instance):
+        mech = WeightedMajorityDelegation(3, threshold=1)
+        prob = mech.estimate_correct_probability(
+            instance, dag_rounds=4, vote_rounds=100, seed=0
+        )
+        assert 0.0 <= prob <= 1.0
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            WeightedMajorityDelegation(0)
+        with pytest.raises(ValueError):
+            WeightedMajorityDelegation(2, weighting="magic")
+
+    def test_name(self):
+        assert "rank" in WeightedMajorityDelegation(2, weighting="rank").name

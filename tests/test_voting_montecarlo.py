@@ -1,0 +1,102 @@
+"""Tests for Monte Carlo estimators."""
+
+import numpy as np
+import pytest
+
+from repro.core.instance import ProblemInstance
+from repro.graphs.generators import complete_graph, star_graph
+from repro.mechanisms.direct import DirectVoting
+from repro.mechanisms.greedy import GreedyBest
+from repro.mechanisms.threshold import RandomApproved
+from repro.voting.exact import direct_voting_probability
+from repro.voting.montecarlo import (
+    estimate_ballot_probability,
+    estimate_correct_probability,
+    estimate_gain,
+    sample_outcome,
+)
+
+
+@pytest.fixture
+def instance():
+    return ProblemInstance(
+        complete_graph(9), np.linspace(0.3, 0.8, 9), alpha=0.05
+    )
+
+
+class TestEstimateCorrectProbability:
+    def test_direct_matches_exact(self, instance):
+        est = estimate_correct_probability(
+            instance, DirectVoting(), rounds=5, seed=0
+        )
+        # Rao-Blackwellised estimator is exact for deterministic forests.
+        assert est.probability == pytest.approx(
+            direct_voting_probability(instance.competencies)
+        )
+        assert est.std_error == pytest.approx(0.0)
+
+    def test_reproducible(self, instance):
+        a = estimate_correct_probability(instance, RandomApproved(), rounds=20, seed=1)
+        b = estimate_correct_probability(instance, RandomApproved(), rounds=20, seed=1)
+        assert a.probability == b.probability
+
+    def test_ci_contains_estimate(self, instance):
+        est = estimate_correct_probability(instance, RandomApproved(), rounds=50, seed=2)
+        assert est.ci_low <= est.probability <= est.ci_high
+
+    def test_rejects_zero_rounds(self, instance):
+        with pytest.raises(ValueError):
+            estimate_correct_probability(instance, DirectVoting(), rounds=0)
+
+    def test_naive_estimator_agrees(self, instance):
+        exact = estimate_correct_probability(
+            instance, DirectVoting(), rounds=10, seed=0
+        ).probability
+        naive = estimate_correct_probability(
+            instance, DirectVoting(), rounds=3000, seed=0, exact_conditional=False
+        )
+        assert naive.probability == pytest.approx(exact, abs=0.05)
+        assert naive.ci_low <= exact <= naive.ci_high
+
+    def test_float_conversion(self, instance):
+        est = estimate_correct_probability(instance, DirectVoting(), rounds=3, seed=0)
+        assert float(est) == est.probability
+
+
+class TestSampleOutcome:
+    def test_binary_values(self, instance):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            out = sample_outcome(instance, DirectVoting(), rng)
+            assert out in (0.0, 1.0)
+
+    def test_certain_instance(self):
+        inst = ProblemInstance(complete_graph(3), [0.98, 0.99, 1.0], alpha=0.001)
+        rng = np.random.default_rng(0)
+        outs = [sample_outcome(inst, DirectVoting(), rng) for _ in range(30)]
+        assert np.mean(outs) > 0.9
+
+
+class TestEstimateGain:
+    def test_star_negative_gain(self, figure1_instance):
+        gain, est, direct = estimate_gain(
+            figure1_instance, GreedyBest(), rounds=5, seed=0
+        )
+        assert gain < 0
+        assert est.probability == pytest.approx(0.625)
+        assert direct > 0.625
+
+    def test_delegation_positive_gain(self, instance):
+        gain, _, _ = estimate_gain(instance, RandomApproved(), rounds=100, seed=0)
+        assert gain > 0
+
+
+class TestBallotEstimator:
+    def test_agrees_for_non_abstaining(self, instance):
+        a = estimate_correct_probability(instance, RandomApproved(), rounds=40, seed=3)
+        b = estimate_ballot_probability(instance, RandomApproved(), rounds=40, seed=3)
+        assert b.probability == pytest.approx(a.probability, abs=0.05)
+
+    def test_rejects_zero_rounds(self, instance):
+        with pytest.raises(ValueError):
+            estimate_ballot_probability(instance, DirectVoting(), rounds=0)

@@ -1,0 +1,53 @@
+"""Tests for the weighted-majority decision rule."""
+
+import pytest
+
+from repro.voting.outcome import TiePolicy, decide, majority_correct
+
+
+class TestMajorityCorrect:
+    def test_strict_win(self):
+        assert majority_correct(6, 10) == 1.0
+
+    def test_strict_loss(self):
+        assert majority_correct(4, 10) == 0.0
+
+    def test_tie_incorrect_default(self):
+        assert majority_correct(5, 10) == 0.0
+
+    def test_tie_coin_flip(self):
+        assert majority_correct(5, 10, TiePolicy.COIN_FLIP) == 0.5
+
+    def test_fractional_weights(self):
+        assert majority_correct(2.5, 4.0) == 1.0
+
+    def test_zero_total(self):
+        # no strict majority possible
+        assert majority_correct(0, 0) == 0.0
+        assert majority_correct(0, 0, TiePolicy.COIN_FLIP) == 0.5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            majority_correct(-1, 5)
+
+    def test_rejects_correct_exceeding_total(self):
+        with pytest.raises(ValueError):
+            majority_correct(6, 5)
+
+
+class TestDecide:
+    def test_weighted_votes(self):
+        assert decide([True, False], [3, 2]) == 1.0
+        assert decide([True, False], [2, 3]) == 0.0
+
+    def test_tie(self):
+        assert decide([True, False], [2, 2]) == 0.0
+        assert decide([True, False], [2, 2], TiePolicy.COIN_FLIP) == 0.5
+
+    def test_single_voter(self):
+        assert decide([True], [1]) == 1.0
+        assert decide([False], [1]) == 0.0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            decide([True], [1, 2])
