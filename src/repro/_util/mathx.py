@@ -3,9 +3,63 @@
 from __future__ import annotations
 
 import math
-from typing import Tuple
+from collections import OrderedDict
+from typing import Any, Hashable, Optional, Tuple
 
 import numpy as np
+
+
+class LRUCache:
+    """A small least-recently-used cache for memoising PMF arrays.
+
+    The batched Monte Carlo engine deduplicates sink-weight profiles
+    across rounds: identical profiles (common for deterministic
+    mechanisms and on complete/regular graphs) hit the cache and skip
+    the exact DP entirely.  Bounded so pathological workloads cannot
+    hold every distinct ``O(n)`` PMF alive.
+    """
+
+    __slots__ = ("_maxsize", "_data", "hits", "misses")
+
+    def __init__(self, maxsize: int = 1024) -> None:
+        if maxsize <= 0:
+            raise ValueError(f"maxsize must be positive, got {maxsize}")
+        self._maxsize = maxsize
+        self._data: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    @property
+    def maxsize(self) -> int:
+        """Maximum number of retained entries."""
+        return self._maxsize
+
+    def get(self, key: Hashable) -> Optional[Any]:
+        """Return the cached value for ``key`` (None on miss)."""
+        try:
+            value = self._data[key]
+        except KeyError:
+            self.misses += 1
+            return None
+        self._data.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert ``key`` → ``value``, evicting the oldest entry if full."""
+        self._data[key] = value
+        self._data.move_to_end(key)
+        if len(self._data) > self._maxsize:
+            self._data.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop all entries and reset the hit/miss counters."""
+        self._data.clear()
+        self.hits = 0
+        self.misses = 0
 
 
 def wilson_interval(successes: int, trials: int, z: float = 1.96) -> Tuple[float, float]:

@@ -47,6 +47,46 @@ def spawn_generators(seed: SeedLike, count: int) -> List[np.random.Generator]:
     return [np.random.default_rng(child) for child in seq.spawn(count)]
 
 
+def as_seed_sequence(seed: SeedLike) -> np.random.SeedSequence:
+    """Coerce ``seed`` into a :class:`numpy.random.SeedSequence`.
+
+    Used by the batched Monte Carlo engine, which needs a *spawnable*
+    root rather than a live generator so that per-round child streams
+    can be re-derived identically inside worker processes.
+    """
+    if isinstance(seed, np.random.SeedSequence):
+        return seed
+    if isinstance(seed, np.random.Generator):
+        seq = seed.bit_generator.seed_seq  # type: ignore[attr-defined]
+        if not isinstance(seq, np.random.SeedSequence):  # pragma: no cover
+            raise TypeError(
+                "generator's bit generator does not expose a SeedSequence"
+            )
+        return seq
+    return np.random.SeedSequence(seed)
+
+
+def child_seed_sequence(
+    root: np.random.SeedSequence, index: int
+) -> np.random.SeedSequence:
+    """The ``index``-th child of ``root``, by absolute position.
+
+    Equivalent to the child that ``root.spawn`` would produce at
+    position ``index`` on a fresh root, but stateless: it neither reads
+    nor advances ``root``'s spawn counter, so any process can
+    reconstruct any child from ``(root, index)`` alone.  This is the
+    determinism contract that makes batched estimates independent of
+    ``n_jobs`` and of how rounds are partitioned across workers.
+    """
+    if index < 0:
+        raise ValueError(f"index must be non-negative, got {index}")
+    return np.random.SeedSequence(
+        entropy=root.entropy,
+        spawn_key=tuple(root.spawn_key) + (index,),
+        pool_size=root.pool_size,
+    )
+
+
 def derive_seed(seed: SeedLike, index: int) -> Optional[int]:
     """Return a stable derived integer seed for grid point ``index``.
 

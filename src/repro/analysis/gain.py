@@ -83,14 +83,24 @@ def monte_carlo_gain(
     rounds: int = 400,
     seed: SeedLike = None,
     tie_policy: TiePolicy = TiePolicy.INCORRECT,
+    engine: str = "serial",
+    n_jobs: int = 1,
 ) -> GainEstimate:
     """Rao–Blackwellised gain estimate over mechanism randomness.
 
     Direct voting is exact; only the forest distribution is sampled, so
-    ``std_error`` reflects purely the mechanism's randomness.
+    ``std_error`` reflects purely the mechanism's randomness.  ``engine``
+    and ``n_jobs`` select the Monte Carlo engine, see
+    :func:`repro.voting.montecarlo.estimate_correct_probability`.
     """
     est = estimate_correct_probability(
-        instance, mechanism, rounds=rounds, seed=seed, tie_policy=tie_policy
+        instance,
+        mechanism,
+        rounds=rounds,
+        seed=seed,
+        tie_policy=tie_policy,
+        engine=engine,
+        n_jobs=n_jobs,
     )
     pd = direct_voting_probability(instance.competencies, tie_policy)
     return GainEstimate(

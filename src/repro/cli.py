@@ -54,6 +54,19 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--precision", type=int, default=4, help="table float precision"
     )
+    run.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="grid points evaluated concurrently (default: 1; results are "
+        "identical for any value)",
+    )
+    run.add_argument(
+        "--engine",
+        choices=("serial", "batch"),
+        default="serial",
+        help="Monte Carlo engine (default: serial)",
+    )
 
     report = sub.add_parser(
         "report", help="run experiments and write a markdown report"
@@ -72,6 +85,10 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--seed", type=int, default=0)
     report.add_argument(
         "--title", default="Liquid democracy reproduction report"
+    )
+    report.add_argument("--jobs", type=int, default=1)
+    report.add_argument(
+        "--engine", choices=("serial", "batch"), default="serial"
     )
     return parser
 
@@ -96,8 +113,20 @@ def _cmd_info(out) -> int:
     return 0
 
 
-def _cmd_run(experiment: str, scale: str, seed: int, precision: int, out) -> int:
-    config = ExperimentConfig(seed=seed, scale=scale)
+def _cmd_run(
+    experiment: str,
+    scale: str,
+    seed: int,
+    precision: int,
+    out,
+    jobs: int = 1,
+    engine: str = "serial",
+) -> int:
+    try:
+        config = ExperimentConfig(seed=seed, scale=scale, engine=engine, n_jobs=jobs)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     if experiment.lower() == "all":
         ids = [eid for eid, _ in list_experiments()]
     else:
@@ -117,11 +146,22 @@ def _cmd_run(experiment: str, scale: str, seed: int, precision: int, out) -> int
 
 
 def _cmd_report(
-    experiments: List[str], out_path: str, scale: str, seed: int, title: str, out
+    experiments: List[str],
+    out_path: str,
+    scale: str,
+    seed: int,
+    title: str,
+    out,
+    jobs: int = 1,
+    engine: str = "serial",
 ) -> int:
     from repro.experiments.report import markdown_report
 
-    config = ExperimentConfig(seed=seed, scale=scale)
+    try:
+        config = ExperimentConfig(seed=seed, scale=scale, engine=engine, n_jobs=jobs)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     ids = experiments or [eid for eid, _ in list_experiments()]
     results = []
     for eid in ids:
@@ -146,9 +186,24 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
     if args.command == "info":
         return _cmd_info(out)
     if args.command == "run":
-        return _cmd_run(args.experiment, args.scale, args.seed, args.precision, out)
+        return _cmd_run(
+            args.experiment,
+            args.scale,
+            args.seed,
+            args.precision,
+            out,
+            jobs=args.jobs,
+            engine=args.engine,
+        )
     if args.command == "report":
         return _cmd_report(
-            args.experiments, args.out, args.scale, args.seed, args.title, out
+            args.experiments,
+            args.out,
+            args.scale,
+            args.seed,
+            args.title,
+            out,
+            jobs=args.jobs,
+            engine=args.engine,
         )
     raise AssertionError(f"unhandled command {args.command!r}")

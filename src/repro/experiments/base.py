@@ -3,9 +3,13 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Sequence, Tuple, TypeVar
 
 from repro._util.tables import render_table
+from repro.voting.montecarlo import ENGINES
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
 
 
 @dataclass(frozen=True)
@@ -14,21 +18,53 @@ class ExperimentConfig:
 
     ``scale`` selects the parameter grid: ``"smoke"`` runs in seconds for
     CI/benchmarks, ``"default"`` in tens of seconds, ``"full"`` is the
-    EXPERIMENTS.md configuration.
+    EXPERIMENTS.md configuration.  ``engine`` and ``n_jobs`` select the
+    Monte Carlo engine (see
+    :func:`repro.voting.montecarlo.estimate_correct_probability`) and how
+    many grid points the runners evaluate concurrently.  Every grid point
+    derives its stream from its *index*, so results are identical for
+    every ``n_jobs``.
     """
 
     seed: int = 0
     scale: str = "default"
+    engine: str = "serial"
+    n_jobs: int = 1
 
     def __post_init__(self) -> None:
         if self.scale not in ("smoke", "default", "full"):
             raise ValueError(
                 f"scale must be smoke/default/full, got {self.scale!r}"
             )
+        if self.engine not in ENGINES:
+            raise ValueError(
+                f"engine must be one of {ENGINES}, got {self.engine!r}"
+            )
+        if self.n_jobs < 1:
+            raise ValueError(f"n_jobs must be >= 1, got {self.n_jobs}")
 
     def pick(self, smoke: Any, default: Any, full: Any) -> Any:
         """Select a value by the configured scale."""
         return {"smoke": smoke, "default": default, "full": full}[self.scale]
+
+    def parallel_map(
+        self, fn: Callable[[_T], _R], items: Sequence[_T]
+    ) -> List[_R]:
+        """Map ``fn`` over ``items``, threaded when ``n_jobs > 1``.
+
+        Results keep input order.  Threads (not processes) because grid
+        points spend their time inside NumPy kernels that release the
+        GIL; ``fn`` must not share mutable state across items.  With
+        ``n_jobs == 1`` this is a plain loop, so the sequential path has
+        zero overhead and identical tracebacks.
+        """
+        if self.n_jobs == 1 or len(items) <= 1:
+            return [fn(item) for item in items]
+        from concurrent.futures import ThreadPoolExecutor
+
+        workers = min(self.n_jobs, len(items))
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(fn, items))
 
 
 @dataclass

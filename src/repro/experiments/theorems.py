@@ -71,34 +71,43 @@ def _gain_rows(
     mechanism_factory: Callable[[int], "object"],
     sizes: List[int],
     rounds: int,
-    seed: int,
+    config: ExperimentConfig,
 ) -> List[List[object]]:
-    """Measure SPG-family and DNH-family gains for each size."""
-    rows: List[List[object]] = []
-    gens = spawn_generators(seed, 2 * len(sizes))
-    for idx, n in enumerate(sizes):
+    """Measure SPG-family and DNH-family gains for each size.
+
+    Grid points are independent — each owns its spawned generators — so
+    ``config.parallel_map`` can evaluate them concurrently without
+    changing any stream.
+    """
+    gens = spawn_generators(config.seed, 2 * len(sizes))
+
+    def measure(idx: int) -> List[List[object]]:
+        n = sizes[idx]
         gen_spg, gen_dnh = gens[2 * idx], gens[2 * idx + 1]
         mechanism = mechanism_factory(n)
         # SPG family.
         graph = graph_factory(n, gen_spg)
         inst = ProblemInstance(graph, spg_competencies(n, gen_spg), alpha=ALPHA)
         forest = mechanism.sample_delegations(inst, gen_spg)
-        est = monte_carlo_gain(inst, mechanism, rounds=rounds, seed=gen_spg)
-        rows.append(
-            ["spg", n, forest.num_delegators, forest.max_weight(),
-             est.direct_probability, est.mechanism_probability, est.gain]
+        est = monte_carlo_gain(
+            inst, mechanism, rounds=rounds, seed=gen_spg, engine=config.engine
         )
+        spg_row = ["spg", n, forest.num_delegators, forest.max_weight(),
+                   est.direct_probability, est.mechanism_probability, est.gain]
         # DNH adversarial family.
         graph = graph_factory(n, gen_dnh)
         experts = dnh_expert_count(n)
         inst = ProblemInstance(graph, dnh_competencies(n, experts), alpha=ALPHA)
         forest = mechanism.sample_delegations(inst, gen_dnh)
-        est = monte_carlo_gain(inst, mechanism, rounds=rounds, seed=gen_dnh)
-        rows.append(
-            ["dnh", n, forest.num_delegators, forest.max_weight(),
-             est.direct_probability, est.mechanism_probability, est.gain]
+        est = monte_carlo_gain(
+            inst, mechanism, rounds=rounds, seed=gen_dnh, engine=config.engine
         )
-    return rows
+        dnh_row = ["dnh", n, forest.num_delegators, forest.max_weight(),
+                   est.direct_probability, est.mechanism_probability, est.gain]
+        return [spg_row, dnh_row]
+
+    pairs = config.parallel_map(measure, list(range(len(sizes))))
+    return [row for pair in pairs for row in pair]
 
 
 _GAIN_HEADERS = [
@@ -143,7 +152,7 @@ def run_theorem2(config: ExperimentConfig = ExperimentConfig()) -> ExperimentRes
             ),
             sizes=sizes,
             rounds=rounds,
-            seed=config.seed,
+            config=config,
         ),
         seed=config.seed,
         scale=config.scale,
@@ -176,7 +185,7 @@ def run_theorem3(config: ExperimentConfig = ExperimentConfig()) -> ExperimentRes
             ),
             sizes=sizes,
             rounds=rounds,
-            seed=config.seed,
+            config=config,
         ),
         seed=config.seed,
         scale=config.scale,
@@ -197,28 +206,33 @@ def run_theorem4(config: ExperimentConfig = ExperimentConfig()) -> ExperimentRes
     n = config.pick(smoke=512, default=2048, full=8192)
     rounds = config.pick(smoke=30, default=120, full=400)
     max_degrees = config.pick(smoke=[4, 16], default=[4, 8, 16, 64], full=[4, 8, 16, 64, 256])
-    rows: List[List[object]] = []
     gens = spawn_generators(config.seed, 2 * len(max_degrees))
-    for idx, delta in enumerate(max_degrees):
+
+    def measure(idx: int) -> List[List[object]]:
+        delta = max_degrees[idx]
         gen_spg, gen_dnh = gens[2 * idx], gens[2 * idx + 1]
         mechanism = RandomApproved()
         graph = random_bounded_degree_graph(n, delta, seed=gen_spg)
         inst = ProblemInstance(graph, spg_competencies(n, gen_spg), alpha=ALPHA)
         forest = mechanism.sample_delegations(inst, gen_spg)
-        est = monte_carlo_gain(inst, mechanism, rounds=rounds, seed=gen_spg)
-        rows.append(
-            ["spg", delta, forest.num_delegators, forest.max_weight(),
-             est.direct_probability, est.mechanism_probability, est.gain]
+        est = monte_carlo_gain(
+            inst, mechanism, rounds=rounds, seed=gen_spg, engine=config.engine
         )
+        spg_row = ["spg", delta, forest.num_delegators, forest.max_weight(),
+                   est.direct_probability, est.mechanism_probability, est.gain]
         graph = random_bounded_degree_graph(n, delta, seed=gen_dnh)
         experts = dnh_expert_count(n)
         inst = ProblemInstance(graph, dnh_competencies(n, experts), alpha=ALPHA)
         forest = mechanism.sample_delegations(inst, gen_dnh)
-        est = monte_carlo_gain(inst, mechanism, rounds=rounds, seed=gen_dnh)
-        rows.append(
-            ["dnh", delta, forest.num_delegators, forest.max_weight(),
-             est.direct_probability, est.mechanism_probability, est.gain]
+        est = monte_carlo_gain(
+            inst, mechanism, rounds=rounds, seed=gen_dnh, engine=config.engine
         )
+        dnh_row = ["dnh", delta, forest.num_delegators, forest.max_weight(),
+                   est.direct_probability, est.mechanism_probability, est.gain]
+        return [spg_row, dnh_row]
+
+    pairs = config.parallel_map(measure, list(range(len(max_degrees))))
+    rows: List[List[object]] = [row for pair in pairs for row in pair]
     result = ExperimentResult(
         experiment_id="T4",
         title="Theorem 4: bounded maximum degree",
@@ -256,20 +270,21 @@ def run_theorem5(config: ExperimentConfig = ExperimentConfig()) -> ExperimentRes
     )
     rounds = config.pick(smoke=30, default=120, full=400)
     eps = 0.5  # delta = n^eps = sqrt(n)
-    rows: List[List[object]] = []
     gens = spawn_generators(config.seed, 2 * len(sizes))
-    for idx, n in enumerate(sizes):
+
+    def measure(idx: int) -> List[List[object]]:
+        n = sizes[idx]
         delta = max(4, int(round(n**eps)))
         gen_spg, gen_dnh = gens[2 * idx], gens[2 * idx + 1]
         mechanism = FractionApproved(0.5)
         graph = random_min_degree_graph(n, delta, seed=gen_spg)
         inst = ProblemInstance(graph, spg_competencies(n, gen_spg), alpha=ALPHA)
         forest = mechanism.sample_delegations(inst, gen_spg)
-        est = monte_carlo_gain(inst, mechanism, rounds=rounds, seed=gen_spg)
-        rows.append(
-            ["spg", n, delta, forest.num_delegators, forest.max_weight(),
-             est.direct_probability, est.mechanism_probability, est.gain]
+        est = monte_carlo_gain(
+            inst, mechanism, rounds=rounds, seed=gen_spg, engine=config.engine
         )
+        spg_row = ["spg", n, delta, forest.num_delegators, forest.max_weight(),
+                   est.direct_probability, est.mechanism_probability, est.gain]
         # The half-neighbourhood condition needs a *majority* of approved
         # neighbours, so the adversarial family for this mechanism has a
         # 60% expert block: the weak 40% all delegate into it.
@@ -277,11 +292,15 @@ def run_theorem5(config: ExperimentConfig = ExperimentConfig()) -> ExperimentRes
         experts = int(0.6 * n)
         inst = ProblemInstance(graph, dnh_competencies(n, experts), alpha=ALPHA)
         forest = mechanism.sample_delegations(inst, gen_dnh)
-        est = monte_carlo_gain(inst, mechanism, rounds=rounds, seed=gen_dnh)
-        rows.append(
-            ["dnh", n, delta, forest.num_delegators, forest.max_weight(),
-             est.direct_probability, est.mechanism_probability, est.gain]
+        est = monte_carlo_gain(
+            inst, mechanism, rounds=rounds, seed=gen_dnh, engine=config.engine
         )
+        dnh_row = ["dnh", n, delta, forest.num_delegators, forest.max_weight(),
+                   est.direct_probability, est.mechanism_probability, est.gain]
+        return [spg_row, dnh_row]
+
+    pairs = config.parallel_map(measure, list(range(len(sizes))))
+    rows: List[List[object]] = [row for pair in pairs for row in pair]
     result = ExperimentResult(
         experiment_id="T5",
         title="Theorem 5: bounded minimal degree",

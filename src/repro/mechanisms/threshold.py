@@ -25,11 +25,30 @@ from repro.mechanisms.base import LocalDelegationMechanism, uniform_choice
 ThresholdFn = Callable[[int], float]
 
 
+class _ConstantThreshold:
+    """Degree-independent threshold.
+
+    A class rather than a closure so that mechanisms built from constant
+    thresholds stay picklable — the batched Monte Carlo engine ships the
+    mechanism to worker processes when ``n_jobs > 1``.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: float) -> None:
+        self.value = value
+
+    def __call__(self, _deg: int) -> float:
+        return self.value
+
+    def __repr__(self) -> str:
+        return repr(self.value)
+
+
 def _as_threshold_fn(threshold: Union[int, float, ThresholdFn]) -> ThresholdFn:
     if callable(threshold):
         return threshold
-    value = float(threshold)
-    return lambda _deg: value
+    return _ConstantThreshold(float(threshold))
 
 
 class ApprovalThreshold(LocalDelegationMechanism):
@@ -83,9 +102,13 @@ class ApprovalThreshold(LocalDelegationMechanism):
         structure = instance.approval_structure()
         degrees = structure.degrees
         counts = structure.approved_counts
-        thresholds = np.array(
-            [self.threshold_at(int(d)) for d in degrees], dtype=float
+        # Evaluate the threshold once per *distinct* degree: on regular
+        # and complete graphs this is a single Python call instead of n.
+        unique_degrees, inverse = np.unique(degrees, return_inverse=True)
+        per_degree = np.array(
+            [self.threshold_at(int(d)) for d in unique_degrees], dtype=float
         )
+        thresholds = per_degree[inverse]
         mask = (counts > 0) & (counts >= thresholds)
         delegates = np.full(instance.num_voters, SELF, dtype=np.int64)
         movers = np.nonzero(mask)[0]

@@ -20,6 +20,7 @@ from repro.voting.exact import (
     weighted_bernoulli_pmf,
 )
 from repro.voting.montecarlo import (
+    BatchEstimator,
     CorrectnessEstimate,
     estimate_correct_probability,
     sample_outcome,
@@ -35,6 +36,7 @@ __all__ = [
     "normal_approx_probability",
     "direct_voting_probability",
     "forest_correct_probability",
+    "BatchEstimator",
     "CorrectnessEstimate",
     "estimate_correct_probability",
     "sample_outcome",

@@ -2,32 +2,53 @@
 
 For a fixed delegation forest the number of correct votes is a *weighted*
 sum of independent Bernoullis — one per sink, scaled by the sink's weight.
-Its distribution lives on the integers ``0 .. n``, so an ``O(#sinks · n)``
-subset-sum DP computes the exact tail probability.  Direct voting is the
-special case where every weight is 1 (the classical Poisson binomial).
+Its distribution lives on the integers ``0 .. n``, so an exact
+convolution over sink weights computes the exact tail probability.
+Direct voting is the special case where every weight is 1 (the classical
+Poisson binomial).
 
 These exact routines are the backbone of the benchmark harness: DNH
 losses shrink polynomially in ``n``, far below Monte Carlo noise floors,
 so measuring them requires exact conditional probabilities.
+
+Performance architecture (see ``docs/performance.md``):
+
+* :func:`poisson_binomial_pmf` is a divide-and-conquer merge tree.  The
+  per-Bernoulli length-2 PMFs are merged pairwise in vectorised batches
+  while blocks are short, then the surviving long blocks are merged with
+  ``np.convolve`` — no per-element Python iteration anywhere.
+* :func:`weighted_bernoulli_pmf` buckets sinks by weight: each distinct
+  weight's sinks collapse into one Poisson-binomial pass (the weight-1
+  majority is a single pass), the bucket PMF is stretched onto the
+  ``w``-spaced lattice, and buckets are merged by convolution.
+* The original quadratic loops are retained as ``_reference_*`` and the
+  randomized equivalence suite (``tests/test_perf_kernels.py``) pins the
+  fast kernels to them at ≤1e-12 absolute error.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+from math import erf, sqrt
+from typing import List, Sequence
 
 import numpy as np
+from numpy.lib.stride_tricks import as_strided
 
 from repro._util.validation import check_probability_vector
 from repro.delegation.graph import DelegationGraph
 from repro.voting.outcome import TiePolicy
 
+_DP_CUTOFF = 64
+"""Input size below which the plain DP beats the merge tree (overhead)."""
 
-def poisson_binomial_pmf(probs: Sequence[float]) -> np.ndarray:
-    """PMF of the sum of independent Bernoulli(p_i) variables.
+_TREE_MIN_BLOCKS = 16
+"""Block count at which batched pair merging yields to ``np.convolve``."""
 
-    Returns an array of length ``n + 1`` where entry ``k`` is
-    ``P[sum = k]``.  Iterative convolution, O(n²) time, numerically exact
-    to double precision for the sizes used here (n ≤ ~20 000).
+
+def _reference_poisson_binomial_pmf(probs: Sequence[float]) -> np.ndarray:
+    """Seed implementation: iterative convolution, O(n²) time.
+
+    Kept as the equivalence-test oracle for :func:`poisson_binomial_pmf`.
     """
     p = check_probability_vector("probs", probs) if len(probs) else np.empty(0)
     pmf = np.zeros(len(p) + 1)
@@ -40,10 +61,123 @@ def poisson_binomial_pmf(probs: Sequence[float]) -> np.ndarray:
     return pmf
 
 
-def weighted_bernoulli_pmf(
+def _pb_dp(p: np.ndarray) -> np.ndarray:
+    """Plain iterative DP — fastest below :data:`_DP_CUTOFF` elements."""
+    pmf = np.zeros(len(p) + 1)
+    pmf[0] = 1.0
+    for k, pi in enumerate(p):
+        pmf[1 : k + 2] = pmf[1 : k + 2] * (1.0 - pi) + pmf[: k + 1] * pi
+        pmf[0] *= 1.0 - pi
+    return pmf
+
+
+def _grouped_pb(groups: List[np.ndarray]) -> List[np.ndarray]:
+    """Poisson-binomial PMFs of several groups via one batched merge tree.
+
+    Each group is padded with ``p = 0`` Bernoullis (convolution
+    identities) to a common power-of-two width, so batched pair merges
+    stay inside group boundaries at every level.  Padding entries leave
+    exact zeros beyond a group's true support, which the final slice
+    removes — no approximation is introduced.
+    """
+    sizes = [len(g) for g in groups]
+    num_groups = len(groups)
+    width = 1 << max(0, max(sizes) - 1).bit_length()
+    padded = np.zeros((num_groups, width))
+    for row, group in enumerate(groups):
+        padded[row, : len(group)] = group
+    if width == 1:
+        blocks = np.empty((num_groups, 2))
+        blocks[:, 0] = 1.0 - padded.ravel()
+        blocks[:, 1] = padded.ravel()
+    else:
+        # First merge level in closed form: the product of two length-2
+        # PMFs is a length-3 PMF, cheaper as three ufunc lines than as a
+        # batched convolution over 2x as many rows.
+        pp = padded.reshape(num_groups * width // 2, 2)
+        qq = 1.0 - pp
+        blocks = np.empty((num_groups * width // 2, 3))
+        blocks[:, 0] = qq[:, 0] * qq[:, 1]
+        blocks[:, 1] = pp[:, 0] * qq[:, 1] + qq[:, 0] * pp[:, 1]
+        blocks[:, 2] = pp[:, 0] * pp[:, 1]
+    while blocks.shape[0] > max(num_groups, _TREE_MIN_BLOCKS):
+        blocks = _convolve_pairs(blocks)
+    per_group = blocks.shape[0] // num_groups
+    out = []
+    for row, size in enumerate(sizes):
+        rows = blocks[row * per_group : (row + 1) * per_group]
+        pmf = _merge_pmfs(list(rows)) if per_group > 1 else rows[0]
+        out.append(pmf[: size + 1])
+    return out
+
+
+def _convolve_pairs(blocks: np.ndarray) -> np.ndarray:
+    """One merge level: convolve blocks ``2i`` and ``2i+1`` in a batch.
+
+    ``blocks`` is ``(m, L)`` with even ``m``; returns ``(m/2, 2L-1)``.
+    The pairwise polynomial products collapse into a single einsum over
+    a sliding-window (Toeplitz) view of the zero-padded right factors.
+    """
+    m, length = blocks.shape
+    left = blocks[0::2]
+    out_len = 2 * length - 1
+    padded = np.zeros((m // 2, 3 * length - 2))
+    padded[:, length - 1 : out_len] = blocks[1::2]
+    s0, s1 = padded.strides
+    # windows[i, k, j] = padded[i, length-1 + k - j] = right[i, k - j]
+    # (a raw strided Toeplitz view: sliding_window_view's checks cost
+    # more than the einsum at these block sizes).
+    windows = as_strided(
+        padded[:, length - 1 :],
+        shape=(m // 2, out_len, length),
+        strides=(s0, s1, -s1),
+    )
+    return np.einsum("mj,mkj->mk", left, windows)
+
+
+def _merge_pmfs(pmfs: List[np.ndarray]) -> np.ndarray:
+    """Convolve a list of PMFs with balanced pairwise ``np.convolve``."""
+    pmfs = sorted(pmfs, key=len)
+    while len(pmfs) > 1:
+        pmfs = [
+            np.convolve(pmfs[i], pmfs[i + 1]) if i + 1 < len(pmfs) else pmfs[i]
+            for i in range(0, len(pmfs), 2)
+        ]
+    return pmfs[0]
+
+
+def _pb_unchecked(p: np.ndarray) -> np.ndarray:
+    """Poisson-binomial PMF of pre-validated ``p``; see the public docs."""
+    n = len(p)
+    if n == 0:
+        return np.ones(1)
+    if n <= _DP_CUTOFF:
+        return _pb_dp(p)
+    return _grouped_pb([p])[0]
+
+
+def poisson_binomial_pmf(probs: Sequence[float]) -> np.ndarray:
+    """PMF of the sum of independent Bernoulli(p_i) variables.
+
+    Returns an array of length ``n + 1`` where entry ``k`` is
+    ``P[sum = k]``.  Divide-and-conquer convolution merge tree: length-2
+    PMFs are merged pairwise in vectorised batches while many blocks
+    remain, then the few surviving long blocks are merged with
+    ``np.convolve``.  All arithmetic is plain summation of non-negative
+    doubles, so the result matches :func:`_reference_poisson_binomial_pmf`
+    to machine precision (the equivalence suite pins it at ≤1e-12).
+    """
+    p = check_probability_vector("probs", probs) if len(probs) else np.empty(0)
+    return _pb_unchecked(p)
+
+
+def _reference_weighted_bernoulli_pmf(
     weights: Sequence[int], probs: Sequence[float]
 ) -> np.ndarray:
-    """PMF of ``Σ w_i · Bernoulli(p_i)`` on support ``0 .. Σ w_i``."""
+    """Seed implementation: shift-and-add DP, O(#sinks · n) time.
+
+    Kept as the equivalence-test oracle for :func:`weighted_bernoulli_pmf`.
+    """
     if len(weights) != len(probs):
         raise ValueError("weights and probs must have equal length")
     w = np.asarray(weights, dtype=np.int64)
@@ -65,6 +199,61 @@ def weighted_bernoulli_pmf(
         pmf[filled + 1 - wi : filled + 1] = 0.0
         pmf[wi : filled + 1] += shifted
     return pmf
+
+
+def weighted_bernoulli_pmf(
+    weights: Sequence[int], probs: Sequence[float]
+) -> np.ndarray:
+    """PMF of ``Σ w_i · Bernoulli(p_i)`` on support ``0 .. Σ w_i``.
+
+    Sinks are bucketed by weight: each distinct weight ``w`` contributes
+    ``w · PoissonBinomial(probs in bucket)``, whose PMF is the bucket's
+    Poisson-binomial PMF stretched onto the ``w``-spaced lattice.  The
+    weight-1 majority therefore collapses into a single fast
+    Poisson-binomial pass, and bucket PMFs are merged by convolution
+    (smallest first, to keep operand lengths short).
+    """
+    if len(weights) != len(probs):
+        raise ValueError("weights and probs must have equal length")
+    w = np.asarray(weights, dtype=np.int64)
+    if np.any(w < 0):
+        raise ValueError("weights must be non-negative")
+    p = check_probability_vector("probs", probs) if len(probs) else np.empty(0)
+    total = int(w.sum())
+    active = w > 0
+    if not np.any(active):
+        out = np.zeros(total + 1)
+        out[0] = 1.0
+        return out
+    w = w[active]
+    p = p[active]
+    order = np.argsort(w, kind="stable")
+    unique_weights, starts = np.unique(w[order], return_index=True)
+    groups = np.split(p[order], starts[1:])
+    # One batched merge tree covers every small bucket; the rare huge
+    # bucket (e.g. all-weight-1 direct voting) goes through alone so its
+    # width does not inflate the shared padding.
+    small = [i for i, g in enumerate(groups) if len(g) <= _DP_CUTOFF]
+    base_pmfs: List = [None] * len(groups)
+    if len(small) == 1:
+        base_pmfs[small[0]] = _pb_dp(groups[small[0]])
+    elif small:
+        for i, pmf in zip(small, _grouped_pb([groups[i] for i in small])):
+            base_pmfs[i] = pmf
+    for i, g in enumerate(groups):
+        if base_pmfs[i] is None:
+            base_pmfs[i] = _pb_unchecked(g)
+    buckets = []
+    for wv, base in zip(unique_weights, base_pmfs):
+        wv = int(wv)
+        if wv == 1:
+            buckets.append(base)
+        else:
+            stretched = np.zeros(wv * (len(base) - 1) + 1)
+            stretched[::wv] = base
+            buckets.append(stretched)
+    # Support is exactly 0..total by construction.
+    return _merge_pmfs(buckets)
 
 
 def tail_from_pmf(
@@ -113,10 +302,8 @@ def forest_correct_probability(
             f"competency vector length {len(comp)} does not match "
             f"{delegation.num_voters} voters"
         )
-    sinks = delegation.sinks
-    weights = [delegation.weight(s) for s in sinks]
-    probs = [float(comp[s]) for s in sinks]
-    pmf = weighted_bernoulli_pmf(weights, probs)
+    sinks = delegation.sink_indices
+    pmf = weighted_bernoulli_pmf(delegation.sink_weight_array, comp[sinks])
     return tail_from_pmf(pmf, delegation.num_voters, tie_policy)
 
 
@@ -128,10 +315,12 @@ def normal_approx_probability(
 
     Used for very large ``n`` where the exact DP is unnecessary; Lemma 4
     (Kahng et al.) justifies the approximation for bounded competencies.
-    Applies a half-unit continuity correction.
+    Applies a half-unit continuity correction consistent with
+    ``tie_policy``: for even totals the boundary atom at ``total / 2`` is
+    excluded under :attr:`TiePolicy.INCORRECT` and half-counted under
+    :attr:`TiePolicy.COIN_FLIP`; for odd totals a tie is impossible and
+    the policies coincide.
     """
-    from math import erf, sqrt
-
     w = np.asarray(weights, dtype=float)
     p = np.asarray(probs, dtype=float)
     total = float(w.sum())
@@ -144,5 +333,18 @@ def normal_approx_probability(
         if mean < threshold:
             return 0.0
         return 0.5 if tie_policy is TiePolicy.COIN_FLIP else 0.0
-    z = (threshold + 0.5 - mean) / sqrt(var)
-    return 0.5 * (1.0 - erf(z / sqrt(2.0)))
+    sd = sqrt(var)
+
+    def _upper(x: float) -> float:
+        """P[N(mean, var) > x]."""
+        return 0.5 * (1.0 - erf((x - mean) / (sd * sqrt(2.0))))
+
+    if int(round(total)) % 2:
+        # Odd total: the smallest winning count is threshold + 0.5, so
+        # the continuity-corrected cut sits exactly at the threshold.
+        return _upper(threshold)
+    strict = _upper(threshold + 0.5)
+    if tie_policy is TiePolicy.COIN_FLIP:
+        # Half of the tie atom P[X = total/2] ≈ Φ-mass in (t-½, t+½).
+        return strict + 0.5 * (_upper(threshold - 0.5) - strict)
+    return strict

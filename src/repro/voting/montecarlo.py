@@ -8,23 +8,51 @@ Two estimators:
   hundred rounds suffice even for tiny gains.
 * ``exact_conditional=False`` — the naive full simulation (sample forest
   and votes, record the 0/1 outcome), kept for validation of the exact DP.
+
+Two engines:
+
+* ``engine="serial"`` — the original per-round loop threading one
+  generator through all rounds.  Bit-identical to the seed
+  implementation; the recorded experiment tables depend on its stream.
+* ``engine="batch"`` — :class:`BatchEstimator`: draws every round's
+  forest from its own child seed (absolute spawn keys, see
+  :func:`repro._util.rng.child_seed_sequence`), deduplicates identical
+  sink-weight profiles through an LRU PMF cache, and optionally fans
+  rounds out over a process pool.  Results are identical for a fixed
+  seed regardless of ``n_jobs`` or worker partitioning (the two engines
+  draw different — equally valid — streams, so their estimates differ
+  within Monte Carlo error).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import TYPE_CHECKING, Optional, Tuple
+import pickle
+import warnings
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro._util.mathx import wilson_interval
-from repro._util.rng import SeedLike, as_generator
+from repro._util.mathx import LRUCache, wilson_interval
+from repro._util.rng import (
+    SeedLike,
+    as_generator,
+    as_seed_sequence,
+    child_seed_sequence,
+)
 from repro.core.instance import ProblemInstance
-from repro.voting.exact import forest_correct_probability
+from repro.voting.exact import (
+    forest_correct_probability,
+    tail_from_pmf,
+    weighted_bernoulli_pmf,
+)
 from repro.voting.outcome import TiePolicy, majority_correct
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
     from repro.mechanisms.base import DelegationMechanism
+
+ENGINES = ("serial", "batch")
+"""Recognised Monte Carlo engines."""
 
 
 @dataclass(frozen=True)
@@ -66,27 +94,192 @@ def sample_outcome(
     return majority_correct(correct, total, tie_policy)
 
 
-def estimate_correct_probability(
+def _profile_key(
+    weights: np.ndarray, probs: np.ndarray
+) -> Tuple[bytes, bytes]:
+    """Canonical hashable key of a sink-weight profile.
+
+    The conditional correctness probability depends only on the multiset
+    of ``(weight, competency)`` pairs, so profiles are sorted before
+    hashing — forests that permute sinks share one DP.
+    """
+    order = np.lexsort((probs, weights))
+    return (weights[order].tobytes(), probs[order].tobytes())
+
+
+def _conditional_values(
+    instance: ProblemInstance,
+    profiles: List[Tuple[np.ndarray, np.ndarray]],
+    tie_policy: TiePolicy,
+    cache: LRUCache,
+) -> np.ndarray:
+    """Exact conditional probabilities for a list of sink profiles.
+
+    Deduplicates through ``cache``: each distinct profile pays for one
+    weighted-Bernoulli DP; repeats are array lookups.
+    """
+    total = instance.num_voters
+    values = np.empty(len(profiles))
+    for i, (weights, probs) in enumerate(profiles):
+        key = _profile_key(weights, probs)
+        pmf = cache.get(key)
+        if pmf is None:
+            pmf = weighted_bernoulli_pmf(weights, probs)
+            cache.put(key, pmf)
+        values[i] = tail_from_pmf(pmf, total, tie_policy)
+    return values
+
+
+def _batch_rounds(
     instance: ProblemInstance,
     mechanism: "DelegationMechanism",
-    rounds: int = 400,
-    seed: SeedLike = None,
-    tie_policy: TiePolicy = TiePolicy.INCORRECT,
-    exact_conditional: bool = True,
-) -> CorrectnessEstimate:
-    """Estimate ``P^M(G)`` over ``rounds`` independent mechanism draws."""
-    if rounds <= 0:
-        raise ValueError(f"rounds must be positive, got {rounds}")
-    rng = as_generator(seed)
-    values = np.empty(rounds)
-    for r in range(rounds):
+    root: np.random.SeedSequence,
+    start: int,
+    stop: int,
+    tie_policy: TiePolicy,
+    exact_conditional: bool,
+    cache_size: int,
+) -> np.ndarray:
+    """Evaluate rounds ``start .. stop-1``; module-level for picklability.
+
+    Round ``r`` always draws from child seed ``r`` of ``root``, so the
+    values are independent of how rounds are split across workers.
+    """
+    comp = instance.competencies
+    profiles: List[Tuple[np.ndarray, np.ndarray]] = []
+    naive = np.empty(stop - start)
+    for offset, r in enumerate(range(start, stop)):
+        rng = np.random.default_rng(child_seed_sequence(root, r))
+        forest = mechanism.sample_delegations(instance, rng)
+        weights = forest.sink_weight_array
+        probs = comp[forest.sink_indices]
         if exact_conditional:
-            forest = mechanism.sample_delegations(instance, rng)
-            values[r] = forest_correct_probability(
-                forest, instance.competencies, tie_policy
-            )
+            profiles.append((weights, probs))
         else:
-            values[r] = sample_outcome(instance, mechanism, rng, tie_policy)
+            correct = float(weights[rng.random(len(probs)) < probs].sum())
+            naive[offset] = majority_correct(
+                correct, float(instance.num_voters), tie_policy
+            )
+    if not exact_conditional:
+        return naive
+    return _conditional_values(
+        instance, profiles, tie_policy, LRUCache(cache_size)
+    )
+
+
+@dataclass
+class BatchEstimator:
+    """Batched Monte Carlo engine for ``P^M(G)``.
+
+    Draws all rounds' forests up front via the mechanisms' vectorised
+    samplers, deduplicates identical sink-weight profiles through an LRU
+    PMF cache (:class:`repro._util.mathx.LRUCache`), and — when
+    ``n_jobs > 1`` — fans rounds out over a ``concurrent.futures``
+    process pool.
+
+    Determinism contract: round ``r`` derives its generator from the
+    absolute child seed ``r`` of the root seed, so for a fixed ``seed``
+    the estimate is identical for every ``n_jobs`` (and identical to the
+    same-seed serial run of this engine).  If the instance or mechanism
+    cannot be pickled (e.g. a lambda threshold), the estimator falls
+    back to in-process evaluation with a warning — same result, no pool.
+    """
+
+    n_jobs: int = 1
+    cache_size: int = 512
+    _cache: LRUCache = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.n_jobs < 1:
+            raise ValueError(f"n_jobs must be >= 1, got {self.n_jobs}")
+        self._cache = LRUCache(self.cache_size)
+
+    @property
+    def cache(self) -> LRUCache:
+        """The in-process PMF cache (worker caches are per-process)."""
+        return self._cache
+
+    def estimate(
+        self,
+        instance: ProblemInstance,
+        mechanism: "DelegationMechanism",
+        rounds: int = 400,
+        seed: SeedLike = None,
+        tie_policy: TiePolicy = TiePolicy.INCORRECT,
+        exact_conditional: bool = True,
+    ) -> CorrectnessEstimate:
+        """Estimate ``P^M(G)`` over ``rounds`` independent draws."""
+        if rounds <= 0:
+            raise ValueError(f"rounds must be positive, got {rounds}")
+        root = as_seed_sequence(seed)
+        values = self._evaluate(
+            instance, mechanism, root, rounds, tie_policy, exact_conditional
+        )
+        return _summarise_values(values, rounds, exact_conditional)
+
+    def _evaluate(
+        self,
+        instance: ProblemInstance,
+        mechanism: "DelegationMechanism",
+        root: np.random.SeedSequence,
+        rounds: int,
+        tie_policy: TiePolicy,
+        exact_conditional: bool,
+    ) -> np.ndarray:
+        workers = min(self.n_jobs, rounds)
+        if workers > 1 and self._picklable(instance, mechanism):
+            from concurrent.futures import ProcessPoolExecutor
+
+            bounds = np.linspace(0, rounds, workers + 1).astype(int)
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                chunks = pool.map(
+                    _batch_rounds,
+                    [instance] * workers,
+                    [mechanism] * workers,
+                    [root] * workers,
+                    bounds[:-1].tolist(),
+                    bounds[1:].tolist(),
+                    [tie_policy] * workers,
+                    [exact_conditional] * workers,
+                    [self.cache_size] * workers,
+                )
+                return np.concatenate(list(chunks))
+        if not exact_conditional:
+            return _batch_rounds(
+                instance, mechanism, root, 0, rounds, tie_policy, False,
+                self.cache_size,
+            )
+        # In-process path shares the estimator's cache across calls.
+        comp = instance.competencies
+        profiles: List[Tuple[np.ndarray, np.ndarray]] = []
+        for r in range(rounds):
+            rng = np.random.default_rng(child_seed_sequence(root, r))
+            forest = mechanism.sample_delegations(instance, rng)
+            profiles.append(
+                (forest.sink_weight_array, comp[forest.sink_indices])
+            )
+        return _conditional_values(instance, profiles, tie_policy, self._cache)
+
+    @staticmethod
+    def _picklable(
+        instance: ProblemInstance, mechanism: "DelegationMechanism"
+    ) -> bool:
+        try:
+            pickle.dumps((instance, mechanism))
+            return True
+        except (pickle.PicklingError, AttributeError, TypeError) as exc:
+            warnings.warn(
+                f"falling back to in-process batch estimation: {exc}",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            return False
+
+
+def _summarise_values(
+    values: np.ndarray, rounds: int, exact_conditional: bool
+) -> CorrectnessEstimate:
+    """Shared mean/CI bookkeeping for both engines."""
     mean = float(values.mean())
     if exact_conditional:
         se = float(values.std(ddof=1) / np.sqrt(rounds)) if rounds > 1 else 0.0
@@ -99,6 +292,48 @@ def estimate_correct_probability(
     return CorrectnessEstimate(
         probability=mean, rounds=rounds, std_error=se, ci_low=ci[0], ci_high=ci[1]
     )
+
+
+def estimate_correct_probability(
+    instance: ProblemInstance,
+    mechanism: "DelegationMechanism",
+    rounds: int = 400,
+    seed: SeedLike = None,
+    tie_policy: TiePolicy = TiePolicy.INCORRECT,
+    exact_conditional: bool = True,
+    engine: str = "serial",
+    n_jobs: int = 1,
+) -> CorrectnessEstimate:
+    """Estimate ``P^M(G)`` over ``rounds`` independent mechanism draws.
+
+    ``engine="serial"`` reproduces the seed implementation's stream;
+    ``engine="batch"`` (or any ``n_jobs > 1``, which implies it) uses
+    :class:`BatchEstimator`.
+    """
+    if engine not in ENGINES:
+        raise ValueError(f"engine must be one of {ENGINES}, got {engine!r}")
+    if rounds <= 0:
+        raise ValueError(f"rounds must be positive, got {rounds}")
+    if engine == "batch" or n_jobs > 1:
+        return BatchEstimator(n_jobs=n_jobs).estimate(
+            instance,
+            mechanism,
+            rounds=rounds,
+            seed=seed,
+            tie_policy=tie_policy,
+            exact_conditional=exact_conditional,
+        )
+    rng = as_generator(seed)
+    values = np.empty(rounds)
+    for r in range(rounds):
+        if exact_conditional:
+            forest = mechanism.sample_delegations(instance, rng)
+            values[r] = forest_correct_probability(
+                forest, instance.competencies, tie_policy
+            )
+        else:
+            values[r] = sample_outcome(instance, mechanism, rng, tie_policy)
+    return _summarise_values(values, rounds, exact_conditional)
 
 
 def estimate_ballot_probability(
@@ -143,6 +378,8 @@ def estimate_gain(
     rounds: int = 400,
     seed: SeedLike = None,
     tie_policy: TiePolicy = TiePolicy.INCORRECT,
+    engine: str = "serial",
+    n_jobs: int = 1,
 ) -> Tuple[float, CorrectnessEstimate, float]:
     """Estimate ``gain(M, G) = P^M(G) − P^D(G)``.
 
@@ -154,6 +391,12 @@ def estimate_gain(
 
     direct = direct_voting_probability(instance.competencies, tie_policy)
     est = estimate_correct_probability(
-        instance, mechanism, rounds=rounds, seed=seed, tie_policy=tie_policy
+        instance,
+        mechanism,
+        rounds=rounds,
+        seed=seed,
+        tie_policy=tie_policy,
+        engine=engine,
+        n_jobs=n_jobs,
     )
     return est.probability - direct, est, direct

@@ -1,0 +1,63 @@
+"""Smoke-scale performance regressions for the fast kernels.
+
+Each check compares the optimised path against the retained reference
+implementation at a size where the asymptotic gap is already decisive,
+using the median of several repeats and a threshold far below the
+measured speedups (so CI noise cannot flake them).  The full
+demonstration with the ISSUE acceptance thresholds lives in
+``benchmarks/bench_micro_components.py``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.delegation.graph import SELF, DelegationGraph
+from repro.voting.exact import (
+    _reference_poisson_binomial_pmf,
+    _reference_weighted_bernoulli_pmf,
+    poisson_binomial_pmf,
+    weighted_bernoulli_pmf,
+)
+
+
+def _median_seconds(fn, repeats=5):
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - start)
+    return float(np.median(samples))
+
+
+def test_poisson_binomial_faster_than_reference():
+    p = np.random.default_rng(0).uniform(0.0, 1.0, size=2048)
+    fast = _median_seconds(lambda: poisson_binomial_pmf(p))
+    ref = _median_seconds(lambda: _reference_poisson_binomial_pmf(p))
+    # Measured ~6.5x; require a conservative 2x so CI noise cannot flake.
+    assert ref / fast >= 2.0, f"PB speedup only {ref / fast:.2f}x"
+
+
+def test_weighted_bernoulli_faster_than_reference():
+    rng = np.random.default_rng(1)
+    n = 1500
+    w = np.ones(n, dtype=np.int64)
+    heavy = rng.choice(n, size=40, replace=False)
+    w[heavy] = rng.integers(2, 30, size=40)
+    p = rng.uniform(0.0, 1.0, size=n)
+    fast = _median_seconds(lambda: weighted_bernoulli_pmf(w, p))
+    ref = _median_seconds(lambda: _reference_weighted_bernoulli_pmf(w, p))
+    assert ref / fast >= 1.3, f"WB speedup only {ref / fast:.2f}x"
+
+
+def test_chain_resolution_faster_than_reference():
+    n = 4096
+    delegates = np.array(list(range(1, n)) + [SELF], dtype=np.int64)
+    fast = _median_seconds(lambda: DelegationGraph(delegates))
+    ref = _median_seconds(
+        lambda: DelegationGraph._reference_resolve_sinks(delegates)
+    )
+    assert ref / fast >= 2.0, f"resolution speedup only {ref / fast:.2f}x"
