@@ -16,7 +16,11 @@ import pytest
 from repro.core.competencies import bounded_uniform_competencies
 from repro.core.instance import ProblemInstance
 from repro.delegation.graph import SELF, DelegationGraph
-from repro.graphs.generators import complete_graph, random_regular_graph
+from repro.graphs.generators import (
+    barabasi_albert_graph,
+    complete_graph,
+    random_regular_graph,
+)
 from repro.mechanisms.threshold import ApprovalThreshold
 from repro.sampling.recycle import RecycleSamplingGraph
 from repro.voting.exact import (
@@ -27,7 +31,7 @@ from repro.voting.exact import (
     tail_from_pmf,
     weighted_bernoulli_pmf,
 )
-from repro.voting.montecarlo import estimate_correct_probability
+from repro.voting.montecarlo import BatchEstimator, estimate_correct_probability
 
 N = 2048
 
@@ -156,7 +160,52 @@ def _best_of(fn, repeats):
     return best
 
 
-def test_kernel_speedup_demonstration(instance, mechanism, capsys):
+def test_batched_engine_speedup_vs_reference(micro_record, capsys):
+    """Assert this PR's headline: the compiled/batched estimation path is
+    >= 3x faster than the PR-1 batch engine on the e2e workload.
+
+    Workload: Barabasi-Albert m=2 at n = 2048, cube-root approval
+    threshold, 400 Monte Carlo rounds.  Fresh estimators per repetition
+    keep the per-profile caches cold; the two engines are interleaved so
+    machine noise hits both equally.  The engines consume different
+    uniform streams, so estimates are compared statistically.
+    """
+    n = 2048
+    inst = ProblemInstance(
+        barabasi_albert_graph(n, 2, seed=5),
+        bounded_uniform_competencies(n, 0.35, seed=0),
+        alpha=0.05,
+    )
+    mech = ApprovalThreshold(lambda d: max(1.0, d ** (1 / 3)))
+
+    # Warm the one-time structures (approval CSR, compiled instance).
+    BatchEstimator().estimate(inst, mech, rounds=4, seed=0)
+    BatchEstimator(use_reference=True).estimate(inst, mech, rounds=4, seed=0)
+
+    best_new = best_ref = float("inf")
+    for _ in range(3):
+        start = time.perf_counter()
+        new = BatchEstimator().estimate(inst, mech, rounds=400, seed=0)
+        best_new = min(best_new, time.perf_counter() - start)
+        start = time.perf_counter()
+        ref = BatchEstimator(use_reference=True).estimate(
+            inst, mech, rounds=400, seed=0
+        )
+        best_ref = min(best_ref, time.perf_counter() - start)
+    gap = abs(new.probability - ref.probability)
+    assert gap < 6 * (new.std_error + ref.std_error) + 1e-9
+
+    micro_record("batch_estimator_400_rounds", n, best_new, best_ref)
+    speedup = best_ref / best_new
+    with capsys.disabled():
+        print(
+            f"\nbatched engine 400 rounds n={n}: {best_new * 1e3:.1f} ms vs "
+            f"reference engine {best_ref * 1e3:.1f} ms = {speedup:.2f}x"
+        )
+    assert speedup >= 3.0, f"batched engine speedup only {speedup:.2f}x"
+
+
+def test_kernel_speedup_demonstration(instance, mechanism, micro_record, capsys):
     """Assert the headline speedups of this PR's fast kernels.
 
     * Poisson binomial PMF at n = 2048: >= 5x over the quadratic DP.
@@ -180,6 +229,8 @@ def test_kernel_speedup_demonstration(instance, mechanism, capsys):
     _seed_pipeline_estimate(instance, threshold_fn, mechanism, 400, 0)
     ref_est = time.perf_counter() - start
 
+    micro_record("poisson_binomial_pmf", N, fast_pb, ref_pb)
+    micro_record("estimate_400_rounds_vs_seed_pipeline", N, fast_est, ref_est)
     with capsys.disabled():
         print(
             f"\npoisson_binomial_pmf n={N}: {fast_pb * 1e3:.2f} ms vs "

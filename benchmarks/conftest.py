@@ -9,7 +9,9 @@ or =full in the environment to regenerate the EXPERIMENTS.md numbers.
 
 from __future__ import annotations
 
+import json
 import os
+from pathlib import Path
 
 import pytest
 
@@ -17,6 +19,37 @@ from repro.experiments import ExperimentConfig, get_experiment
 
 BENCH_SCALE = os.environ.get("REPRO_BENCH_SCALE", "smoke")
 BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "0"))
+
+#: Machine-readable micro-benchmark records accumulated over the session
+#: and flushed to ``BENCH_micro.json`` next to this file.  Each entry is
+#: ``{op, n, seconds, reference_seconds, speedup}`` — ``seconds`` is the
+#: best-of-k (minimum) wall time of the fast kernel, ``reference_seconds``
+#: that of the retained reference implementation it is pinned against.
+_MICRO_RECORDS: list = []
+
+
+@pytest.fixture
+def micro_record():
+    """Record one kernel-vs-reference timing pair for BENCH_micro.json."""
+
+    def record(op: str, n: int, seconds: float, reference_seconds: float):
+        _MICRO_RECORDS.append(
+            {
+                "op": op,
+                "n": n,
+                "seconds": seconds,
+                "reference_seconds": reference_seconds,
+                "speedup": reference_seconds / seconds,
+            }
+        )
+
+    return record
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if _MICRO_RECORDS:
+        out = Path(__file__).parent / "BENCH_micro.json"
+        out.write_text(json.dumps(_MICRO_RECORDS, indent=2) + "\n")
 
 
 @pytest.fixture

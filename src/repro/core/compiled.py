@@ -1,0 +1,126 @@
+"""Array-native compiled form of a :class:`ProblemInstance`.
+
+Batched mechanism kernels (``sample_delegations_batch``) and the batched
+Monte Carlo engine operate on flat arrays, never on per-voter
+:class:`~repro.core.instance.LocalView` objects.  ``CompiledInstance``
+gathers everything those kernels consume, computed once per instance:
+
+* the graph adjacency in CSR form (``neighbor_indptr``/``neighbor_indices``),
+* the approved-neighbour relation (per-voter counts plus an offset
+  resolver over competency-ascending segments, backed by the cached
+  :class:`~repro.core.structure.ApprovalStructure`),
+* the degree and competency vectors,
+* derived per-mechanism tables (e.g. greedy best-approved targets),
+  memoised through :meth:`memo`.
+
+Everything here is plain numpy data, so a compiled instance travels to
+worker processes with the instance when the batch estimator fans out.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Dict, Hashable, Tuple
+
+import numpy as np
+
+from repro.delegation.graph import SELF
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.instance import ProblemInstance
+
+
+class CompiledInstance:
+    """Flat-array view of one problem instance for batched kernels."""
+
+    def __init__(self, instance: "ProblemInstance") -> None:
+        self._instance = instance
+        structure = instance.approval_structure()
+        self._structure = structure
+        self.num_voters: int = instance.num_voters
+        self.competencies: np.ndarray = instance.competencies
+        self.alpha: float = instance.alpha
+        self.degrees: np.ndarray = structure.degrees
+        self.approved_counts: np.ndarray = structure.approved_counts
+        indptr, indices = instance.graph.adjacency_csr()
+        self.neighbor_indptr: np.ndarray = indptr
+        self.neighbor_indices: np.ndarray = indices
+        self._approved_csr: Tuple[np.ndarray, np.ndarray] = None
+        self._greedy_targets: np.ndarray = None
+        self._memo: Dict[Hashable, Any] = {}
+
+    # -- approved-neighbour access ----------------------------------------
+
+    def resolve_approved_offsets(
+        self, voters: np.ndarray, offsets: np.ndarray
+    ) -> np.ndarray:
+        """Vectorised ``approved[voter][offset]`` lookup.
+
+        Offsets index each voter's approved segment in the local-view
+        order (competency ascending, ties by vertex index), so a uniform
+        offset draw reproduces ``uniform_choice(view.approved, rng)``.
+        ``voters`` and ``offsets`` broadcast — kernels pass a ``(1, M)``
+        voter row against ``(R, M)`` per-round offsets.
+        """
+        return self._structure._resolve_offsets(voters, offsets)
+
+    def approved_csr(self) -> Tuple[np.ndarray, np.ndarray]:
+        """The approved relation as explicit ``(indptr, indices)`` arrays.
+
+        Materialised lazily: on complete graphs the cached structure
+        stores the O(n) suffix form instead, and batch kernels only need
+        :meth:`resolve_approved_offsets`.
+        """
+        if self._approved_csr is None:
+            counts = self.approved_counts
+            indptr = np.concatenate(
+                (np.zeros(1, dtype=np.int64), np.cumsum(counts))
+            )
+            total = int(indptr[-1])
+            voters = np.repeat(np.arange(self.num_voters), counts)
+            offsets = np.arange(total) - indptr[voters]
+            indices = (
+                self.resolve_approved_offsets(voters, offsets)
+                if total
+                else np.empty(0, dtype=np.int64)
+            )
+            self._approved_csr = (indptr, np.asarray(indices, dtype=np.int64))
+        return self._approved_csr
+
+    # -- derived per-mechanism tables --------------------------------------
+
+    @property
+    def greedy_targets(self) -> np.ndarray:
+        """Per-voter most competent approved neighbour (ties: lowest index).
+
+        ``SELF`` for voters with no approved neighbour.  This is exactly
+        the deterministic choice of
+        :class:`repro.mechanisms.greedy.GreedyBest`.
+        """
+        if self._greedy_targets is None:
+            targets = np.full(self.num_voters, SELF, dtype=np.int64)
+            indptr, indices = self.approved_csr()
+            if len(indices):
+                src = np.repeat(
+                    np.arange(self.num_voters), np.diff(indptr)
+                )
+                p = self.competencies[indices]
+                # Primary: voter; secondary: competency descending;
+                # tertiary: index ascending — first row per voter wins.
+                order = np.lexsort((indices, -p, src))
+                voters_sorted = src[order]
+                first = np.unique(voters_sorted, return_index=True)[1]
+                targets[voters_sorted[first]] = indices[order][first]
+            self._greedy_targets = targets
+            self._greedy_targets.setflags(write=False)
+        return self._greedy_targets
+
+    def memo(self, key: Hashable, build: Callable[[], Any]) -> Any:
+        """Memoise a derived table under ``key`` (built on first use).
+
+        Mechanism kernels use this for instance-level precomputation that
+        depends on mechanism parameters, keying by ``(class name,
+        parameters)``.
+        """
+        if key not in self._memo:
+            self._memo[key] = build()
+        return self._memo[key]

@@ -75,7 +75,7 @@ class ProblemInstance:
         induced delegation graph is acyclic (Section 2.2).
     """
 
-    __slots__ = ("_graph", "_p", "_alpha", "_structure")
+    __slots__ = ("_graph", "_p", "_alpha", "_structure", "_compiled")
 
     def __init__(
         self, graph: Graph, competencies: Sequence[float], alpha: float = 1e-9
@@ -95,6 +95,7 @@ class ProblemInstance:
         self._p.setflags(write=False)
         self._alpha = float(alpha)
         self._structure = None
+        self._compiled = None
 
     # -- accessors ---------------------------------------------------------
 
@@ -172,6 +173,19 @@ class ProblemInstance:
 
             self._structure = ApprovalStructure(self)
         return self._structure
+
+    def compiled(self):
+        """Cached :class:`~repro.core.compiled.CompiledInstance`.
+
+        The flat-array (CSR) view of this instance consumed by the
+        batched mechanism samplers and the batch Monte Carlo engine;
+        built on first use.
+        """
+        if self._compiled is None:
+            from repro.core.compiled import CompiledInstance
+
+            self._compiled = CompiledInstance(self)
+        return self._compiled
 
     # -- transforms ------------------------------------------------------------
 

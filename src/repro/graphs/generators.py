@@ -20,7 +20,8 @@ from repro.graphs.graph import Graph
 
 def complete_graph(n: int) -> Graph:
     """The complete graph :math:`K_n` (graph restriction ``K_n``)."""
-    return Graph(n, itertools.combinations(range(n), 2))
+    iu, ju = np.triu_indices(n, k=1)
+    return Graph(n, np.column_stack((iu, ju)))
 
 
 def star_graph(n: int, centre: int = 0) -> Graph:
@@ -106,27 +107,40 @@ def random_regular_graph(
 
 
 def _pair_stubs(n: int, d: int, rng: np.random.Generator):
-    """One Steger–Wormald pairing attempt; None on a dead end."""
-    stubs = np.repeat(np.arange(n), d)
-    edges: Set[Tuple[int, int]] = set()
+    """One Steger–Wormald pairing attempt; None on a dead end.
+
+    Each round shuffles the remaining stubs once (same generator stream
+    as the original per-pair loop) and accepts/rejects all pairs with
+    array operations: a pair is rejected iff it is a self-loop, repeats
+    an already placed edge, or repeats an earlier accepted pair of the
+    same round — exactly the sequential acceptance rule.
+    """
+    stubs = np.repeat(np.arange(n, dtype=np.int64), d)
+    placed_keys = np.empty(0, dtype=np.int64)
+    edge_chunks: List[np.ndarray] = []
     while stubs.size:
         rng.shuffle(stubs)
-        leftover = []
-        progressed = False
-        for k in range(0, stubs.size - 1, 2):
-            u, v = int(stubs[k]), int(stubs[k + 1])
-            key = (u, v) if u < v else (v, u)
-            if u == v or key in edges:
-                leftover.extend((u, v))
-                continue
-            edges.add(key)
-            progressed = True
-        if stubs.size % 2:  # odd leftover from a previous round's carry
-            leftover.append(int(stubs[-1]))
-        if not progressed:
+        pairs = stubs[: stubs.size - (stubs.size % 2)].reshape(-1, 2)
+        lo = np.minimum(pairs[:, 0], pairs[:, 1])
+        hi = np.maximum(pairs[:, 0], pairs[:, 1])
+        keys = lo * n + hi
+        valid = (lo != hi) & ~np.isin(keys, placed_keys)
+        if valid.any():
+            # Among valid pairs, only the first occurrence of each key
+            # is accepted (earlier pairs win, as in sequential order).
+            vidx = np.flatnonzero(valid)
+            first = np.unique(keys[vidx], return_index=True)[1]
+            accept = np.zeros(len(pairs), dtype=bool)
+            accept[vidx[np.sort(first)]] = True
+        else:
             return None
-        stubs = np.asarray(leftover, dtype=np.int64)
-    return edges
+        edge_chunks.append(np.column_stack((lo[accept], hi[accept])))
+        placed_keys = np.concatenate((placed_keys, keys[accept]))
+        leftover = pairs[~accept].ravel()
+        if stubs.size % 2:  # odd leftover from a previous round's carry
+            leftover = np.append(leftover, stubs[-1])
+        stubs = leftover
+    return np.concatenate(edge_chunks) if edge_chunks else np.empty((0, 2), int)
 
 
 def erdos_renyi_graph(n: int, p: float, seed: SeedLike = None) -> Graph:
@@ -188,29 +202,37 @@ def watts_strogatz_graph(
     if not 0.0 <= rewire_prob <= 1.0:
         raise ValueError(f"rewire_prob must lie in [0, 1], got {rewire_prob}")
     rng = as_generator(seed)
+    # Ring lattice, vectorised: clockwise edge (u, (u + offset) % n) for
+    # every vertex and offset.  All rewiring coins are drawn in one call
+    # before any rewire-target draw, so the stream differs from the
+    # seed's interleaved scalar draws — seeded outputs are equally valid
+    # Watts–Strogatz samples, not bit-identical to the old ones.
+    half = k // 2
+    u_all = np.repeat(np.arange(n, dtype=np.int64), half)
+    v_all = (u_all + np.tile(np.arange(1, half + 1, dtype=np.int64), n)) % n
+    coins = rng.random(n * half)
+    flagged = np.flatnonzero(coins < rewire_prob)
+    if not flagged.size:
+        return Graph(n, np.column_stack((u_all, v_all)))
     neighbor_sets: List[Set[int]] = [set() for _ in range(n)]
-    for u in range(n):
-        for offset in range(1, k // 2 + 1):
-            v = (u + offset) % n
-            neighbor_sets[u].add(v)
-            neighbor_sets[v].add(u)
-    for u in range(n):
-        for offset in range(1, k // 2 + 1):
-            v = (u + offset) % n
-            if rng.random() >= rewire_prob:
-                continue
-            if v not in neighbor_sets[u]:
-                continue  # already rewired away by the other endpoint
-            candidates = [
-                w for w in range(n) if w != u and w not in neighbor_sets[u]
-            ]
-            if not candidates:
-                continue
-            w = candidates[int(rng.integers(len(candidates)))]
-            neighbor_sets[u].discard(v)
-            neighbor_sets[v].discard(u)
-            neighbor_sets[u].add(w)
-            neighbor_sets[w].add(u)
+    for u, v in zip(u_all.tolist(), v_all.tolist()):
+        neighbor_sets[u].add(v)
+        neighbor_sets[v].add(u)
+    for idx in flagged:
+        u, v = int(u_all[idx]), int(v_all[idx])
+        if v not in neighbor_sets[u]:
+            continue  # already rewired away by the other endpoint
+        mask = np.ones(n, dtype=bool)
+        mask[u] = False
+        mask[list(neighbor_sets[u])] = False
+        candidates = np.flatnonzero(mask)
+        if not candidates.size:
+            continue
+        w = int(candidates[int(rng.integers(candidates.size))])
+        neighbor_sets[u].discard(v)
+        neighbor_sets[v].discard(u)
+        neighbor_sets[u].add(w)
+        neighbor_sets[w].add(u)
     edges = {(min(u, v), max(u, v)) for u in range(n) for v in neighbor_sets[u]}
     return Graph(n, edges)
 

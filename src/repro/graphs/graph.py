@@ -3,8 +3,15 @@
 The paper's model is an undirected graph ``(V, E)`` whose vertices are
 voters.  We implement our own lightweight structure rather than depending
 on :mod:`networkx` in the hot path: delegation resolution and Monte Carlo
-experiments iterate neighbourhoods millions of times, and tuple-based
-adjacency is both faster and guarantees immutability of problem instances.
+experiments iterate neighbourhoods millions of times.
+
+Internally the edge set is a single ``(m, 2)`` integer array validated
+and deduplicated with vectorised numpy operations, and the adjacency is
+stored in CSR form (``indptr``/``indices``) with a cached degree vector —
+the representation consumed directly by the compiled-instance fast paths
+(:mod:`repro.core.compiled`).  The tuple-based views (``neighbors``,
+``edges``) that the readable reference paths use are materialised lazily,
+so array-only consumers never pay for them.
 
 :mod:`networkx` interop is provided through :meth:`Graph.from_networkx`
 and :meth:`Graph.to_networkx` for tests and external tooling.
@@ -12,9 +19,24 @@ and :meth:`Graph.to_networkx` for tests and external tooling.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Sequence, Tuple
+from typing import Dict, FrozenSet, Iterable, Iterator, Optional, Sequence, Tuple
+
+import numpy as np
 
 Edge = Tuple[int, int]
+
+
+def _as_edge_array(edges: Iterable[Edge]) -> np.ndarray:
+    """Coerce an edge iterable to an ``(m, 2)`` int64 array."""
+    if isinstance(edges, np.ndarray):
+        arr = np.asarray(edges, dtype=np.int64)
+    else:
+        arr = np.asarray(list(edges), dtype=np.int64)
+    if arr.size == 0:
+        return np.empty((0, 2), dtype=np.int64)
+    if arr.ndim != 2 or arr.shape[1] != 2:
+        raise ValueError(f"edges must be (u, v) pairs, got shape {arr.shape}")
+    return arr
 
 
 class Graph:
@@ -25,44 +47,87 @@ class Graph:
     num_vertices:
         Number of vertices ``n``; vertices are the integers ``0 .. n-1``.
     edges:
-        Iterable of ``(u, v)`` pairs.  Self-loops and duplicate edges are
-        rejected: the paper's model is a simple graph, and duplicates would
+        Iterable of ``(u, v)`` pairs — or an ``(m, 2)`` integer array,
+        which the vectorised generators pass to skip Python-level edge
+        iteration entirely.  Self-loops and duplicate edges are rejected:
+        the paper's model is a simple graph, and duplicates would
         silently bias "random approved neighbour" sampling.
     """
 
-    __slots__ = ("_n", "_adjacency", "_edges", "_neighbor_sets")
+    __slots__ = (
+        "_n",
+        "_edge_arr",
+        "_indptr",
+        "_indices",
+        "_degrees",
+        "_adjacency",
+        "_edges",
+        "_neighbor_sets",
+    )
 
     def __init__(self, num_vertices: int, edges: Iterable[Edge] = ()) -> None:
         if num_vertices < 0:
             raise ValueError(f"num_vertices must be non-negative, got {num_vertices}")
         self._n = int(num_vertices)
-        adjacency: List[List[int]] = [[] for _ in range(self._n)]
-        seen = set()
-        edge_list: List[Edge] = []
-        for u, v in edges:
-            u, v = int(u), int(v)
-            if not (0 <= u < self._n and 0 <= v < self._n):
+        arr = _as_edge_array(edges)
+        if arr.shape[0]:
+            lo = np.minimum(arr[:, 0], arr[:, 1])
+            hi = np.maximum(arr[:, 0], arr[:, 1])
+            self._validate(arr, lo, hi)
+            order = np.lexsort((hi, lo))
+            canon = np.column_stack((lo[order], hi[order]))
+        else:
+            canon = arr
+        self._edge_arr = canon
+        self._edge_arr.setflags(write=False)
+        endpoints = canon.ravel()
+        self._degrees = np.bincount(endpoints, minlength=self._n).astype(np.int64)
+        self._degrees.setflags(write=False)
+        # CSR adjacency: each undirected edge contributes both directions.
+        src = np.concatenate((canon[:, 0], canon[:, 1]))
+        dst = np.concatenate((canon[:, 1], canon[:, 0]))
+        csr_order = np.lexsort((dst, src))
+        self._indptr = np.concatenate(
+            (np.zeros(1, dtype=np.int64), np.cumsum(self._degrees))
+        )
+        self._indptr.setflags(write=False)
+        self._indices = dst[csr_order]
+        self._indices.setflags(write=False)
+        # Tuple views are built lazily on first access.
+        self._adjacency: Optional[Tuple[Tuple[int, ...], ...]] = None
+        self._edges: Optional[Tuple[Edge, ...]] = None
+        self._neighbor_sets: Optional[Tuple[FrozenSet[int], ...]] = None
+
+    def _validate(self, arr: np.ndarray, lo: np.ndarray, hi: np.ndarray) -> None:
+        """Reject out-of-range endpoints, self-loops and duplicate edges.
+
+        Reports the earliest offending edge with the same message (and the
+        same per-edge check priority) as the original per-edge loop.
+        """
+        out_of_range = (lo < 0) | (hi >= self._n)
+        self_loop = ~out_of_range & (lo == hi)
+        bad = out_of_range | self_loop
+        first_bad = int(np.argmax(bad)) if bad.any() else arr.shape[0]
+        # Duplicates can only precede the first invalid edge, so dedup the
+        # valid prefix; beyond it the invalid edge is reported first.
+        first_dup = arr.shape[0]
+        if first_bad > 0:
+            keys = lo[:first_bad] * self._n + hi[:first_bad]
+            _, first_idx = np.unique(keys, return_index=True)
+            if len(first_idx) != len(keys):
+                dup_mask = np.ones(len(keys), dtype=bool)
+                dup_mask[first_idx] = False
+                first_dup = int(np.argmax(dup_mask))
+        if first_bad < arr.shape[0] and first_bad <= first_dup:
+            u, v = int(arr[first_bad, 0]), int(arr[first_bad, 1])
+            if out_of_range[first_bad]:
                 raise ValueError(
                     f"edge ({u}, {v}) out of range for {self._n} vertices"
                 )
-            if u == v:
-                raise ValueError(f"self-loop at vertex {u} is not allowed")
-            key = (u, v) if u < v else (v, u)
-            if key in seen:
-                raise ValueError(f"duplicate edge {key}")
-            seen.add(key)
-            edge_list.append(key)
-            adjacency[u].append(v)
-            adjacency[v].append(u)
-        for nbrs in adjacency:
-            nbrs.sort()
-        self._adjacency: Tuple[Tuple[int, ...], ...] = tuple(
-            tuple(nbrs) for nbrs in adjacency
-        )
-        self._edges: Tuple[Edge, ...] = tuple(sorted(edge_list))
-        self._neighbor_sets: Tuple[FrozenSet[int], ...] = tuple(
-            frozenset(nbrs) for nbrs in adjacency
-        )
+            raise ValueError(f"self-loop at vertex {u} is not allowed")
+        if first_dup < arr.shape[0]:
+            key = (int(lo[first_dup]), int(hi[first_dup]))
+            raise ValueError(f"duplicate edge {key}")
 
     # -- basic accessors -------------------------------------------------
 
@@ -74,29 +139,58 @@ class Graph:
     @property
     def num_edges(self) -> int:
         """Number of undirected edges."""
-        return len(self._edges)
+        return self._edge_arr.shape[0]
 
     @property
     def edges(self) -> Tuple[Edge, ...]:
         """All edges as sorted ``(min, max)`` tuples, in sorted order."""
+        if self._edges is None:
+            self._edges = tuple(map(tuple, self._edge_arr.tolist()))
         return self._edges
+
+    @property
+    def edge_array(self) -> np.ndarray:
+        """Read-only ``(m, 2)`` array of canonical ``(min, max)`` edges."""
+        return self._edge_arr
+
+    def adjacency_csr(self) -> Tuple[np.ndarray, np.ndarray]:
+        """The adjacency in CSR form as read-only ``(indptr, indices)``.
+
+        Vertex ``v``'s sorted neighbours are
+        ``indices[indptr[v]:indptr[v + 1]]``.  This is the array-native
+        export consumed by :class:`repro.core.compiled.CompiledInstance`.
+        """
+        return self._indptr, self._indices
+
+    def _adjacency_tuples(self) -> Tuple[Tuple[int, ...], ...]:
+        if self._adjacency is None:
+            indices = self._indices.tolist()
+            indptr = self._indptr.tolist()
+            self._adjacency = tuple(
+                tuple(indices[indptr[v] : indptr[v + 1]]) for v in range(self._n)
+            )
+        return self._adjacency
 
     def neighbors(self, vertex: int) -> Tuple[int, ...]:
         """Sorted tuple of neighbours of ``vertex``."""
-        return self._adjacency[vertex]
+        return self._adjacency_tuples()[vertex]
 
     def degree(self, vertex: int) -> int:
         """Degree of ``vertex``."""
-        return len(self._adjacency[vertex])
+        return int(self._degrees[vertex])
 
-    def degrees(self) -> List[int]:
-        """Degrees of all vertices, indexed by vertex."""
-        return [len(nbrs) for nbrs in self._adjacency]
+    def degrees(self) -> np.ndarray:
+        """Degrees of all vertices as a read-only array, indexed by vertex."""
+        return self._degrees
 
     def has_edge(self, u: int, v: int) -> bool:
         """Whether the undirected edge ``{u, v}`` is present."""
         if not (0 <= u < self._n and 0 <= v < self._n):
             return False
+        if self._neighbor_sets is None:
+            self._neighbor_sets = tuple(
+                frozenset(nbrs) for nbrs in self._adjacency_tuples()
+            )
         return v in self._neighbor_sets[u]
 
     def __len__(self) -> int:
@@ -108,10 +202,12 @@ class Graph:
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Graph):
             return NotImplemented
-        return self._n == other._n and self._edges == other._edges
+        return self._n == other._n and np.array_equal(
+            self._edge_arr, other._edge_arr
+        )
 
     def __hash__(self) -> int:
-        return hash((self._n, self._edges))
+        return hash((self._n, self.edges))
 
     def __repr__(self) -> str:
         return f"Graph(n={self._n}, m={self.num_edges})"
@@ -122,13 +218,13 @@ class Graph:
         """Maximum degree Δ (0 for the empty graph)."""
         if self._n == 0:
             return 0
-        return max(self.degrees())
+        return int(self._degrees.max())
 
     def min_degree(self) -> int:
         """Minimum degree δ (0 for the empty graph)."""
         if self._n == 0:
             return 0
-        return min(self.degrees())
+        return int(self._degrees.min())
 
     def is_complete(self) -> bool:
         """Whether every pair of distinct vertices is adjacent."""
@@ -138,8 +234,7 @@ class Graph:
         """Whether all vertices share the same degree."""
         if self._n == 0:
             return True
-        degs = self.degrees()
-        return min(degs) == max(degs)
+        return int(self._degrees.min()) == int(self._degrees.max())
 
     # -- interop ----------------------------------------------------------
 
@@ -161,7 +256,7 @@ class Graph:
 
         out = nx.Graph()
         out.add_nodes_from(range(self._n))
-        out.add_edges_from(self._edges)
+        out.add_edges_from(self.edges)
         return out
 
     # -- constructors -----------------------------------------------------

@@ -53,7 +53,7 @@ def gini_coefficient(values: List[float]) -> float:
 def degree_statistics(graph: Graph) -> DegreeStatistics:
     """Compute :class:`DegreeStatistics` for ``graph``."""
     degs = graph.degrees()
-    if not degs:
+    if not len(degs):
         return DegreeStatistics(0, 0, 0, 0, 0.0, 0.0, 0.0)
     arr = np.asarray(degs, dtype=float)
     return DegreeStatistics(

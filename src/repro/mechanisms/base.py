@@ -21,7 +21,12 @@ from typing import Dict, FrozenSet, List, Optional
 
 import numpy as np
 
-from repro._util.rng import SeedLike, as_generator
+from repro._util.rng import (
+    SeedLike,
+    as_generator,
+    as_seed_sequence,
+    child_seed_sequence,
+)
 from repro.core.instance import LocalView, ProblemInstance
 from repro.delegation.graph import SELF, DelegationGraph
 
@@ -49,12 +54,18 @@ class Ballot:
 
     @property
     def participating_weight(self) -> int:
-        """Total weight carried by non-abstaining sinks."""
-        return sum(
-            self.forest.weight(s)
-            for s in self.forest.sinks
-            if s not in self.abstaining
+        """Total weight carried by non-abstaining sinks.
+
+        Computed from the forest's sink-weight array with a vectorised
+        abstain mask rather than a per-sink Python sum.
+        """
+        weights = self.forest.sink_weight_array
+        if not self.abstaining:
+            return int(weights.sum())
+        mask = np.isin(
+            self.forest.sink_indices, np.fromiter(self.abstaining, dtype=np.int64)
         )
+        return int(weights[~mask].sum())
 
 
 class DelegationMechanism(abc.ABC):
@@ -81,6 +92,78 @@ class DelegationMechanism(abc.ABC):
     ) -> Ballot:
         """Draw one ballot; default mechanisms never abstain."""
         return Ballot(self.sample_delegations(instance, rng))
+
+    # -- batched sampling --------------------------------------------------
+
+    def batch_uniform_rows(self) -> Optional[int]:
+        """Per-voter uniform rows the batched kernel consumes, or ``None``.
+
+        A mechanism with a vectorised batch kernel declares here how many
+        uniform draws per voter one round costs (round ``r`` consumes
+        exactly ``rng_r.random((rows, n))``); mechanisms without a kernel
+        return ``None`` and :meth:`sample_delegations_batch` falls back
+        to the per-voter loop transparently.
+        """
+        return None
+
+    @property
+    def supports_batch_sampling(self) -> bool:
+        """Whether :meth:`sample_delegations_batch` uses a vectorised kernel."""
+        return self.batch_uniform_rows() is not None
+
+    def sample_delegations_batch(
+        self,
+        instance: ProblemInstance,
+        n_rounds: int,
+        seed: SeedLike = None,
+        first_round: int = 0,
+    ) -> np.ndarray:
+        """Draw ``n_rounds`` delegation forests as one ``(rounds, n)`` matrix.
+
+        Round ``i`` draws from the absolute child seed ``first_round + i``
+        of ``seed``'s root (:func:`repro._util.rng.child_seed_sequence`),
+        the batch engine's determinism contract: results are independent
+        of how rounds are partitioned across calls or workers.
+
+        Kernel mechanisms map each round's block of per-voter uniforms
+        through :meth:`~LocalDelegationMechanism.decide_from_uniforms`'s
+        vectorised counterpart; mechanisms without a kernel run the
+        ordinary per-round :meth:`sample_delegations` on the same child
+        seeds (so their forests match the per-round engine exactly).
+        """
+        if n_rounds < 0:
+            raise ValueError(f"n_rounds must be non-negative, got {n_rounds}")
+        root = as_seed_sequence(seed)
+        n = instance.num_voters
+        rows = self.batch_uniform_rows()
+        if rows is None:
+            out = np.empty((n_rounds, n), dtype=np.int64)
+            for i in range(n_rounds):
+                rng = np.random.default_rng(
+                    child_seed_sequence(root, first_round + i)
+                )
+                out[i] = self.sample_delegations(instance, rng).delegates
+            return out
+        uniforms = np.empty((n_rounds, rows, n))
+        for i in range(n_rounds):
+            rng = np.random.default_rng(child_seed_sequence(root, first_round + i))
+            if rows:
+                uniforms[i] = rng.random((rows, n))
+        return self._delegations_from_uniforms(instance, uniforms)
+
+    def _delegations_from_uniforms(
+        self, instance: ProblemInstance, uniforms: np.ndarray
+    ) -> np.ndarray:
+        """Vectorised kernel: uniforms ``(rounds, rows, n)`` → delegates.
+
+        Must produce, for every round and voter, *exactly* the delegate
+        that ``decide_from_uniforms(view, uniforms[r, :, voter])`` picks —
+        the exact-equivalence suite pins batched forests bit-identically
+        to the per-voter reference given shared uniforms.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} declares batch_uniform_rows() but no kernel"
+        )
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}(name={self.name!r})"
@@ -133,6 +216,53 @@ class LocalDelegationMechanism(DelegationMechanism):
             delegates.append(SELF if choice is None else int(choice))
         return DelegationGraph(delegates)
 
+    def decide_from_uniforms(
+        self, view: LocalView, u: np.ndarray
+    ) -> Optional[int]:
+        """Deterministic form of :meth:`decide` over explicit uniforms.
+
+        ``u`` holds this voter's :meth:`batch_uniform_rows` uniform draws
+        for one round.  Factoring the decision into a pure function of
+        ``(view, u)`` is what lets the batched kernel and the per-voter
+        reference consume *the same* uniforms and be compared forest by
+        forest, bit for bit.  (The rng-based :meth:`decide` keeps its own
+        draw order untouched — serial-engine streams are pinned by tests.)
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} has no uniform-based decision kernel"
+        )
+
+    def _reference_sample_delegations_batch(
+        self,
+        instance: ProblemInstance,
+        n_rounds: int,
+        seed: SeedLike = None,
+        first_round: int = 0,
+    ) -> np.ndarray:
+        """Per-voter oracle for :meth:`sample_delegations_batch`.
+
+        Draws the identical per-round uniform blocks and routes each
+        voter through :meth:`decide_from_uniforms`; the batched kernels
+        are pinned to this loop exactly (not statistically).
+        """
+        rows = self.batch_uniform_rows()
+        if rows is None:
+            raise NotImplementedError(
+                f"{type(self).__name__} has no uniform-based decision kernel"
+            )
+        root = as_seed_sequence(seed)
+        n = instance.num_voters
+        out = np.full((n_rounds, n), SELF, dtype=np.int64)
+        views = [instance.local_view(v) for v in range(n)]
+        for i in range(n_rounds):
+            rng = np.random.default_rng(child_seed_sequence(root, first_round + i))
+            block = rng.random((rows, n)) if rows else np.empty((0, n))
+            for voter in range(n):
+                choice = self.decide_from_uniforms(views[voter], block[:, voter])
+                if choice is not None:
+                    out[i, voter] = int(choice)
+        return out
+
 
 def uniform_choice(
     options: tuple, rng: np.random.Generator
@@ -141,3 +271,32 @@ def uniform_choice(
     if not options:
         raise ValueError("cannot choose from an empty option set")
     return int(options[int(rng.integers(len(options)))])
+
+
+def uniform_offset(u: float, count: int) -> int:
+    """Map one uniform draw to an index in ``0 .. count - 1``.
+
+    The shared offset formula of the batched kernels and their
+    :meth:`~LocalDelegationMechanism.decide_from_uniforms` references:
+    ``min(floor(u * count), count - 1)`` (the clamp guards ``u = 1.0``
+    never produced by ``random()`` but allowed by the contract).
+    """
+    return min(int(u * count), count - 1)
+
+
+def batched_uniform_approved_targets(
+    compiled, movers: np.ndarray, u_rows: np.ndarray
+) -> np.ndarray:
+    """Vectorised "uniform approved neighbour" picks for many rounds.
+
+    ``u_rows`` is the ``(rounds, n)`` uniform block; ``movers`` the voters
+    whose delegation condition holds (every one must have a non-empty
+    approved set).  Returns the ``(rounds, len(movers))`` delegate
+    matrix.  Offsets follow :func:`uniform_offset`, and the approved
+    segments are ordered exactly like ``LocalView.approved`` (competency
+    ascending, ties by index), so each entry equals
+    ``view.approved[uniform_offset(u, count)]``.
+    """
+    counts = compiled.approved_counts[movers]
+    offsets = np.minimum((u_rows[:, movers] * counts).astype(np.int64), counts - 1)
+    return compiled.resolve_approved_offsets(movers[None, :], offsets)

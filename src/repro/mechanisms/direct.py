@@ -6,7 +6,8 @@ from typing import Dict, Optional
 
 import numpy as np
 
-from repro.core.instance import LocalView
+from repro.core.instance import LocalView, ProblemInstance
+from repro.delegation.graph import SELF
 from repro.mechanisms.base import LocalDelegationMechanism
 
 
@@ -29,3 +30,20 @@ class DirectVoting(LocalDelegationMechanism):
 
     def distribution(self, view: LocalView) -> Dict[Optional[int], float]:
         return {None: 1.0}
+
+    # -- batched kernel ----------------------------------------------------
+
+    def batch_uniform_rows(self) -> int:
+        return 0
+
+    def decide_from_uniforms(
+        self, view: LocalView, u: np.ndarray
+    ) -> Optional[int]:
+        return None
+
+    def _delegations_from_uniforms(
+        self, instance: ProblemInstance, uniforms: np.ndarray
+    ) -> np.ndarray:
+        return np.full(
+            (uniforms.shape[0], instance.num_voters), SELF, dtype=np.int64
+        )

@@ -16,7 +16,12 @@ from repro._util.rng import SeedLike, as_generator
 from repro._util.validation import check_fraction
 from repro.core.instance import LocalView, ProblemInstance
 from repro.delegation.graph import SELF, DelegationGraph
-from repro.mechanisms.base import LocalDelegationMechanism, uniform_choice
+from repro.mechanisms.base import (
+    LocalDelegationMechanism,
+    batched_uniform_approved_targets,
+    uniform_choice,
+    uniform_offset,
+)
 
 
 class FractionApproved(LocalDelegationMechanism):
@@ -63,3 +68,34 @@ class FractionApproved(LocalDelegationMechanism):
         if movers.size:
             delegates[movers] = structure.sample_approved_many(movers, gen)
         return DelegationGraph(delegates)
+
+    # -- batched kernel ----------------------------------------------------
+
+    def batch_uniform_rows(self) -> int:
+        return 1
+
+    def decide_from_uniforms(
+        self, view: LocalView, u: np.ndarray
+    ) -> Optional[int]:
+        if not view.approved or not self.should_delegate(view):
+            return None
+        return view.approved[uniform_offset(float(u[0]), view.approval_count)]
+
+    def _delegations_from_uniforms(
+        self, instance: ProblemInstance, uniforms: np.ndarray
+    ) -> np.ndarray:
+        compiled = instance.compiled()
+        degrees = compiled.degrees
+        counts = compiled.approved_counts
+        mask = (counts > 0) & (degrees > 0) & (
+            counts >= self._fraction * degrees
+        )
+        delegates = np.full(
+            (uniforms.shape[0], instance.num_voters), SELF, dtype=np.int64
+        )
+        movers = np.nonzero(mask)[0]
+        if movers.size:
+            delegates[:, movers] = batched_uniform_approved_targets(
+                compiled, movers, uniforms[:, 0, :]
+            )
+        return delegates

@@ -54,6 +54,18 @@ class GreedyBest(DelegationMechanism):
             delegates.append(int(best))
         return DelegationGraph(delegates)
 
+    # -- batched kernel ----------------------------------------------------
+
+    def batch_uniform_rows(self) -> int:
+        return 0
+
+    def _delegations_from_uniforms(
+        self, instance: ProblemInstance, uniforms: np.ndarray
+    ) -> np.ndarray:
+        # The forest is deterministic: one precomputed target row, tiled.
+        targets = instance.compiled().greedy_targets
+        return np.tile(targets, (uniforms.shape[0], 1))
+
 
 class CappedRandomApproved(DelegationMechanism):
     """Random approved delegation subject to a maximum sink weight.

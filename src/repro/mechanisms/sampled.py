@@ -12,6 +12,8 @@ on general graphs it is the natural "poll a random subsample" variant.
 
 from __future__ import annotations
 
+from functools import lru_cache
+from math import comb
 from typing import Callable, Dict, Optional, Union
 
 import numpy as np
@@ -19,9 +21,26 @@ import numpy as np
 from repro._util.rng import SeedLike, as_generator
 from repro.core.instance import LocalView, ProblemInstance
 from repro.delegation.graph import SELF, DelegationGraph
-from repro.mechanisms.base import LocalDelegationMechanism
+from repro.mechanisms.base import LocalDelegationMechanism, uniform_offset
 
 ThresholdFn = Callable[[int], float]
+
+
+@lru_cache(maxsize=None)
+def _hypergeom_cdf(good: int, bad: int, size: int) -> np.ndarray:
+    """CDF of the hypergeometric count of approved in a size-``s`` sample.
+
+    Shared by the batched kernel and its per-voter reference so both
+    invert the *same* float CDF (via ``searchsorted``) and agree bit for
+    bit on every uniform.  Indexed ``k = 0 .. min(size, good)``.
+    """
+    kmax = min(size, good)
+    denom = comb(good + bad, size)
+    cdf = np.cumsum(
+        [comb(good, k) * comb(bad, size - k) / denom for k in range(kmax + 1)]
+    )
+    cdf.setflags(write=False)
+    return cdf
 
 
 class SampledNeighbourhood(LocalDelegationMechanism):
@@ -119,6 +138,86 @@ class SampledNeighbourhood(LocalDelegationMechanism):
         if movers.size:
             delegates[movers] = structure.sample_approved_many(movers, gen)
         return DelegationGraph(delegates)
+
+    # -- batched kernel ----------------------------------------------------
+
+    def batch_uniform_rows(self) -> int:
+        return 2
+
+    def decide_from_uniforms(
+        self, view: LocalView, u: np.ndarray
+    ) -> Optional[int]:
+        """Row 0 inverts the hypergeometric CDF; row 1 picks the target.
+
+        Like :meth:`sample_delegations` (and unlike :meth:`decide`), the
+        delegate is uniform over *all* approved neighbours — valid by
+        exchangeability of the uniform sample.
+        """
+        size = self.sample_size(view)
+        if size == 0:
+            return None
+        cnt = view.approval_count
+        if size == view.num_neighbors:
+            approved_in_sample = cnt
+        else:
+            cdf = _hypergeom_cdf(cnt, view.num_neighbors - cnt, size)
+            approved_in_sample = min(
+                int(np.searchsorted(cdf, float(u[0]), side="right")),
+                len(cdf) - 1,
+            )
+        if approved_in_sample == 0 or approved_in_sample < self._threshold(size):
+            return None
+        return view.approved[uniform_offset(float(u[1]), cnt)]
+
+    def _delegations_from_uniforms(
+        self, instance: ProblemInstance, uniforms: np.ndarray
+    ) -> np.ndarray:
+        compiled = instance.compiled()
+        degrees = compiled.degrees
+        counts = compiled.approved_counts
+        n_rounds = uniforms.shape[0]
+        delegates = np.full((n_rounds, instance.num_voters), SELF, dtype=np.int64)
+        active = np.nonzero(degrees > 0)[0]
+        if active.size == 0:
+            return delegates
+        deg = degrees[active]
+        cnt = counts[active]
+        sizes = deg if self._d is None else np.minimum(self._d, deg)
+        full = sizes == deg
+        u0 = uniforms[:, 0, :][:, active]
+        approved_in_sample = np.empty((n_rounds, active.size), dtype=np.int64)
+        approved_in_sample[:, full] = cnt[full]
+        partial_cols = np.nonzero(~full)[0]
+        if partial_cols.size:
+            # One CDF (and one vectorised searchsorted) per *distinct*
+            # (approved, degree, sample size) triple.
+            triples = np.stack(
+                [cnt[partial_cols], deg[partial_cols], sizes[partial_cols]],
+                axis=1,
+            )
+            unique_triples, inv = np.unique(triples, axis=0, return_inverse=True)
+            for t, (good, d_t, s_t) in enumerate(unique_triples):
+                cols = partial_cols[inv == t]
+                cdf = _hypergeom_cdf(int(good), int(d_t - good), int(s_t))
+                hits = np.searchsorted(cdf, u0[:, cols].ravel(), side="right")
+                approved_in_sample[:, cols] = np.minimum(
+                    hits, len(cdf) - 1
+                ).reshape(n_rounds, cols.size)
+        unique_sizes, inv_s = np.unique(sizes, return_inverse=True)
+        thresholds = np.array(
+            [self._threshold(int(s)) for s in unique_sizes], dtype=float
+        )[inv_s]
+        mask = (approved_in_sample > 0) & (approved_in_sample >= thresholds)
+        pos = cnt > 0
+        cand = active[pos]
+        if cand.size:
+            u1 = uniforms[:, 1, :][:, cand]
+            offsets = np.minimum(
+                (u1 * cnt[pos]).astype(np.int64), cnt[pos] - 1
+            )
+            targets = compiled.resolve_approved_offsets(cand[None, :], offsets)
+            delegates[:, cand] = np.where(mask[:, pos], targets, SELF)
+        return delegates
 
     def distribution(self, view: LocalView) -> Dict[Optional[int], float]:
         """Exact output distribution (hypergeometric over the sample).

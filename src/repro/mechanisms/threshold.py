@@ -20,7 +20,12 @@ import numpy as np
 from repro._util.rng import SeedLike, as_generator
 from repro.core.instance import LocalView, ProblemInstance
 from repro.delegation.graph import SELF, DelegationGraph
-from repro.mechanisms.base import LocalDelegationMechanism, uniform_choice
+from repro.mechanisms.base import (
+    LocalDelegationMechanism,
+    batched_uniform_approved_targets,
+    uniform_choice,
+    uniform_offset,
+)
 
 ThresholdFn = Callable[[int], float]
 
@@ -115,6 +120,40 @@ class ApprovalThreshold(LocalDelegationMechanism):
         if movers.size:
             delegates[movers] = structure.sample_approved_many(movers, gen)
         return DelegationGraph(delegates)
+
+    # -- batched kernel ----------------------------------------------------
+
+    def batch_uniform_rows(self) -> int:
+        return 1
+
+    def decide_from_uniforms(
+        self, view: LocalView, u: np.ndarray
+    ) -> Optional[int]:
+        if not view.approved or not self.should_delegate(view):
+            return None
+        return view.approved[uniform_offset(float(u[0]), view.approval_count)]
+
+    def _delegations_from_uniforms(
+        self, instance: ProblemInstance, uniforms: np.ndarray
+    ) -> np.ndarray:
+        compiled = instance.compiled()
+        degrees = compiled.degrees
+        counts = compiled.approved_counts
+        unique_degrees, inverse = np.unique(degrees, return_inverse=True)
+        per_degree = np.array(
+            [self.threshold_at(int(d)) for d in unique_degrees], dtype=float
+        )
+        thresholds = per_degree[inverse]
+        mask = (counts > 0) & (counts >= thresholds)
+        delegates = np.full(
+            (uniforms.shape[0], instance.num_voters), SELF, dtype=np.int64
+        )
+        movers = np.nonzero(mask)[0]
+        if movers.size:
+            delegates[:, movers] = batched_uniform_approved_targets(
+                compiled, movers, uniforms[:, 0, :]
+            )
+        return delegates
 
 
 class RandomApproved(ApprovalThreshold):

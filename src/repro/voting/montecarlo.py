@@ -17,11 +17,23 @@ Two engines:
 * ``engine="batch"`` — :class:`BatchEstimator`: draws every round's
   forest from its own child seed (absolute spawn keys, see
   :func:`repro._util.rng.child_seed_sequence`), deduplicates identical
-  sink-weight profiles through an LRU PMF cache, and optionally fans
+  sink-weight profiles through an LRU cache, and optionally fans
   rounds out over a process pool.  Results are identical for a fixed
   seed regardless of ``n_jobs`` or worker partitioning (the two engines
   draw different — equally valid — streams, so their estimates differ
   within Monte Carlo error).
+
+The batch engine samples whole ``(rounds, n)`` delegate matrices through
+the mechanisms' vectorised uniform kernels
+(:meth:`~repro.mechanisms.base.DelegationMechanism.sample_delegations_batch`),
+resolves them with one pointer-doubling pass
+(:func:`~repro.delegation.graph.resolve_forests_batch`), and evaluates
+all uncached sink-weight profiles in one spectral tail computation
+(:func:`~repro.voting.exact.weighted_tails_batch`).  Mechanisms without
+a kernel transparently fall back to per-round sampling on the same
+child seeds.  The per-round engine of the previous revision survives as
+``_reference_batch_rounds`` / ``BatchEstimator(use_reference=True)``
+for benchmarking and equivalence testing.
 """
 
 from __future__ import annotations
@@ -41,10 +53,12 @@ from repro._util.rng import (
     child_seed_sequence,
 )
 from repro.core.instance import ProblemInstance
+from repro.delegation.graph import resolve_forests_batch
 from repro.voting.exact import (
     forest_correct_probability,
     tail_from_pmf,
     weighted_bernoulli_pmf,
+    weighted_tails_batch,
 )
 from repro.voting.outcome import TiePolicy, majority_correct
 
@@ -130,7 +144,7 @@ def _conditional_values(
     return values
 
 
-def _batch_rounds(
+def _reference_batch_rounds(
     instance: ProblemInstance,
     mechanism: "DelegationMechanism",
     root: np.random.SeedSequence,
@@ -140,10 +154,12 @@ def _batch_rounds(
     exact_conditional: bool,
     cache_size: int,
 ) -> np.ndarray:
-    """Evaluate rounds ``start .. stop-1``; module-level for picklability.
+    """Per-round batch engine of the previous revision (the oracle).
 
     Round ``r`` always draws from child seed ``r`` of ``root``, so the
-    values are independent of how rounds are split across workers.
+    values are independent of how rounds are split across workers.  Kept
+    as the benchmark baseline and the fallback path for mechanisms
+    without a uniform kernel; module-level for picklability.
     """
     comp = instance.competencies
     profiles: List[Tuple[np.ndarray, np.ndarray]] = []
@@ -167,6 +183,122 @@ def _batch_rounds(
     )
 
 
+_BATCH_DP_CUTOFF = 64
+"""Below this total weight the per-profile DP beats the spectral kernel."""
+
+
+def _batch_values(
+    instance: ProblemInstance,
+    weights: np.ndarray,
+    tie_policy: TiePolicy,
+    cache: LRUCache,
+) -> np.ndarray:
+    """Exact conditional values for a ``(rounds, n)`` sink-weight matrix.
+
+    ``weights[r, i]`` is the weight voter ``i`` carries in round ``r``
+    (0 unless a sink), as returned by
+    :func:`~repro.delegation.graph.resolve_forests_batch`.  Columns
+    that are zero in *every* round (voters that never sink in this
+    batch) are dropped up front — deterministic-condition mechanisms
+    produce a fixed mover set, so this typically shrinks the matrix
+    substantially before hashing and evaluation.  Rounds are then
+    deduplicated by the pair (column set, compacted weight row)
+    (competencies are fixed, so equal pairs are equal profiles); the
+    cache stores ``(P[W > n/2], P[W = n/2])`` pairs, making cached
+    values reusable across tie policies.  All uncached rows go through
+    one :func:`~repro.voting.exact.weighted_tails_batch` call (or, for
+    small totals, the per-profile DP).
+    """
+    total = instance.num_voters
+    comp = instance.competencies
+    rounds = weights.shape[0]
+    cols = np.flatnonzero(weights.any(axis=0))
+    W = np.ascontiguousarray(weights[:, cols])
+    comp_c = comp[cols]
+    cols_tag = cols.tobytes()
+    keys = [(cols_tag, W[r].tobytes()) for r in range(rounds)]
+    pending: dict = {}
+    for r, key in enumerate(keys):
+        if cache.get(key) is None and key not in pending:
+            pending[key] = r
+    if pending:
+        if len(pending) == rounds:
+            rows = slice(None)
+        else:
+            rows = np.fromiter(pending.values(), dtype=np.int64)
+        if total < _BATCH_DP_CUTOFF:
+            half = total // 2
+            for key, r in pending.items():
+                mask = W[r] > 0
+                pmf = weighted_bernoulli_pmf(W[r][mask], comp_c[mask])
+                strict = min(1.0, float(pmf[half + 1 :].sum()))
+                atom = float(pmf[half]) if total % 2 == 0 else 0.0
+                cache.put(key, (strict, atom))
+        else:
+            win, atom = weighted_tails_batch(W[rows], comp_c, total)
+            for j, key in enumerate(pending):
+                cache.put(key, (float(win[j]), float(atom[j])))
+    values = np.empty(rounds)
+    coin = tie_policy is TiePolicy.COIN_FLIP
+    for r, key in enumerate(keys):
+        strict, atom = cache.get(key)
+        values[r] = strict + 0.5 * atom if coin else strict
+    return np.minimum(values, 1.0)
+
+
+def _batch_rounds(
+    instance: ProblemInstance,
+    mechanism: "DelegationMechanism",
+    root: np.random.SeedSequence,
+    start: int,
+    stop: int,
+    tie_policy: TiePolicy,
+    exact_conditional: bool,
+    cache_size: int,
+) -> np.ndarray:
+    """Evaluate rounds ``start .. stop-1``; module-level for picklability.
+
+    Forests come from one :meth:`sample_delegations_batch` call — round
+    ``r`` is pinned to child seed ``r`` of ``root`` whether it is drawn
+    by a vectorised kernel or the per-round fallback, so values stay
+    independent of how rounds are split across workers.
+    """
+    count = stop - start
+    if exact_conditional:
+        delegates = mechanism.sample_delegations_batch(
+            instance, count, seed=root, first_round=start
+        )
+        _, weights = resolve_forests_batch(delegates)
+        return _batch_values(instance, weights, tie_policy, LRUCache(cache_size))
+    if not mechanism.supports_batch_sampling:
+        # Per-round loop, bit-identical to the reference engine: the
+        # outcome draw continues the forest generator's stream.
+        return _reference_batch_rounds(
+            instance, mechanism, root, start, stop, tie_policy, False,
+            cache_size,
+        )
+    comp = instance.competencies
+    total = float(instance.num_voters)
+    delegates = mechanism.sample_delegations_batch(
+        instance, count, seed=root, first_round=start
+    )
+    _, weights = resolve_forests_batch(delegates)
+    naive = np.empty(count)
+    for offset, r in enumerate(range(start, stop)):
+        # Kernel mechanisms consume uniforms differently from their
+        # rng-based samplers, so the outcome draw gets its own spawned
+        # child — deterministic and partition-invariant.
+        vote_rng = np.random.default_rng(
+            child_seed_sequence(root, r).spawn(1)[0]
+        )
+        mask = weights[offset] > 0
+        probs = comp[mask]
+        row = weights[offset][mask]
+        correct = float(row[vote_rng.random(len(probs)) < probs].sum())
+        naive[offset] = majority_correct(correct, total, tie_policy)
+    return naive
+
+
 @dataclass
 class BatchEstimator:
     """Batched Monte Carlo engine for ``P^M(G)``.
@@ -183,10 +315,18 @@ class BatchEstimator:
     same-seed serial run of this engine).  If the instance or mechanism
     cannot be pickled (e.g. a lambda threshold), the estimator falls
     back to in-process evaluation with a warning — same result, no pool.
+
+    ``use_reference=True`` routes everything through the per-round
+    engine of the previous revision (``_reference_batch_rounds``) — the
+    baseline the benchmark suite measures speedups against.  Both paths
+    obey the same determinism contract but consume different uniform
+    streams for kernel mechanisms, so their estimates differ within
+    Monte Carlo error.
     """
 
     n_jobs: int = 1
     cache_size: int = 512
+    use_reference: bool = False
     _cache: LRUCache = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
@@ -226,6 +366,7 @@ class BatchEstimator:
         tie_policy: TiePolicy,
         exact_conditional: bool,
     ) -> np.ndarray:
+        rounds_fn = _reference_batch_rounds if self.use_reference else _batch_rounds
         workers = min(self.n_jobs, rounds)
         if workers > 1 and self._picklable(instance, mechanism):
             from concurrent.futures import ProcessPoolExecutor
@@ -233,7 +374,7 @@ class BatchEstimator:
             bounds = np.linspace(0, rounds, workers + 1).astype(int)
             with ProcessPoolExecutor(max_workers=workers) as pool:
                 chunks = pool.map(
-                    _batch_rounds,
+                    rounds_fn,
                     [instance] * workers,
                     [mechanism] * workers,
                     [root] * workers,
@@ -245,20 +386,28 @@ class BatchEstimator:
                 )
                 return np.concatenate(list(chunks))
         if not exact_conditional:
-            return _batch_rounds(
+            return rounds_fn(
                 instance, mechanism, root, 0, rounds, tie_policy, False,
                 self.cache_size,
             )
-        # In-process path shares the estimator's cache across calls.
-        comp = instance.competencies
-        profiles: List[Tuple[np.ndarray, np.ndarray]] = []
-        for r in range(rounds):
-            rng = np.random.default_rng(child_seed_sequence(root, r))
-            forest = mechanism.sample_delegations(instance, rng)
-            profiles.append(
-                (forest.sink_weight_array, comp[forest.sink_indices])
+        # In-process paths share the estimator's cache across calls.
+        if self.use_reference:
+            comp = instance.competencies
+            profiles: List[Tuple[np.ndarray, np.ndarray]] = []
+            for r in range(rounds):
+                rng = np.random.default_rng(child_seed_sequence(root, r))
+                forest = mechanism.sample_delegations(instance, rng)
+                profiles.append(
+                    (forest.sink_weight_array, comp[forest.sink_indices])
+                )
+            return _conditional_values(
+                instance, profiles, tie_policy, self._cache
             )
-        return _conditional_values(instance, profiles, tie_policy, self._cache)
+        delegates = mechanism.sample_delegations_batch(
+            instance, rounds, seed=root, first_round=0
+        )
+        _, weights = resolve_forests_batch(delegates)
+        return _batch_values(instance, weights, tie_policy, self._cache)
 
     @staticmethod
     def _picklable(

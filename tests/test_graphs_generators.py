@@ -166,6 +166,17 @@ class TestWattsStrogatz:
         g = watts_strogatz_graph(50, 6, 0.5, seed=0)
         assert g.num_edges == 50 * 3
 
+    def test_rewire_degree_bounds(self):
+        # Rewiring moves only the far endpoint of a clockwise edge, so
+        # every vertex keeps its k/2 originating edges: min degree >=
+        # k/2, and total degree stays n * k.
+        for seed in range(3):
+            g = watts_strogatz_graph(60, 6, 0.7, seed=seed)
+            degrees = g.degrees()
+            assert degrees.min() >= 3
+            assert degrees.max() <= 59
+            assert degrees.sum() == 60 * 6
+
     def test_rejects_odd_k(self):
         with pytest.raises(ValueError):
             watts_strogatz_graph(10, 3, 0.1)

@@ -1,5 +1,6 @@
 """Tests for the Graph type."""
 
+import numpy as np
 import pytest
 
 from repro.graphs.graph import Graph
@@ -51,7 +52,22 @@ class TestAccessors:
         assert triangle_plus.degree(3) == 1
 
     def test_degrees(self, triangle_plus):
-        assert triangle_plus.degrees() == [3, 2, 2, 1]
+        degs = triangle_plus.degrees()
+        assert isinstance(degs, np.ndarray)
+        assert degs.tolist() == [3, 2, 2, 1]
+        assert not degs.flags.writeable
+
+    def test_adjacency_csr(self, triangle_plus):
+        indptr, indices = triangle_plus.adjacency_csr()
+        assert indptr.tolist() == [0, 3, 5, 7, 8]
+        assert indices.tolist() == [1, 2, 3, 0, 2, 0, 1, 0]
+        assert not indptr.flags.writeable
+        assert not indices.flags.writeable
+
+    def test_edge_array_canonical(self, triangle_plus):
+        arr = triangle_plus.edge_array
+        assert arr.tolist() == [[0, 1], [0, 2], [0, 3], [1, 2]]
+        assert not arr.flags.writeable
 
     def test_has_edge(self, triangle_plus):
         assert triangle_plus.has_edge(0, 1)
