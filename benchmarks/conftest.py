@@ -46,10 +46,41 @@ def micro_record():
     return record
 
 
+#: End-to-end experiment-suite records (adaptive-vs-fixed wall clock,
+#: cache cold-vs-warm wall clock) flushed to ``BENCH_experiments.json``
+#: next to this file.  Each entry is ``{suite, seconds, baseline_seconds,
+#: speedup, detail}`` — ``seconds`` is the optimised configuration,
+#: ``baseline_seconds`` the configuration it is asserted against.
+_EXPERIMENT_RECORDS: list = []
+
+
+@pytest.fixture
+def experiment_record():
+    """Record one suite-level timing pair for BENCH_experiments.json."""
+
+    def record(
+        suite: str, seconds: float, baseline_seconds: float, **detail
+    ):
+        _EXPERIMENT_RECORDS.append(
+            {
+                "suite": suite,
+                "seconds": seconds,
+                "baseline_seconds": baseline_seconds,
+                "speedup": baseline_seconds / seconds,
+                "detail": detail,
+            }
+        )
+
+    return record
+
+
 def pytest_sessionfinish(session, exitstatus):
     if _MICRO_RECORDS:
         out = Path(__file__).parent / "BENCH_micro.json"
         out.write_text(json.dumps(_MICRO_RECORDS, indent=2) + "\n")
+    if _EXPERIMENT_RECORDS:
+        out = Path(__file__).parent / "BENCH_experiments.json"
+        out.write_text(json.dumps(_EXPERIMENT_RECORDS, indent=2) + "\n")
 
 
 @pytest.fixture

@@ -88,6 +88,7 @@ from repro.delegation import (
     render_summary,
     weight_profile,
 )
+from repro.cache import EstimateCache
 from repro.voting import (
     CorrectnessEstimate,
     TiePolicy,
@@ -208,6 +209,8 @@ __all__ = [
     "forest_correct_probability",
     "estimate_correct_probability",
     "CorrectnessEstimate",
+    # persistent estimate cache
+    "EstimateCache",
     # sampling
     "RecycleNode",
     "RecycleSamplingGraph",

@@ -85,13 +85,19 @@ def monte_carlo_gain(
     tie_policy: TiePolicy = TiePolicy.INCORRECT,
     engine: str = "serial",
     n_jobs: int = 1,
+    target_se: Optional[float] = None,
+    max_rounds: Optional[int] = None,
+    cache=None,
 ) -> GainEstimate:
     """Rao–Blackwellised gain estimate over mechanism randomness.
 
     Direct voting is exact; only the forest distribution is sampled, so
     ``std_error`` reflects purely the mechanism's randomness.  ``engine``
-    and ``n_jobs`` select the Monte Carlo engine, see
-    :func:`repro.voting.montecarlo.estimate_correct_probability`.
+    and ``n_jobs`` select the Monte Carlo engine, ``target_se`` /
+    ``max_rounds`` adaptive precision and ``cache`` on-disk persistence,
+    see :func:`repro.voting.montecarlo.estimate_correct_probability`.
+    ``rounds`` on the returned estimate is the count actually evaluated
+    (smaller than the request when an adaptive run converges early).
     """
     est = estimate_correct_probability(
         instance,
@@ -101,6 +107,9 @@ def monte_carlo_gain(
         tie_policy=tie_policy,
         engine=engine,
         n_jobs=n_jobs,
+        target_se=target_se,
+        max_rounds=max_rounds,
+        cache=cache,
     )
     pd = direct_voting_probability(instance.competencies, tie_policy)
     return GainEstimate(
@@ -108,5 +117,5 @@ def monte_carlo_gain(
         mechanism_probability=est.probability,
         direct_probability=pd,
         std_error=est.std_error,
-        rounds=rounds,
+        rounds=est.rounds,
     )

@@ -1,0 +1,255 @@
+"""Persistent content-addressed cache for Monte Carlo estimates.
+
+Re-running an experiment sweep recomputes every grid point from scratch
+even though nothing changed: the instance, the mechanism, the estimator
+parameters and the seed fully determine the estimate.  This module keys
+each estimate by a SHA-256 digest of exactly those inputs and stores the
+result on disk (default ``.repro-cache/``), so repeated sweeps skip
+already-computed grid points and interrupted runs resume where they
+died.
+
+Key schema (``SCHEMA_VERSION`` is part of the digest, so any change to
+the semantics of a component invalidates old entries wholesale):
+
+* **instance** — voter count, ``alpha``, a digest of the competency
+  array bytes and of the graph's CSR adjacency;
+* **mechanism** — :meth:`~repro.mechanisms.base.DelegationMechanism.
+  cache_token`: a stable description of the mechanism's behaviour *on
+  this instance* (threshold mechanisms tokenise their per-degree
+  threshold values, so two lambdas computing the same ``j`` share
+  entries; unpicklable mechanisms without a token bypass the cache);
+* **seed** — the integer / ``SeedSequence`` identity, or for a live
+  ``Generator`` its bit-generator state *at call time*;
+* **estimator params** — estimator name, rounds, adaptive knobs,
+  effective engine, tie policy, ``exact_conditional``.  ``n_jobs`` is
+  deliberately excluded: estimates are ``n_jobs``-invariant, so entries
+  are shared across worker counts.
+
+Entries additionally record the generator state *after* the estimate
+when the caller passed a live ``Generator``: on a cache hit the caller's
+generator is fast-forwarded to that state, so a cache-warm sweep leaves
+every downstream stream — and therefore every downstream number —
+bit-identical to the cold run.
+
+Corrupt or truncated entries (killed mid-write, disk errors, stale
+schema) are treated as misses and deleted; the estimate is recomputed
+and rewritten.  Writes are atomic (temp file + ``os.replace``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Mapping, Optional, Union
+
+import numpy as np
+
+SCHEMA_VERSION = 1
+"""Bumped whenever digest components or the entry layout change."""
+
+DEFAULT_CACHE_DIR = ".repro-cache"
+"""Where estimates land unless the caller picks a directory."""
+
+_ESTIMATE_FIELDS = (
+    "probability",
+    "rounds",
+    "std_error",
+    "ci_low",
+    "ci_high",
+    "converged",
+)
+
+
+def _sha256_hex(*parts: bytes) -> str:
+    digest = hashlib.sha256()
+    for part in parts:
+        digest.update(part)
+    return digest.hexdigest()
+
+
+def _canonical_json(payload: Any) -> str:
+    """Deterministic JSON: sorted keys, no whitespace variance."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def seed_token(seed: Any) -> Optional[Any]:
+    """A JSON-able identity of ``seed``, or ``None`` when uncacheable.
+
+    ``None`` seeds mean fresh entropy — two calls never see the same
+    stream, so caching them would never hit and only pollute the store.
+    A live :class:`~numpy.random.Generator` is identified by its
+    bit-generator state at call time, which is exactly what determines
+    the estimate the serial engine produces.
+    """
+    if seed is None:
+        return None
+    if isinstance(seed, (int, np.integer)):
+        return ["int", int(seed)]
+    if isinstance(seed, np.random.SeedSequence):
+        entropy = seed.entropy
+        if entropy is None:
+            return None
+        if isinstance(entropy, (int, np.integer)):
+            entropy_token: Any = int(entropy)
+        else:
+            entropy_token = [int(e) for e in entropy]
+        return [
+            "seed_sequence",
+            entropy_token,
+            [int(k) for k in seed.spawn_key],
+            int(seed.pool_size),
+        ]
+    if isinstance(seed, np.random.Generator):
+        return ["generator", seed.bit_generator.state]
+    return None
+
+
+def instance_token(instance: Any) -> Dict[str, Any]:
+    """Digest components of a :class:`~repro.core.instance.ProblemInstance`."""
+    indptr, indices = instance.graph.adjacency_csr()
+    return {
+        "num_voters": int(instance.num_voters),
+        "alpha": float(instance.alpha),
+        "competencies": _sha256_hex(
+            np.ascontiguousarray(instance.competencies, dtype=np.float64).tobytes()
+        ),
+        "graph": _sha256_hex(
+            np.ascontiguousarray(indptr, dtype=np.int64).tobytes(),
+            np.ascontiguousarray(indices, dtype=np.int64).tobytes(),
+        ),
+    }
+
+
+def estimate_digest(
+    instance: Any,
+    mechanism: Any,
+    seed: Any,
+    params: Mapping[str, Any],
+) -> Optional[str]:
+    """The cache key for one estimate, or ``None`` when uncacheable.
+
+    Uncacheable means: fresh-entropy seed, or a mechanism whose
+    behaviour cannot be tokenised stably (see
+    :meth:`~repro.mechanisms.base.DelegationMechanism.cache_token`).
+    """
+    stoken = seed_token(seed)
+    if stoken is None:
+        return None
+    token_fn = getattr(mechanism, "cache_token", None)
+    mtoken = token_fn(instance) if token_fn is not None else None
+    if mtoken is None:
+        return None
+    payload = {
+        "schema": SCHEMA_VERSION,
+        "instance": instance_token(instance),
+        "mechanism": mtoken,
+        "seed": stoken,
+        "params": dict(params),
+    }
+    return _sha256_hex(_canonical_json(payload).encode())
+
+
+class EstimateCache:
+    """On-disk store of estimates, one JSON file per digest.
+
+    The store layout is flat — ``<root>/<digest>.json`` — and the entry
+    body repeats the digest and schema version so torn or foreign files
+    are detected and discarded.  ``hits``/``misses`` count this object's
+    lookups (the files themselves are shared by every cache instance
+    pointed at the same directory).
+    """
+
+    def __init__(self, root: Union[str, Path] = DEFAULT_CACHE_DIR) -> None:
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    def path_for(self, digest: str) -> Path:
+        """Where the entry for ``digest`` lives."""
+        return self.root / f"{digest}.json"
+
+    def get(self, digest: str) -> Optional[Dict[str, Any]]:
+        """The stored entry for ``digest``, or ``None``.
+
+        Any defect — missing file, invalid JSON, wrong schema, wrong
+        digest, missing estimate fields — is a miss; defective files
+        are deleted so the recomputed entry replaces them cleanly.
+        """
+        path = self.path_for(digest)
+        try:
+            data = json.loads(path.read_text())
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (OSError, ValueError):
+            self._discard(path)
+            self.misses += 1
+            return None
+        if not self._valid(data, digest):
+            self._discard(path)
+            self.misses += 1
+            return None
+        self.hits += 1
+        return data
+
+    def put(
+        self,
+        digest: str,
+        estimate: Dict[str, Any],
+        rng_state: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        """Persist ``estimate`` (and optionally a post-call RNG state)."""
+        entry = {
+            "schema": SCHEMA_VERSION,
+            "digest": digest,
+            "estimate": dict(estimate),
+            "rng_state": rng_state,
+        }
+        self.root.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=str(self.root), prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(entry, handle)
+            os.replace(tmp, self.path_for(digest))
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*.json"))
+
+    def clear(self) -> None:
+        """Delete every entry and reset the counters."""
+        if self.root.is_dir():
+            for path in self.root.glob("*.json"):
+                self._discard(path)
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def _valid(data: Any, digest: str) -> bool:
+        if not isinstance(data, dict):
+            return False
+        if data.get("schema") != SCHEMA_VERSION or data.get("digest") != digest:
+            return False
+        estimate = data.get("estimate")
+        if not isinstance(estimate, dict):
+            return False
+        return all(field in estimate for field in _ESTIMATE_FIELDS)
+
+    @staticmethod
+    def _discard(path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:  # pragma: no cover - racing deletes are benign
+            pass

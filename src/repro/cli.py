@@ -67,6 +67,35 @@ def build_parser() -> argparse.ArgumentParser:
         default="serial",
         help="Monte Carlo engine (default: serial)",
     )
+    run.add_argument(
+        "--map-engine",
+        choices=("thread", "process"),
+        default="thread",
+        help="parallel_map backend for concurrent grid points "
+        "(default: thread; 'process' needs picklable grid functions and "
+        "falls back to threads otherwise)",
+    )
+    run.add_argument(
+        "--target-se",
+        type=float,
+        default=None,
+        metavar="SE",
+        help="adaptive precision: grow each estimate's round count in "
+        "geometric batches until its standard error reaches SE (the "
+        "configured rounds become the cap); default: fixed rounds",
+    )
+    run.add_argument(
+        "--cache",
+        action=argparse.BooleanOptionalAction,
+        default=False,
+        help="persist estimates in an on-disk cache so re-runs skip "
+        "already-computed grid points (default: --no-cache)",
+    )
+    run.add_argument(
+        "--cache-dir",
+        default=".repro-cache",
+        help="estimate cache directory (default: .repro-cache)",
+    )
 
     report = sub.add_parser(
         "report", help="run experiments and write a markdown report"
@@ -90,6 +119,14 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument(
         "--engine", choices=("serial", "batch"), default="serial"
     )
+    report.add_argument(
+        "--map-engine", choices=("thread", "process"), default="thread"
+    )
+    report.add_argument("--target-se", type=float, default=None, metavar="SE")
+    report.add_argument(
+        "--cache", action=argparse.BooleanOptionalAction, default=False
+    )
+    report.add_argument("--cache-dir", default=".repro-cache")
     return parser
 
 
@@ -113,20 +150,25 @@ def _cmd_info(out) -> int:
     return 0
 
 
+def _config_from(args) -> ExperimentConfig:
+    """Build the shared :class:`ExperimentConfig` from parsed CLI args."""
+    return ExperimentConfig(
+        seed=args.seed,
+        scale=args.scale,
+        engine=args.engine,
+        n_jobs=args.jobs,
+        map_engine=args.map_engine,
+        target_se=args.target_se,
+        cache_dir=args.cache_dir if args.cache else None,
+    )
+
+
 def _cmd_run(
     experiment: str,
-    scale: str,
-    seed: int,
+    config: ExperimentConfig,
     precision: int,
     out,
-    jobs: int = 1,
-    engine: str = "serial",
 ) -> int:
-    try:
-        config = ExperimentConfig(seed=seed, scale=scale, engine=engine, n_jobs=jobs)
-    except ValueError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
     if experiment.lower() == "all":
         ids = [eid for eid, _ in list_experiments()]
     else:
@@ -148,20 +190,12 @@ def _cmd_run(
 def _cmd_report(
     experiments: List[str],
     out_path: str,
-    scale: str,
-    seed: int,
+    config: ExperimentConfig,
     title: str,
     out,
-    jobs: int = 1,
-    engine: str = "serial",
 ) -> int:
     from repro.experiments.report import markdown_report
 
-    try:
-        config = ExperimentConfig(seed=seed, scale=scale, engine=engine, n_jobs=jobs)
-    except ValueError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
     ids = experiments or [eid for eid, _ in list_experiments()]
     results = []
     for eid in ids:
@@ -185,25 +219,13 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         return _cmd_list(out)
     if args.command == "info":
         return _cmd_info(out)
-    if args.command == "run":
-        return _cmd_run(
-            args.experiment,
-            args.scale,
-            args.seed,
-            args.precision,
-            out,
-            jobs=args.jobs,
-            engine=args.engine,
-        )
-    if args.command == "report":
-        return _cmd_report(
-            args.experiments,
-            args.out,
-            args.scale,
-            args.seed,
-            args.title,
-            out,
-            jobs=args.jobs,
-            engine=args.engine,
-        )
+    if args.command in ("run", "report"):
+        try:
+            config = _config_from(args)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if args.command == "run":
+            return _cmd_run(args.experiment, config, args.precision, out)
+        return _cmd_report(args.experiments, args.out, config, args.title, out)
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -47,7 +47,9 @@ def run_alpha_ablation(config: ExperimentConfig = ExperimentConfig()) -> Experim
     for alpha, gen in zip(alphas, gens[: len(alphas)]):
         inst = ProblemInstance(complete_graph(n), p, alpha=alpha)
         forest = mech.sample_delegations(inst, gen)
-        est = monte_carlo_gain(inst, mech, rounds=rounds, seed=gen)
+        est = monte_carlo_gain(
+            inst, mech, rounds=rounds, seed=gen, **config.estimator_kwargs()
+        )
         rows.append(
             [alpha, forest.num_delegators, forest.max_weight(),
              est.direct_probability, est.mechanism_probability, est.gain]
@@ -143,12 +145,17 @@ def run_estimator_ablation(config: ExperimentConfig = ExperimentConfig()) -> Exp
     mech = ApprovalThreshold(lambda d: max(1.0, d ** (1.0 / 3.0)))
     rows: List[List[object]] = []
     for idx, rounds in enumerate(budgets):
+        # Fixed budgets on purpose: this ablation *measures* standard
+        # errors, so the adaptive target_se knob is not forwarded.
         exact = estimate_correct_probability(
-            inst, mech, rounds=rounds, seed=gens[2 * idx], exact_conditional=True
+            inst, mech, rounds=rounds, seed=gens[2 * idx],
+            exact_conditional=True, engine=config.engine,
+            cache=config.estimate_cache(),
         )
         naive = estimate_correct_probability(
             inst, mech, rounds=rounds, seed=gens[2 * idx + 1],
-            exact_conditional=False,
+            exact_conditional=False, engine=config.engine,
+            cache=config.estimate_cache(),
         )
         # Uncertainty via the 95% CI half-width: the naive estimator's
         # sample variance degenerates to 0 when all rounds agree (e.g.
@@ -206,13 +213,18 @@ def run_threshold_ablation(config: ExperimentConfig = ExperimentConfig()) -> Exp
         p = bounded_uniform_competencies(n, 0.35, seed=gen_spg)
         inst = ProblemInstance(complete_graph(n), p, alpha=0.05)
         forest = mech.sample_delegations(inst, gen_spg)
-        est = monte_carlo_gain(inst, mech, rounds=rounds, seed=gen_spg)
+        est = monte_carlo_gain(
+            inst, mech, rounds=rounds, seed=gen_spg, **config.estimator_kwargs()
+        )
         # Adversarial few-experts instance: small j concentrates weight.
         inst_adv = ProblemInstance(
             complete_graph(n), dnh_competencies(n, experts), alpha=0.05
         )
         forest_adv = mech.sample_delegations(inst_adv, gen_dnh)
-        est_adv = monte_carlo_gain(inst_adv, mech, rounds=rounds, seed=gen_dnh)
+        est_adv = monte_carlo_gain(
+            inst_adv, mech, rounds=rounds, seed=gen_dnh,
+            **config.estimator_kwargs()
+        )
         rows.append(
             [label, forest.num_delegators, est.gain,
              forest_adv.max_weight(), est_adv.gain]

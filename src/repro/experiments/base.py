@@ -2,14 +2,19 @@
 
 from __future__ import annotations
 
+import pickle
+import warnings
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Sequence, Tuple, TypeVar
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
 
 from repro._util.tables import render_table
 from repro.voting.montecarlo import ENGINES
 
 _T = TypeVar("_T")
 _R = TypeVar("_R")
+
+MAP_ENGINES = ("thread", "process")
+"""Recognised ``parallel_map`` backends."""
 
 
 @dataclass(frozen=True)
@@ -21,15 +26,27 @@ class ExperimentConfig:
     EXPERIMENTS.md configuration.  ``engine`` and ``n_jobs`` select the
     Monte Carlo engine (see
     :func:`repro.voting.montecarlo.estimate_correct_probability`) and how
-    many grid points the runners evaluate concurrently.  Every grid point
+    many grid points the runners evaluate concurrently;  ``map_engine``
+    picks the ``parallel_map`` backend (threads by default, a process
+    pool for sweeps whose grid-point function pickles).  Every grid point
     derives its stream from its *index*, so results are identical for
-    every ``n_jobs``.
+    every ``n_jobs`` and either backend.
+
+    ``target_se`` switches every estimate the runners take to adaptive
+    precision (see :func:`repro.voting.montecarlo.
+    estimate_correct_probability`); ``cache_dir`` — when set — persists
+    estimates in an on-disk :class:`repro.cache.EstimateCache`, so
+    re-running a sweep skips already-computed grid points and
+    interrupted runs resume.
     """
 
     seed: int = 0
     scale: str = "default"
     engine: str = "serial"
     n_jobs: int = 1
+    map_engine: str = "thread"
+    target_se: Optional[float] = None
+    cache_dir: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.scale not in ("smoke", "default", "full"):
@@ -42,27 +59,87 @@ class ExperimentConfig:
             )
         if self.n_jobs < 1:
             raise ValueError(f"n_jobs must be >= 1, got {self.n_jobs}")
+        if self.map_engine not in MAP_ENGINES:
+            raise ValueError(
+                f"map_engine must be one of {MAP_ENGINES}, got {self.map_engine!r}"
+            )
+        if self.target_se is not None and not self.target_se > 0:
+            raise ValueError(
+                f"target_se must be positive, got {self.target_se}"
+            )
 
     def pick(self, smoke: Any, default: Any, full: Any) -> Any:
         """Select a value by the configured scale."""
         return {"smoke": smoke, "default": default, "full": full}[self.scale]
 
+    def estimate_cache(self):
+        """A fresh :class:`repro.cache.EstimateCache`, or ``None``.
+
+        Cache objects are cheap handles — all state lives on disk under
+        ``cache_dir`` — so runners construct one per call and share the
+        store.
+        """
+        if self.cache_dir is None:
+            return None
+        from repro.cache import EstimateCache
+
+        return EstimateCache(self.cache_dir)
+
+    def estimator_kwargs(self) -> Dict[str, Any]:
+        """The Monte Carlo knobs runners forward to every estimate.
+
+        Bundles ``engine``, the adaptive ``target_se`` and the
+        persistent cache so that each grid point's estimate call is
+        ``estimate(..., **config.estimator_kwargs())``.
+        """
+        kwargs: Dict[str, Any] = {"engine": self.engine}
+        if self.target_se is not None:
+            kwargs["target_se"] = self.target_se
+        cache = self.estimate_cache()
+        if cache is not None:
+            kwargs["cache"] = cache
+        return kwargs
+
     def parallel_map(
         self, fn: Callable[[_T], _R], items: Sequence[_T]
     ) -> List[_R]:
-        """Map ``fn`` over ``items``, threaded when ``n_jobs > 1``.
+        """Map ``fn`` over ``items`` concurrently when ``n_jobs > 1``.
 
-        Results keep input order.  Threads (not processes) because grid
-        points spend their time inside NumPy kernels that release the
-        GIL; ``fn`` must not share mutable state across items.  With
+        Results keep input order.  The default backend is threads —
+        grid points spend their time inside NumPy kernels that release
+        the GIL, and any local function works.  ``map_engine="process"``
+        schedules chunked batches over a ``ProcessPoolExecutor`` for
+        sweeps dominated by Python-level work; it requires ``fn`` and
+        the items to pickle, and falls back to threads (same results,
+        with a ``RuntimeWarning``) when they don't — experiment runners
+        built on local closures keep working under either setting.
+        ``fn`` must not share mutable state across items.  With
         ``n_jobs == 1`` this is a plain loop, so the sequential path has
         zero overhead and identical tracebacks.
         """
         if self.n_jobs == 1 or len(items) <= 1:
             return [fn(item) for item in items]
+        workers = min(self.n_jobs, len(items))
+        if self.map_engine == "process":
+            try:
+                pickle.dumps((fn, list(items)))
+            except Exception as exc:
+                warnings.warn(
+                    f"process map_engine falling back to threads: {exc}",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+            else:
+                from concurrent.futures import ProcessPoolExecutor
+
+                # Chunked scheduling: a few batches per worker amortise
+                # IPC without serialising the whole sweep behind one
+                # slow chunk; map() preserves input order.
+                chunksize = max(1, len(items) // (workers * 4))
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    return list(pool.map(fn, items, chunksize=chunksize))
         from concurrent.futures import ThreadPoolExecutor
 
-        workers = min(self.n_jobs, len(items))
         with ThreadPoolExecutor(max_workers=workers) as pool:
             return list(pool.map(fn, items))
 

@@ -66,7 +66,9 @@ def run_abstention(config: ExperimentConfig = ExperimentConfig()) -> ExperimentR
     for rate, gen in zip(rates, gens[: len(rates)]):
         mech = AbstentionMechanism(base, rate)
         ballot = mech.sample_ballot(inst, gen)
-        est = estimate_ballot_probability(inst, mech, rounds=rounds, seed=gen)
+        est = estimate_ballot_probability(
+            inst, mech, rounds=rounds, seed=gen, **config.estimator_kwargs()
+        )
         pd = direct_voting_probability(p)
         rows.append(
             [rate, len(ballot.abstaining), ballot.participating_weight,
@@ -107,7 +109,9 @@ def run_multidelegate(config: ExperimentConfig = ExperimentConfig()) -> Experime
     threshold = max(1.0, n ** (1.0 / 3.0))
     for k, gen in zip(ks, gens[: len(ks)]):
         mech = MultiDelegateWeighted(k, threshold=threshold)
-        est = monte_carlo_gain(inst, mech, rounds=rounds, seed=gen)
+        est = monte_carlo_gain(
+            inst, mech, rounds=rounds, seed=gen, **config.estimator_kwargs()
+        )
         # The gain saturates near 1, so also measure the mechanism-level
         # signal: the realised competency of delegates and the expected
         # fraction of correct votes E[Y]/n, both of which must grow in k.
@@ -177,7 +181,9 @@ def run_topology_audit(config: ExperimentConfig = ExperimentConfig()) -> Experim
         forest = mechanism.sample_delegations(inst, gen)
         profile = weight_profile(forest)
         lemma5 = audit_lemma5_conditions(inst, mechanism, rounds=audit_rounds, seed=gen)
-        est = monte_carlo_gain(inst, mechanism, rounds=rounds, seed=gen)
+        est = monte_carlo_gain(
+            inst, mechanism, rounds=rounds, seed=gen, **config.estimator_kwargs()
+        )
         rows.append(
             [name, m, structural_asymmetry(graph), profile.max_weight,
              profile.effective_num_voters, lemma5.holds, est.gain]
@@ -192,7 +198,9 @@ def run_topology_audit(config: ExperimentConfig = ExperimentConfig()) -> Experim
     forest = mechanism.sample_delegations(inst, gen)
     profile = weight_profile(forest)
     lemma5 = audit_lemma5_conditions(inst, mechanism, rounds=audit_rounds, seed=gen)
-    est = monte_carlo_gain(inst, mechanism, rounds=rounds, seed=gen)
+    est = monte_carlo_gain(
+        inst, mechanism, rounds=rounds, seed=gen, **config.estimator_kwargs()
+    )
     rows.append(
         ["star(fig1-p)", n, structural_asymmetry(star), profile.max_weight,
          profile.effective_num_voters, lemma5.holds, est.gain]

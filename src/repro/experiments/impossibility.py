@@ -55,12 +55,18 @@ def run_impossibility(config: ExperimentConfig = ExperimentConfig()) -> Experime
             bounded_uniform_competencies(n, 0.35, seed=gen),
             alpha=0.05,
         )
-        benign_est = monte_carlo_gain(benign, mechanism, rounds=rounds, seed=gen)
+        benign_est = monte_carlo_gain(
+            benign, mechanism, rounds=rounds, seed=gen,
+            **config.estimator_kwargs()
+        )
         # Trap family: the Figure 1 star.
         p = np.full(n, 9.0 / 16.0)
         p[0] = 5.0 / 8.0
         trap = ProblemInstance(star_graph(n), p, alpha=0.01)
-        trap_est = monte_carlo_gain(trap, mechanism, rounds=1, seed=gen)
+        trap_est = monte_carlo_gain(
+            trap, mechanism, rounds=1, seed=gen, engine=config.engine,
+            cache=config.estimate_cache(),
+        )
         rows.append([n, benign_est.gain, trap_est.gain])
     result = ExperimentResult(
         experiment_id="I0",

@@ -56,7 +56,10 @@ def run_power_concentration(
     gens = spawn_generators(config.seed, len(mechanisms))
     for mechanism, gen in zip(mechanisms, gens):
         forest = mechanism.sample_delegations(instance, gen)
-        est = monte_carlo_gain(instance, mechanism, rounds=rounds, seed=gen)
+        est = monte_carlo_gain(
+            instance, mechanism, rounds=rounds, seed=gen,
+            **config.estimator_kwargs()
+        )
         rows.append(
             [
                 mechanism.name,

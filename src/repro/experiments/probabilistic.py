@@ -78,7 +78,10 @@ def run_probabilistic(config: ExperimentConfig = ExperimentConfig()) -> Experime
             for _ in range(resamples):
                 p = dist.sample_vector(graph.num_vertices, seed=gen)
                 inst = ProblemInstance(graph, p, alpha=ALPHA)
-                est = monte_carlo_gain(inst, mechanism, rounds=rounds, seed=gen)
+                est = monte_carlo_gain(
+                    inst, mechanism, rounds=rounds, seed=gen,
+                    **config.estimator_kwargs()
+                )
                 gains.append(est.gain)
             gains_arr = np.asarray(gains)
             rows.append(
@@ -132,7 +135,10 @@ def run_weighted_dag(config: ExperimentConfig = ExperimentConfig()) -> Experimen
     rows: List[List[object]] = []
     # Reference: the single-delegate forest mechanism (the base model).
     base = ApprovalThreshold(threshold)
-    base_est = monte_carlo_gain(inst, base, rounds=forest_rounds, seed=rng)
+    base_est = monte_carlo_gain(
+        inst, base, rounds=forest_rounds, seed=rng,
+        **config.estimator_kwargs()
+    )
     rows.append(
         ["forest k=1 (base model)", 1, "-", p_direct,
          base_est.mechanism_probability, base_est.gain]

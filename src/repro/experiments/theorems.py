@@ -90,7 +90,7 @@ def _gain_rows(
         inst = ProblemInstance(graph, spg_competencies(n, gen_spg), alpha=ALPHA)
         forest = mechanism.sample_delegations(inst, gen_spg)
         est = monte_carlo_gain(
-            inst, mechanism, rounds=rounds, seed=gen_spg, engine=config.engine
+            inst, mechanism, rounds=rounds, seed=gen_spg, **config.estimator_kwargs()
         )
         spg_row = ["spg", n, forest.num_delegators, forest.max_weight(),
                    est.direct_probability, est.mechanism_probability, est.gain]
@@ -100,7 +100,7 @@ def _gain_rows(
         inst = ProblemInstance(graph, dnh_competencies(n, experts), alpha=ALPHA)
         forest = mechanism.sample_delegations(inst, gen_dnh)
         est = monte_carlo_gain(
-            inst, mechanism, rounds=rounds, seed=gen_dnh, engine=config.engine
+            inst, mechanism, rounds=rounds, seed=gen_dnh, **config.estimator_kwargs()
         )
         dnh_row = ["dnh", n, forest.num_delegators, forest.max_weight(),
                    est.direct_probability, est.mechanism_probability, est.gain]
@@ -216,7 +216,7 @@ def run_theorem4(config: ExperimentConfig = ExperimentConfig()) -> ExperimentRes
         inst = ProblemInstance(graph, spg_competencies(n, gen_spg), alpha=ALPHA)
         forest = mechanism.sample_delegations(inst, gen_spg)
         est = monte_carlo_gain(
-            inst, mechanism, rounds=rounds, seed=gen_spg, engine=config.engine
+            inst, mechanism, rounds=rounds, seed=gen_spg, **config.estimator_kwargs()
         )
         spg_row = ["spg", delta, forest.num_delegators, forest.max_weight(),
                    est.direct_probability, est.mechanism_probability, est.gain]
@@ -225,7 +225,7 @@ def run_theorem4(config: ExperimentConfig = ExperimentConfig()) -> ExperimentRes
         inst = ProblemInstance(graph, dnh_competencies(n, experts), alpha=ALPHA)
         forest = mechanism.sample_delegations(inst, gen_dnh)
         est = monte_carlo_gain(
-            inst, mechanism, rounds=rounds, seed=gen_dnh, engine=config.engine
+            inst, mechanism, rounds=rounds, seed=gen_dnh, **config.estimator_kwargs()
         )
         dnh_row = ["dnh", delta, forest.num_delegators, forest.max_weight(),
                    est.direct_probability, est.mechanism_probability, est.gain]
@@ -281,7 +281,7 @@ def run_theorem5(config: ExperimentConfig = ExperimentConfig()) -> ExperimentRes
         inst = ProblemInstance(graph, spg_competencies(n, gen_spg), alpha=ALPHA)
         forest = mechanism.sample_delegations(inst, gen_spg)
         est = monte_carlo_gain(
-            inst, mechanism, rounds=rounds, seed=gen_spg, engine=config.engine
+            inst, mechanism, rounds=rounds, seed=gen_spg, **config.estimator_kwargs()
         )
         spg_row = ["spg", n, delta, forest.num_delegators, forest.max_weight(),
                    est.direct_probability, est.mechanism_probability, est.gain]
@@ -293,7 +293,7 @@ def run_theorem5(config: ExperimentConfig = ExperimentConfig()) -> ExperimentRes
         inst = ProblemInstance(graph, dnh_competencies(n, experts), alpha=ALPHA)
         forest = mechanism.sample_delegations(inst, gen_dnh)
         est = monte_carlo_gain(
-            inst, mechanism, rounds=rounds, seed=gen_dnh, engine=config.engine
+            inst, mechanism, rounds=rounds, seed=gen_dnh, **config.estimator_kwargs()
         )
         dnh_row = ["dnh", n, delta, forest.num_delegators, forest.max_weight(),
                    est.direct_probability, est.mechanism_probability, est.gain]

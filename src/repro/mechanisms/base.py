@@ -16,8 +16,10 @@ abstention extension shares the same evaluation pipeline.
 from __future__ import annotations
 
 import abc
+import hashlib
+import pickle
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional
+from typing import Any, Dict, FrozenSet, List, Optional, Tuple
 
 import numpy as np
 
@@ -92,6 +94,24 @@ class DelegationMechanism(abc.ABC):
     ) -> Ballot:
         """Draw one ballot; default mechanisms never abstain."""
         return Ballot(self.sample_delegations(instance, rng))
+
+    def cache_token(self, instance: ProblemInstance) -> Optional[Tuple[Any, ...]]:
+        """A stable token of this mechanism's behaviour on ``instance``.
+
+        Used by the persistent estimate cache (:mod:`repro.cache`) as
+        the mechanism component of the digest.  The default tokenises
+        the mechanism's pickled bytes — parameterised mechanisms built
+        from plain data hash stably.  Mechanisms holding unpicklable
+        state (lambda thresholds) return ``None`` — uncacheable — unless
+        they override this with a behavioural token (the threshold
+        mechanisms tokenise their per-degree threshold values, which is
+        what actually determines the sampled forests).
+        """
+        try:
+            blob = pickle.dumps(self, protocol=4)
+        except Exception:
+            return None
+        return ("pickle", type(self).__qualname__, hashlib.sha256(blob).hexdigest())
 
     # -- batched sampling --------------------------------------------------
 

@@ -61,6 +61,18 @@ class AbstentionMechanism(DelegationMechanism):
         """Probability an abstention-eligible voter abstains."""
         return self._abstain_prob
 
+    def cache_token(self, instance: ProblemInstance):
+        """Wrap the base mechanism's token with the abstention rate.
+
+        Cacheability follows the base mechanism: if the base is
+        tokenisable, adding the (float) abstention probability pins the
+        wrapper's full behaviour.
+        """
+        base = self._base.cache_token(instance)
+        if base is None:
+            return None
+        return (type(self).__qualname__, self._abstain_prob, base)
+
     def sample_delegations(
         self, instance: ProblemInstance, rng: SeedLike = None
     ) -> DelegationGraph:

@@ -84,6 +84,26 @@ class SampledNeighbourhood(LocalDelegationMechanism):
             return view.num_neighbors
         return min(self._d, view.num_neighbors)
 
+    def cache_token(self, instance: ProblemInstance):
+        """Behavioural token: ``d`` plus thresholds per distinct sample size.
+
+        Everything else the mechanism does (hypergeometric counts,
+        uniform approved targets) is a pure function of the instance,
+        already part of the cache digest.
+        """
+        degrees = instance.approval_structure().degrees
+        sizes = np.unique(
+            degrees if self._d is None else np.minimum(self._d, degrees)
+        )
+        pairs = tuple(
+            (int(s), float(self._threshold(int(s)))) for s in sizes
+        )
+        return (
+            type(self).__qualname__,
+            "deg" if self._d is None else int(self._d),
+            pairs,
+        )
+
     def decide(self, view: LocalView, rng: np.random.Generator) -> Optional[int]:
         size = self.sample_size(view)
         if size == 0:

@@ -84,6 +84,20 @@ class ApprovalThreshold(LocalDelegationMechanism):
         """The numeric threshold ``j`` applied at this neighbourhood size."""
         return float(self._threshold(num_neighbors))
 
+    def cache_token(self, instance: ProblemInstance):
+        """Behavioural token: the threshold evaluated per distinct degree.
+
+        The sampled forest distribution depends on the threshold only
+        through its values at the instance's degrees, so tokenising
+        those keeps lambda-thresholded mechanisms cacheable (and lets
+        distinct callables computing the same ``j`` share entries).
+        """
+        degrees = np.unique(instance.approval_structure().degrees)
+        pairs = tuple(
+            (int(d), self.threshold_at(int(d))) for d in degrees
+        )
+        return (type(self).__qualname__, pairs)
+
     def should_delegate(self, view: LocalView) -> bool:
         return view.approval_count >= self.threshold_at(view.num_neighbors)
 

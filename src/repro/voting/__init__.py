@@ -22,7 +22,9 @@ from repro.voting.exact import (
 from repro.voting.montecarlo import (
     BatchEstimator,
     CorrectnessEstimate,
+    estimate_ballot_probability,
     estimate_correct_probability,
+    estimate_gain,
     sample_outcome,
 )
 from repro.voting.outcome import TiePolicy, majority_correct
@@ -38,6 +40,8 @@ __all__ = [
     "forest_correct_probability",
     "BatchEstimator",
     "CorrectnessEstimate",
+    "estimate_ballot_probability",
     "estimate_correct_probability",
+    "estimate_gain",
     "sample_outcome",
 ]

@@ -34,14 +34,20 @@ a kernel transparently fall back to per-round sampling on the same
 child seeds.  The per-round engine of the previous revision survives as
 ``_reference_batch_rounds`` / ``BatchEstimator(use_reference=True)``
 for benchmarking and equivalence testing.
+
+On top of either engine, ``target_se`` selects *adaptive precision*
+(geometric round batches until the standard error meets the target —
+deterministic stopping, see :func:`_adaptive_estimate`) and ``cache``
+persists estimates on disk (:mod:`repro.cache`), keyed by a digest of
+instance, mechanism behaviour, seed and estimator parameters.
 """
 
 from __future__ import annotations
 
 import pickle
 import warnings
-from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -68,6 +74,9 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
 ENGINES = ("serial", "batch")
 """Recognised Monte Carlo engines."""
 
+ADAPTIVE_START = 64
+"""First geometric batch size of the adaptive stopping rule."""
+
 
 @dataclass(frozen=True)
 class CorrectnessEstimate:
@@ -76,6 +85,8 @@ class CorrectnessEstimate:
     ``std_error`` is the standard error of the mean; ``ci_low/ci_high``
     are a 95% interval (Wilson for 0/1 outcomes, normal for the
     Rao–Blackwellised estimator whose per-round values lie in [0, 1]).
+    ``converged`` records whether an adaptive run met its ``target_se``
+    (fixed-rounds estimates are trivially converged).
     """
 
     probability: float
@@ -83,6 +94,7 @@ class CorrectnessEstimate:
     std_error: float
     ci_low: float
     ci_high: float
+    converged: bool = True
 
     def __float__(self) -> float:
         return self.probability
@@ -299,6 +311,118 @@ def _batch_rounds(
     return naive
 
 
+def _resolve_adaptive(
+    rounds: int, target_se: Optional[float], max_rounds: Optional[int]
+) -> Optional[int]:
+    """Validate the adaptive knobs; return the round cap (None = fixed).
+
+    ``target_se=None`` selects the fixed-rounds path (and forbids
+    ``max_rounds``, which would silently do nothing).  With a target,
+    the cap defaults to ``rounds`` so existing call sites bound the
+    adaptive search exactly where the fixed run would have stopped.
+    """
+    if rounds <= 0:
+        raise ValueError(f"rounds must be positive, got {rounds}")
+    if target_se is None:
+        if max_rounds is not None:
+            raise ValueError("max_rounds requires target_se")
+        return None
+    if not target_se > 0:
+        raise ValueError(f"target_se must be positive, got {target_se}")
+    cap = rounds if max_rounds is None else max_rounds
+    if cap <= 0:
+        raise ValueError(f"max_rounds must be positive, got {max_rounds}")
+    return cap
+
+
+def _adaptive_estimate(
+    eval_range: Callable[[int, int], np.ndarray],
+    target_se: float,
+    cap: int,
+    exact_conditional: bool,
+) -> CorrectnessEstimate:
+    """Grow the round count geometrically until ``target_se`` is met.
+
+    ``eval_range(start, stop)`` evaluates rounds ``start .. stop-1`` and
+    must be *extension-consistent*: evaluating ``[0, a)`` then ``[a, b)``
+    yields the same values as ``[0, b)`` in one call.  Both engines
+    satisfy this — the batch engine pins round ``r`` to absolute child
+    seed ``r``, the serial engine threads one generator forward — so the
+    stopping round is a deterministic function of the seed alone,
+    independent of ``n_jobs`` and of worker partitioning.
+    """
+    chunks: List[np.ndarray] = []
+    done = 0
+    target = min(ADAPTIVE_START, cap)
+    while True:
+        chunks.append(eval_range(done, target))
+        done = target
+        values = chunks[0] if len(chunks) == 1 else np.concatenate(chunks)
+        est = _summarise_values(values, done, exact_conditional)
+        if (done > 1 and est.std_error <= target_se) or done >= cap:
+            break
+        target = min(cap, done * 2)
+    return replace(est, converged=est.std_error <= target_se)
+
+
+def _cached(
+    cache,
+    instance: ProblemInstance,
+    mechanism: "DelegationMechanism",
+    seed: SeedLike,
+    params: dict,
+    compute: Callable[[], CorrectnessEstimate],
+) -> CorrectnessEstimate:
+    """Route ``compute`` through a persistent :class:`~repro.cache.EstimateCache`.
+
+    On a hit with a live ``Generator`` seed, the generator is
+    fast-forwarded to the state recorded after the original
+    computation, so downstream draws are bit-identical whether the
+    estimate came from disk or was recomputed.  Uncacheable inputs
+    (fresh-entropy seeds, untokenisable mechanisms) fall through to
+    ``compute`` untouched.
+    """
+    if cache is None:
+        return compute()
+    from repro.cache import estimate_digest
+
+    digest = estimate_digest(instance, mechanism, seed, params)
+    if digest is None:
+        return compute()
+    entry = cache.get(digest)
+    if entry is not None:
+        stored = entry["estimate"]
+        if isinstance(seed, np.random.Generator) and entry.get("rng_state"):
+            seed.bit_generator.state = entry["rng_state"]
+        return CorrectnessEstimate(
+            probability=float(stored["probability"]),
+            rounds=int(stored["rounds"]),
+            std_error=float(stored["std_error"]),
+            ci_low=float(stored["ci_low"]),
+            ci_high=float(stored["ci_high"]),
+            converged=bool(stored["converged"]),
+        )
+    est = compute()
+    rng_state = (
+        seed.bit_generator.state
+        if isinstance(seed, np.random.Generator)
+        else None
+    )
+    cache.put(
+        digest,
+        {
+            "probability": est.probability,
+            "rounds": est.rounds,
+            "std_error": est.std_error,
+            "ci_low": est.ci_low,
+            "ci_high": est.ci_high,
+            "converged": est.converged,
+        },
+        rng_state=rng_state,
+    )
+    return est
+
+
 @dataclass
 class BatchEstimator:
     """Batched Monte Carlo engine for ``P^M(G)``.
@@ -347,31 +471,54 @@ class BatchEstimator:
         seed: SeedLike = None,
         tie_policy: TiePolicy = TiePolicy.INCORRECT,
         exact_conditional: bool = True,
+        target_se: Optional[float] = None,
+        max_rounds: Optional[int] = None,
     ) -> CorrectnessEstimate:
-        """Estimate ``P^M(G)`` over ``rounds`` independent draws."""
-        if rounds <= 0:
-            raise ValueError(f"rounds must be positive, got {rounds}")
+        """Estimate ``P^M(G)`` over ``rounds`` independent draws.
+
+        With ``target_se`` set, rounds grow in geometric batches
+        (``64 → 128 → 256 …``, capped by ``max_rounds``, default
+        ``rounds``) until the standard error reaches the target; each
+        batch evaluates a contiguous child-seed range, so the stopping
+        round — and hence the estimate — is deterministic for a fixed
+        seed and invariant to ``n_jobs``.
+        """
+        cap = _resolve_adaptive(rounds, target_se, max_rounds)
         root = as_seed_sequence(seed)
-        values = self._evaluate(
-            instance, mechanism, root, rounds, tie_policy, exact_conditional
+        if cap is None:
+            values = self._evaluate(
+                instance, mechanism, root, 0, rounds, tie_policy,
+                exact_conditional,
+            )
+            return _summarise_values(values, rounds, exact_conditional)
+        return _adaptive_estimate(
+            lambda start, stop: self._evaluate(
+                instance, mechanism, root, start, stop, tie_policy,
+                exact_conditional,
+            ),
+            target_se,
+            cap,
+            exact_conditional,
         )
-        return _summarise_values(values, rounds, exact_conditional)
 
     def _evaluate(
         self,
         instance: ProblemInstance,
         mechanism: "DelegationMechanism",
         root: np.random.SeedSequence,
-        rounds: int,
+        start: int,
+        stop: int,
         tie_policy: TiePolicy,
         exact_conditional: bool,
     ) -> np.ndarray:
+        """Evaluate the child-seed rounds ``start .. stop-1``."""
+        count = stop - start
         rounds_fn = _reference_batch_rounds if self.use_reference else _batch_rounds
-        workers = min(self.n_jobs, rounds)
+        workers = min(self.n_jobs, count)
         if workers > 1 and self._picklable(instance, mechanism):
             from concurrent.futures import ProcessPoolExecutor
 
-            bounds = np.linspace(0, rounds, workers + 1).astype(int)
+            bounds = np.linspace(start, stop, workers + 1).astype(int)
             with ProcessPoolExecutor(max_workers=workers) as pool:
                 chunks = pool.map(
                     rounds_fn,
@@ -387,14 +534,14 @@ class BatchEstimator:
                 return np.concatenate(list(chunks))
         if not exact_conditional:
             return rounds_fn(
-                instance, mechanism, root, 0, rounds, tie_policy, False,
+                instance, mechanism, root, start, stop, tie_policy, False,
                 self.cache_size,
             )
         # In-process paths share the estimator's cache across calls.
         if self.use_reference:
             comp = instance.competencies
             profiles: List[Tuple[np.ndarray, np.ndarray]] = []
-            for r in range(rounds):
+            for r in range(start, stop):
                 rng = np.random.default_rng(child_seed_sequence(root, r))
                 forest = mechanism.sample_delegations(instance, rng)
                 profiles.append(
@@ -404,7 +551,7 @@ class BatchEstimator:
                 instance, profiles, tie_policy, self._cache
             )
         delegates = mechanism.sample_delegations_batch(
-            instance, rounds, seed=root, first_round=0
+            instance, count, seed=root, first_round=start
         )
         _, weights = resolve_forests_batch(delegates)
         return _batch_values(instance, weights, tie_policy, self._cache)
@@ -452,37 +599,98 @@ def estimate_correct_probability(
     exact_conditional: bool = True,
     engine: str = "serial",
     n_jobs: int = 1,
+    target_se: Optional[float] = None,
+    max_rounds: Optional[int] = None,
+    cache=None,
 ) -> CorrectnessEstimate:
     """Estimate ``P^M(G)`` over ``rounds`` independent mechanism draws.
 
     ``engine="serial"`` reproduces the seed implementation's stream;
     ``engine="batch"`` (or any ``n_jobs > 1``, which implies it) uses
     :class:`BatchEstimator`.
+
+    ``target_se`` switches on adaptive precision: rounds grow in
+    geometric batches until the standard error reaches the target or
+    ``max_rounds`` (default ``rounds``) is exhausted.  With
+    ``target_se=None`` the fixed-rounds behaviour is reproduced exactly.
+    ``cache`` (a :class:`repro.cache.EstimateCache`) persists the
+    estimate on disk keyed by instance/mechanism/seed/params, so
+    repeated sweeps skip already-computed points.
     """
     if engine not in ENGINES:
         raise ValueError(f"engine must be one of {ENGINES}, got {engine!r}")
-    if rounds <= 0:
-        raise ValueError(f"rounds must be positive, got {rounds}")
-    if engine == "batch" or n_jobs > 1:
-        return BatchEstimator(n_jobs=n_jobs).estimate(
-            instance,
-            mechanism,
-            rounds=rounds,
-            seed=seed,
-            tie_policy=tie_policy,
-            exact_conditional=exact_conditional,
-        )
-    rng = as_generator(seed)
-    values = np.empty(rounds)
-    for r in range(rounds):
-        if exact_conditional:
-            forest = mechanism.sample_delegations(instance, rng)
-            values[r] = forest_correct_probability(
-                forest, instance.competencies, tie_policy
+    cap = _resolve_adaptive(rounds, target_se, max_rounds)
+    use_batch = engine == "batch" or n_jobs > 1
+
+    def compute() -> CorrectnessEstimate:
+        if use_batch:
+            return BatchEstimator(n_jobs=n_jobs).estimate(
+                instance,
+                mechanism,
+                rounds=rounds,
+                seed=seed,
+                tie_policy=tie_policy,
+                exact_conditional=exact_conditional,
+                target_se=target_se,
+                max_rounds=max_rounds,
             )
-        else:
-            values[r] = sample_outcome(instance, mechanism, rng, tie_policy)
-    return _summarise_values(values, rounds, exact_conditional)
+        rng = as_generator(seed)
+
+        def eval_range(start: int, stop: int) -> np.ndarray:
+            values = np.empty(stop - start)
+            for i in range(stop - start):
+                if exact_conditional:
+                    forest = mechanism.sample_delegations(instance, rng)
+                    values[i] = forest_correct_probability(
+                        forest, instance.competencies, tie_policy
+                    )
+                else:
+                    values[i] = sample_outcome(
+                        instance, mechanism, rng, tie_policy
+                    )
+            return values
+
+        if cap is None:
+            return _summarise_values(
+                eval_range(0, rounds), rounds, exact_conditional
+            )
+        return _adaptive_estimate(eval_range, target_se, cap, exact_conditional)
+
+    params = {
+        "fn": "estimate_correct_probability",
+        "rounds": rounds,
+        "tie_policy": tie_policy.name,
+        "exact_conditional": bool(exact_conditional),
+        "engine": "batch" if use_batch else "serial",
+        "target_se": target_se,
+        "max_rounds": None if target_se is None else cap,
+    }
+    return _cached(cache, instance, mechanism, seed, params, compute)
+
+
+def _ballot_values(
+    instance: ProblemInstance,
+    mechanism: "DelegationMechanism",
+    root: np.random.SeedSequence,
+    start: int,
+    stop: int,
+    tie_policy: TiePolicy,
+) -> np.ndarray:
+    """Ballot rounds ``start .. stop-1`` on absolute child seeds.
+
+    The ballot counterpart of :func:`_batch_rounds`' fallback path;
+    module-level for picklability.
+    """
+    from repro.voting.ballots import ballot_correct_probability
+
+    values = np.empty(stop - start)
+    for offset, r in enumerate(range(start, stop)):
+        rng = np.random.default_rng(child_seed_sequence(root, r))
+        ballot = mechanism.sample_ballot(instance, rng)
+        values[offset] = ballot_correct_probability(
+            ballot, instance.competencies, tie_policy
+        )
+    return values
 
 
 def estimate_ballot_probability(
@@ -491,34 +699,85 @@ def estimate_ballot_probability(
     rounds: int = 400,
     seed: SeedLike = None,
     tie_policy: TiePolicy = TiePolicy.INCORRECT,
+    engine: str = "serial",
+    n_jobs: int = 1,
+    target_se: Optional[float] = None,
+    max_rounds: Optional[int] = None,
+    cache=None,
 ) -> CorrectnessEstimate:
     """Estimate ``P^M(G)`` for mechanisms that may abstain.
 
     Uses :meth:`~repro.mechanisms.base.DelegationMechanism.sample_ballot`
     and the abstention-aware exact conditional probability, so it agrees
     with :func:`estimate_correct_probability` for never-abstaining
-    mechanisms.
+    mechanisms.  Shares its siblings' parameter surface:
+    ``engine="serial"`` threads one generator through all rounds (the
+    seed stream); ``engine="batch"`` (or ``n_jobs > 1``) pins round
+    ``r`` to absolute child seed ``r`` and optionally fans rounds out
+    over a process pool; ``target_se``/``max_rounds`` select adaptive
+    precision and ``cache`` persists the result.
     """
-    from repro.voting.ballots import ballot_correct_probability
+    if engine not in ENGINES:
+        raise ValueError(f"engine must be one of {ENGINES}, got {engine!r}")
+    if n_jobs < 1:
+        raise ValueError(f"n_jobs must be >= 1, got {n_jobs}")
+    cap = _resolve_adaptive(rounds, target_se, max_rounds)
+    use_batch = engine == "batch" or n_jobs > 1
 
-    if rounds <= 0:
-        raise ValueError(f"rounds must be positive, got {rounds}")
-    rng = as_generator(seed)
-    values = np.empty(rounds)
-    for r in range(rounds):
-        ballot = mechanism.sample_ballot(instance, rng)
-        values[r] = ballot_correct_probability(
-            ballot, instance.competencies, tie_policy
-        )
-    mean = float(values.mean())
-    se = float(values.std(ddof=1) / np.sqrt(rounds)) if rounds > 1 else 0.0
-    return CorrectnessEstimate(
-        probability=mean,
-        rounds=rounds,
-        std_error=se,
-        ci_low=max(0.0, mean - 1.96 * se),
-        ci_high=min(1.0, mean + 1.96 * se),
-    )
+    def compute() -> CorrectnessEstimate:
+        if use_batch:
+            root = as_seed_sequence(seed)
+
+            def eval_range(start: int, stop: int) -> np.ndarray:
+                workers = min(n_jobs, stop - start)
+                if workers > 1 and BatchEstimator._picklable(
+                    instance, mechanism
+                ):
+                    from concurrent.futures import ProcessPoolExecutor
+
+                    bounds = np.linspace(start, stop, workers + 1).astype(int)
+                    with ProcessPoolExecutor(max_workers=workers) as pool:
+                        chunks = pool.map(
+                            _ballot_values,
+                            [instance] * workers,
+                            [mechanism] * workers,
+                            [root] * workers,
+                            bounds[:-1].tolist(),
+                            bounds[1:].tolist(),
+                            [tie_policy] * workers,
+                        )
+                        return np.concatenate(list(chunks))
+                return _ballot_values(
+                    instance, mechanism, root, start, stop, tie_policy
+                )
+
+        else:
+            from repro.voting.ballots import ballot_correct_probability
+
+            rng = as_generator(seed)
+
+            def eval_range(start: int, stop: int) -> np.ndarray:
+                values = np.empty(stop - start)
+                for i in range(stop - start):
+                    ballot = mechanism.sample_ballot(instance, rng)
+                    values[i] = ballot_correct_probability(
+                        ballot, instance.competencies, tie_policy
+                    )
+                return values
+
+        if cap is None:
+            return _summarise_values(eval_range(0, rounds), rounds, True)
+        return _adaptive_estimate(eval_range, target_se, cap, True)
+
+    params = {
+        "fn": "estimate_ballot_probability",
+        "rounds": rounds,
+        "tie_policy": tie_policy.name,
+        "engine": "batch" if use_batch else "serial",
+        "target_se": target_se,
+        "max_rounds": None if target_se is None else cap,
+    }
+    return _cached(cache, instance, mechanism, seed, params, compute)
 
 
 def estimate_gain(
@@ -529,12 +788,17 @@ def estimate_gain(
     tie_policy: TiePolicy = TiePolicy.INCORRECT,
     engine: str = "serial",
     n_jobs: int = 1,
+    target_se: Optional[float] = None,
+    max_rounds: Optional[int] = None,
+    cache=None,
 ) -> Tuple[float, CorrectnessEstimate, float]:
     """Estimate ``gain(M, G) = P^M(G) − P^D(G)``.
 
     Direct voting is computed exactly, so the gain estimate inherits only
     the mechanism-sampling uncertainty.  Returns
-    ``(gain, mechanism_estimate, direct_probability)``.
+    ``(gain, mechanism_estimate, direct_probability)``.  The adaptive
+    (``target_se``/``max_rounds``) and persistence (``cache``) knobs are
+    forwarded to :func:`estimate_correct_probability`.
     """
     from repro.voting.exact import direct_voting_probability
 
@@ -547,5 +811,8 @@ def estimate_gain(
         tie_policy=tie_policy,
         engine=engine,
         n_jobs=n_jobs,
+        target_se=target_se,
+        max_rounds=max_rounds,
+        cache=cache,
     )
     return est.probability - direct, est, direct
