@@ -74,6 +74,33 @@ def experiment_record():
     return record
 
 
+#: Estimation-service throughput records (coalesced server vs the
+#: sequential un-coalesced baseline under identical concurrent load)
+#: flushed to ``BENCH_service.json`` next to this file.  Each entry is
+#: ``{scenario, seconds, baseline_seconds, speedup, detail}``.
+_SERVICE_RECORDS: list = []
+
+
+@pytest.fixture
+def service_record():
+    """Record one service-throughput pair for BENCH_service.json."""
+
+    def record(
+        scenario: str, seconds: float, baseline_seconds: float, **detail
+    ):
+        _SERVICE_RECORDS.append(
+            {
+                "scenario": scenario,
+                "seconds": seconds,
+                "baseline_seconds": baseline_seconds,
+                "speedup": baseline_seconds / seconds,
+                "detail": detail,
+            }
+        )
+
+    return record
+
+
 def pytest_sessionfinish(session, exitstatus):
     if _MICRO_RECORDS:
         out = Path(__file__).parent / "BENCH_micro.json"
@@ -81,6 +108,9 @@ def pytest_sessionfinish(session, exitstatus):
     if _EXPERIMENT_RECORDS:
         out = Path(__file__).parent / "BENCH_experiments.json"
         out.write_text(json.dumps(_EXPERIMENT_RECORDS, indent=2) + "\n")
+    if _SERVICE_RECORDS:
+        out = Path(__file__).parent / "BENCH_service.json"
+        out.write_text(json.dumps(_SERVICE_RECORDS, indent=2) + "\n")
 
 
 @pytest.fixture

@@ -141,6 +141,15 @@ from repro.simulation import (
     ShockDrift,
 )
 from repro.voting.dag import DelegateWeights, WeightedDelegationDag
+from repro.service import (
+    BackgroundServer,
+    EstimationServer,
+    PowerThreshold,
+    ServerConfig,
+    ServiceClient,
+    ServiceError,
+    mechanism_spec,
+)
 
 __version__ = "1.0.0"
 
@@ -257,4 +266,12 @@ __all__ = [
     "RandomWalkDrift",
     "OrnsteinUhlenbeckDrift",
     "ShockDrift",
+    # estimation service
+    "ServiceClient",
+    "ServiceError",
+    "ServerConfig",
+    "EstimationServer",
+    "BackgroundServer",
+    "PowerThreshold",
+    "mechanism_spec",
 ]

@@ -43,7 +43,7 @@ import json
 import os
 import tempfile
 from pathlib import Path
-from typing import Any, Dict, Mapping, Optional, Union
+from typing import Any, Dict, List, Mapping, Optional, Union
 
 import numpy as np
 
@@ -160,10 +160,24 @@ class EstimateCache:
     are detected and discarded.  ``hits``/``misses`` count this object's
     lookups (the files themselves are shared by every cache instance
     pointed at the same directory).
+
+    ``max_entries`` bounds the store: after every write the oldest
+    entries (by file modification time, ties by name) are pruned until
+    at most ``max_entries`` remain, so long-lived processes — the
+    estimation service keeps one warm cache for its whole lifetime —
+    cannot grow the directory without bound.  ``None`` (the default)
+    means unbounded, the previous behaviour.
     """
 
-    def __init__(self, root: Union[str, Path] = DEFAULT_CACHE_DIR) -> None:
+    def __init__(
+        self,
+        root: Union[str, Path] = DEFAULT_CACHE_DIR,
+        max_entries: Optional[int] = None,
+    ) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
         self.root = Path(root)
+        self.max_entries = max_entries
         self.hits = 0
         self.misses = 0
 
@@ -222,17 +236,66 @@ class EstimateCache:
             except OSError:
                 pass
             raise
+        if self.max_entries is not None:
+            self._prune()
+
+    def _entries(self) -> List[Path]:
+        """All entry files (excluding in-flight ``.tmp-*`` writes)."""
+        if not self.root.is_dir():
+            return []
+        return [
+            path
+            for path in self.root.glob("*.json")
+            if not path.name.startswith(".")
+        ]
+
+    def _prune(self) -> None:
+        """Drop oldest entries (mtime, then name) past ``max_entries``."""
+        entries = []
+        for path in self._entries():
+            try:
+                mtime = path.stat().st_mtime_ns
+            except OSError:  # pragma: no cover - racing deletes are benign
+                continue
+            entries.append((mtime, path.name, path))
+        excess = len(entries) - self.max_entries
+        if excess <= 0:
+            return
+        entries.sort()
+        for _, _, path in entries[:excess]:
+            self._discard(path)
+
+    def stats(self) -> Dict[str, Any]:
+        """Entry count, on-disk bytes, and this process's hit/miss counts.
+
+        ``entries``/``bytes`` describe the shared on-disk store right
+        now; ``hits``/``misses`` count this object's lookups only.
+        Surfaced by the estimation service's ``/metrics`` endpoint and
+        by ``repro info``.
+        """
+        entries = 0
+        size = 0
+        for path in self._entries():
+            try:
+                size += path.stat().st_size
+            except OSError:  # pragma: no cover - racing deletes are benign
+                continue
+            entries += 1
+        return {
+            "entries": entries,
+            "bytes": size,
+            "hits": self.hits,
+            "misses": self.misses,
+            "max_entries": self.max_entries,
+        }
 
     def __len__(self) -> int:
-        if not self.root.is_dir():
-            return 0
-        return sum(1 for _ in self.root.glob("*.json"))
+        return len(self._entries())
 
     def clear(self) -> None:
         """Delete every entry and reset the counters."""
-        if self.root.is_dir():
-            for path in self.root.glob("*.json"):
-                self._discard(path)
+        for path in self._entries():
+            self._discard(path)
         self.hits = 0
         self.misses = 0
 

@@ -6,9 +6,11 @@ Usage::
     python -m repro run T2 --scale default --seed 0
     python -m repro run all --scale smoke
     python -m repro info
+    python -m repro serve --port 8577 --jobs 4 --cache
 
-The CLI is a thin veneer over :mod:`repro.experiments`; it exists so the
-benchmark tables can be regenerated without writing Python.
+The CLI is a thin veneer over :mod:`repro.experiments` (and, for
+``serve``, over :mod:`repro.service`); it exists so the benchmark tables
+can be regenerated — and estimates served — without writing Python.
 """
 
 from __future__ import annotations
@@ -37,7 +39,13 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list registered experiments")
-    sub.add_parser("info", help="print library and experiment summary")
+
+    info = sub.add_parser("info", help="print library and experiment summary")
+    info.add_argument(
+        "--cache-dir",
+        default=".repro-cache",
+        help="estimate cache directory to report on (default: .repro-cache)",
+    )
 
     run = sub.add_parser("run", help="run one experiment (or 'all')")
     run.add_argument(
@@ -127,6 +135,101 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache", action=argparse.BooleanOptionalAction, default=False
     )
     report.add_argument("--cache-dir", default=".repro-cache")
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the JSON-over-HTTP estimation server (see docs/serving.md)",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)"
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8577,
+        help="bind port; 0 picks a free one (default: 8577)",
+    )
+    serve.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="process-pool workers inside one batch-engine estimate "
+        "(default: 1; results are identical for any value)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=4,
+        help="request-serving worker threads (default: 4)",
+    )
+    serve.add_argument(
+        "--map-engine",
+        choices=("thread", "process"),
+        default="thread",
+        help="parallel_map backend for served experiment tables",
+    )
+    serve.add_argument(
+        "--max-batch",
+        type=int,
+        default=32,
+        help="micro-batch window flushes at this many requests (default: 32)",
+    )
+    serve.add_argument(
+        "--max-delay",
+        type=float,
+        default=0.002,
+        metavar="SECONDS",
+        help="micro-batch window flushes after this delay (default: 0.002)",
+    )
+    serve.add_argument(
+        "--max-queue",
+        type=int,
+        default=512,
+        help="backpressure high-water mark: outstanding requests past this "
+        "are rejected with HTTP 429 (default: 512)",
+    )
+    serve.add_argument(
+        "--coalesce",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="share one computation among identical in-flight requests "
+        "(default: --coalesce)",
+    )
+    serve.add_argument(
+        "--request-timeout",
+        type=float,
+        default=60.0,
+        metavar="SECONDS",
+        help="per-request deadline before a typed 504 (default: 60)",
+    )
+    serve.add_argument(
+        "--target-se",
+        type=float,
+        default=None,
+        metavar="SE",
+        help="server-wide adaptive-precision default applied to requests "
+        "that do not set their own target_se",
+    )
+    serve.add_argument(
+        "--cache",
+        action=argparse.BooleanOptionalAction,
+        default=False,
+        help="persist served estimates in the on-disk cache "
+        "(default: --no-cache)",
+    )
+    serve.add_argument(
+        "--cache-dir",
+        default=".repro-cache",
+        help="estimate cache directory (default: .repro-cache)",
+    )
+    serve.add_argument(
+        "--cache-max-entries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="bound the on-disk cache; oldest entries are pruned past N "
+        "(default: unbounded)",
+    )
     return parser
 
 
@@ -136,7 +239,9 @@ def _cmd_list(out) -> int:
     return 0
 
 
-def _cmd_info(out) -> int:
+def _cmd_info(out, cache_dir: str = ".repro-cache") -> int:
+    from repro.cache import EstimateCache
+
     experiments = list_experiments()
     print(f"repro {__version__}", file=out)
     print(
@@ -147,6 +252,12 @@ def _cmd_info(out) -> int:
     print(f"{len(experiments)} registered experiments:", file=out)
     for eid, title in experiments:
         print(f"  {eid:>5}  {title}", file=out)
+    stats = EstimateCache(cache_dir).stats()
+    print(
+        f"estimate cache at {cache_dir}: "
+        f"{stats['entries']} entries, {stats['bytes']} bytes",
+        file=out,
+    )
     return 0
 
 
@@ -173,6 +284,7 @@ def _cmd_run(
         ids = [eid for eid, _ in list_experiments()]
     else:
         ids = [experiment]
+    failed: List[str] = []
     for eid in ids:
         try:
             runner = get_experiment(eid)
@@ -180,10 +292,25 @@ def _cmd_run(
             print(f"error: {exc}", file=sys.stderr)
             return 2
         start = time.time()
-        result = runner(config)
+        try:
+            result = runner(config)
+        except Exception as exc:
+            # A failing experiment must name itself and fail the process
+            # (exit 1), not dump a bare traceback; remaining experiments
+            # in an 'all' run still execute.
+            print(
+                f"error: experiment {eid} failed: "
+                f"{type(exc).__name__}: {exc}",
+                file=sys.stderr,
+            )
+            failed.append(eid)
+            continue
         print(result.to_table(precision=precision), file=out)
         print(f"(wall time {time.time() - start:.1f}s)", file=out)
         print(file=out)
+    if failed:
+        print(f"error: failed experiment(s): {', '.join(failed)}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -211,6 +338,50 @@ def _cmd_report(
     return 0
 
 
+def _cmd_serve(args, out) -> int:
+    import asyncio
+
+    from repro.service.server import ServerConfig, run_server
+
+    try:
+        config = ServerConfig(
+            host=args.host,
+            port=args.port,
+            n_jobs=args.jobs,
+            workers=args.workers,
+            map_engine=args.map_engine,
+            max_batch=args.max_batch,
+            max_delay=args.max_delay,
+            max_queue=args.max_queue,
+            coalesce=args.coalesce,
+            request_timeout=args.request_timeout,
+            cache_dir=args.cache_dir if args.cache else None,
+            cache_max_entries=args.cache_max_entries,
+            default_target_se=args.target_se,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    def announce(server) -> None:
+        print(
+            f"repro service listening on http://{server.host}:{server.port} "
+            f"(workers={config.workers}, n_jobs={config.n_jobs}, "
+            f"cache={'on' if config.cache_dir else 'off'})",
+            file=out,
+            flush=True,
+        )
+
+    try:
+        asyncio.run(run_server(config, ready=announce))
+    except KeyboardInterrupt:
+        print("shutting down", file=out)
+    except OSError as exc:  # port already bound, bad interface, ...
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
 def main(argv: Optional[List[str]] = None, out=None) -> int:
     """CLI entry point; returns a process exit code."""
     out = out if out is not None else sys.stdout
@@ -218,7 +389,9 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
     if args.command == "list":
         return _cmd_list(out)
     if args.command == "info":
-        return _cmd_info(out)
+        return _cmd_info(out, args.cache_dir)
+    if args.command == "serve":
+        return _cmd_serve(args, out)
     if args.command in ("run", "report"):
         try:
             config = _config_from(args)

@@ -1,0 +1,51 @@
+"""The estimation service: a JSON-over-HTTP server with request
+coalescing, micro-batching and shared warm caches, plus its client.
+
+Stdlib-only (asyncio + ``http.client``): nothing to install.  Start a
+server with ``repro serve`` (or :class:`BackgroundServer` in-process)
+and talk to it with :class:`ServiceClient`; served estimates are
+bit-identical to direct library calls.  See ``docs/serving.md``.
+"""
+
+from repro.service.batcher import BatchPolicy, CoalescingBatcher
+from repro.service.client import ServiceClient
+from repro.service.metrics import ServiceMetrics
+from repro.service.protocol import (
+    MECHANISM_BUILDERS,
+    PROTOCOL_VERSION,
+    EstimateRequest,
+    ExperimentRequest,
+    PowerThreshold,
+    ServiceError,
+    build_mechanism,
+    mechanism_spec,
+    parse_body,
+    parse_request,
+)
+from repro.service.server import (
+    BackgroundServer,
+    EstimationServer,
+    ServerConfig,
+    run_server,
+)
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "MECHANISM_BUILDERS",
+    "ServiceError",
+    "PowerThreshold",
+    "mechanism_spec",
+    "build_mechanism",
+    "parse_body",
+    "parse_request",
+    "EstimateRequest",
+    "ExperimentRequest",
+    "BatchPolicy",
+    "CoalescingBatcher",
+    "ServiceMetrics",
+    "ServerConfig",
+    "EstimationServer",
+    "BackgroundServer",
+    "run_server",
+    "ServiceClient",
+]

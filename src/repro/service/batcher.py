@@ -1,0 +1,262 @@
+"""Request coalescing and micro-batching for the estimation server.
+
+Three mechanisms stack on one queue:
+
+* **Coalescing** — a request whose :meth:`coalesce key
+  <repro.service.protocol.EstimateRequest.coalesce_key>` matches an
+  in-flight computation shares that computation's future instead of
+  enqueueing a duplicate.  Under duplicate-heavy concurrent load (many
+  clients tuning over the same grid) this collapses N identical
+  requests into one estimate.
+* **Micro-batching** — accepted requests sit in a window bounded by
+  ``max_delay`` seconds / ``max_batch`` requests, then flush grouped by
+  *group key* (same instance digest + mechanism token).  Each group is
+  dispatched to the worker pool as one job served by one warm
+  :class:`~repro.voting.montecarlo.BatchEstimator`, so compatible
+  requests share profile-cache state back-to-back.
+* **Backpressure** — at most ``max_queue`` requests may be outstanding
+  (queued or executing, coalesced sharers excluded); past that
+  high-water mark ``submit`` raises a typed ``queue_full`` error that
+  the server maps to HTTP 429, keeping latency bounded instead of
+  letting the backlog grow without limit.
+
+Determinism is untouched by all three: coalesced requests are
+byte-identical computations, grouping only changes *which estimator
+object* runs a request (profile caches hold exact values), and the
+runner evaluates group members strictly in arrival order.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.service.protocol import ServiceError
+
+#: A runner outcome: ``("ok", payload)`` or ``("error", ServiceError)``.
+Outcome = Tuple[str, Any]
+
+#: Executed in a worker thread: requests (one group, arrival order) →
+#: outcomes, aligned index by index.
+GroupRunner = Callable[[List[Any]], List[Outcome]]
+
+
+@dataclass(frozen=True)
+class BatchPolicy:
+    """Knobs of the coalescing micro-batcher."""
+
+    max_batch: int = 32
+    max_delay: float = 0.002
+    max_queue: int = 512
+    coalesce: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {self.max_batch}")
+        if self.max_delay < 0:
+            raise ValueError(f"max_delay must be >= 0, got {self.max_delay}")
+        if self.max_queue < 1:
+            raise ValueError(f"max_queue must be >= 1, got {self.max_queue}")
+
+
+class _Work:
+    __slots__ = ("request", "coalesce_key", "group_key", "future")
+
+    def __init__(
+        self,
+        request: Any,
+        coalesce_key: Optional[str],
+        group_key: Any,
+        future: "asyncio.Future",
+    ) -> None:
+        self.request = request
+        self.coalesce_key = coalesce_key
+        self.group_key = group_key
+        self.future = future
+
+
+def _mark_retrieved(future: "asyncio.Future") -> None:
+    """Consume the exception so abandoned shared futures never warn.
+
+    Coalesced futures can outlive every awaiter (all of them timed out);
+    without this done-callback the loop would log "exception was never
+    retrieved" at GC time.
+    """
+    if not future.cancelled():
+        future.exception()
+
+
+class CoalescingBatcher:
+    """The server's admission queue: dedup, window, group, dispatch.
+
+    All bookkeeping runs on the event-loop thread; only the group runner
+    executes on ``executor`` threads.  ``submit`` is synchronous — it
+    either rejects with a typed error or returns a future resolved when
+    the computation lands.
+    """
+
+    def __init__(
+        self,
+        policy: BatchPolicy,
+        runner: GroupRunner,
+        executor,
+        metrics=None,
+    ) -> None:
+        self.policy = policy
+        self._runner = runner
+        self._executor = executor
+        self._metrics = metrics
+        self._queue: List[_Work] = []
+        self._inflight: Dict[str, "asyncio.Future"] = {}
+        self._outstanding = 0
+        self._flush_handle: Optional["asyncio.TimerHandle"] = None
+        self._group_tasks: set = set()
+        self._futures: set = set()
+        self._closing = False
+        self.rejected_total = 0
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def queue_depth(self) -> int:
+        """Requests admitted but not yet dispatched to a worker."""
+        return len(self._queue)
+
+    @property
+    def outstanding(self) -> int:
+        """Requests admitted and not yet resolved (queued or executing)."""
+        return self._outstanding
+
+    # -- admission ---------------------------------------------------------
+
+    def submit(
+        self, request: Any, coalesce_key: Optional[str], group_key: Optional[str]
+    ) -> "asyncio.Future":
+        """Admit one request; returns the future carrying its outcome.
+
+        Raises ``ServiceError("shutting_down")`` after :meth:`drain`
+        began and ``ServiceError("queue_full")`` past the high-water
+        mark.  A coalescible duplicate of an in-flight request returns
+        the in-flight future directly (callers must not cancel it —
+        shield it behind timeouts).
+        """
+        loop = asyncio.get_running_loop()
+        if self._closing:
+            raise ServiceError(
+                "shutting_down", "server is draining and not accepting work"
+            )
+        if self.policy.coalesce and coalesce_key is not None:
+            shared = self._inflight.get(coalesce_key)
+            if shared is not None and not shared.done():
+                if self._metrics is not None:
+                    self._metrics.record_coalesced()
+                return shared
+        if self._outstanding >= self.policy.max_queue:
+            self.rejected_total += 1
+            raise ServiceError(
+                "queue_full",
+                f"{self._outstanding} requests already outstanding "
+                f"(high-water mark {self.policy.max_queue}); retry later",
+            )
+        future = loop.create_future()
+        future.add_done_callback(_mark_retrieved)
+        self._outstanding += 1
+        self._futures.add(future)
+        if coalesce_key is not None:
+            self._inflight[coalesce_key] = future
+        future.add_done_callback(self._make_release(coalesce_key))
+        work = _Work(
+            request,
+            coalesce_key,
+            group_key if group_key is not None else object(),
+            future,
+        )
+        self._queue.append(work)
+        if len(self._queue) >= self.policy.max_batch:
+            self._flush()
+        elif self._flush_handle is None:
+            self._flush_handle = loop.call_later(self.policy.max_delay, self._flush)
+        return future
+
+    def _make_release(self, coalesce_key: Optional[str]):
+        def release(future: "asyncio.Future") -> None:
+            self._outstanding -= 1
+            self._futures.discard(future)
+            if (
+                coalesce_key is not None
+                and self._inflight.get(coalesce_key) is future
+            ):
+                del self._inflight[coalesce_key]
+
+        return release
+
+    # -- dispatch ----------------------------------------------------------
+
+    def _flush(self) -> None:
+        if self._flush_handle is not None:
+            self._flush_handle.cancel()
+            self._flush_handle = None
+        if not self._queue:
+            return
+        queue, self._queue = self._queue, []
+        groups: Dict[Any, List[_Work]] = {}
+        for work in queue:
+            groups.setdefault(work.group_key, []).append(work)
+        loop = asyncio.get_running_loop()
+        for items in groups.values():
+            if self._metrics is not None:
+                self._metrics.record_batch(len(items))
+            task = loop.create_task(self._run_group(items))
+            self._group_tasks.add(task)
+            task.add_done_callback(self._group_tasks.discard)
+
+    async def _run_group(self, items: Sequence[_Work]) -> None:
+        loop = asyncio.get_running_loop()
+        try:
+            outcomes = await loop.run_in_executor(
+                self._executor, self._runner, [w.request for w in items]
+            )
+        except Exception as exc:  # runner itself blew up: fail the group
+            error = (
+                exc
+                if isinstance(exc, ServiceError)
+                else ServiceError("internal", f"{type(exc).__name__}: {exc}")
+            )
+            for work in items:
+                if not work.future.done():
+                    work.future.set_exception(error)
+            return
+        for work, (status, value) in zip(items, outcomes):
+            if work.future.done():  # abandoned (timed out / drained)
+                continue
+            if status == "ok":
+                work.future.set_result(value)
+            else:
+                work.future.set_exception(value)
+
+    # -- shutdown ----------------------------------------------------------
+
+    async def drain(self, timeout: float = 10.0) -> int:
+        """Stop admitting, flush the window, wait for in-flight groups.
+
+        Whatever has not resolved within ``timeout`` fails with a typed
+        ``shutting_down`` error (its worker job, if stuck, is abandoned
+        — the executor is shut down without waiting).  Returns the
+        number of requests failed that way.
+        """
+        self._closing = True
+        self._flush()
+        if self._group_tasks:
+            await asyncio.wait(list(self._group_tasks), timeout=timeout)
+        abandoned = 0
+        for future in list(self._futures):
+            if not future.done():
+                future.set_exception(
+                    ServiceError(
+                        "shutting_down",
+                        "server shut down before the request completed",
+                    )
+                )
+                abandoned += 1
+        return abandoned

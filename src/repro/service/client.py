@@ -1,0 +1,278 @@
+"""Synchronous client for the estimation service.
+
+A thin stdlib (`http.client`) wrapper that speaks the JSON protocol of
+:mod:`repro.service.protocol` and returns the same types the library
+API returns — :meth:`ServiceClient.estimate` gives back a
+:class:`~repro.voting.montecarlo.CorrectnessEstimate` bit-identical to
+the one ``estimate_correct_probability`` would have produced locally.
+
+Connections are keep-alive and per-thread (``http.client`` connections
+are not thread-safe), so one ``ServiceClient`` may be shared by many
+threads — each quietly gets its own socket.  Typed server errors
+(``queue_full``, ``timeout``, ``shutting_down``, ...) surface as
+:class:`~repro.service.protocol.ServiceError` with the code intact, so
+callers branch on ``exc.code`` rather than parsing prose.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import threading
+from typing import Any, Dict, Mapping, Optional, Tuple, Union
+
+from repro.service.protocol import (
+    PROTOCOL_VERSION,
+    ServiceError,
+    estimate_from_payload,
+)
+from repro.voting.montecarlo import CorrectnessEstimate
+
+InstanceLike = Union[Any, Dict[str, Any]]
+
+
+class ServiceClient:
+    """A client for one estimation server; see the module docstring.
+
+    ``instance`` arguments accept either a
+    :class:`~repro.core.instance.ProblemInstance` (serialised per call
+    via :func:`repro.io.instance_to_dict`) or an already-serialised
+    instance dict — pass the dict when issuing many requests over the
+    same instance to keep serialisation off the hot path.  ``mechanism``
+    arguments are declarative specs (see
+    :func:`repro.service.protocol.mechanism_spec`).
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8577,
+        timeout: float = 120.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._local = threading.local()
+
+    # -- transport ---------------------------------------------------------
+
+    def _connection(self) -> http.client.HTTPConnection:
+        conn = getattr(self._local, "conn", None)
+        if conn is None:
+            conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+            self._local.conn = conn
+        return conn
+
+    def _request(
+        self, method: str, path: str, body: Optional[Dict[str, Any]] = None
+    ) -> Dict[str, Any]:
+        payload = None if body is None else json.dumps(body).encode()
+        headers = {"Content-Type": "application/json"} if payload else {}
+        conn = self._connection()
+        try:
+            try:
+                conn.request(method, path, body=payload, headers=headers)
+                response = conn.getresponse()
+                raw = response.read()
+            except (http.client.HTTPException, OSError):
+                # Stale keep-alive socket (server restarted, idle
+                # timeout): reconnect once before giving up.
+                conn.close()
+                conn.request(method, path, body=payload, headers=headers)
+                response = conn.getresponse()
+                raw = response.read()
+        except (http.client.HTTPException, socket.timeout, OSError) as exc:
+            conn.close()
+            raise ServiceError(
+                "internal",
+                f"transport failure talking to "
+                f"{self.host}:{self.port}: {type(exc).__name__}: {exc}",
+            ) from None
+        try:
+            data = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError):
+            raise ServiceError(
+                "internal",
+                f"server returned non-JSON response (HTTP {response.status})",
+            ) from None
+        if not isinstance(data, dict) or data.get("ok") is not True:
+            error = data.get("error") if isinstance(data, dict) else None
+            if isinstance(error, dict) and "code" in error:
+                try:
+                    raise ServiceError(
+                        error["code"], str(error.get("message", ""))
+                    )
+                except ValueError:  # unknown code from a newer server
+                    pass
+            raise ServiceError(
+                "internal", f"unexpected server response (HTTP {response.status})"
+            )
+        return data
+
+    def close(self) -> None:
+        """Close this thread's connection (others close on GC)."""
+        conn = getattr(self._local, "conn", None)
+        if conn is not None:
+            conn.close()
+            self._local.conn = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    # -- payload assembly --------------------------------------------------
+
+    @staticmethod
+    def serialise_instance(instance: InstanceLike) -> Dict[str, Any]:
+        """The wire form of ``instance`` (pass-through for dicts)."""
+        if isinstance(instance, dict):
+            return instance
+        from repro.io import instance_to_dict
+
+        return instance_to_dict(instance)
+
+    def _estimate_body(
+        self,
+        op: str,
+        instance: InstanceLike,
+        mechanism: Mapping[str, Any],
+        rounds: int,
+        seed: int,
+        tie_policy: str,
+        engine: str,
+        target_se: Optional[float],
+        max_rounds: Optional[int],
+        exact_conditional: Optional[bool],
+    ) -> Dict[str, Any]:
+        body: Dict[str, Any] = {
+            "v": PROTOCOL_VERSION,
+            "op": op,
+            "instance": self.serialise_instance(instance),
+            "mechanism": dict(mechanism),
+            "rounds": rounds,
+            "seed": seed,
+            "tie_policy": tie_policy,
+            "engine": engine,
+        }
+        if exact_conditional is not None:
+            body["exact_conditional"] = exact_conditional
+        if target_se is not None:
+            body["target_se"] = target_se
+        if max_rounds is not None:
+            body["max_rounds"] = max_rounds
+        return body
+
+    # -- operations --------------------------------------------------------
+
+    def estimate(
+        self,
+        instance: InstanceLike,
+        mechanism: Mapping[str, Any],
+        *,
+        rounds: int = 400,
+        seed: int = 0,
+        tie_policy: str = "INCORRECT",
+        exact_conditional: bool = True,
+        engine: str = "batch",
+        target_se: Optional[float] = None,
+        max_rounds: Optional[int] = None,
+    ) -> CorrectnessEstimate:
+        """Served :func:`~repro.voting.montecarlo.estimate_correct_probability`."""
+        body = self._estimate_body(
+            "estimate", instance, mechanism, rounds, seed, tie_policy,
+            engine, target_se, max_rounds, exact_conditional,
+        )
+        data = self._request("POST", "/v1/estimate", body)
+        return estimate_from_payload(data["result"])
+
+    def gain(
+        self,
+        instance: InstanceLike,
+        mechanism: Mapping[str, Any],
+        *,
+        rounds: int = 400,
+        seed: int = 0,
+        tie_policy: str = "INCORRECT",
+        exact_conditional: bool = True,
+        engine: str = "batch",
+        target_se: Optional[float] = None,
+        max_rounds: Optional[int] = None,
+    ) -> Tuple[float, CorrectnessEstimate, float]:
+        """Served :func:`~repro.voting.montecarlo.estimate_gain` triple."""
+        body = self._estimate_body(
+            "gain", instance, mechanism, rounds, seed, tie_policy,
+            engine, target_se, max_rounds, exact_conditional,
+        )
+        result = self._request("POST", "/v1/gain", body)["result"]
+        try:
+            return (
+                float(result["gain"]),
+                estimate_from_payload(result["estimate"]),
+                float(result["direct"]),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ServiceError(
+                "internal", f"malformed gain payload from server: {exc}"
+            ) from None
+
+    def ballot(
+        self,
+        instance: InstanceLike,
+        mechanism: Mapping[str, Any],
+        *,
+        rounds: int = 400,
+        seed: int = 0,
+        tie_policy: str = "INCORRECT",
+        engine: str = "batch",
+        target_se: Optional[float] = None,
+        max_rounds: Optional[int] = None,
+    ) -> CorrectnessEstimate:
+        """Served :func:`~repro.voting.montecarlo.estimate_ballot_probability`."""
+        body = self._estimate_body(
+            "ballot", instance, mechanism, rounds, seed, tie_policy,
+            engine, target_se, max_rounds, exact_conditional=None,
+        )
+        data = self._request("POST", "/v1/ballot", body)
+        return estimate_from_payload(data["result"])
+
+    def experiment(
+        self,
+        experiment: str,
+        *,
+        scale: str = "default",
+        seed: int = 0,
+        engine: str = "batch",
+        target_se: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        """Run a registered experiment table server-side.
+
+        Returns the serialised :class:`~repro.experiments.base.
+        ExperimentResult` dict (``repro.io.result_from_dict`` rebuilds
+        the dataclass if needed).
+        """
+        body: Dict[str, Any] = {
+            "v": PROTOCOL_VERSION,
+            "op": "experiment",
+            "experiment": experiment,
+            "scale": scale,
+            "seed": seed,
+            "engine": engine,
+        }
+        if target_se is not None:
+            body["target_se"] = target_se
+        return self._request("POST", "/v1/experiment", body)["result"]
+
+    # -- introspection -----------------------------------------------------
+
+    def healthz(self) -> Dict[str, Any]:
+        """The server's liveness payload."""
+        return self._request("GET", "/healthz")
+
+    def metrics(self) -> Dict[str, Any]:
+        """The server's metrics snapshot (see ``docs/serving.md``)."""
+        return self._request("GET", "/metrics")["metrics"]

@@ -1,0 +1,90 @@
+"""In-process counters and latency quantiles for the estimation server.
+
+Everything here is updated from the event-loop thread only, so plain
+attributes suffice — no locks, no atomics.  Latencies are kept in a
+bounded ring buffer; ``p50``/``p95`` are computed over that window on
+demand (a ``/metrics`` scrape, not a hot path).
+"""
+
+from __future__ import annotations
+
+import time
+from collections import Counter, deque
+from typing import Any, Deque, Dict
+
+
+def _quantile_ms(ordered: list, q: float) -> float:
+    """The ``q``-quantile of pre-sorted per-second samples, in ms."""
+    if not ordered:
+        return 0.0
+    index = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+    return ordered[index] * 1000.0
+
+
+class ServiceMetrics:
+    """Request/error/batch counters plus a latency window.
+
+    ``requests`` counts arrivals per op, ``completed`` successful
+    responses per op, ``errors`` typed failures per error code.  Batch
+    shape (count, sizes, coalesced hits) is recorded by the batcher via
+    :meth:`record_batch` / :meth:`record_coalesced`.
+    """
+
+    def __init__(self, latency_window: int = 2048) -> None:
+        self.started = time.monotonic()
+        self.requests: Counter = Counter()
+        self.completed: Counter = Counter()
+        self.errors: Counter = Counter()
+        self.coalesced_total = 0
+        self.batches_total = 0
+        self.batched_requests_total = 0
+        self.max_batch_size = 0
+        self._latencies: Deque[float] = deque(maxlen=latency_window)
+
+    # -- recording (event-loop thread) ------------------------------------
+
+    def record_request(self, op: str) -> None:
+        self.requests[op] += 1
+
+    def record_completed(self, op: str, seconds: float) -> None:
+        self.completed[op] += 1
+        self._latencies.append(seconds)
+
+    def record_error(self, code: str) -> None:
+        self.errors[code] += 1
+
+    def record_coalesced(self) -> None:
+        self.coalesced_total += 1
+
+    def record_batch(self, size: int) -> None:
+        self.batches_total += 1
+        self.batched_requests_total += size
+        self.max_batch_size = max(self.max_batch_size, size)
+
+    # -- reporting --------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """One JSON-ready view of every counter (the ``/metrics`` body)."""
+        ordered = sorted(self._latencies)
+        batches = self.batches_total
+        return {
+            "uptime_s": time.monotonic() - self.started,
+            "requests": dict(self.requests),
+            "requests_total": sum(self.requests.values()),
+            "completed": dict(self.completed),
+            "errors": dict(self.errors),
+            "coalesced_total": self.coalesced_total,
+            "batches": {
+                "count": batches,
+                "requests": self.batched_requests_total,
+                "mean_size": (
+                    self.batched_requests_total / batches if batches else 0.0
+                ),
+                "max_size": self.max_batch_size,
+            },
+            "latency": {
+                "window": len(ordered),
+                "p50_ms": _quantile_ms(ordered, 0.50),
+                "p95_ms": _quantile_ms(ordered, 0.95),
+            },
+        }

@@ -1,0 +1,638 @@
+"""Versioned request/response protocol of the estimation service.
+
+Everything crossing the wire is JSON.  A request is an *envelope*::
+
+    {"v": 1, "op": "estimate", ...op-specific fields...}
+
+and a response is either ``{"v": 1, "ok": true, "result": ...}`` or a
+typed error ``{"v": 1, "ok": false, "error": {"code", "message"}}``
+whose ``code`` maps to a fixed HTTP status (:data:`HTTP_STATUS`).  The
+protocol version is part of every payload; a request carrying any other
+``v`` is rejected with ``unsupported_version`` rather than guessed at.
+
+Validation is strict: unknown top-level keys, wrong types, out-of-range
+values and malformed instances are all ``bad_request`` errors carrying a
+human-readable message — the server never raises a bare traceback at a
+client.  Mechanisms travel as declarative *specs* (``{"name", "params"}``)
+resolved through a registry of picklable builders, because the service
+contract is determinism: a spec pins mechanism behaviour exactly, where
+a pickled closure could not be validated or reproduced.
+
+Two digests drive the server's coalescing micro-batcher (see
+:mod:`repro.service.batcher`):
+
+* :meth:`EstimateRequest.coalesce_key` — the full estimate digest
+  (:func:`repro.cache.estimate_digest`, the same key the persistent
+  cache uses) prefixed with the op, identifying *identical* requests
+  whose in-flight computation can be shared;
+* :meth:`EstimateRequest.group_key` — instance digest plus mechanism
+  token, identifying *compatible* requests that one warm
+  :class:`~repro.voting.montecarlo.BatchEstimator` should serve
+  back-to-back.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Mapping, Optional, Tuple, Union
+
+from repro._util.mathx import LRUCache
+from repro.cache import _canonical_json, _sha256_hex, estimate_digest, instance_token
+from repro.core.instance import ProblemInstance
+from repro.mechanisms import (
+    AbstentionMechanism,
+    ApprovalThreshold,
+    CappedRandomApproved,
+    DelegationMechanism,
+    DirectVoting,
+    FractionApproved,
+    GreedyBest,
+    LocalDelegationMechanism,
+    RandomApproved,
+    SampledNeighbourhood,
+)
+from repro.voting.montecarlo import CorrectnessEstimate
+from repro.voting.outcome import TiePolicy
+
+PROTOCOL_VERSION = 1
+"""Bumped whenever request or response layouts change incompatibly."""
+
+MAX_PAYLOAD_BYTES = 8 * 1024 * 1024
+"""Default request-body ceiling; larger bodies are ``payload_too_large``."""
+
+OPS = ("estimate", "gain", "ballot", "experiment")
+"""Recognised operations (each served at ``POST /v1/<op>``)."""
+
+ENGINES = ("serial", "batch")
+SCALES = ("smoke", "default", "full")
+TIE_POLICIES = ("INCORRECT", "COIN_FLIP")
+
+MAX_ROUNDS = 10_000_000
+MAX_SEED = 2**63 - 1
+
+HTTP_STATUS = {
+    "bad_json": 400,
+    "bad_request": 400,
+    "unsupported_version": 400,
+    "not_found": 404,
+    "payload_too_large": 413,
+    "queue_full": 429,
+    "internal": 500,
+    "shutting_down": 503,
+    "timeout": 504,
+}
+"""Error code → HTTP status; the closed set of typed service errors."""
+
+
+class ServiceError(Exception):
+    """A typed protocol error: machine code + human message.
+
+    Raised server-side to produce an error payload, and client-side when
+    an error payload comes back — the ``code`` survives the round trip,
+    so callers can branch on ``queue_full`` vs ``timeout`` without
+    parsing prose.
+    """
+
+    def __init__(self, code: str, message: str) -> None:
+        if code not in HTTP_STATUS:
+            raise ValueError(f"unknown service error code {code!r}")
+        super().__init__(message)
+        self.code = code
+        self.message = message
+
+    @property
+    def http_status(self) -> int:
+        return HTTP_STATUS[self.code]
+
+    def payload(self) -> Dict[str, Any]:
+        """The JSON body this error is serialised as."""
+        return {
+            "v": PROTOCOL_VERSION,
+            "ok": False,
+            "error": {"code": self.code, "message": self.message},
+        }
+
+    def __repr__(self) -> str:
+        return f"ServiceError({self.code!r}, {self.message!r})"
+
+
+def ok_payload(result: Any) -> Dict[str, Any]:
+    """The JSON body of a successful response."""
+    return {"v": PROTOCOL_VERSION, "ok": True, "result": result}
+
+
+def _bad(message: str) -> ServiceError:
+    return ServiceError("bad_request", message)
+
+
+# -- field validation ------------------------------------------------------
+
+
+def _check_keys(data: Mapping[str, Any], allowed: Tuple[str, ...]) -> None:
+    unknown = sorted(set(data) - set(allowed))
+    if unknown:
+        raise _bad(f"unknown field(s) {unknown}; allowed: {sorted(allowed)}")
+
+
+def _get_int(
+    data: Mapping[str, Any], key: str, default: Optional[int],
+    low: int, high: int,
+) -> int:
+    value = data.get(key, default)
+    if value is None:
+        raise _bad(f"{key!r} is required")
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise _bad(f"{key!r} must be an integer, got {type(value).__name__}")
+    if not low <= value <= high:
+        raise _bad(f"{key!r} must be in [{low}, {high}], got {value}")
+    return value
+
+
+def _get_bool(data: Mapping[str, Any], key: str, default: bool) -> bool:
+    value = data.get(key, default)
+    if not isinstance(value, bool):
+        raise _bad(f"{key!r} must be a boolean, got {type(value).__name__}")
+    return value
+
+
+def _get_choice(
+    data: Mapping[str, Any], key: str, default: str, choices: Tuple[str, ...]
+) -> str:
+    value = data.get(key, default)
+    if value not in choices:
+        raise _bad(f"{key!r} must be one of {list(choices)}, got {value!r}")
+    return value
+
+
+def _get_target_se(data: Mapping[str, Any]) -> Optional[float]:
+    value = data.get("target_se")
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise _bad(f"'target_se' must be a number, got {type(value).__name__}")
+    if not value > 0:
+        raise _bad(f"'target_se' must be positive, got {value}")
+    return float(value)
+
+
+# -- mechanism specs -------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PowerThreshold:
+    """A picklable power-law threshold ``j(d) = scale * (d + offset)**exponent``.
+
+    The wire form of lambda thresholds like ``lambda d: d ** (1/3)``:
+    mechanisms served over the protocol must be built from declarative
+    data, and this covers every threshold family the experiments use
+    (the paper's ``d^{1/3}`` included) while staying picklable for the
+    process-pool engine.
+    """
+
+    exponent: float
+    offset: float = 0.0
+    scale: float = 1.0
+
+    def __call__(self, degree: int) -> float:
+        return self.scale * (float(degree) + self.offset) ** self.exponent
+
+    @property
+    def __name__(self) -> str:  # label used by ApprovalThreshold.name
+        return f"power({self.exponent:g},+{self.offset:g},x{self.scale:g})"
+
+
+def _threshold_from(value: Any, field_name: str = "threshold") -> Any:
+    """A threshold argument from its wire form (number or power spec)."""
+    if isinstance(value, bool):
+        raise _bad(f"{field_name!r} must be a number or power spec")
+    if isinstance(value, (int, float)):
+        return float(value)
+    if isinstance(value, dict):
+        _check_keys(value, ("kind", "exponent", "offset", "scale"))
+        if value.get("kind") != "power":
+            raise _bad(f"{field_name!r} spec kind must be 'power'")
+        try:
+            return PowerThreshold(
+                exponent=float(value["exponent"]),
+                offset=float(value.get("offset", 0.0)),
+                scale=float(value.get("scale", 1.0)),
+            )
+        except (KeyError, TypeError, ValueError):
+            raise _bad(
+                f"{field_name!r} power spec needs numeric 'exponent' "
+                "(optional 'offset'/'scale')"
+            ) from None
+    raise _bad(
+        f"{field_name!r} must be a number or {{'kind': 'power', ...}} spec, "
+        f"got {type(value).__name__}"
+    )
+
+
+def _no_params(name: str, params: Mapping[str, Any]) -> None:
+    if params:
+        raise _bad(f"mechanism {name!r} takes no params, got {sorted(params)}")
+
+
+def _build_direct(params: Mapping[str, Any]) -> DelegationMechanism:
+    _no_params("direct", params)
+    return DirectVoting()
+
+
+def _build_approval_threshold(params: Mapping[str, Any]) -> DelegationMechanism:
+    _check_keys(params, ("threshold",))
+    if "threshold" not in params:
+        raise _bad("mechanism 'approval_threshold' requires 'threshold'")
+    return ApprovalThreshold(_threshold_from(params["threshold"]))
+
+
+def _build_random_approved(params: Mapping[str, Any]) -> DelegationMechanism:
+    _no_params("random_approved", params)
+    return RandomApproved()
+
+
+def _build_fraction_approved(params: Mapping[str, Any]) -> DelegationMechanism:
+    _check_keys(params, ("fraction",))
+    fraction = params.get("fraction", 0.5)
+    if isinstance(fraction, bool) or not isinstance(fraction, (int, float)):
+        raise _bad("'fraction' must be a number")
+    try:
+        return FractionApproved(float(fraction))
+    except ValueError as exc:
+        raise _bad(str(exc)) from None
+
+
+def _build_sampled_neighbourhood(params: Mapping[str, Any]) -> DelegationMechanism:
+    _check_keys(params, ("threshold", "d"))
+    if "threshold" not in params:
+        raise _bad("mechanism 'sampled_neighbourhood' requires 'threshold'")
+    d = params.get("d")
+    if d is not None and (isinstance(d, bool) or not isinstance(d, int)):
+        raise _bad("'d' must be an integer when given")
+    try:
+        return SampledNeighbourhood(_threshold_from(params["threshold"]), d=d)
+    except ValueError as exc:
+        raise _bad(str(exc)) from None
+
+
+def _build_greedy_best(params: Mapping[str, Any]) -> DelegationMechanism:
+    _no_params("greedy_best", params)
+    return GreedyBest()
+
+
+def _build_capped_random_approved(params: Mapping[str, Any]) -> DelegationMechanism:
+    _check_keys(params, ("max_weight",))
+    max_weight = params.get("max_weight")
+    if isinstance(max_weight, bool) or not isinstance(max_weight, int):
+        raise _bad("mechanism 'capped_random_approved' requires integer 'max_weight'")
+    try:
+        return CappedRandomApproved(max_weight)
+    except ValueError as exc:
+        raise _bad(str(exc)) from None
+
+
+def _build_abstention(params: Mapping[str, Any]) -> DelegationMechanism:
+    _check_keys(params, ("base", "abstain_prob"))
+    base_spec = params.get("base")
+    if not isinstance(base_spec, dict):
+        raise _bad("mechanism 'abstention' requires a 'base' mechanism spec")
+    base = build_mechanism(base_spec)
+    if not isinstance(base, LocalDelegationMechanism):
+        raise _bad(
+            f"'abstention' base must be a local mechanism, got {base.name!r}"
+        )
+    prob = params.get("abstain_prob")
+    if isinstance(prob, bool) or not isinstance(prob, (int, float)):
+        raise _bad("mechanism 'abstention' requires numeric 'abstain_prob'")
+    try:
+        return AbstentionMechanism(base, float(prob))
+    except ValueError as exc:
+        raise _bad(str(exc)) from None
+
+
+MECHANISM_BUILDERS: Dict[str, Callable[[Mapping[str, Any]], DelegationMechanism]] = {
+    "direct": _build_direct,
+    "approval_threshold": _build_approval_threshold,
+    "random_approved": _build_random_approved,
+    "fraction_approved": _build_fraction_approved,
+    "sampled_neighbourhood": _build_sampled_neighbourhood,
+    "greedy_best": _build_greedy_best,
+    "capped_random_approved": _build_capped_random_approved,
+    "abstention": _build_abstention,
+}
+"""Wire name → validated mechanism constructor."""
+
+
+def mechanism_spec(name: str, **params: Any) -> Dict[str, Any]:
+    """Build (and eagerly validate) a mechanism spec dict.
+
+    Client-side convenience: catches typos before the request leaves the
+    process.  ``mechanism_spec("approval_threshold", threshold=3)``.
+    """
+    spec = {"name": name, "params": params}
+    build_mechanism(spec)
+    return spec
+
+
+def build_mechanism(spec: Any) -> DelegationMechanism:
+    """Resolve a ``{"name", "params"}`` spec into a mechanism instance."""
+    if not isinstance(spec, dict):
+        raise _bad(f"mechanism spec must be an object, got {type(spec).__name__}")
+    _check_keys(spec, ("name", "params"))
+    name = spec.get("name")
+    builder = MECHANISM_BUILDERS.get(name)
+    if builder is None:
+        raise _bad(
+            f"unknown mechanism {name!r}; known: {sorted(MECHANISM_BUILDERS)}"
+        )
+    params = spec.get("params", {})
+    if not isinstance(params, dict):
+        raise _bad("'params' must be an object")
+    return builder(params)
+
+
+# -- interning -------------------------------------------------------------
+
+
+class InternPool:
+    """LRU of deserialised objects keyed by their canonical-JSON digest.
+
+    Long-lived servers see the same instance/mechanism payloads over and
+    over; reconstructing a :class:`ProblemInstance` (CSR adjacency,
+    approval structure, compiled views) per request would dominate the
+    event loop.  Interning returns the *same* object for byte-identical
+    payloads, so all its lazily-built caches stay warm across requests.
+    Keys are content digests — two clients sending equal payloads share
+    one entry.
+    """
+
+    def __init__(self, build: Callable[[Any], Any], maxsize: int = 64) -> None:
+        self._build = build
+        self._cache = LRUCache(maxsize)
+
+    def get(self, data: Any) -> Any:
+        key = _sha256_hex(_canonical_json(data).encode())
+        obj = self._cache.get(key)
+        if obj is None:
+            obj = self._build(data)
+            self._cache.put(key, obj)
+        return obj
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+
+def _build_instance(data: Any) -> ProblemInstance:
+    from repro.io import instance_from_dict
+
+    if not isinstance(data, dict):
+        raise _bad(f"'instance' must be an object, got {type(data).__name__}")
+    try:
+        return instance_from_dict(data)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise _bad(f"invalid instance payload: {exc}") from None
+
+
+def instance_pool(maxsize: int = 64) -> InternPool:
+    """An :class:`InternPool` of problem instances."""
+    return InternPool(_build_instance, maxsize)
+
+
+def mechanism_pool(maxsize: int = 64) -> InternPool:
+    """An :class:`InternPool` of mechanisms."""
+    return InternPool(build_mechanism, maxsize)
+
+
+# -- requests --------------------------------------------------------------
+
+
+_ESTIMATE_KEYS = (
+    "v", "op", "instance", "mechanism", "rounds", "seed", "tie_policy",
+    "exact_conditional", "engine", "target_se", "max_rounds",
+)
+_EXPERIMENT_KEYS = ("v", "op", "experiment", "scale", "seed", "engine", "target_se")
+
+_OP_FN = {
+    "estimate": "estimate_correct_probability",
+    "gain": "estimate_correct_probability",
+    "ballot": "estimate_ballot_probability",
+}
+
+
+@dataclass(frozen=True)
+class EstimateRequest:
+    """A validated ``estimate`` / ``gain`` / ``ballot`` request."""
+
+    op: str
+    instance: ProblemInstance
+    mechanism: DelegationMechanism
+    rounds: int
+    seed: int
+    tie_policy: TiePolicy
+    exact_conditional: bool
+    engine: str
+    target_se: Optional[float]
+    max_rounds: Optional[int]
+
+    def estimator_params(self) -> Dict[str, Any]:
+        """The estimator-parameter dict, mirroring the library's digests.
+
+        Must match :mod:`repro.voting.montecarlo`'s ``params`` exactly so
+        a served estimate and the equivalent direct library call share
+        one persistent-cache entry.
+        """
+        cap = self.rounds if self.max_rounds is None else self.max_rounds
+        params: Dict[str, Any] = {
+            "fn": _OP_FN[self.op],
+            "rounds": self.rounds,
+            "tie_policy": self.tie_policy.name,
+            "engine": self.engine,
+            "target_se": self.target_se,
+            "max_rounds": None if self.target_se is None else cap,
+        }
+        if self.op != "ballot":
+            params["exact_conditional"] = self.exact_conditional
+        return params
+
+    def coalesce_key(self) -> Optional[str]:
+        """Identity of this computation, or ``None`` when unshareable."""
+        digest = estimate_digest(
+            self.instance, self.mechanism, self.seed, self.estimator_params()
+        )
+        if digest is None:
+            return None
+        return f"{self.op}:{digest}"
+
+    def group_key(self) -> Optional[str]:
+        """Identity of the (instance, mechanism) pair for micro-batching."""
+        token_fn = getattr(self.mechanism, "cache_token", None)
+        mtoken = token_fn(self.instance) if token_fn is not None else None
+        if mtoken is None:
+            return None
+        payload = {
+            "instance": instance_token(self.instance),
+            "mechanism": mtoken,
+        }
+        return _sha256_hex(_canonical_json(payload).encode())
+
+
+@dataclass(frozen=True)
+class ExperimentRequest:
+    """A validated experiment-table query."""
+
+    experiment: str
+    scale: str
+    seed: int
+    engine: str
+    target_se: Optional[float]
+
+    op: str = "experiment"
+
+    def coalesce_key(self) -> str:
+        payload = {
+            "op": self.op,
+            "experiment": self.experiment,
+            "scale": self.scale,
+            "seed": self.seed,
+            "engine": self.engine,
+            "target_se": self.target_se,
+        }
+        return _sha256_hex(_canonical_json(payload).encode())
+
+    # Experiments don't share estimator state; each runs as its own
+    # batch so distinct experiments spread across the worker pool.
+    group_key = coalesce_key
+
+
+Request = Union[EstimateRequest, ExperimentRequest]
+
+
+def parse_body(raw: bytes, max_bytes: int = MAX_PAYLOAD_BYTES) -> Dict[str, Any]:
+    """Decode and envelope-check a request body.
+
+    Raises typed errors: ``payload_too_large`` (body over ``max_bytes``),
+    ``bad_json`` (undecodable), ``unsupported_version`` (missing/other
+    ``v``), ``bad_request`` (non-object body or unknown ``op``).
+    """
+    if len(raw) > max_bytes:
+        raise ServiceError(
+            "payload_too_large",
+            f"request body is {len(raw)} bytes (limit {max_bytes})",
+        )
+    try:
+        data = json.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise ServiceError("bad_json", f"request body is not valid JSON: {exc}")
+    if not isinstance(data, dict):
+        raise _bad(f"request body must be a JSON object, got {type(data).__name__}")
+    version = data.get("v")
+    if version != PROTOCOL_VERSION:
+        raise ServiceError(
+            "unsupported_version",
+            f"protocol version {version!r} is not supported "
+            f"(this server speaks v{PROTOCOL_VERSION})",
+        )
+    if data.get("op") not in OPS:
+        raise _bad(f"'op' must be one of {list(OPS)}, got {data.get('op')!r}")
+    return data
+
+
+def parse_request(
+    data: Mapping[str, Any],
+    instances: Optional[InternPool] = None,
+    mechanisms: Optional[InternPool] = None,
+) -> Request:
+    """Validate an envelope-checked body into a typed request.
+
+    ``instances``/``mechanisms`` intern deserialised objects across
+    requests (see :class:`InternPool`); omitted, every call builds
+    fresh objects — same results, colder caches.
+    """
+    op = data["op"]
+    if op == "experiment":
+        _check_keys(data, _EXPERIMENT_KEYS)
+        experiment = data.get("experiment")
+        if not isinstance(experiment, str) or not experiment:
+            raise _bad("'experiment' must be a non-empty experiment id string")
+        return ExperimentRequest(
+            experiment=experiment,
+            scale=_get_choice(data, "scale", "default", SCALES),
+            seed=_get_int(data, "seed", 0, 0, MAX_SEED),
+            engine=_get_choice(data, "engine", "batch", ENGINES),
+            target_se=_get_target_se(data),
+        )
+    _check_keys(data, _ESTIMATE_KEYS)
+    if "instance" not in data:
+        raise _bad("'instance' is required")
+    if "mechanism" not in data:
+        raise _bad("'mechanism' is required")
+    instance = (
+        instances.get(data["instance"])
+        if instances is not None
+        else _build_instance(data["instance"])
+    )
+    mechanism = (
+        mechanisms.get(data["mechanism"])
+        if mechanisms is not None
+        else build_mechanism(data["mechanism"])
+    )
+    rounds = _get_int(data, "rounds", 400, 1, MAX_ROUNDS)
+    target_se = _get_target_se(data)
+    max_rounds = data.get("max_rounds")
+    if max_rounds is not None:
+        if target_se is None:
+            raise _bad("'max_rounds' requires 'target_se'")
+        max_rounds = _get_int(data, "max_rounds", None, 1, MAX_ROUNDS)
+    return EstimateRequest(
+        op=op,
+        instance=instance,
+        mechanism=mechanism,
+        rounds=rounds,
+        seed=_get_int(data, "seed", 0, 0, MAX_SEED),
+        tie_policy=TiePolicy[
+            _get_choice(data, "tie_policy", "INCORRECT", TIE_POLICIES)
+        ],
+        exact_conditional=_get_bool(data, "exact_conditional", True),
+        engine=_get_choice(data, "engine", "batch", ENGINES),
+        target_se=target_se,
+        max_rounds=max_rounds,
+    )
+
+
+# -- result payloads -------------------------------------------------------
+
+
+def estimate_payload(est: CorrectnessEstimate) -> Dict[str, Any]:
+    """Wire form of a :class:`CorrectnessEstimate` (exact float round trip)."""
+    return {
+        "probability": est.probability,
+        "rounds": est.rounds,
+        "std_error": est.std_error,
+        "ci_low": est.ci_low,
+        "ci_high": est.ci_high,
+        "converged": est.converged,
+    }
+
+
+def estimate_from_payload(data: Mapping[str, Any]) -> CorrectnessEstimate:
+    """Inverse of :func:`estimate_payload` (client side)."""
+    try:
+        return CorrectnessEstimate(
+            probability=float(data["probability"]),
+            rounds=int(data["rounds"]),
+            std_error=float(data["std_error"]),
+            ci_low=float(data["ci_low"]),
+            ci_high=float(data["ci_high"]),
+            converged=bool(data["converged"]),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ServiceError(
+            "internal", f"malformed estimate payload from server: {exc}"
+        ) from None
+
+
+def gain_payload(
+    gain: float, est: CorrectnessEstimate, direct: float
+) -> Dict[str, Any]:
+    """Wire form of an :func:`~repro.voting.montecarlo.estimate_gain` triple."""
+    return {"gain": gain, "direct": direct, "estimate": estimate_payload(est)}

@@ -1,0 +1,611 @@
+"""The estimation server: asyncio JSON-over-HTTP on the stdlib only.
+
+One long-lived process owns every warm cache the library has grown —
+interned instances with their compiled views, per-group
+:class:`~repro.voting.montecarlo.BatchEstimator` profile caches, and an
+optional persistent :class:`~repro.cache.EstimateCache` — and serves
+estimates over five endpoints:
+
+* ``POST /v1/estimate`` / ``/v1/gain`` / ``/v1/ballot`` — one estimate,
+  routed through the coalescing micro-batcher
+  (:mod:`repro.service.batcher`);
+* ``POST /v1/experiment`` — one registered experiment table;
+* ``GET /healthz`` — liveness; ``GET /metrics`` — counters, batch
+  shape, queue depth, latency quantiles and cache statistics.
+
+**Determinism contract.**  A served estimate is bit-identical to the
+same call made directly against the library API with the same
+``(instance, mechanism, seed, estimator params)``, cache-warm or cold:
+requests carry explicit integer seeds, instances round-trip exactly
+through :mod:`repro.io`, estimates are ``n_jobs``-invariant (so the
+server may parallelise freely), shared estimators only reuse *exact*
+profile-cache values, and JSON float serialisation round-trips every
+double.  The test suite pins this end to end.
+
+The HTTP layer is a deliberately small HTTP/1.1 subset (keep-alive,
+``Content-Length`` bodies, no chunked encoding) — enough for the JSON
+protocol without pulling in a framework the container doesn't have.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.cache import EstimateCache
+from repro.service.batcher import BatchPolicy, CoalescingBatcher, Outcome
+from repro.service.metrics import ServiceMetrics
+from repro.service.protocol import (
+    MAX_PAYLOAD_BYTES,
+    PROTOCOL_VERSION,
+    EstimateRequest,
+    ExperimentRequest,
+    Request,
+    ServiceError,
+    estimate_payload,
+    gain_payload,
+    instance_pool,
+    mechanism_pool,
+    ok_payload,
+    parse_body,
+    parse_request,
+)
+
+ROUTES = {
+    "/v1/estimate": "estimate",
+    "/v1/gain": "gain",
+    "/v1/ballot": "ballot",
+    "/v1/experiment": "experiment",
+}
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    431: "Request Header Fields Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+@dataclass
+class ServerConfig:
+    """Everything the server runtime is parameterised by.
+
+    ``n_jobs`` is the process-pool fan-out *inside* one batch-engine
+    estimate (results are ``n_jobs``-invariant); ``workers`` is the
+    thread pool bridging the event loop to those (blocking) library
+    calls.  ``share_estimators=False`` disables the warm per-group
+    estimator pool — the un-coalesced baseline the service benchmark
+    measures against.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8577
+    n_jobs: int = 1
+    workers: int = 4
+    map_engine: str = "thread"
+    max_batch: int = 32
+    max_delay: float = 0.002
+    max_queue: int = 512
+    coalesce: bool = True
+    request_timeout: float = 60.0
+    max_payload: int = MAX_PAYLOAD_BYTES
+    cache_dir: Optional[str] = None
+    cache_max_entries: Optional[int] = None
+    default_target_se: Optional[float] = None
+    share_estimators: bool = True
+    estimator_pool_size: int = 16
+    intern_pool_size: int = 64
+    shutdown_timeout: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.n_jobs < 1:
+            raise ValueError(f"n_jobs must be >= 1, got {self.n_jobs}")
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.request_timeout <= 0:
+            raise ValueError(
+                f"request_timeout must be positive, got {self.request_timeout}"
+            )
+        if self.default_target_se is not None and not self.default_target_se > 0:
+            raise ValueError(
+                f"default_target_se must be positive, got {self.default_target_se}"
+            )
+
+    def batch_policy(self) -> BatchPolicy:
+        return BatchPolicy(
+            max_batch=self.max_batch,
+            max_delay=self.max_delay,
+            max_queue=self.max_queue,
+            coalesce=self.coalesce,
+        )
+
+
+class EstimationServer:
+    """The serving runtime; see the module docstring for the contract."""
+
+    def __init__(self, config: Optional[ServerConfig] = None) -> None:
+        self.config = config or ServerConfig()
+        self.metrics = ServiceMetrics()
+        self.cache = (
+            EstimateCache(
+                self.config.cache_dir, max_entries=self.config.cache_max_entries
+            )
+            if self.config.cache_dir is not None
+            else None
+        )
+        self._instances = instance_pool(self.config.intern_pool_size)
+        self._mechanisms = mechanism_pool(self.config.intern_pool_size)
+        self._estimators: "OrderedDict[str, Any]" = OrderedDict()
+        self._estimators_lock = threading.Lock()
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._batcher: Optional[CoalescingBatcher] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._conn_tasks: set = set()
+        self._closing = False
+        self._port: Optional[int] = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the listening socket (port 0 picks a free port)."""
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.config.workers, thread_name_prefix="repro-service"
+        )
+        self._batcher = CoalescingBatcher(
+            self.config.batch_policy(),
+            self._execute_group,
+            self._executor,
+            metrics=self.metrics,
+        )
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+        self._port = self._server.sockets[0].getsockname()[1]
+
+    @property
+    def host(self) -> str:
+        return self.config.host
+
+    @property
+    def port(self) -> int:
+        """The actually-bound port (differs from config when it was 0)."""
+        if self._port is None:
+            raise RuntimeError("server has not been started")
+        return self._port
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            raise RuntimeError("server has not been started")
+        try:
+            await self._server.serve_forever()
+        except asyncio.CancelledError:  # normal shutdown path
+            pass
+
+    async def shutdown(self, timeout: Optional[float] = None) -> None:
+        """Graceful stop: drain in-flight work, then close connections.
+
+        While draining, the listener keeps accepting so late requests
+        receive typed ``shutting_down`` errors instead of connection
+        resets; requests still unresolved after ``timeout`` fail the
+        same way.
+        """
+        if self._closing:
+            return
+        self._closing = True
+        timeout = self.config.shutdown_timeout if timeout is None else timeout
+        if self._batcher is not None:
+            await self._batcher.drain(timeout)
+        if self._conn_tasks:
+            # Let dispatchers woken by drain's typed failures write their
+            # 503s before the connections are torn down.
+            await asyncio.sleep(0.05)
+        if self._server is not None:
+            self._server.close()
+        for task in list(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+        if self._server is not None:
+            await self._server.wait_closed()
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+
+    # -- HTTP plumbing -----------------------------------------------------
+
+    async def _handle_connection(self, reader, writer) -> None:
+        task = asyncio.current_task()
+        self._conn_tasks.add(task)
+        try:
+            while True:
+                try:
+                    head = await reader.readuntil(b"\r\n\r\n")
+                except (
+                    asyncio.IncompleteReadError,
+                    ConnectionResetError,
+                    BrokenPipeError,
+                ):
+                    break
+                except asyncio.LimitOverrunError:
+                    error = ServiceError("bad_request", "request head too large")
+                    await self._write(writer, 431, error.payload(), keep=False)
+                    break
+                parsed = self._parse_head(head)
+                if parsed is None:
+                    error = ServiceError("bad_request", "malformed HTTP request")
+                    await self._write(writer, 400, error.payload(), keep=False)
+                    break
+                method, path, headers = parsed
+                try:
+                    length = int(headers.get("content-length", "0"))
+                except ValueError:
+                    error = ServiceError("bad_request", "invalid Content-Length")
+                    await self._write(writer, 400, error.payload(), keep=False)
+                    break
+                if length > self.config.max_payload:
+                    # Typed 413 without reading (or buffering) the body;
+                    # the connection cannot be resynced, so close it.
+                    self.metrics.record_error("payload_too_large")
+                    error = ServiceError(
+                        "payload_too_large",
+                        f"request body is {length} bytes "
+                        f"(limit {self.config.max_payload})",
+                    )
+                    await self._write(
+                        writer, error.http_status, error.payload(), keep=False
+                    )
+                    break
+                try:
+                    body = await reader.readexactly(length) if length else b""
+                except (asyncio.IncompleteReadError, ConnectionResetError):
+                    break
+                status, payload = await self._dispatch(method, path, body)
+                keep = headers.get("connection", "").lower() != "close"
+                await self._write(writer, status, payload, keep=keep)
+                if not keep:
+                    break
+        except asyncio.CancelledError:  # server shutdown closed us
+            pass
+        finally:
+            self._conn_tasks.discard(task)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (Exception, asyncio.CancelledError):
+                pass
+
+    @staticmethod
+    def _parse_head(head: bytes) -> Optional[Tuple[str, str, Dict[str, str]]]:
+        try:
+            lines = head.decode("latin-1").split("\r\n")
+            method, path, _version = lines[0].split(" ", 2)
+        except (UnicodeDecodeError, ValueError):
+            return None
+        headers: Dict[str, str] = {}
+        for line in lines[1:]:
+            if not line:
+                continue
+            name, sep, value = line.partition(":")
+            if not sep:
+                return None
+            headers[name.strip().lower()] = value.strip()
+        return method.upper(), path, headers
+
+    async def _write(
+        self, writer, status: int, payload: Dict[str, Any], keep: bool = True
+    ) -> None:
+        body = json.dumps(payload).encode()
+        head = (
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: {'keep-alive' if keep else 'close'}\r\n"
+            "\r\n"
+        ).encode("latin-1")
+        try:
+            writer.write(head + body)
+            await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+    # -- request dispatch --------------------------------------------------
+
+    async def _dispatch(
+        self, method: str, path: str, body: bytes
+    ) -> Tuple[int, Dict[str, Any]]:
+        if method == "GET" and path == "/healthz":
+            return 200, {
+                "v": PROTOCOL_VERSION,
+                "ok": True,
+                "status": "shutting_down" if self._closing else "serving",
+            }
+        if method == "GET" and path == "/metrics":
+            return 200, self._metrics_payload()
+        op = ROUTES.get(path)
+        if op is None or method != "POST":
+            error = ServiceError(
+                "not_found", f"no route for {method} {path}"
+            )
+            self.metrics.record_error(error.code)
+            return error.http_status, error.payload()
+        start = time.perf_counter()
+        self.metrics.record_request(op)
+        try:
+            if self._closing:
+                raise ServiceError(
+                    "shutting_down", "server is draining and not accepting work"
+                )
+            data = parse_body(body, self.config.max_payload)
+            if data["op"] != op:
+                raise ServiceError(
+                    "bad_request",
+                    f"body op {data['op']!r} does not match route {path!r}",
+                )
+            request = self._apply_defaults(
+                parse_request(data, self._instances, self._mechanisms)
+            )
+            future = self._batcher.submit(
+                request, request.coalesce_key(), request.group_key()
+            )
+            result = await asyncio.wait_for(
+                asyncio.shield(future), self.config.request_timeout
+            )
+        except asyncio.TimeoutError:
+            error = ServiceError(
+                "timeout",
+                f"request exceeded {self.config.request_timeout}s "
+                "(the computation keeps running; an identical retry "
+                "coalesces onto it)",
+            )
+            self.metrics.record_error(error.code)
+            return error.http_status, error.payload()
+        except ServiceError as error:
+            self.metrics.record_error(error.code)
+            return error.http_status, error.payload()
+        except Exception as exc:  # defensive: never leak a traceback
+            error = ServiceError("internal", f"{type(exc).__name__}: {exc}")
+            self.metrics.record_error(error.code)
+            return error.http_status, error.payload()
+        self.metrics.record_completed(op, time.perf_counter() - start)
+        return 200, ok_payload(result)
+
+    def _apply_defaults(self, request: Request) -> Request:
+        """Fill the server-level ``target_se`` default into bare requests.
+
+        Applied before coalesce keys are computed, so an explicit
+        ``target_se=x`` and an omitted one under default ``x`` coalesce
+        with each other and share cache entries.
+        """
+        default = self.config.default_target_se
+        if default is None or request.target_se is not None:
+            return request
+        from dataclasses import replace
+
+        return replace(request, target_se=default)
+
+    def _metrics_payload(self) -> Dict[str, Any]:
+        snapshot = self.metrics.snapshot()
+        snapshot["queue"] = {
+            "depth": self._batcher.queue_depth if self._batcher else 0,
+            "outstanding": self._batcher.outstanding if self._batcher else 0,
+            "high_water": self.config.max_queue,
+            "rejected_total": self._batcher.rejected_total if self._batcher else 0,
+        }
+        snapshot["estimate_cache"] = (
+            self.cache.stats() if self.cache is not None else None
+        )
+        snapshot["pools"] = {
+            "interned_instances": len(self._instances),
+            "interned_mechanisms": len(self._mechanisms),
+            "warm_estimators": len(self._estimators),
+            "workers": self.config.workers,
+            "n_jobs": self.config.n_jobs,
+        }
+        return {"v": PROTOCOL_VERSION, "ok": True, "metrics": snapshot}
+
+    # -- group execution (worker threads) ----------------------------------
+
+    def _checkout_estimator(self, group_key: Optional[str]):
+        from repro.voting.montecarlo import BatchEstimator
+
+        if group_key is not None and self.config.share_estimators:
+            with self._estimators_lock:
+                cached = self._estimators.pop(group_key, None)
+            if cached is not None:
+                return cached
+        return BatchEstimator(n_jobs=self.config.n_jobs)
+
+    def _return_estimator(self, group_key: Optional[str], estimator) -> None:
+        if group_key is None or not self.config.share_estimators:
+            return
+        with self._estimators_lock:
+            # Exclusive checkout: a concurrent group under the same key
+            # built its own estimator; last one back wins the pool slot.
+            self._estimators[group_key] = estimator
+            self._estimators.move_to_end(group_key)
+            while len(self._estimators) > self.config.estimator_pool_size:
+                self._estimators.popitem(last=False)
+
+    def _execute_group(self, requests: List[Request]) -> List[Outcome]:
+        """Serve one micro-batch in arrival order on one warm estimator."""
+        first = requests[0]
+        group_key = (
+            first.group_key() if isinstance(first, EstimateRequest) else None
+        )
+        estimator = self._checkout_estimator(group_key)
+        outcomes: List[Outcome] = []
+        try:
+            for request in requests:
+                try:
+                    outcomes.append(("ok", self._run_one(request, estimator)))
+                except ServiceError as error:
+                    outcomes.append(("error", error))
+                except Exception as exc:
+                    outcomes.append(
+                        (
+                            "error",
+                            ServiceError(
+                                "internal", f"{type(exc).__name__}: {exc}"
+                            ),
+                        )
+                    )
+        finally:
+            self._return_estimator(group_key, estimator)
+        return outcomes
+
+    def _run_one(self, request: Request, estimator) -> Any:
+        from repro.voting.montecarlo import (
+            estimate_ballot_probability,
+            estimate_correct_probability,
+            estimate_gain,
+        )
+
+        if isinstance(request, ExperimentRequest):
+            from repro.experiments import ExperimentConfig, get_experiment
+            from repro.io import result_to_dict
+
+            try:
+                runner = get_experiment(request.experiment)
+            except KeyError as exc:
+                raise ServiceError("not_found", str(exc)) from None
+            config = ExperimentConfig(
+                seed=request.seed,
+                scale=request.scale,
+                engine=request.engine,
+                n_jobs=self.config.n_jobs,
+                map_engine=self.config.map_engine,
+                target_se=request.target_se,
+                cache_dir=self.config.cache_dir,
+            )
+            return result_to_dict(runner(config))
+        # Serial-engine requests must stay serial (their stream is the
+        # contract); estimates are n_jobs-invariant only within the
+        # batch engine.
+        batch = request.engine == "batch"
+        kwargs: Dict[str, Any] = dict(
+            rounds=request.rounds,
+            seed=request.seed,
+            tie_policy=request.tie_policy,
+            engine=request.engine,
+            n_jobs=self.config.n_jobs if batch else 1,
+            target_se=request.target_se,
+            max_rounds=request.max_rounds,
+            cache=self.cache,
+        )
+        if request.op == "ballot":
+            return estimate_payload(
+                estimate_ballot_probability(
+                    request.instance, request.mechanism, **kwargs
+                )
+            )
+        kwargs["exact_conditional"] = request.exact_conditional
+        kwargs["estimator"] = estimator if batch else None
+        if request.op == "gain":
+            gain, est, direct = estimate_gain(
+                request.instance, request.mechanism, **kwargs
+            )
+            return gain_payload(gain, est, direct)
+        return estimate_payload(
+            estimate_correct_probability(
+                request.instance, request.mechanism, **kwargs
+            )
+        )
+
+
+async def run_server(config: Optional[ServerConfig] = None, ready=None) -> None:
+    """Start a server and run until cancelled (library entry point)."""
+    server = EstimationServer(config)
+    await server.start()
+    if ready is not None:
+        ready(server)
+    try:
+        await server.serve_forever()
+    finally:
+        await server.shutdown()
+
+
+class BackgroundServer:
+    """An :class:`EstimationServer` on its own thread and event loop.
+
+    The harness tests, benchmarks and notebooks use: ``with
+    BackgroundServer(config) as handle: client = ServiceClient(port=
+    handle.port)``.  ``stop()`` performs the full graceful shutdown and
+    joins the thread.
+    """
+
+    def __init__(self, config: Optional[ServerConfig] = None) -> None:
+        self.config = config or ServerConfig(port=0)
+        self.server: Optional[EstimationServer] = None
+        self._thread: Optional[threading.Thread] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop_event: Optional[asyncio.Event] = None
+        self._ready = threading.Event()
+        self._error: Optional[BaseException] = None
+
+    def start(self) -> "BackgroundServer":
+        if self._thread is not None:
+            raise RuntimeError("background server already started")
+        self._thread = threading.Thread(
+            target=lambda: asyncio.run(self._main()),
+            name="repro-service-loop",
+            daemon=True,
+        )
+        self._thread.start()
+        self._ready.wait(timeout=30.0)
+        if self._error is not None:
+            raise RuntimeError(f"server failed to start: {self._error}")
+        if self.server is None:
+            raise RuntimeError("server did not come up within 30s")
+        return self
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop_event = asyncio.Event()
+        server = EstimationServer(self.config)
+        try:
+            await server.start()
+        except BaseException as exc:
+            self._error = exc
+            self._ready.set()
+            return
+        self.server = server
+        self._ready.set()
+        await self._stop_event.wait()
+        await server.shutdown()
+
+    @property
+    def port(self) -> int:
+        if self.server is None:
+            raise RuntimeError("background server is not running")
+        return self.server.port
+
+    def request_shutdown(self) -> None:
+        """Begin graceful shutdown without waiting for it to finish."""
+        if self._loop is not None and self._stop_event is not None:
+            self._loop.call_soon_threadsafe(self._stop_event.set)
+
+    def stop(self, timeout: float = 30.0) -> None:
+        """Gracefully shut down and join the server thread."""
+        self.request_shutdown()
+        if self._thread is not None:
+            self._thread.join(timeout)
+            if self._thread.is_alive():
+                raise RuntimeError("server thread did not stop in time")
+            self._thread = None
+
+    def __enter__(self) -> "BackgroundServer":
+        return self.start()
+
+    def __exit__(self, *_exc) -> None:
+        self.stop()

@@ -229,9 +229,18 @@ def _batch_values(
     comp_c = comp[cols]
     cols_tag = cols.tobytes()
     keys = [(cols_tag, W[r].tobytes()) for r in range(rounds)]
+    # `resolved` holds this call's values independently of the LRU: when
+    # a batch has more distinct profiles than the cache holds, earlier
+    # entries may already be evicted by read-back time.
+    resolved: dict = {}
     pending: dict = {}
     for r, key in enumerate(keys):
-        if cache.get(key) is None and key not in pending:
+        if key in resolved or key in pending:
+            continue
+        hit = cache.get(key)
+        if hit is not None:
+            resolved[key] = hit
+        else:
             pending[key] = r
     if pending:
         if len(pending) == rounds:
@@ -245,15 +254,18 @@ def _batch_values(
                 pmf = weighted_bernoulli_pmf(W[r][mask], comp_c[mask])
                 strict = min(1.0, float(pmf[half + 1 :].sum()))
                 atom = float(pmf[half]) if total % 2 == 0 else 0.0
+                resolved[key] = (strict, atom)
                 cache.put(key, (strict, atom))
         else:
             win, atom = weighted_tails_batch(W[rows], comp_c, total)
             for j, key in enumerate(pending):
-                cache.put(key, (float(win[j]), float(atom[j])))
+                pair = (float(win[j]), float(atom[j]))
+                resolved[key] = pair
+                cache.put(key, pair)
     values = np.empty(rounds)
     coin = tie_policy is TiePolicy.COIN_FLIP
     for r, key in enumerate(keys):
-        strict, atom = cache.get(key)
+        strict, atom = resolved[key]
         values[r] = strict + 0.5 * atom if coin else strict
     return np.minimum(values, 1.0)
 
@@ -602,6 +614,7 @@ def estimate_correct_probability(
     target_se: Optional[float] = None,
     max_rounds: Optional[int] = None,
     cache=None,
+    estimator: Optional["BatchEstimator"] = None,
 ) -> CorrectnessEstimate:
     """Estimate ``P^M(G)`` over ``rounds`` independent mechanism draws.
 
@@ -616,15 +629,27 @@ def estimate_correct_probability(
     ``cache`` (a :class:`repro.cache.EstimateCache`) persists the
     estimate on disk keyed by instance/mechanism/seed/params, so
     repeated sweeps skip already-computed points.
+
+    ``estimator`` — an existing :class:`BatchEstimator` — selects the
+    batch engine and reuses that estimator's warm profile cache instead
+    of constructing a fresh one.  The estimate is bit-identical either
+    way (profile-cache entries are exact values); callers serving many
+    related estimates — the estimation service groups requests sharing
+    an instance/mechanism — pass one estimator per group so repeated
+    sink-weight profiles skip their DP across calls, not just within
+    one.
     """
     if engine not in ENGINES:
         raise ValueError(f"engine must be one of {ENGINES}, got {engine!r}")
     cap = _resolve_adaptive(rounds, target_se, max_rounds)
-    use_batch = engine == "batch" or n_jobs > 1
+    use_batch = engine == "batch" or n_jobs > 1 or estimator is not None
 
     def compute() -> CorrectnessEstimate:
         if use_batch:
-            return BatchEstimator(n_jobs=n_jobs).estimate(
+            runner = (
+                estimator if estimator is not None else BatchEstimator(n_jobs=n_jobs)
+            )
+            return runner.estimate(
                 instance,
                 mechanism,
                 rounds=rounds,
@@ -786,19 +811,22 @@ def estimate_gain(
     rounds: int = 400,
     seed: SeedLike = None,
     tie_policy: TiePolicy = TiePolicy.INCORRECT,
+    exact_conditional: bool = True,
     engine: str = "serial",
     n_jobs: int = 1,
     target_se: Optional[float] = None,
     max_rounds: Optional[int] = None,
     cache=None,
+    estimator: Optional["BatchEstimator"] = None,
 ) -> Tuple[float, CorrectnessEstimate, float]:
     """Estimate ``gain(M, G) = P^M(G) − P^D(G)``.
 
     Direct voting is computed exactly, so the gain estimate inherits only
     the mechanism-sampling uncertainty.  Returns
-    ``(gain, mechanism_estimate, direct_probability)``.  The adaptive
-    (``target_se``/``max_rounds``) and persistence (``cache``) knobs are
-    forwarded to :func:`estimate_correct_probability`.
+    ``(gain, mechanism_estimate, direct_probability)``.  The
+    ``exact_conditional``, adaptive (``target_se``/``max_rounds``),
+    persistence (``cache``) and shared ``estimator`` knobs are forwarded
+    to :func:`estimate_correct_probability`.
     """
     from repro.voting.exact import direct_voting_probability
 
@@ -809,10 +837,12 @@ def estimate_gain(
         rounds=rounds,
         seed=seed,
         tie_policy=tie_policy,
+        exact_conditional=exact_conditional,
         engine=engine,
         n_jobs=n_jobs,
         target_se=target_se,
         max_rounds=max_rounds,
         cache=cache,
+        estimator=estimator,
     )
     return est.probability - direct, est, direct

@@ -33,6 +33,24 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.command == "serve"
+        assert args.port == 8577
+        assert args.coalesce is True
+        assert args.cache is False
+        assert args.cache_max_entries is None
+
+    def test_serve_options(self):
+        args = build_parser().parse_args(
+            ["serve", "--port", "0", "--jobs", "2", "--no-coalesce",
+             "--max-queue", "64", "--cache", "--cache-max-entries", "100"]
+        )
+        assert args.port == 0 and args.jobs == 2
+        assert args.coalesce is False
+        assert args.max_queue == 64
+        assert args.cache is True and args.cache_max_entries == 100
+
 
 class TestCommands:
     def test_list_outputs_all_experiments(self):
@@ -63,6 +81,52 @@ class TestCommands:
         out = io.StringIO()
         main(["run", "F1", "--scale", "smoke", "--precision", "2"], out=out)
         assert "0.62" in out.getvalue()
+
+    def test_info_reports_cache_stats(self, tmp_path):
+        out = io.StringIO()
+        store = tmp_path / "store"
+        assert main(["info", "--cache-dir", str(store)], out=out) == 0
+        assert f"estimate cache at {store}: 0 entries, 0 bytes" in out.getvalue()
+
+    def test_failing_experiment_exits_nonzero_and_names_itself(
+        self, monkeypatch, capsys
+    ):
+        import repro.cli as cli_mod
+
+        def explode(config):
+            raise RuntimeError("grid point diverged")
+
+        monkeypatch.setattr(cli_mod, "get_experiment", lambda eid: explode)
+        out = io.StringIO()
+        code = main(["run", "F1", "--scale", "smoke"], out=out)
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "experiment F1 failed" in captured.err
+        assert "RuntimeError: grid point diverged" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_failing_experiment_does_not_stop_the_others(
+        self, monkeypatch, capsys
+    ):
+        import repro.cli as cli_mod
+
+        real_get = cli_mod.get_experiment
+
+        def get(eid):
+            if eid == "F1":
+                return lambda config: (_ for _ in ()).throw(ValueError("boom"))
+            return real_get(eid)
+
+        monkeypatch.setattr(cli_mod, "get_experiment", get)
+        monkeypatch.setattr(
+            cli_mod, "list_experiments", lambda: [("F1", "a"), ("F2", "b")]
+        )
+        out = io.StringIO()
+        code = main(["run", "all", "--scale", "smoke"], out=out)
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "[F2]" in out.getvalue()  # F2 still ran
+        assert "failed experiment(s): F1" in captured.err
 
 
 class TestReportCommand:

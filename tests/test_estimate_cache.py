@@ -226,3 +226,89 @@ class TestSweepResume:
         warm = get_experiment("T2")(cfg)
         assert cold.rows == warm.rows == uncached.rows
         assert len(EstimateCache(cfg.cache_dir)) > 0
+
+
+class TestBoundedCacheAndStats:
+    """``max_entries`` pruning and the ``stats()`` report."""
+
+    def _fill(self, cache, count):
+        for index in range(count):
+            entry = {field: float(index) for field in
+                     ("probability", "std_error", "ci_low", "ci_high")}
+            entry.update(rounds=40, converged=True)
+            cache.put(f"{index:064d}", entry)
+
+    def test_invalid_max_entries_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            EstimateCache(tmp_path, max_entries=0)
+
+    def test_prunes_oldest_first(self, tmp_path):
+        cache = EstimateCache(tmp_path / "store", max_entries=3)
+        now = 1_700_000_000
+        for index in range(5):
+            self._fill_one(cache, index)
+            # Deterministic ordering regardless of filesystem timestamp
+            # granularity: stamp each entry one second apart.
+            path = cache.path_for(f"{index:064d}")
+            import os as _os
+
+            _os.utime(path, ns=((now + index) * 10**9, (now + index) * 10**9))
+        cache._prune()
+        assert len(cache) == 3
+        survivors = sorted(p.name for p in cache._entries())
+        assert survivors == [f"{i:064d}.json" for i in (2, 3, 4)]
+
+    def _fill_one(self, cache, index):
+        entry = {field: float(index) for field in
+                 ("probability", "std_error", "ci_low", "ci_high")}
+        entry.update(rounds=40, converged=True)
+        cache.put(f"{index:064d}", entry)
+
+    def test_unbounded_by_default(self, tmp_path):
+        cache = EstimateCache(tmp_path / "store")
+        self._fill(cache, 5)
+        assert len(cache) == 5
+        assert cache.stats()["max_entries"] is None
+
+    def test_put_keeps_store_at_bound(self, tmp_path):
+        cache = EstimateCache(tmp_path / "store", max_entries=2)
+        self._fill(cache, 6)
+        assert len(cache) <= 2
+
+    def test_stats_counts_entries_bytes_hits_misses(self, tmp_path):
+        store = tmp_path / "store"
+        cache = EstimateCache(store, max_entries=10)
+        self._fill(cache, 3)
+        cache.get("f" * 64)  # miss (not a digest we wrote)
+        cache.get(f"{1:064d}")  # hit
+        stats = cache.stats()
+        assert stats["entries"] == 3
+        assert stats["bytes"] == sum(
+            p.stat().st_size for p in store.glob("*.json")
+        )
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["max_entries"] == 10
+
+    def test_stats_on_missing_directory(self, tmp_path):
+        stats = EstimateCache(tmp_path / "never-created").stats()
+        assert stats == {
+            "entries": 0, "bytes": 0, "hits": 0, "misses": 0,
+            "max_entries": None,
+        }
+
+    def test_inflight_tmp_files_excluded(self, tmp_path):
+        store = tmp_path / "store"
+        cache = EstimateCache(store, max_entries=10)
+        self._fill(cache, 2)
+        (store / ".tmp-torn.json").write_text("{")
+        assert len(cache) == 2
+        assert cache.stats()["entries"] == 2
+
+    def test_pruned_entry_becomes_a_miss_not_an_error(self, tmp_path):
+        store = tmp_path / "store"
+        cache = EstimateCache(store, max_entries=1)
+        estimate = _estimate(cache, seed=1)
+        _estimate(cache, seed=2)  # evicts seed=1's entry
+        again = _estimate(cache, seed=1)  # recomputed, not corrupted
+        assert again == estimate

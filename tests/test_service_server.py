@@ -1,0 +1,372 @@
+"""End-to-end tests for the estimation server and client.
+
+The load-bearing test is the determinism contract: an estimate served
+over HTTP is *bit-identical* to the same call made directly against the
+library API, for both engines, cache-cold and cache-warm.  The rest
+exercises the failure surface the issue pins down: malformed JSON,
+unknown schema version, oversized payloads, queue-full rejection and
+mid-request shutdown must all come back as typed errors while the
+server keeps serving.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import http.client
+import json
+import os
+import subprocess
+import sys
+import time
+import urllib.request
+
+import pytest
+
+from repro.cache import EstimateCache
+from repro.core.competencies import bounded_uniform_competencies
+from repro.core.instance import ProblemInstance
+from repro.graphs.generators import complete_graph
+from repro.io import instance_to_dict
+from repro.service import (
+    BackgroundServer,
+    ServerConfig,
+    ServiceClient,
+    ServiceError,
+    mechanism_spec,
+)
+from repro.service.protocol import PROTOCOL_VERSION, build_mechanism
+from repro.voting.montecarlo import (
+    estimate_ballot_probability,
+    estimate_correct_probability,
+    estimate_gain,
+)
+
+MECH_SPEC = mechanism_spec("approval_threshold", threshold=2)
+
+
+def _instance(n: int = 24, seed: int = 0) -> ProblemInstance:
+    comp = bounded_uniform_competencies(n, 0.35, seed=seed)
+    return ProblemInstance(complete_graph(n), comp, alpha=0.05)
+
+
+def _post_raw(port: int, path: str, body: bytes, headers=None):
+    """A raw HTTP POST, bypassing the client's validation."""
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+    try:
+        conn.request(
+            "POST", path, body=body,
+            headers=headers or {"Content-Type": "application/json"},
+        )
+        response = conn.getresponse()
+        return response.status, json.loads(response.read().decode())
+    finally:
+        conn.close()
+
+
+@pytest.fixture(scope="module")
+def server():
+    with BackgroundServer(ServerConfig(port=0, workers=2)) as bg:
+        yield bg
+
+
+@pytest.fixture(scope="module")
+def client(server):
+    return ServiceClient(port=server.port)
+
+
+class TestDeterminism:
+    """Served == direct, bitwise, both engines, cold and warm."""
+
+    def test_estimate_batch_engine(self, client):
+        served = client.estimate(_instance(), MECH_SPEC, rounds=60, seed=7)
+        direct = estimate_correct_probability(
+            _instance(), build_mechanism(MECH_SPEC),
+            rounds=60, seed=7, engine="batch", n_jobs=1,
+        )
+        assert served == direct
+
+    def test_estimate_serial_engine(self, client):
+        served = client.estimate(
+            _instance(), MECH_SPEC, rounds=60, seed=7, engine="serial"
+        )
+        direct = estimate_correct_probability(
+            _instance(), build_mechanism(MECH_SPEC),
+            rounds=60, seed=7, engine="serial",
+        )
+        assert served == direct
+
+    def test_gain(self, client):
+        served = client.gain(_instance(), MECH_SPEC, rounds=40, seed=3)
+        direct = estimate_gain(
+            _instance(), build_mechanism(MECH_SPEC),
+            rounds=40, seed=3, engine="batch", n_jobs=1,
+        )
+        assert served == direct
+
+    def test_ballot(self, client):
+        served = client.ballot(_instance(), MECH_SPEC, rounds=40, seed=3)
+        direct = estimate_ballot_probability(
+            _instance(), build_mechanism(MECH_SPEC),
+            rounds=40, seed=3, engine="batch", n_jobs=1,
+        )
+        assert served == direct
+
+    def test_adaptive_estimate(self, client):
+        served = client.estimate(
+            _instance(), MECH_SPEC, rounds=200, seed=5, target_se=0.02
+        )
+        direct = estimate_correct_probability(
+            _instance(), build_mechanism(MECH_SPEC),
+            rounds=200, seed=5, engine="batch", n_jobs=1, target_se=0.02,
+        )
+        assert served == direct
+
+    def test_repeat_requests_identical(self, client):
+        # The second call hits warm interned objects and a warm
+        # estimator; the contract says that must not change a bit.
+        first = client.estimate(_instance(), MECH_SPEC, rounds=50, seed=11)
+        second = client.estimate(_instance(), MECH_SPEC, rounds=50, seed=11)
+        assert first == second
+
+    def test_concurrent_duplicates_identical(self, client):
+        instance_dict = instance_to_dict(_instance())
+        direct = estimate_correct_probability(
+            _instance(), build_mechanism(MECH_SPEC),
+            rounds=80, seed=13, engine="batch", n_jobs=1,
+        )
+        with concurrent.futures.ThreadPoolExecutor(8) as pool:
+            results = list(
+                pool.map(
+                    lambda _: client.estimate(
+                        instance_dict, MECH_SPEC, rounds=80, seed=13
+                    ),
+                    range(16),
+                )
+            )
+        assert all(result == direct for result in results)
+
+    def test_served_and_direct_share_cache_entries(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        direct_cache = EstimateCache(cache_dir)
+        direct = estimate_correct_probability(
+            _instance(), build_mechanism(MECH_SPEC),
+            rounds=50, seed=21, engine="batch", n_jobs=1, cache=direct_cache,
+        )
+        assert direct_cache.misses == 1
+        config = ServerConfig(port=0, workers=1, cache_dir=str(cache_dir))
+        with BackgroundServer(config) as bg:
+            served = ServiceClient(port=bg.port).estimate(
+                _instance(), MECH_SPEC, rounds=50, seed=21
+            )
+            stats = ServiceClient(port=bg.port).metrics()["estimate_cache"]
+        assert served == direct
+        assert stats["hits"] == 1 and stats["misses"] == 0
+
+
+class TestHealthAndMetrics:
+    def test_healthz(self, server):
+        with urllib.request.urlopen(
+            f"http://127.0.0.1:{server.port}/healthz", timeout=10
+        ) as response:
+            data = json.loads(response.read().decode())
+        assert data == {"v": PROTOCOL_VERSION, "ok": True, "status": "serving"}
+
+    def test_metrics_shape(self, client):
+        client.estimate(_instance(), MECH_SPEC, rounds=20, seed=1)
+        metrics = client.metrics()
+        for key in ("requests", "completed", "errors", "batches", "latency",
+                    "queue", "pools", "coalesced_total", "estimate_cache"):
+            assert key in metrics
+        assert metrics["requests"]["estimate"] >= 1
+        assert metrics["batches"]["count"] >= 1
+        assert metrics["latency"]["p95_ms"] >= metrics["latency"]["p50_ms"] >= 0
+        assert metrics["queue"]["high_water"] == 512
+        assert metrics["estimate_cache"] is None  # no cache configured
+
+    def test_coalescing_visible_in_metrics(self):
+        # A wide window plus concurrent identical requests forces the
+        # batcher to share one in-flight computation.
+        config = ServerConfig(port=0, workers=2, max_delay=0.05)
+        with BackgroundServer(config) as bg:
+            client = ServiceClient(port=bg.port)
+            instance_dict = instance_to_dict(_instance())
+            with concurrent.futures.ThreadPoolExecutor(8) as pool:
+                results = list(
+                    pool.map(
+                        lambda _: client.estimate(
+                            instance_dict, MECH_SPEC, rounds=400, seed=2
+                        ),
+                        range(8),
+                    )
+                )
+            metrics = client.metrics()
+        assert len(set(results)) == 1
+        assert metrics["coalesced_total"] > 0
+        assert metrics["requests"]["estimate"] == 8
+
+
+class TestErrorPaths:
+    """Typed errors out, server still serving afterwards."""
+
+    def test_malformed_json(self, server, client):
+        status, data = _post_raw(server.port, "/v1/estimate", b'{"v": 1, ')
+        assert status == 400
+        assert data["ok"] is False and data["error"]["code"] == "bad_json"
+        client.healthz()  # still serving
+
+    def test_unknown_schema_version(self, server):
+        body = json.dumps({"v": 99, "op": "estimate"}).encode()
+        status, data = _post_raw(server.port, "/v1/estimate", body)
+        assert status == 400
+        assert data["error"]["code"] == "unsupported_version"
+
+    def test_unknown_route(self, server):
+        status, data = _post_raw(server.port, "/v2/estimate", b"{}")
+        assert status == 404
+        assert data["error"]["code"] == "not_found"
+
+    def test_route_op_mismatch(self, server):
+        body = json.dumps(
+            {
+                "v": PROTOCOL_VERSION,
+                "op": "gain",
+                "instance": instance_to_dict(_instance()),
+                "mechanism": MECH_SPEC,
+            }
+        ).encode()
+        status, data = _post_raw(server.port, "/v1/estimate", body)
+        assert status == 400
+        assert data["error"]["code"] == "bad_request"
+
+    def test_unknown_experiment_is_404(self, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client.experiment("NOPE", scale="smoke")
+        assert excinfo.value.code == "not_found"
+
+    def test_oversized_payload(self):
+        config = ServerConfig(port=0, workers=1, max_payload=2048)
+        with BackgroundServer(config) as bg:
+            status, data = _post_raw(
+                bg.port, "/v1/estimate", b"x" * 4096
+            )
+            assert status == 413
+            assert data["error"]["code"] == "payload_too_large"
+            # Oversized bodies close the connection, but the server
+            # itself keeps serving new ones.
+            ServiceClient(port=bg.port).healthz()
+
+    def test_queue_full_rejection(self):
+        # max_queue=1 with a wide-open batching window: the first
+        # request is admitted and sits in the window; the second must be
+        # rejected with a typed 429 regardless of timing.
+        config = ServerConfig(
+            port=0, workers=1, max_queue=1, max_delay=30.0, coalesce=False
+        )
+        with BackgroundServer(config) as bg:
+            client = ServiceClient(port=bg.port)
+            instance_dict = instance_to_dict(_instance())
+            with concurrent.futures.ThreadPoolExecutor(2) as pool:
+                first = pool.submit(
+                    client.estimate, instance_dict, MECH_SPEC,
+                    rounds=10, seed=1,
+                )
+                time.sleep(0.3)  # let the first request enter the window
+                with pytest.raises(ServiceError) as excinfo:
+                    client.estimate(instance_dict, MECH_SPEC, rounds=10, seed=2)
+                assert excinfo.value.code == "queue_full"
+                assert excinfo.value.http_status == 429
+                metrics = client.metrics()
+                assert metrics["queue"]["rejected_total"] >= 1
+                bg.server.config  # server alive
+                bg.request_shutdown()  # flushes the window; first completes
+                result = first.result(timeout=30)
+            assert result.rounds == 10
+
+    def test_request_timeout(self):
+        config = ServerConfig(
+            port=0, workers=1, request_timeout=0.05, max_delay=0.5
+        )
+        with BackgroundServer(config) as bg:
+            client = ServiceClient(port=bg.port)
+            with pytest.raises(ServiceError) as excinfo:
+                client.estimate(_instance(), MECH_SPEC, rounds=10, seed=1)
+            assert excinfo.value.code == "timeout"
+            assert excinfo.value.http_status == 504
+            client.healthz()  # still serving
+
+    def test_mid_request_shutdown(self):
+        # Park a request in a wide batching window, then shut down with
+        # a zero drain budget: the parked request must fail with a typed
+        # shutting_down error, not hang or reset the connection.
+        config = ServerConfig(
+            port=0, workers=1, max_delay=30.0, shutdown_timeout=0.0
+        )
+        bg = BackgroundServer(config).start()
+        client = ServiceClient(port=bg.port)
+        instance_dict = instance_to_dict(_instance())
+        with concurrent.futures.ThreadPoolExecutor(1) as pool:
+            parked = pool.submit(
+                client.estimate, instance_dict, MECH_SPEC, rounds=10, seed=1
+            )
+            time.sleep(0.3)
+            bg.stop()
+            with pytest.raises(ServiceError) as excinfo:
+                parked.result(timeout=30)
+        # Drain flushes the window before failing leftovers, so the
+        # parked request either completed first or got the typed error.
+        assert excinfo.value.code in ("shutting_down", "internal")
+
+
+class TestValidationOverHttp:
+    def test_bad_mechanism_spec(self, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client.estimate(
+                _instance(), {"name": "mind_reader", "params": {}}, rounds=10
+            )
+        assert excinfo.value.code == "bad_request"
+        assert "mind_reader" in excinfo.value.message
+
+    def test_bad_rounds(self, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client.estimate(_instance(), MECH_SPEC, rounds=0)
+        assert excinfo.value.code == "bad_request"
+
+    def test_experiment_round_trip(self, client):
+        result = client.experiment("F1", scale="smoke", seed=0)
+        assert result["experiment_id"] == "F1"
+        assert result["rows"]
+
+
+class TestServeCli:
+    def test_serve_boots_answers_and_stops(self, tmp_path):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.join(os.path.dirname(__file__), "..", "src")
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--port", "0",
+             "--workers", "1"],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env=env,
+            cwd=str(tmp_path),
+        )
+        try:
+            line = proc.stdout.readline()
+            assert "listening on http://" in line
+            port = int(line.split("listening on http://")[1].split()[0]
+                       .rsplit(":", 1)[1])
+            client = ServiceClient(port=port, timeout=60)
+            estimate = client.estimate(_instance(), MECH_SPEC, rounds=30, seed=4)
+            direct = estimate_correct_probability(
+                _instance(), build_mechanism(MECH_SPEC),
+                rounds=30, seed=4, engine="batch", n_jobs=1,
+            )
+            assert estimate == direct
+            client.close()
+        finally:
+            proc.terminate()
+            try:
+                proc.wait(timeout=20)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                raise
