@@ -17,9 +17,8 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING
 
-import numpy as np
 
 from repro._util.rng import SeedLike, spawn_generators
 from repro.core.competencies import competency_interval

@@ -19,7 +19,7 @@ from typing import TYPE_CHECKING, Callable, List, Sequence, Tuple
 import numpy as np
 
 from repro._util.rng import SeedLike, spawn_generators
-from repro.analysis.gain import GainEstimate, monte_carlo_gain
+from repro.analysis.gain import monte_carlo_gain
 from repro.core.instance import ProblemInstance
 
 if TYPE_CHECKING:  # pragma: no cover

@@ -6,6 +6,7 @@ Usage::
     python -m repro run T2 --scale default --seed 0
     python -m repro run all --scale smoke
     python -m repro info
+    python -m repro lint src --format=json
     python -m repro serve --port 8577 --jobs 4 --cache
 
 The CLI is a thin veneer over :mod:`repro.experiments` (and, for
@@ -135,6 +136,38 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache", action=argparse.BooleanOptionalAction, default=False
     )
     report.add_argument("--cache-dir", default=".repro-cache")
+
+    lint = sub.add_parser(
+        "lint",
+        help="run reprolint, the repo's determinism & contract checker "
+        "(see docs/static-analysis.md)",
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    lint.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    lint.add_argument(
+        "--select",
+        default=None,
+        metavar="IDS",
+        help="comma-separated rule ids to run exclusively (e.g. R101,K401); "
+        "an unknown id is a hard error",
+    )
+    lint.add_argument(
+        "--ignore",
+        default=None,
+        metavar="IDS",
+        help="comma-separated rule ids to drop (applied after --select); "
+        "an unknown id is a hard error",
+    )
 
     serve = sub.add_parser(
         "serve",
@@ -338,6 +371,42 @@ def _cmd_report(
     return 0
 
 
+def _split_rule_ids(raw: Optional[str]) -> Optional[List[str]]:
+    if raw is None:
+        return None
+    return [part.strip() for part in raw.split(",") if part.strip()]
+
+
+def _cmd_lint(args, out) -> int:
+    from repro.lint import (
+        UnknownRuleError,
+        lint_paths,
+        render_json,
+        render_text,
+    )
+    from repro.lint.framework import iter_python_files
+    from pathlib import Path
+
+    paths = args.paths or ["src"]
+    missing = [p for p in paths if not Path(p).exists()]
+    if missing:
+        print(f"error: no such path(s): {', '.join(missing)}", file=sys.stderr)
+        return 2
+    try:
+        findings = lint_paths(
+            paths,
+            select=_split_rule_ids(args.select),
+            ignore=_split_rule_ids(args.ignore),
+        )
+    except UnknownRuleError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    files_checked = len(iter_python_files([Path(p) for p in paths]))
+    render = render_json if args.format == "json" else render_text
+    print(render(findings, files_checked), file=out)
+    return 1 if findings else 0
+
+
 def _cmd_serve(args, out) -> int:
     import asyncio
 
@@ -390,6 +459,8 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         return _cmd_list(out)
     if args.command == "info":
         return _cmd_info(out, args.cache_dir)
+    if args.command == "lint":
+        return _cmd_lint(args, out)
     if args.command == "serve":
         return _cmd_serve(args, out)
     if args.command in ("run", "report"):

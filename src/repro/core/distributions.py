@@ -18,7 +18,7 @@ from typing import List, Sequence, Tuple
 import numpy as np
 
 from repro._util.rng import SeedLike, as_generator
-from repro._util.validation import check_fraction, check_probability
+from repro._util.validation import check_probability
 
 
 class CompetencyDistribution(abc.ABC):

@@ -40,6 +40,7 @@ class DelegationCycleError(ValueError):
         super().__init__(f"delegation cycle detected: {' -> '.join(map(str, cycle))}")
 
 
+# reprolint: reference=_reference_resolve_sinks
 def resolve_forests_batch(
     delegates: np.ndarray,
 ) -> Tuple[np.ndarray, np.ndarray]:

@@ -17,11 +17,8 @@ from typing import List
 
 import numpy as np
 
-from repro._util.rng import spawn_generators
-from repro.analysis.conditions import (
-    audit_lemma3_conditions,
-    audit_lemma5_conditions,
-)
+from repro._util.rng import derive_seed, spawn_generators
+from repro.analysis.conditions import audit_lemma5_conditions
 from repro.analysis.gain import monte_carlo_gain
 from repro.core.competencies import bounded_uniform_competencies
 from repro.core.instance import ProblemInstance
@@ -173,7 +170,10 @@ def run_topology_audit(config: ExperimentConfig = ExperimentConfig()) -> Experim
     ]
     mechanism = RandomApproved()
     rows: List[List[object]] = []
-    gen_pool = spawn_generators(config.seed + 1, len(families) + 1)
+    # A second generator pool, derived without ad-hoc seed arithmetic:
+    # `seed + 1` collides with the family pool of the `seed + 1` run,
+    # derive_seed's SplitMix-style mixing does not.
+    gen_pool = spawn_generators(derive_seed(config.seed, 1), len(families) + 1)
     for (name, graph), gen in zip(families, gen_pool):
         m = graph.num_vertices
         p = bounded_uniform_competencies(m, 0.35, seed=gen)

@@ -29,7 +29,7 @@ from repro.graphs.generators import star_graph
 from repro.mechanisms.adversarial import AdversarialConcentrator
 from repro.mechanisms.direct import DirectVoting
 from repro.mechanisms.greedy import CappedRandomApproved, GreedyBest
-from repro.mechanisms.threshold import ApprovalThreshold, RandomApproved
+from repro.mechanisms.threshold import RandomApproved
 
 
 @register_experiment("X6", "Power concentration vs harm")

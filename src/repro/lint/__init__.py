@@ -1,0 +1,76 @@
+"""reprolint — the repo's AST-based determinism & contract checker.
+
+Stdlib-``ast`` static analysis encoding the contracts the rest of the
+stack depends on (see ``docs/static-analysis.md`` for the full rule
+catalogue and suppression policy):
+
+=====  ========================  ==============================================
+id     name                      contract
+=====  ========================  ==============================================
+R101   unseeded-rng              no ``default_rng()``/``SeedSequence()``
+                                 without a seed argument
+R102   legacy-rng                no global-state ``np.random.*`` /
+                                 stdlib ``random.*`` draws
+R103   seed-arithmetic           no ad-hoc ``seed + i`` outside
+                                 ``repro/_util/rng.py``
+D201   wallclock-in-key-path     no wall-clock/``id()`` in digest- or
+                                 coalesce-key functions (``service/metrics.py``
+                                 exempt)
+D202   unsorted-digest-json      ``json.dumps`` feeding a hash must sort keys
+C301   missing-cache-token       parameterised mechanisms declare behavioural
+                                 ``cache_token`` overrides
+C302   protocol-mechanism-sync   ``MECHANISM_BUILDERS`` wire names resolve to
+                                 registered mechanism classes
+K401   kernel-missing-reference  every ``*_batch`` kernel names its
+                                 ``_reference`` oracle
+X000   parse-error               (built-in) file does not parse
+X001   bad-pragma                (built-in) suppression names an unknown rule
+=====  ========================  ==============================================
+
+Suppress a single occurrence with ``# reprolint: disable=R101`` on the
+finding's line (or the line directly above a flagged ``def``/``class``);
+declare a non-standard kernel oracle with ``# reprolint:
+reference=<fn>``.  Run as ``repro lint [paths] [--format=json]
+[--select/--ignore IDS]``; the CI ``lint`` job runs it self-hosted over
+``src/`` and gates the test jobs.
+"""
+
+from repro.lint.findings import ERROR, WARNING, Finding
+from repro.lint.framework import (
+    FileContext,
+    ProjectContext,
+    ProjectRule,
+    Rule,
+    RULES,
+    known_rule_ids,
+    parse_file,
+    register_rule,
+)
+from repro.lint.runner import (
+    LINT_SCHEMA_VERSION,
+    UnknownRuleError,
+    lint_paths,
+    render_json,
+    render_text,
+    rule_catalogue,
+)
+
+__all__ = [
+    "ERROR",
+    "WARNING",
+    "Finding",
+    "FileContext",
+    "ProjectContext",
+    "ProjectRule",
+    "Rule",
+    "RULES",
+    "LINT_SCHEMA_VERSION",
+    "UnknownRuleError",
+    "known_rule_ids",
+    "lint_paths",
+    "parse_file",
+    "register_rule",
+    "render_json",
+    "render_text",
+    "rule_catalogue",
+]

@@ -1,0 +1,167 @@
+"""Digest hygiene rules (D2xx).
+
+The persistent estimate cache, the service's coalescing batcher and the
+protocol's interning pools all key on SHA-256 digests of canonical JSON.
+Two statically checkable ways to poison those keys:
+
+* serialising with ``json.dumps`` *without* ``sort_keys=True`` before
+  hashing — dict insertion order leaks into the digest, so two
+  semantically equal payloads built in different orders stop sharing
+  cache entries (or worse, a refactor reordering keys silently
+  invalidates every stored estimate);
+* folding wall-clock time or object identity (``time.time()``,
+  ``id(...)``) into a digest- or key-producing function — the "key"
+  changes run to run, which turns a content-addressed cache into a
+  write-only store.  The service's latency metrics
+  (``repro/service/metrics.py``) are the one sanctioned consumer of
+  wall-clock readings.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.lint.findings import Finding
+from repro.lint.framework import FileContext, Rule, register_rule
+
+_CLOCK_CALLS = {
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+}
+
+_HASH_TERMINALS = {
+    "sha256", "sha1", "sha512", "sha384", "sha224", "md5",
+    "blake2b", "blake2s", "_sha256_hex",
+}
+
+_KEY_PATH_MARKERS = ("digest", "token", "canonical")
+
+
+def _is_key_path_function(name: str) -> bool:
+    """Whether a function name marks a digest/coalesce-key path.
+
+    Matches the repo's naming contract: ``estimate_digest``,
+    ``seed_token``, ``cache_token``, ``coalesce_key``, ``group_key``,
+    ``_profile_key``, ``_canonical_json`` — anything whose output is
+    meant to be a stable identity.
+    """
+    lowered = name.lower()
+    if lowered.endswith("_key") or lowered in ("coalesce_key", "group_key"):
+        return True
+    return any(marker in lowered for marker in _KEY_PATH_MARKERS)
+
+
+def _terminal_name(func: ast.AST) -> Optional[str]:
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return None
+
+
+@register_rule
+class WallClockInKeyPathRule(Rule):
+    """D201: wall-clock or ``id()`` inside digest/key functions."""
+
+    id = "D201"
+    name = "wallclock-in-key-path"
+    description = (
+        "Functions that produce digests, tokens or coalesce/group keys "
+        "must be pure functions of their inputs; time.time()-family "
+        "readings and id() leak run-specific identity into keys that "
+        "are supposed to be content-addressed.  repro/service/metrics.py "
+        "is exempt (latency metrics are the sanctioned clock consumer)."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.matches_module("repro", "service", "metrics.py"):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            enclosing = ctx.enclosing_function(node)
+            if enclosing is None or not _is_key_path_function(enclosing.name):
+                continue
+            dotted = ctx.dotted_name(node.func)
+            if dotted in _CLOCK_CALLS:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"{dotted}() inside key-path function "
+                    f"{enclosing.name!r}; keys must be content-addressed, "
+                    "not wall-clock dependent",
+                )
+            elif (
+                isinstance(node.func, ast.Name)
+                and node.func.id == "id"
+                and node.func.id not in ctx.aliases
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"id() inside key-path function {enclosing.name!r}; "
+                    "object identity is not stable across runs or "
+                    "processes",
+                )
+
+
+@register_rule
+class UnsortedDigestJsonRule(Rule):
+    """D202: ``json.dumps`` feeding a hash without ``sort_keys=True``."""
+
+    id = "D202"
+    name = "unsorted-digest-json"
+    description = (
+        "json.dumps output that flows into a hash (hashlib.sha256, "
+        "_sha256_hex, ...) must pass sort_keys=True, otherwise dict "
+        "insertion order becomes part of the digest.  Prefer "
+        "repro.cache._canonical_json, which pins separators too."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if ctx.dotted_name(node.func) != "json.dumps":
+                continue
+            if self._has_true_sort_keys(node):
+                continue
+            hasher = self._hashing_ancestor(ctx, node)
+            if hasher is not None:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"json.dumps without sort_keys=True feeds "
+                    f"{hasher}(); unsorted keys make the digest depend "
+                    "on dict insertion order",
+                )
+
+    @staticmethod
+    def _has_true_sort_keys(node: ast.Call) -> bool:
+        for kw in node.keywords:
+            if kw.arg == "sort_keys":
+                return (
+                    isinstance(kw.value, ast.Constant)
+                    and kw.value.value is True
+                )
+        return False
+
+    def _hashing_ancestor(
+        self, ctx: FileContext, node: ast.Call
+    ) -> Optional[str]:
+        """The hash call this dumps feeds within its own statement."""
+        for ancestor in ctx.ancestors(node):
+            if isinstance(ancestor, ast.stmt):
+                break
+            if isinstance(ancestor, ast.Call):
+                name = _terminal_name(ancestor.func)
+                if name in _HASH_TERMINALS:
+                    return name
+        return None

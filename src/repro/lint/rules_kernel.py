@@ -1,0 +1,80 @@
+"""Kernel-parity rule (K4xx).
+
+Every vectorised batch kernel in this repo is pinned bit-identical to a
+slow per-item oracle (``_reference_*``) by the equivalence test suites —
+that pairing *is* the determinism contract of PRs 1–2.  K401 makes the
+pairing structural: a ``*_batch`` kernel with no named reference in its
+module is a kernel nobody can pin.
+
+Non-obvious pairings are declared, not suppressed: a ``# reprolint:
+reference=<name>`` pragma on (or directly above) the kernel's ``def``
+names the oracle, and the rule verifies the named function exists in
+the module — so the pragma documents a real pairing rather than waving
+the rule away.  Genuinely non-kernel ``*_batch`` names (a metrics
+counter) use an ordinary ``disable=K401`` suppression.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.findings import Finding
+from repro.lint.framework import FileContext, Rule, register_rule
+
+
+def _is_kernel_name(name: str) -> bool:
+    if name.startswith("_reference"):
+        return False
+    return name.endswith("_batch") or name.startswith("_batch_")
+
+
+def _reference_candidates(name: str) -> Iterator[str]:
+    yield f"_reference_{name}"
+    stripped = name.lstrip("_")
+    if stripped != name:
+        yield f"_reference_{stripped}"
+
+
+@register_rule
+class KernelReferenceRule(Rule):
+    """K401: batch kernel without a ``_reference`` oracle."""
+
+    id = "K401"
+    name = "kernel-missing-reference"
+    description = (
+        "Every *_batch / _batch_* kernel must have a _reference_<name> "
+        "oracle in the same module, or a '# reprolint: reference=<fn>' "
+        "pragma naming its oracle explicitly; unpinned kernels cannot "
+        "be equivalence-tested against a per-item ground truth."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        names = ctx.function_names()
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if not _is_kernel_name(node.name):
+                continue
+            pragma = ctx.reference_pragma(node.lineno)
+            if pragma is not None:
+                for ref in pragma:
+                    if ref not in names:
+                        yield self.finding(
+                            ctx,
+                            node,
+                            f"kernel {node.name!r} declares reference "
+                            f"{ref!r}, but no such function exists in "
+                            "this module",
+                        )
+                continue
+            if any(c in names for c in _reference_candidates(node.name)):
+                continue
+            expected = " or ".join(_reference_candidates(node.name))
+            yield self.finding(
+                ctx,
+                node,
+                f"batch kernel {node.name!r} has no reference oracle; "
+                f"define {expected}, or name the oracle with "
+                "'# reprolint: reference=<fn>'",
+            )

@@ -1,0 +1,173 @@
+"""RNG discipline rules (R1xx).
+
+The repo's reproducibility contract routes every random draw through a
+seedable :class:`numpy.random.Generator` coerced by
+:mod:`repro._util.rng`.  Three ways of breaking that contract are
+checkable statically:
+
+* constructing entropy-seeded generators (``default_rng()`` /
+  ``SeedSequence()`` with no argument) — two runs can never agree;
+* legacy global-state RNG calls (``np.random.seed``, ``random.random``)
+  — hidden process-wide state that every other call site perturbs;
+* ad-hoc integer seed arithmetic (``seed + i``) — derived streams
+  collide across call sites (``seed=0``'s ``+1`` is ``seed=1``'s
+  ``+0``); :func:`repro._util.rng.derive_seed` and
+  :func:`~repro._util.rng.child_seed_sequence` exist precisely so
+  nobody invents their own mixing.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.findings import Finding
+from repro.lint.framework import FileContext, Rule, register_rule
+
+_UNSEEDED_CONSTRUCTORS = (
+    "numpy.random.default_rng",
+    "numpy.random.SeedSequence",
+)
+
+_NUMPY_RNG_ALLOWED = {
+    # Constructors / types of the Generator API; everything else on
+    # numpy.random is the legacy global-state surface.
+    "default_rng",
+    "Generator",
+    "SeedSequence",
+    "BitGenerator",
+    "PCG64",
+    "PCG64DXSM",
+    "Philox",
+    "SFC64",
+    "MT19937",
+}
+
+_STDLIB_RANDOM_FNS = {
+    "random", "randint", "randrange", "choice", "choices", "shuffle",
+    "sample", "uniform", "seed", "gauss", "betavariate", "normalvariate",
+    "expovariate", "triangular", "getrandbits", "randbytes", "vonmisesvariate",
+}
+
+_ARITH_OPS = (
+    ast.Add, ast.Sub, ast.Mult, ast.Div, ast.FloorDiv, ast.Mod, ast.Pow,
+    ast.LShift, ast.RShift, ast.BitOr, ast.BitXor, ast.BitAnd,
+)
+
+
+def _is_seed_identifier(node: ast.AST) -> bool:
+    """Whether the expression is a name/attribute that *is* a seed.
+
+    Matches ``seed`` and ``*_seed`` exactly (case-sensitive):
+    ``config.seed`` and ``base_seed`` are seeds; ``MAX_SEED`` (a bound
+    constant) and ``seeds`` (a collection) are not.
+    """
+    if isinstance(node, ast.Name):
+        ident = node.id
+    elif isinstance(node, ast.Attribute):
+        ident = node.attr
+    else:
+        return False
+    return ident == "seed" or ident.endswith("_seed")
+
+
+@register_rule
+class UnseededRngRule(Rule):
+    """R101: ``default_rng()`` / ``SeedSequence()`` without a seed."""
+
+    id = "R101"
+    name = "unseeded-rng"
+    description = (
+        "numpy.random.default_rng() and SeedSequence() must receive an "
+        "explicit seed argument; fresh-entropy generators are "
+        "irreproducible by construction.  Pass None explicitly when "
+        "fresh entropy is genuinely wanted."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call) or node.args or node.keywords:
+                continue
+            dotted = ctx.dotted_name(node.func)
+            if dotted in _UNSEEDED_CONSTRUCTORS:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"{dotted}() constructed without a seed argument; "
+                    "thread a seed (or an explicit None) through "
+                    "repro._util.rng instead",
+                )
+
+
+@register_rule
+class LegacyRngRule(Rule):
+    """R102: module-level ``np.random.*`` / stdlib ``random.*`` calls."""
+
+    id = "R102"
+    name = "legacy-rng"
+    description = (
+        "Calls into the legacy global-state RNG surfaces "
+        "(numpy.random.<fn> draws/seeding, stdlib random.<fn>) are "
+        "banned: their hidden process-wide state makes results depend "
+        "on call order across the whole program.  Use a "
+        "numpy.random.Generator threaded through repro._util.rng."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = ctx.dotted_name(node.func)
+            if dotted is None:
+                continue
+            if dotted.startswith("numpy.random."):
+                tail = dotted[len("numpy.random."):]
+                if "." not in tail and tail not in _NUMPY_RNG_ALLOWED:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"legacy global-state call {dotted}(); draw from a "
+                        "seeded numpy.random.Generator instead",
+                    )
+            elif dotted.startswith("random."):
+                tail = dotted[len("random."):]
+                if tail in _STDLIB_RANDOM_FNS:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"stdlib {dotted}() uses hidden global state; use a "
+                        "seeded numpy.random.Generator instead",
+                    )
+
+
+@register_rule
+class SeedArithmeticRule(Rule):
+    """R103: arithmetic on seed values outside ``repro/_util/rng.py``."""
+
+    id = "R103"
+    name = "seed-arithmetic"
+    description = (
+        "Deriving seeds by arithmetic (seed + i, seed * 31, ...) "
+        "collides streams across call sites and experiments.  Only "
+        "repro/_util/rng.py may mix seeds; everyone else uses "
+        "derive_seed(), spawn_generators() or child_seed_sequence()."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.matches_module("repro", "_util", "rng.py"):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.BinOp):
+                continue
+            if not isinstance(node.op, _ARITH_OPS):
+                continue
+            for operand in (node.left, node.right):
+                if _is_seed_identifier(operand):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "ad-hoc seed arithmetic; use "
+                        "repro._util.rng.derive_seed / child_seed_sequence "
+                        "for collision-free derived streams",
+                    )
+                    break

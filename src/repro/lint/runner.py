@@ -1,0 +1,144 @@
+"""The reprolint runner: collect files, run rules, filter, report.
+
+``lint_paths`` is the library entry point (the CLI and the test suite
+both call it); it returns sorted findings after suppression comments
+and ``--select``/``--ignore`` filtering.  Unknown rule ids in either
+filter raise :class:`UnknownRuleError` — a typo in CI's ``--select``
+must fail the job loudly, not silently lint nothing.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
+
+from repro.lint.findings import Finding
+from repro.lint.framework import (
+    PARSE_ERROR_ID,
+    ProjectContext,
+    ProjectRule,
+    RULES,
+    iter_python_files,
+    known_rule_ids,
+    parse_file,
+    pragma_findings,
+)
+
+# Importing the rule modules registers their rules.
+from repro.lint import rules_cache  # noqa: F401  (registration side effect)
+from repro.lint import rules_digest  # noqa: F401
+from repro.lint import rules_kernel  # noqa: F401
+from repro.lint import rules_rng  # noqa: F401
+
+LINT_SCHEMA_VERSION = 1
+"""Version of the ``--format=json`` report layout."""
+
+
+class UnknownRuleError(ValueError):
+    """A ``--select``/``--ignore`` value names no registered rule."""
+
+
+def _check_rule_ids(
+    values: Optional[Iterable[str]], flag: str
+) -> Optional[frozenset]:
+    if values is None:
+        return None
+    ids = frozenset(values)
+    unknown = sorted(ids - known_rule_ids())
+    if unknown:
+        raise UnknownRuleError(
+            f"unknown rule id(s) in {flag}: {', '.join(unknown)}; "
+            f"known: {', '.join(sorted(known_rule_ids()))}"
+        )
+    return ids
+
+
+def lint_paths(
+    paths: Sequence[Union[str, Path]],
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+) -> List[Finding]:
+    """Lint files/directories; return surviving findings, sorted.
+
+    ``select`` keeps only the named rule ids; ``ignore`` drops them
+    (applied after ``select``).  Suppression comments are honoured
+    before either filter.  Unknown ids raise :class:`UnknownRuleError`.
+    """
+    selected = _check_rule_ids(select, "--select")
+    ignored = _check_rule_ids(ignore, "--ignore")
+
+    project = ProjectContext()
+    findings: List[Finding] = []
+    for path in iter_python_files([Path(p) for p in paths]):
+        try:
+            ctx = parse_file(path)
+        except SyntaxError as exc:
+            findings.append(
+                Finding(
+                    path=str(path),
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 0) + 1,
+                    rule=PARSE_ERROR_ID,
+                    message=f"file does not parse: {exc.msg}",
+                )
+            )
+            continue
+        project.files.append(ctx)
+
+    for ctx in project.files:
+        findings.extend(pragma_findings(ctx))
+        for rule in RULES.values():
+            if isinstance(rule, ProjectRule):
+                continue
+            for finding in rule.check(ctx):
+                if not ctx.suppressed(finding.line, finding.rule):
+                    findings.append(finding)
+
+    by_path = {str(ctx.path): ctx for ctx in project.files}
+    for rule in RULES.values():
+        if not isinstance(rule, ProjectRule):
+            continue
+        for finding in rule.check_project(project):
+            ctx = by_path.get(finding.path)
+            if ctx is not None and ctx.suppressed(finding.line, finding.rule):
+                continue
+            findings.append(finding)
+
+    if selected is not None:
+        findings = [f for f in findings if f.rule in selected]
+    if ignored is not None:
+        findings = [f for f in findings if f.rule not in ignored]
+    return sorted(findings)
+
+
+def render_text(findings: Sequence[Finding], files_checked: int) -> str:
+    """Human report: one line per finding plus a summary line."""
+    lines = [f.format() for f in findings]
+    noun = "finding" if len(findings) == 1 else "findings"
+    lines.append(
+        f"reprolint: {len(findings)} {noun} in {files_checked} file(s)"
+    )
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding], files_checked: int) -> str:
+    """Machine report for CI artifacts: findings plus per-rule counts."""
+    counts: Dict[str, int] = {}
+    for finding in findings:
+        counts[finding.rule] = counts.get(finding.rule, 0) + 1
+    payload: Dict[str, Any] = {
+        "schema": LINT_SCHEMA_VERSION,
+        "files_checked": files_checked,
+        "findings": [f.to_dict() for f in findings],
+        "counts": dict(sorted(counts.items())),
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def rule_catalogue() -> List[Dict[str, str]]:
+    """Id/name/description of every registered rule (docs and --help)."""
+    return [
+        {"id": rule.id, "name": rule.name, "description": rule.description}
+        for rule in RULES.values()
+    ]

@@ -19,9 +19,8 @@ from __future__ import annotations
 
 from typing import List, Optional
 
-import numpy as np
 
-from repro._util.rng import SeedLike, as_generator
+from repro._util.rng import SeedLike
 from repro.core.instance import ProblemInstance
 from repro.delegation.graph import SELF, DelegationGraph
 from repro.mechanisms.base import DelegationMechanism
@@ -54,6 +53,15 @@ class AdversarialConcentrator(DelegationMechanism):
     @property
     def is_local(self) -> bool:
         return False  # coordinated adversary
+
+    def cache_token(self, instance: ProblemInstance):
+        """Behavioural token: the budget fully determines the forest.
+
+        Target choice and the set of delegating neighbours are pure
+        functions of the instance (already part of the cache digest).
+        """
+        budget = "all" if self._budget is None else int(self._budget)
+        return (type(self).__qualname__, budget)
 
     def pick_target(self, instance: ProblemInstance) -> Optional[int]:
         """The voter approved by the most neighbours (None if nobody is)."""

@@ -16,7 +16,7 @@ the competency order (any fixed ranking is allowed by the model).
 
 from __future__ import annotations
 
-from typing import FrozenSet, List, Optional
+from typing import Optional
 
 import numpy as np
 
@@ -128,6 +128,14 @@ class MultiDelegateWeighted(LocalDelegationMechanism):
     def k(self) -> int:
         """Number of candidate delegates sampled."""
         return self._k
+
+    def cache_token(self, instance: ProblemInstance):
+        """Behavioural token: ``k`` and the delegation threshold.
+
+        The candidate ranking is the instance's fixed competency order,
+        already pinned by the instance component of the digest.
+        """
+        return (type(self).__qualname__, self._k, self._threshold)
 
     def should_delegate(self, view: LocalView) -> bool:
         return bool(view.approved) and view.approval_count >= self._threshold

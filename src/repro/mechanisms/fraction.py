@@ -42,6 +42,10 @@ class FractionApproved(LocalDelegationMechanism):
         """The neighbourhood fraction that must be approved."""
         return self._fraction
 
+    def cache_token(self, instance: ProblemInstance):
+        """Behavioural token: the fraction is the only free parameter."""
+        return (type(self).__qualname__, self._fraction)
+
     def should_delegate(self, view: LocalView) -> bool:
         if view.num_neighbors == 0:
             return False

@@ -14,7 +14,7 @@ mean, preserving DNH.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List
 
 import numpy as np
 
@@ -96,6 +96,10 @@ class CappedRandomApproved(DelegationMechanism):
     def max_weight(self) -> int:
         """The per-sink weight cap."""
         return self._max_weight
+
+    def cache_token(self, instance: ProblemInstance):
+        """Behavioural token: the weight cap is the only free parameter."""
+        return (type(self).__qualname__, self._max_weight)
 
     def sample_delegations(
         self, instance: ProblemInstance, rng: SeedLike = None

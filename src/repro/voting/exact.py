@@ -389,6 +389,7 @@ def _classed_pb_pieces(padded: np.ndarray, width: int) -> Tuple[np.ndarray, int]
     return blocks, blocks.shape[0] // m
 
 
+# reprolint: reference=_reference_weighted_bernoulli_pmf
 def weighted_tails_batch(
     weights: np.ndarray,
     probs: np.ndarray,

@@ -47,7 +47,7 @@ from __future__ import annotations
 import pickle
 import warnings
 from dataclasses import dataclass, field, replace
-from typing import TYPE_CHECKING, Callable, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, List, Optional, Tuple
 
 import numpy as np
 
@@ -199,6 +199,7 @@ _BATCH_DP_CUTOFF = 64
 """Below this total weight the per-profile DP beats the spectral kernel."""
 
 
+# reprolint: reference=_conditional_values
 def _batch_values(
     instance: ProblemInstance,
     weights: np.ndarray,

@@ -1,0 +1,15 @@
+"""Known-bad: parameterised mechanism without cache_token (C301)."""
+
+from repro.mechanisms.base import DelegationMechanism
+
+
+class ShinyMechanism(DelegationMechanism):
+    def __init__(self, knob):
+        self._knob = knob
+
+    @property
+    def name(self):
+        return f"shiny({self._knob})"
+
+    def sample_delegations(self, instance, rng=None):
+        raise NotImplementedError

@@ -1,0 +1,11 @@
+"""Known-bad: wall clock and id() inside key-path functions (D201)."""
+
+import time
+
+
+def coalesce_key(payload):
+    return f"{payload}:{time.time()}"
+
+
+def cache_token(obj):
+    return id(obj)

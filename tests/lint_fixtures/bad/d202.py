@@ -1,0 +1,8 @@
+"""Known-bad: unsorted json feeding a hash (D202)."""
+
+import hashlib
+import json
+
+
+def digest(payload):
+    return hashlib.sha256(json.dumps(payload).encode()).hexdigest()

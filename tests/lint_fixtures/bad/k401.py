@@ -1,0 +1,12 @@
+"""Known-bad: batch kernels without reference oracles (K401)."""
+
+import numpy as np
+
+
+def frobnicate_batch(values):
+    return np.asarray(values) * 2
+
+
+# reprolint: reference=_reference_missing_oracle
+def transmogrify_batch(values):
+    return np.asarray(values) + 1

@@ -1,0 +1,7 @@
+"""Known-bad: unseeded generator construction (R101)."""
+
+import numpy as np
+from numpy.random import SeedSequence
+
+rng = np.random.default_rng()
+root = SeedSequence()

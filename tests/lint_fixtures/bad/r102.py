@@ -1,0 +1,11 @@
+"""Known-bad: legacy global-state RNG calls (R102)."""
+
+import random
+
+import numpy as np
+
+
+def noisy(n):
+    np.random.seed(0)
+    values = np.random.rand(n)
+    return values, random.random()

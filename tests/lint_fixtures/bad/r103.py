@@ -1,0 +1,9 @@
+"""Known-bad: ad-hoc seed arithmetic (R103)."""
+
+
+def derived_streams(config, workers):
+    return [config.seed + i for i in range(workers)]
+
+
+def shifted(base_seed):
+    return base_seed * 31

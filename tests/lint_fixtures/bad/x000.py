@@ -1,0 +1,5 @@
+"""Known-bad: file that does not parse (X000)."""
+
+
+def broken(:
+    return None

@@ -1,0 +1,5 @@
+"""Known-bad: suppression naming an unknown rule id (X001)."""
+
+import numpy as np
+
+rng = np.random.default_rng(0)  # reprolint: disable=R999

@@ -1,0 +1,30 @@
+"""Known-bad: protocol registry out of sync with mechanisms (C302)."""
+
+
+class DelegationMechanism:
+    pass
+
+
+class GoodMech(DelegationMechanism):
+    pass
+
+
+def _build_good(params):
+    return GoodMech()
+
+
+def _build_orphan(params):
+    # Constructs a mechanism but is never registered below.
+    return GoodMech()
+
+
+def _build_phantom(params):
+    # PhantomMech exists nowhere in this project.
+    return PhantomMech()
+
+
+MECHANISM_BUILDERS = {
+    "good": _build_good,
+    "phantom": _build_phantom,
+    "ghost": _build_missing,
+}

@@ -1,0 +1,21 @@
+"""Known-good digest hygiene: sorted json, clocks outside key paths."""
+
+import hashlib
+import json
+import time
+
+
+def digest(payload):
+    return hashlib.sha256(
+        json.dumps(payload, sort_keys=True).encode()
+    ).hexdigest()
+
+
+def log_line(message):
+    # Wall clock is fine in a function that produces no key.
+    return f"{time.time():.3f} {message}"
+
+
+def pretty(payload):
+    # Unsorted dumps is fine when nothing hashes it.
+    return json.dumps(payload, indent=2)

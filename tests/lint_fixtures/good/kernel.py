@@ -1,0 +1,26 @@
+"""Known-good kernel pairings: named oracle, pragma, suppression."""
+
+import numpy as np
+
+
+def double_batch(values):
+    return np.asarray(values) * 2
+
+
+def _reference_double_batch(values):
+    return [v * 2 for v in values]
+
+
+# reprolint: reference=_slow_increment
+def increment_batch(values):
+    return np.asarray(values) + 1
+
+
+def _slow_increment(values):
+    return [v + 1 for v in values]
+
+
+# reprolint: disable=K401
+def record_batch(size):
+    # A counter, not a numeric kernel.
+    return size

@@ -1,0 +1,27 @@
+"""Known-good mechanisms: behavioural token present, or no params."""
+
+from repro.mechanisms.base import DelegationMechanism
+
+
+class TokenedMechanism(DelegationMechanism):
+    def __init__(self, knob):
+        self._knob = knob
+
+    @property
+    def name(self):
+        return f"tokened({self._knob})"
+
+    def cache_token(self, instance):
+        return (type(self).__qualname__, self._knob)
+
+    def sample_delegations(self, instance, rng=None):
+        raise NotImplementedError
+
+
+class ParameterlessMechanism(DelegationMechanism):
+    @property
+    def name(self):
+        return "parameterless"
+
+    def sample_delegations(self, instance, rng=None):
+        raise NotImplementedError

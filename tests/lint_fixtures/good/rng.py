@@ -1,0 +1,20 @@
+"""Known-good RNG usage: seeded constructors, derived seeds, pragmas."""
+
+import numpy as np
+from numpy.random import SeedSequence
+
+
+def seeded(seed):
+    rng = np.random.default_rng(seed)
+    root = SeedSequence(seed)
+    return rng, root
+
+
+def explicit_entropy():
+    # Fresh entropy is wanted here; say so instead of hiding it.
+    return np.random.default_rng(None)
+
+
+def sanctioned_mixing(seed):
+    # reprolint: disable=R103
+    return seed + 1

@@ -1,0 +1,18 @@
+"""Known-good: a registry where every wire name resolves (C302-clean)."""
+
+
+class DelegationMechanism:
+    pass
+
+
+class DirectMech(DelegationMechanism):
+    pass
+
+
+def _build_direct(params):
+    return DirectMech()
+
+
+MECHANISM_BUILDERS = {
+    "direct": _build_direct,
+}

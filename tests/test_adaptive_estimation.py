@@ -9,7 +9,6 @@ estimate exactly.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 from numpy.random import SeedSequence
 

@@ -1,7 +1,6 @@
 """Tests for theorem certificates."""
 
 import numpy as np
-import pytest
 
 from repro.analysis.certificates import (
     Certificate,

@@ -9,7 +9,7 @@ from repro.analysis.conditions import (
     lemma5_margin_ratio,
 )
 from repro.core.instance import ProblemInstance
-from repro.graphs.generators import complete_graph, star_graph
+from repro.graphs.generators import complete_graph
 from repro.mechanisms.direct import DirectVoting
 from repro.mechanisms.greedy import CappedRandomApproved, GreedyBest
 from repro.mechanisms.threshold import RandomApproved

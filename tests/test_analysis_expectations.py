@@ -13,7 +13,7 @@ from repro.analysis.expectations import (
     lemma7_floor,
 )
 from repro.core.instance import ProblemInstance
-from repro.graphs.generators import complete_graph, erdos_renyi_graph
+from repro.graphs.generators import erdos_renyi_graph
 from repro.mechanisms.direct import DirectVoting
 from repro.mechanisms.threshold import ApprovalThreshold, RandomApproved
 

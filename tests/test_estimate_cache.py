@@ -21,7 +21,6 @@ from repro.graphs.generators import complete_graph
 from repro.mechanisms.base import DelegationMechanism
 from repro.mechanisms.threshold import ApprovalThreshold
 from repro.voting.montecarlo import estimate_correct_probability
-from repro.voting.outcome import TiePolicy
 
 
 def _instance(n: int = 24, seed: int = 0) -> ProblemInstance:

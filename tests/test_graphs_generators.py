@@ -1,6 +1,5 @@
 """Tests for graph generators."""
 
-import numpy as np
 import pytest
 
 from repro.graphs.generators import (

@@ -27,7 +27,7 @@ from repro import (
 )
 from repro.delegation.metrics import normalized_outcome_std
 from repro.sampling.builders import recycle_graph_from_mechanism_run
-from repro.voting.exact import direct_voting_probability, forest_correct_probability
+from repro.voting.exact import direct_voting_probability
 
 
 class TestStarCounterexample:

@@ -6,11 +6,7 @@ import pytest
 from repro.analysis.bounds import theorem4_weight_bound
 from repro.core.instance import ProblemInstance
 from repro.delegation.graph import SELF
-from repro.graphs.generators import (
-    complete_graph,
-    random_bounded_degree_graph,
-    star_graph,
-)
+from repro.graphs.generators import complete_graph, random_bounded_degree_graph
 from repro.mechanisms.adversarial import (
     AdversarialConcentrator,
     LeastCompetentApproved,
@@ -134,3 +130,29 @@ class TestTheorem4WeightBound:
             theorem4_weight_bound(-1, 0.5)
         with pytest.raises(ValueError):
             theorem4_weight_bound(4, 0.0)
+
+
+class TestCacheToken:
+    """Regression for reprolint C301: the concentrator's token must be
+    behavioural (budget-keyed), not the fragile pickle-bytes default."""
+
+    def test_token_is_behavioural_not_pickled(self, figure1_instance):
+        token = AdversarialConcentrator(budget=3).cache_token(figure1_instance)
+        assert token == ("AdversarialConcentrator", 3)
+
+    def test_unbudgeted_token_distinct_from_any_budget(self, figure1_instance):
+        unbounded = AdversarialConcentrator().cache_token(figure1_instance)
+        for budget in (0, 1, 5):
+            capped = AdversarialConcentrator(budget).cache_token(figure1_instance)
+            assert capped != unbounded
+
+    def test_token_separates_budgets(self, figure1_instance):
+        a = AdversarialConcentrator(2).cache_token(figure1_instance)
+        b = AdversarialConcentrator(3).cache_token(figure1_instance)
+        assert a != b
+
+    def test_token_stable_across_constructions(self, figure1_instance):
+        assert (
+            AdversarialConcentrator(4).cache_token(figure1_instance)
+            == AdversarialConcentrator(4).cache_token(figure1_instance)
+        )

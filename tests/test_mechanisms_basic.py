@@ -5,7 +5,7 @@ import pytest
 
 from repro.core.instance import ProblemInstance
 from repro.delegation.graph import SELF
-from repro.graphs.generators import complete_graph, path_graph, star_graph
+from repro.graphs.generators import path_graph, star_graph
 from repro.mechanisms.direct import DirectVoting
 from repro.mechanisms.fraction import FractionApproved
 from repro.mechanisms.threshold import ApprovalThreshold, RandomApproved
@@ -149,3 +149,21 @@ class TestFractionApproved:
         inst = ProblemInstance(Graph(2), [0.4, 0.6], alpha=0.05)
         forest = FractionApproved(0.5).sample_delegations(inst, 0)
         assert forest.num_delegators == 0
+
+
+class TestFractionCacheToken:
+    """Regression for reprolint C301: the fraction is the behaviour."""
+
+    def test_token_is_behavioural_not_pickled(self):
+        inst = ProblemInstance(path_graph(3), [0.3, 0.5, 0.9], alpha=0.1)
+        assert FractionApproved(0.25).cache_token(inst) == (
+            "FractionApproved",
+            0.25,
+        )
+
+    def test_token_separates_fractions(self):
+        inst = ProblemInstance(path_graph(3), [0.3, 0.5, 0.9], alpha=0.1)
+        assert (
+            FractionApproved(0.25).cache_token(inst)
+            != FractionApproved(0.75).cache_token(inst)
+        )

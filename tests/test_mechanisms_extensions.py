@@ -5,9 +5,9 @@ import pytest
 
 from repro.core.instance import ProblemInstance
 from repro.delegation.graph import SELF
-from repro.graphs.generators import complete_graph, star_graph
+from repro.graphs.generators import complete_graph
 from repro.mechanisms.extensions import AbstentionMechanism, MultiDelegateWeighted
-from repro.mechanisms.threshold import ApprovalThreshold, RandomApproved
+from repro.mechanisms.threshold import RandomApproved
 
 
 @pytest.fixture
@@ -130,3 +130,24 @@ class TestMultiDelegateWeighted:
         mech = MultiDelegateWeighted(4, threshold=2)
         assert mech.k == 4
         assert "k=4" in mech.name
+
+
+class TestMultiDelegateCacheToken:
+    """Regression for reprolint C301: (k, threshold) fully determine the
+    mechanism's behaviour, so they — not pickle bytes — key the cache."""
+
+    def test_token_is_behavioural_not_pickled(self, instance):
+        token = MultiDelegateWeighted(3, threshold=1.5).cache_token(instance)
+        assert token == ("MultiDelegateWeighted", 3, 1.5)
+
+    def test_token_separates_k(self, instance):
+        assert (
+            MultiDelegateWeighted(2).cache_token(instance)
+            != MultiDelegateWeighted(3).cache_token(instance)
+        )
+
+    def test_token_separates_threshold(self, instance):
+        assert (
+            MultiDelegateWeighted(2, threshold=1.0).cache_token(instance)
+            != MultiDelegateWeighted(2, threshold=2.0).cache_token(instance)
+        )

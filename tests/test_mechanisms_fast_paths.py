@@ -13,7 +13,6 @@ import pytest
 from repro.core.instance import ProblemInstance
 from repro.delegation.graph import SELF, DelegationGraph
 from repro.graphs.generators import erdos_renyi_graph, complete_graph
-from repro.mechanisms.base import LocalDelegationMechanism
 from repro.mechanisms.extensions import MultiDelegateWeighted
 from repro.mechanisms.fraction import FractionApproved
 from repro.mechanisms.sampled import SampledNeighbourhood

@@ -5,7 +5,7 @@ import pytest
 
 from repro.core.instance import ProblemInstance
 from repro.delegation.graph import SELF
-from repro.graphs.generators import complete_graph, path_graph, star_graph
+from repro.graphs.generators import path_graph, star_graph
 from repro.mechanisms.greedy import CappedRandomApproved, GreedyBest
 
 
@@ -95,3 +95,17 @@ class TestCappedRandomApproved:
 
     def test_name_mentions_cap(self):
         assert "7" in CappedRandomApproved(7).name
+
+
+class TestCappedCacheToken:
+    """Regression for reprolint C301: the cap is the behaviour."""
+
+    def test_token_is_behavioural_not_pickled(self, figure1_instance):
+        token = CappedRandomApproved(4).cache_token(figure1_instance)
+        assert token == ("CappedRandomApproved", 4)
+
+    def test_token_separates_caps(self, figure1_instance):
+        assert (
+            CappedRandomApproved(2).cache_token(figure1_instance)
+            != CappedRandomApproved(3).cache_token(figure1_instance)
+        )

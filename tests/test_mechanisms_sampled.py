@@ -5,7 +5,7 @@ import pytest
 
 from repro.core.instance import ProblemInstance
 from repro.delegation.graph import SELF
-from repro.graphs.generators import complete_graph, random_regular_graph, star_graph
+from repro.graphs.generators import random_regular_graph, star_graph
 from repro.mechanisms.sampled import SampledNeighbourhood
 
 

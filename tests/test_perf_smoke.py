@@ -13,7 +13,6 @@ from __future__ import annotations
 import time
 
 import numpy as np
-import pytest
 
 from repro.delegation.graph import SELF, DelegationGraph
 from repro.voting.exact import (

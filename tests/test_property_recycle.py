@@ -11,7 +11,7 @@ from repro.graphs.generators import (
     random_min_degree_graph,
     random_regular_graph,
 )
-from repro.sampling.recycle import RecycleNode, RecycleSamplingGraph
+from repro.sampling.recycle import RecycleSamplingGraph
 
 
 @st.composite

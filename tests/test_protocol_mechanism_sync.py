@@ -1,0 +1,132 @@
+"""Runtime twin of reprolint's C302 protocol↔mechanism sync rule.
+
+The static rule (:mod:`repro.lint.rules_cache`) checks that every wire
+name in ``MECHANISM_BUILDERS`` resolves, *syntactically*, to a builder
+constructing a real mechanism class.  These tests exercise the same
+contract dynamically: every registered wire name must round-trip through
+:func:`build_mechanism` to a constructible
+:class:`~repro.mechanisms.base.DelegationMechanism` whose ``cache_token``
+is present, deterministic across fresh constructions (so served and
+direct estimates share persistent-cache entries), and sensitive to the
+behavioural parameters the spec carries.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache import estimate_digest
+from repro.core.competencies import bounded_uniform_competencies
+from repro.core.instance import ProblemInstance
+from repro.graphs.generators import complete_graph
+from repro.mechanisms.base import DelegationMechanism
+from repro.service.protocol import MECHANISM_BUILDERS, build_mechanism
+
+_BASE = {"name": "approval_threshold", "params": {"threshold": 2}}
+
+CANONICAL_SPECS = {
+    "direct": {},
+    "approval_threshold": {"threshold": 2},
+    "random_approved": {},
+    "fraction_approved": {"fraction": 0.25},
+    "sampled_neighbourhood": {"threshold": 2, "d": 3},
+    "greedy_best": {},
+    "capped_random_approved": {"max_weight": 4},
+    "abstention": {"base": _BASE, "abstain_prob": 0.1},
+}
+"""One known-valid params dict per wire name.
+
+Kept in sync with :data:`MECHANISM_BUILDERS` by
+:func:`test_every_wire_name_has_a_canonical_spec` — registering a new
+builder without teaching this suite (and the static C302 fixture set)
+about it fails here first.
+"""
+
+VARIANT_SPECS = {
+    "approval_threshold": {"threshold": 3},
+    "fraction_approved": {"fraction": 0.75},
+    "sampled_neighbourhood": {"threshold": 2, "d": 5},
+    "capped_random_approved": {"max_weight": 2},
+    "abstention": {"base": _BASE, "abstain_prob": 0.3},
+}
+"""A second, behaviourally different params dict per parameterised name."""
+
+
+def _instance(n: int = 12, seed: int = 3) -> ProblemInstance:
+    comp = bounded_uniform_competencies(n, 0.3, seed=seed)
+    return ProblemInstance(complete_graph(n), comp, alpha=0.05)
+
+
+def _spec(name: str, params: dict) -> dict:
+    return {"name": name, "params": params}
+
+
+def test_every_wire_name_has_a_canonical_spec():
+    assert set(CANONICAL_SPECS) == set(MECHANISM_BUILDERS)
+
+
+@pytest.mark.parametrize("name", sorted(MECHANISM_BUILDERS))
+def test_spec_round_trips_to_a_mechanism(name):
+    mech = build_mechanism(_spec(name, CANONICAL_SPECS[name]))
+    assert isinstance(mech, DelegationMechanism)
+
+
+@pytest.mark.parametrize("name", sorted(MECHANISM_BUILDERS))
+def test_cache_token_present_and_deterministic(name):
+    spec = _spec(name, CANONICAL_SPECS[name])
+    instance = _instance()
+    first = build_mechanism(spec).cache_token(instance)
+    second = build_mechanism(spec).cache_token(instance)
+    assert first is not None
+    assert first == second
+
+
+@pytest.mark.parametrize("name", sorted(MECHANISM_BUILDERS))
+def test_cache_digest_stable_across_constructions(name):
+    """The full persistent-cache digest, not just the token, must agree."""
+    spec = _spec(name, CANONICAL_SPECS[name])
+    instance = _instance()
+    params = {"fn": "estimate_correct_probability", "rounds": 16}
+    a = estimate_digest(instance, build_mechanism(spec), 7, params)
+    b = estimate_digest(instance, build_mechanism(spec), 7, params)
+    assert a == b
+
+
+@pytest.mark.parametrize("name", sorted(VARIANT_SPECS))
+def test_cache_token_separates_behavioural_params(name):
+    """Different wire params may never alias one cache entry."""
+    instance = _instance()
+    canonical = build_mechanism(_spec(name, CANONICAL_SPECS[name]))
+    variant = build_mechanism(_spec(name, VARIANT_SPECS[name]))
+    assert canonical.cache_token(instance) != variant.cache_token(instance)
+
+
+def test_tokens_distinct_across_wire_names():
+    """No two wire names at canonical params share a token."""
+    instance = _instance()
+    tokens = {
+        name: build_mechanism(_spec(name, params)).cache_token(instance)
+        for name, params in CANONICAL_SPECS.items()
+    }
+    values = list(tokens.values())
+    assert len(set(values)) == len(values)
+
+
+def test_static_registry_matches_runtime_registry():
+    """The dict C302 parses out of protocol.py IS the runtime registry."""
+    import ast
+    from pathlib import Path
+
+    from repro.lint.framework import parse_file
+    from repro.lint.rules_cache import ProtocolMechanismSyncRule
+    import repro.service.protocol as protocol_module
+
+    ctx = parse_file(Path(protocol_module.__file__))
+    registry = ProtocolMechanismSyncRule._find_registry(ctx)
+    assert registry is not None
+    static_names = {
+        key.value
+        for key in registry.keys
+        if isinstance(key, ast.Constant) and isinstance(key.value, str)
+    }
+    assert static_names == set(MECHANISM_BUILDERS)

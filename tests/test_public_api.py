@@ -60,8 +60,6 @@ class TestMechanismContracts:
         assert not inspect.isabstract(cls), f"{name} left abstract methods"
 
     def test_every_mechanism_has_stable_name(self):
-        import numpy as np
-
         instances = [
             repro.DirectVoting(),
             repro.ApprovalThreshold(2),

@@ -71,7 +71,6 @@ class TestBuilder:
         graph, order = recycle_graph_from_mechanism_run(
             instance, RandomApproved()
         )
-        expectations = graph.expectations()
         num_delegators = sum(1 for node in graph.nodes if node.successors)
         lift = graph.mean_sum() - float(instance.competencies.sum())
         assert lift >= num_delegators * instance.alpha - 1e-9

@@ -70,3 +70,27 @@ class TestDeriveSeed:
     def test_generator_rejected(self):
         with pytest.raises(TypeError):
             derive_seed(np.random.default_rng(0), 0)
+
+
+class TestSeedArithmeticRegression:
+    """Regression for reprolint R103 (seed arithmetic outside _util/rng).
+
+    X3 used to build its secondary generator pool from ``seed + 1``,
+    which is exactly the *family* pool of the ``seed + 1`` run — two
+    nominally independent experiment runs shared streams.  The pools
+    must come from :func:`derive_seed`, whose mixing is not additive.
+    """
+
+    def test_mixing_is_not_additive(self):
+        for seed in (0, 1, 5, 1234):
+            for index in (1, 2, 7):
+                assert derive_seed(seed, index) != seed + index
+
+    def test_derived_pool_disjoint_from_adjacent_run(self):
+        # Run `s`'s derived pool vs run `s + 1`'s base pool: the exact
+        # collision the X3 fix removes.
+        derived = spawn_generators(derive_seed(3, 1), 4)
+        adjacent = spawn_generators(3 + 1, 4)
+        a = np.array([g.random(8) for g in derived])
+        b = np.array([g.random(8) for g in adjacent])
+        assert not np.array_equal(a, b)

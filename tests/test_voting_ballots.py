@@ -1,6 +1,5 @@
 """Tests for abstention-aware ballot evaluation."""
 
-import numpy as np
 import pytest
 
 from repro.delegation.graph import SELF, DelegationGraph

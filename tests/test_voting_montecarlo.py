@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core.instance import ProblemInstance
-from repro.graphs.generators import complete_graph, star_graph
+from repro.graphs.generators import complete_graph
 from repro.mechanisms.direct import DirectVoting
 from repro.mechanisms.greedy import GreedyBest
 from repro.mechanisms.threshold import RandomApproved
