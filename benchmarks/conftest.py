@@ -15,6 +15,7 @@ from pathlib import Path
 
 import pytest
 
+from repro._util.memory import peak_rss_mib
 from repro.experiments import ExperimentConfig, get_experiment
 
 BENCH_SCALE = os.environ.get("REPRO_BENCH_SCALE", "smoke")
@@ -40,6 +41,7 @@ def micro_record():
                 "seconds": seconds,
                 "reference_seconds": reference_seconds,
                 "speedup": reference_seconds / seconds,
+                "peak_rss_mib": peak_rss_mib(),
             }
         )
 
@@ -67,6 +69,7 @@ def experiment_record():
                 "seconds": seconds,
                 "baseline_seconds": baseline_seconds,
                 "speedup": baseline_seconds / seconds,
+                "peak_rss_mib": peak_rss_mib(),
                 "detail": detail,
             }
         )
@@ -94,6 +97,35 @@ def service_record():
                 "seconds": seconds,
                 "baseline_seconds": baseline_seconds,
                 "speedup": baseline_seconds / seconds,
+                "peak_rss_mib": peak_rss_mib(),
+                "detail": detail,
+            }
+        )
+
+    return record
+
+
+#: Sparse-backend scale records (million-voter CSR builds and streamed
+#: estimations with phase-scoped RSS high-water marks) flushed to
+#: ``BENCH_sparse.json`` next to this file.  Each entry is ``{case, n,
+#: seconds, peak_rss_mib, rss_reset, detail}`` — ``peak_rss_mib`` is the
+#: high-water mark *of that case* when ``rss_reset`` is true, else a
+#: process-lifetime upper bound.
+_SPARSE_RECORDS: list = []
+
+
+@pytest.fixture
+def sparse_record():
+    """Record one sparse-scale measurement for BENCH_sparse.json."""
+
+    def record(case: str, n: int, seconds: float, rss_reset: bool, **detail):
+        _SPARSE_RECORDS.append(
+            {
+                "case": case,
+                "n": n,
+                "seconds": seconds,
+                "peak_rss_mib": peak_rss_mib(),
+                "rss_reset": rss_reset,
                 "detail": detail,
             }
         )
@@ -111,6 +143,9 @@ def pytest_sessionfinish(session, exitstatus):
     if _SERVICE_RECORDS:
         out = Path(__file__).parent / "BENCH_service.json"
         out.write_text(json.dumps(_SERVICE_RECORDS, indent=2) + "\n")
+    if _SPARSE_RECORDS:
+        out = Path(__file__).parent / "BENCH_sparse.json"
+        out.write_text(json.dumps(_SPARSE_RECORDS, indent=2) + "\n")
 
 
 @pytest.fixture

@@ -90,6 +90,7 @@ from repro.delegation import (
 )
 from repro.cache import EstimateCache
 from repro.voting import (
+    BatchEstimator,
     CorrectnessEstimate,
     TiePolicy,
     direct_voting_probability,
@@ -217,6 +218,7 @@ __all__ = [
     "direct_voting_probability",
     "forest_correct_probability",
     "estimate_correct_probability",
+    "BatchEstimator",
     "CorrectnessEstimate",
     # persistent estimate cache
     "EstimateCache",

@@ -1,0 +1,64 @@
+"""Peak-RSS (memory high-water) measurement with stdlib tools only.
+
+The sparse backend's whole promise is peak memory O(E + chunk), so the
+benchmark suite and the CI smoke job need an actual high-water number —
+without ``psutil``.  Linux exposes two counters:
+
+* ``VmHWM`` in ``/proc/self/status`` — resettable via
+  ``/proc/self/clear_refs``, so one process can measure several phases;
+* ``ru_maxrss`` from :func:`resource.getrusage` — portable fallback,
+  never resets (kilobytes on Linux, bytes on macOS).
+
+:func:`peak_rss_bytes` prefers the resettable counter and falls back
+transparently; :func:`reset_peak_rss` reports whether the reset took, so
+callers know if a phase measurement is really phase-scoped or
+process-lifetime.
+"""
+
+from __future__ import annotations
+
+import resource
+import sys
+
+_RU_MAXRSS_BYTES_PER_UNIT = 1 if sys.platform == "darwin" else 1024
+
+_PROC_STATUS = "/proc/self/status"
+_PROC_CLEAR_REFS = "/proc/self/clear_refs"
+
+
+def peak_rss_bytes() -> int:
+    """The process's peak resident set size, in bytes.
+
+    Reads ``VmHWM`` when procfs is available (Linux), else falls back to
+    ``getrusage``'s ``ru_maxrss``.
+    """
+    try:
+        with open(_PROC_STATUS) as handle:
+            for line in handle:
+                if line.startswith("VmHWM:"):
+                    return int(line.split()[1]) * 1024
+    except (OSError, ValueError, IndexError):
+        pass
+    usage = resource.getrusage(resource.RUSAGE_SELF)
+    return usage.ru_maxrss * _RU_MAXRSS_BYTES_PER_UNIT
+
+
+def peak_rss_mib() -> float:
+    """:func:`peak_rss_bytes` in MiB (rounded to one decimal)."""
+    return round(peak_rss_bytes() / (1024 * 1024), 1)
+
+
+def reset_peak_rss() -> bool:
+    """Reset the kernel's RSS high-water mark; True if the reset took.
+
+    Writes ``5`` to ``/proc/self/clear_refs`` (Linux ≥ 4.0).  When this
+    returns False, subsequent :func:`peak_rss_bytes` readings are
+    process-lifetime highs rather than phase-scoped highs — callers
+    should treat them as upper bounds.
+    """
+    try:
+        with open(_PROC_CLEAR_REFS, "w") as handle:
+            handle.write("5")
+        return True
+    except OSError:
+        return False

@@ -15,6 +15,7 @@ local approval-respecting mechanism can do:
 """
 
 from __future__ import annotations
+# reprolint: sparse-safe
 
 from dataclasses import dataclass
 from typing import List, Tuple
@@ -56,15 +57,53 @@ class ApprovalGraphStats:
         )
 
 
+# reprolint: reference=_reference_in_degrees
+def _approval_in_degrees(instance: ProblemInstance) -> np.ndarray:
+    """Approval in-degree of every voter in one array pass.
+
+    General graphs ``bincount`` the precomputed approved-neighbour CSR;
+    complete graphs (stored in the O(n) suffix form) count approvers of
+    ``t`` as ``|{v : p[v] + α <= p[t]}| `` minus ``t``'s own self-count
+    via a ``searchsorted`` against the sorted thresholds — the identical
+    float comparison as the per-vertex reference.
+    """
+    n = instance.num_voters
+    structure = instance.approval_structure()
+    if n == 0:
+        return np.zeros(0, dtype=np.int64)
+    if structure.is_complete_form:
+        p = instance.competencies
+        thresholds = np.sort(p + instance.alpha)
+        counts = np.searchsorted(thresholds, p, side="right").astype(np.int64)
+        # A voter never approves itself: subtract the self-comparison
+        # hit, which occurs iff p[t] + α <= p[t] (only when α == 0, kept
+        # for exactness).
+        counts -= (p + instance.alpha <= p).astype(np.int64)
+        return counts
+    _, approved = structure.approved_csr()
+    return np.bincount(np.asarray(approved, dtype=np.int64), minlength=n)
+
+
+def _reference_in_degrees(instance: ProblemInstance) -> np.ndarray:
+    """Seed counter: per-voter loop over approved neighbours.
+
+    Kept as the equivalence-test oracle for :func:`_approval_in_degrees`.
+    """
+    n = instance.num_voters
+    structure = instance.approval_structure()
+    in_degrees = np.zeros(n, dtype=np.int64)
+    for v in range(n):
+        for target in structure.approved_neighbors(v):
+            in_degrees[target] += 1
+    return in_degrees
+
+
 def approval_graph_stats(instance: ProblemInstance) -> ApprovalGraphStats:
     """Compute :class:`ApprovalGraphStats` for ``instance``."""
     n = instance.num_voters
     structure = instance.approval_structure()
     out_degrees = structure.approved_counts
-    in_degrees = np.zeros(n, dtype=np.int64)
-    for v in range(n):
-        for target in structure.approved_neighbors(v):
-            in_degrees[target] += 1
+    in_degrees = _approval_in_degrees(instance)
     return ApprovalGraphStats(
         num_voters=n,
         num_approval_edges=int(out_degrees.sum()),
@@ -77,11 +116,62 @@ def approval_graph_stats(instance: ProblemInstance) -> ApprovalGraphStats:
     )
 
 
+# reprolint: reference=_reference_longest_chain
 def _longest_chain(instance: ProblemInstance) -> int:
     """Vertices on the longest path of the approval DAG.
 
-    Approval strictly increases competency, so processing voters in
-    ascending competency order gives a topological order and a linear DP.
+    On general graphs this runs Bellman-Ford-style relaxation sweeps
+    over the approved CSR — each sweep is one ``maximum.reduceat``
+    segment reduction, and the depth labels stabilise after exactly
+    ``longest_chain`` sweeps (every approval hop gains ≥ α competency,
+    so that is at most ``⌈1/α⌉ + 1``).  On complete graphs (O(n) suffix
+    form) the chain greedily hops from the least competent voter to the
+    least competent voter it approves; a scalar walk over the sorted
+    competencies of the same bounded length.
+    """
+    n = instance.num_voters
+    if n == 0:
+        return 0
+    p = instance.competencies
+    structure = instance.approval_structure()
+    if structure.is_complete_form:
+        # depth is non-increasing in p (lower p approves a superset), so
+        # the longest chain starts at the minimum competency and always
+        # extends through the least competent approved voter.
+        ps = np.sort(p)
+        length = 0
+        i = 0
+        while i < n:
+            length += 1
+            nxt = int(np.searchsorted(ps, ps[i] + instance.alpha, side="left"))
+            # Strict progress even if ps[i] + α rounds to ps[i] (α tiny
+            # relative to p): the walk then chains through equal
+            # competencies one at a time, as the reference DP does.
+            i = nxt if nxt > i else i + 1
+        return length
+    indptr, approved = structure.approved_csr()
+    counts = np.diff(np.asarray(indptr, dtype=np.int64))
+    nonempty = counts > 0
+    if not nonempty.any():
+        return 1
+    starts = np.asarray(indptr, dtype=np.int64)[:-1][nonempty]
+    approved = np.asarray(approved, dtype=np.int64)
+    depth = np.ones(n, dtype=np.int64)
+    # Chains have at most ⌈1/α⌉ + 1 vertices; n sweeps is a loose upper
+    # bound that makes termination unconditional.
+    for _ in range(n):
+        relaxed = depth.copy()
+        relaxed[nonempty] = np.maximum.reduceat(depth[approved], starts) + 1
+        if np.array_equal(relaxed, depth):
+            break
+        depth = relaxed
+    return int(depth.max())
+
+
+def _reference_longest_chain(instance: ProblemInstance) -> int:
+    """Seed DP: per-voter loop in descending competency order.
+
+    Kept as the equivalence-test oracle for :func:`_longest_chain`.
     """
     n = instance.num_voters
     if n == 0:
@@ -110,11 +200,6 @@ def potential_hub_voters(
     """
     if top < 1:
         raise ValueError(f"top must be >= 1, got {top}")
-    n = instance.num_voters
-    structure = instance.approval_structure()
-    in_degrees = np.zeros(n, dtype=np.int64)
-    for v in range(n):
-        for target in structure.approved_neighbors(v):
-            in_degrees[target] += 1
+    in_degrees = _approval_in_degrees(instance)
     ranked = np.argsort(-in_degrees, kind="stable")[:top]
     return [(int(v), int(in_degrees[v])) for v in ranked]

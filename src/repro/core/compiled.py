@@ -18,12 +18,14 @@ worker processes with the instance when the batch estimator fans out.
 """
 
 from __future__ import annotations
+# reprolint: sparse-safe
 
 from typing import TYPE_CHECKING, Any, Callable, Dict, Hashable, Tuple
 
 import numpy as np
 
 from repro.delegation.graph import SELF
+from repro.graphs.graph import csr_index_dtype
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.instance import ProblemInstance
@@ -44,6 +46,12 @@ class CompiledInstance:
         indptr, indices = instance.graph.adjacency_csr()
         self.neighbor_indptr: np.ndarray = indptr
         self.neighbor_indices: np.ndarray = indices
+        #: Smallest integer dtype holding any voter index (and ``SELF``);
+        #: delegate matrices produced by the batch kernels use it, halving
+        #: the per-round footprint on sub-2^31 instances.
+        self.index_dtype: np.dtype = csr_index_dtype(
+            self.num_voters, int(indices.shape[0])
+        )
         self._approved_csr: Tuple[np.ndarray, np.ndarray] = None
         self._greedy_targets: np.ndarray = None
         self._memo: Dict[Hashable, Any] = {}
@@ -66,24 +74,13 @@ class CompiledInstance:
     def approved_csr(self) -> Tuple[np.ndarray, np.ndarray]:
         """The approved relation as explicit ``(indptr, indices)`` arrays.
 
-        Materialised lazily: on complete graphs the cached structure
-        stores the O(n) suffix form instead, and batch kernels only need
-        :meth:`resolve_approved_offsets`.
+        On general graphs this is the structure's stored CSR, returned
+        without copying; on complete graphs (which store the O(n) suffix
+        form) the CSR is materialised lazily and cached — batch kernels
+        normally only need :meth:`resolve_approved_offsets`.
         """
         if self._approved_csr is None:
-            counts = self.approved_counts
-            indptr = np.concatenate(
-                (np.zeros(1, dtype=np.int64), np.cumsum(counts))
-            )
-            total = int(indptr[-1])
-            voters = np.repeat(np.arange(self.num_voters), counts)
-            offsets = np.arange(total) - indptr[voters]
-            indices = (
-                self.resolve_approved_offsets(voters, offsets)
-                if total
-                else np.empty(0, dtype=np.int64)
-            )
-            self._approved_csr = (indptr, np.asarray(indices, dtype=np.int64))
+            self._approved_csr = self._structure.approved_csr()
         return self._approved_csr
 
     # -- derived per-mechanism tables --------------------------------------
@@ -97,7 +94,7 @@ class CompiledInstance:
         :class:`repro.mechanisms.greedy.GreedyBest`.
         """
         if self._greedy_targets is None:
-            targets = np.full(self.num_voters, SELF, dtype=np.int64)
+            targets = np.full(self.num_voters, SELF, dtype=self.index_dtype)
             indptr, indices = self.approved_csr()
             if len(indices):
                 src = np.repeat(
@@ -113,6 +110,18 @@ class CompiledInstance:
             self._greedy_targets = targets
             self._greedy_targets.setflags(write=False)
         return self._greedy_targets
+
+    def unique_degrees(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Memoised ``np.unique(degrees, return_inverse=True)``.
+
+        Threshold-style kernels evaluate their threshold once per
+        distinct degree; memoising the O(n log n) unique pass here keeps
+        chunk-streamed kernel calls O(n) after the first chunk.
+        """
+        return self.memo(
+            ("unique_degrees",),
+            lambda: np.unique(self.degrees, return_inverse=True),
+        )
 
     def memo(self, key: Hashable, build: Callable[[], Any]) -> Any:
         """Memoise a derived table under ``key`` (built on first use).

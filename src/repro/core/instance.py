@@ -199,8 +199,8 @@ class ProblemInstance:
         perm = np.argsort(self._p, kind="stable")
         inverse = np.empty_like(perm)
         inverse[perm] = np.arange(len(perm))
-        edges = [(int(inverse[u]), int(inverse[v])) for u, v in self._graph.edges]
-        new_graph = Graph(self.num_voters, edges)
+        new_graph = Graph(self.num_voters, inverse[self._graph.edge_array])
+
         return (
             ProblemInstance(new_graph, self._p[perm], alpha=self._alpha),
             perm,

@@ -9,7 +9,12 @@ the approval relation once per instance:
   competency-sorted voter order, so the structure stores just the sorted
   order and one start index per voter (O(n) memory);
 * on **general graphs**, a CSR-style (indptr, indices) pair stores each
-  voter's approved neighbours (O(m) memory).
+  voter's approved neighbours (O(m) memory), built by filtering the
+  graph's flat CSR adjacency with one vectorised comparison — no
+  per-voter Python loop, which is what lets million-voter instances
+  compile in seconds.  The original per-voter construction is retained
+  as :meth:`ApprovalStructure._reference_general_csr` and pinned to the
+  vectorised build by the equivalence suite.
 
 Mechanism fast paths consume only ``approved_count``, ``degree`` and
 ``sample_approved`` — exactly the information their ``decide`` methods
@@ -17,10 +22,13 @@ use — so the fast and slow paths are distributionally identical (tested).
 """
 
 from __future__ import annotations
+# reprolint: sparse-safe
 
 from typing import TYPE_CHECKING, Tuple
 
 import numpy as np
+
+from repro.graphs.graph import csr_index_dtype
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.instance import ProblemInstance
@@ -49,25 +57,71 @@ class ApprovalStructure:
             self._indptr = None
             self._indices = None
         else:
-            indptr = np.zeros(n + 1, dtype=np.int64)
-            chunks = []
-            for v in range(n):
-                approved = instance.approved_neighbors(v)
-                indptr[v + 1] = indptr[v] + len(approved)
-                if approved:
-                    arr = np.asarray(approved, dtype=np.int64)
-                    # Competency-ascending segment order (ties by index)
-                    # so that "offset within segment" equals local rank —
-                    # used by best-of-k sampling.
-                    arr = arr[np.lexsort((arr, p[arr]))]
-                    chunks.append(arr)
+            indptr, indices = self._general_csr(graph, p, alpha)
             self._indptr = indptr
-            self._indices = (
-                np.concatenate(chunks) if chunks else np.empty(0, dtype=np.int64)
-            )
-            self._counts = np.diff(indptr)
+            self._indices = indices
+            self._counts = np.diff(indptr).astype(np.int64)
             self._order = None
             self._starts = None
+
+    # reprolint: reference=_reference_general_csr
+    @staticmethod
+    def _general_csr(
+        graph, p: np.ndarray, alpha: float
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Approved-neighbour CSR by flat filtering of the adjacency CSR.
+
+        An edge entry ``(src, dst)`` survives iff ``p[dst] >= p[src] +
+        alpha`` — the same float comparison, voter by voter, that
+        ``ProblemInstance.approved_neighbors`` evaluates, so the filter
+        is bit-identical to the reference loop.  Each surviving segment
+        is then ordered competency-ascending (ties by vertex index) with
+        a single global lexsort keyed ``(src, p[dst], dst)``, matching
+        the per-voter ``lexsort((arr, p[arr]))`` of the reference.
+        """
+        n = graph.num_vertices
+        g_indptr, g_indices = graph.adjacency_csr()
+        degrees = np.diff(g_indptr).astype(np.int64)
+        src = np.repeat(np.arange(n, dtype=np.int64), degrees)
+        dst = g_indices.astype(np.int64, copy=False)
+        thresholds = p + alpha
+        keep = p[dst] >= thresholds[src]
+        asrc = src[keep]
+        adst = dst[keep]
+        if adst.size:
+            order = np.lexsort((adst, p[adst], asrc))
+            adst = adst[order]
+        counts = np.bincount(asrc, minlength=n)
+        idx_dtype = csr_index_dtype(n, int(adst.size))
+        indptr = np.concatenate(
+            (np.zeros(1, dtype=np.int64), np.cumsum(counts))
+        ).astype(idx_dtype)
+        return indptr, adst.astype(idx_dtype)
+
+    @staticmethod
+    def _reference_general_csr(
+        instance: "ProblemInstance",
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Seed builder: per-voter approved-neighbour loop.
+
+        Kept as the equivalence-test oracle for :meth:`_general_csr`.
+        """
+        n = instance.num_voters
+        p = instance.competencies
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        chunks = []
+        for v in range(n):
+            approved = instance.approved_neighbors(v)
+            indptr[v + 1] = indptr[v] + len(approved)
+            if approved:
+                arr = np.asarray(approved, dtype=np.int64)
+                # Competency-ascending segment order (ties by index)
+                # so that "offset within segment" equals local rank —
+                # used by best-of-k sampling.
+                arr = arr[np.lexsort((arr, p[arr]))]
+                chunks.append(arr)
+        indices = np.concatenate(chunks) if chunks else np.empty(0, dtype=np.int64)
+        return indptr, indices
 
     @property
     def num_voters(self) -> int:
@@ -83,6 +137,38 @@ class ApprovalStructure:
     def approved_counts(self) -> np.ndarray:
         """``|J(i) ∩ N(i)|`` for every voter."""
         return self._counts
+
+    @property
+    def is_complete_form(self) -> bool:
+        """Whether the O(n) complete-graph suffix form is in use."""
+        return self._complete
+
+    def approved_csr(self) -> Tuple[np.ndarray, np.ndarray]:
+        """The approved relation as ``(indptr, indices)`` CSR arrays.
+
+        Segments are in local-view order (competency ascending, ties by
+        index).  On general graphs this returns the stored arrays
+        directly (no copy); on complete graphs the CSR is materialised
+        from the O(n) suffix form on demand — callers that only need
+        counts or offset resolution should prefer those accessors.
+        """
+        if not self._complete:
+            return self._indptr, self._indices
+        n = self.num_voters
+        counts = self._counts
+        total = int(counts.sum())
+        idx_dtype = csr_index_dtype(n, total)
+        indptr = np.concatenate(
+            (np.zeros(1, dtype=np.int64), np.cumsum(counts))
+        ).astype(idx_dtype)
+        voters = np.repeat(np.arange(n, dtype=np.int64), counts)
+        offsets = np.arange(total, dtype=np.int64) - indptr[voters].astype(np.int64)
+        indices = (
+            self._resolve_offsets(voters, offsets).astype(idx_dtype)
+            if total
+            else np.empty(0, dtype=idx_dtype)
+        )
+        return indptr, indices
 
     def approved_count(self, voter: int) -> int:
         """``|J(voter) ∩ N(voter)|``."""

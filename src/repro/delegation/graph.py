@@ -19,6 +19,7 @@ to the fast path by the equivalence suite.
 """
 
 from __future__ import annotations
+# reprolint: sparse-safe
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -56,11 +57,15 @@ def resolve_forests_batch(
     ``take_along_axis``.  Only columns that delegate in at least one
     round participate in the doubling (direct voters self-point and
     never move), and pointers are 32-bit while the flat index space
-    fits, halving gather traffic.  Cycles raise
-    :class:`DelegationCycleError` (reported via the per-round reference
-    walk).
+    fits, halving gather traffic.  Integer delegate matrices of any
+    width (the batch kernels emit the instance's CSR index dtype,
+    int32 below 2^31 voters) are consumed as-is — no int64 upcast
+    copy.  Cycles raise :class:`DelegationCycleError` (reported via
+    the per-round reference walk).
     """
-    delegates = np.asarray(delegates, dtype=np.int64)
+    delegates = np.asarray(delegates)
+    if delegates.dtype.kind != "i":
+        delegates = delegates.astype(np.int64)
     if delegates.ndim != 2:
         raise ValueError("delegates must be a (rounds, n) matrix")
     rounds, n = delegates.shape

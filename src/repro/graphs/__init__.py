@@ -7,7 +7,12 @@ work in Section 6 (Barabási–Albert, Watts–Strogatz, caveman), and degree /
 structural-asymmetry statistics.
 """
 
-from repro.graphs.graph import Graph
+from repro.graphs.graph import (
+    TUPLE_VIEW_LIMIT,
+    Graph,
+    allow_tuple_views,
+    csr_index_dtype,
+)
 from repro.graphs.generators import (
     barabasi_albert_graph,
     complete_graph,
@@ -32,6 +37,9 @@ from repro.graphs.properties import (
 
 __all__ = [
     "Graph",
+    "TUPLE_VIEW_LIMIT",
+    "allow_tuple_views",
+    "csr_index_dtype",
     "complete_graph",
     "star_graph",
     "cycle_graph",

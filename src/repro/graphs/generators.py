@@ -5,9 +5,16 @@ All generators return :class:`repro.graphs.Graph` instances and accept a
 random d-regular generator uses the configuration (pairing) model with
 rejection of loops/multi-edges, which samples asymptotically uniformly for
 constant ``d`` — the regime covered by Theorem 3.
+
+The scale generators (Barabási–Albert, Watts–Strogatz, caveman,
+d-regular) never build Python edge-tuple lists: edges live in flat NumPy
+arrays end to end and the adjacency CSR is assembled directly via
+:func:`_graph_from_edge_array`, keeping peak memory ``O(E)`` at
+million-vertex sizes.
 """
 
 from __future__ import annotations
+# reprolint: sparse-safe
 
 import itertools
 from typing import List, Optional, Set, Tuple
@@ -17,11 +24,46 @@ import numpy as np
 from repro._util.rng import SeedLike, as_generator
 from repro.graphs.graph import Graph
 
+_BA_MAX_REDRAW_ROUNDS = 512
+"""Safety cap on Barabási–Albert duplicate-target redraw sweeps."""
+
+_WS_MAX_REJECTION_TRIES = 64
+"""Rejection-sampling attempts per Watts–Strogatz rewire before the
+exact (enumerate-all-candidates) fallback."""
+
+
+def _graph_from_edge_array(n: int, edges: np.ndarray) -> Graph:
+    """Assemble a :class:`Graph` straight from a trusted edge array.
+
+    ``edges`` must be a ``(m, 2)`` integer array of distinct undirected
+    edges with no self-loops (generators guarantee this by
+    construction).  The CSR is built in one ``bincount``/``lexsort``
+    pass and handed to :meth:`Graph.from_csr` with validation off, so no
+    per-edge tuples and no canonicalisation re-sort are ever
+    materialised.
+    """
+    edges = np.asarray(edges, dtype=np.int64)
+    if edges.size == 0:
+        return Graph(n)
+    src = np.concatenate((edges[:, 0], edges[:, 1]))
+    dst = np.concatenate((edges[:, 1], edges[:, 0]))
+    counts = np.bincount(src, minlength=n)
+    indptr = np.concatenate((np.zeros(1, dtype=np.int64), np.cumsum(counts)))
+    order = np.lexsort((dst, src))
+    return Graph.from_csr(n, indptr, dst[order], validate=False)
+
 
 def complete_graph(n: int) -> Graph:
-    """The complete graph :math:`K_n` (graph restriction ``K_n``)."""
-    iu, ju = np.triu_indices(n, k=1)
-    return Graph(n, np.column_stack((iu, ju)))
+    """The complete graph :math:`K_n` (graph restriction ``K_n``).
+
+    Emits the CSR directly (row ``i`` is ``0..n-1`` minus ``i``) — no
+    intermediate triangle of edge pairs.
+    """
+    idx = np.arange(n, dtype=np.int64)
+    full = np.broadcast_to(idx, (n, n))
+    indices = full[full != idx[:, None]]
+    indptr = np.arange(n + 1, dtype=np.int64) * max(n - 1, 0)
+    return Graph.from_csr(n, indptr, indices, validate=False)
 
 
 def star_graph(n: int, centre: int = 0) -> Graph:
@@ -99,7 +141,7 @@ def random_regular_graph(
     for _ in range(max_tries):
         edges = _pair_stubs(n, d, rng)
         if edges is not None:
-            return Graph(n, edges)
+            return _graph_from_edge_array(n, edges)
     raise ValueError(
         f"failed to sample a simple {d}-regular graph on {n} vertices "
         f"after {max_tries} attempts"
@@ -148,13 +190,12 @@ def erdos_renyi_graph(n: int, p: float, seed: SeedLike = None) -> Graph:
     if not 0.0 <= p <= 1.0:
         raise ValueError(f"edge probability must lie in [0, 1], got {p}")
     rng = as_generator(seed)
-    edges = []
-    if n >= 2 and p > 0.0:
-        # Vectorised draw over the upper triangle.
-        iu, ju = np.triu_indices(n, k=1)
-        mask = rng.random(iu.size) < p
-        edges = list(zip(iu[mask].tolist(), ju[mask].tolist()))
-    return Graph(n, edges)
+    if n < 2 or p <= 0.0:
+        return Graph(n)
+    # Vectorised draw over the upper triangle; edges stay arrays.
+    iu, ju = np.triu_indices(n, k=1)
+    mask = rng.random(iu.size) < p
+    return _graph_from_edge_array(n, np.column_stack((iu[mask], ju[mask])))
 
 
 def barabasi_albert_graph(n: int, m: int, seed: SeedLike = None) -> Graph:
@@ -164,26 +205,83 @@ def barabasi_albert_graph(n: int, m: int, seed: SeedLike = None) -> Graph:
     hub-heavy "social network" models; this generator feeds experiment X3.
     Starts from a star on ``m + 1`` vertices, then attaches each new vertex
     to ``m`` distinct existing vertices chosen proportionally to degree.
+
+    The attachment pool ("each endpoint once per incident edge") is laid
+    out as a flat slot array whose final length is known up front: the
+    ``2m`` star endpoints, then per step ``m`` target slots and ``m``
+    copies of the new vertex id.  Every step draws its ``m`` pool
+    positions in one batched call; positions pointing at earlier target
+    slots are resolved by pointer doubling, and steps whose ``m``
+    resolved targets collide redraw only the duplicate slots (first
+    occurrence kept) until every step is duplicate-free.  This replaces
+    the seed's per-step Python loop with ``O(log n)`` array sweeps, so
+    the generator stream differs from the original interleaved scalar
+    draws — seeded outputs are equally valid preferential-attachment
+    samples, not bit-identical to the old ones (same caveat as
+    :func:`watts_strogatz_graph`).
     """
     if m < 1:
         raise ValueError(f"m must be at least 1, got {m}")
     if n < m + 1:
         raise ValueError(f"need n >= m + 1 = {m + 1}, got n={n}")
     rng = as_generator(seed)
-    edges: List[Tuple[int, int]] = [(0, v) for v in range(1, m + 1)]
-    # repeated_nodes holds each endpoint once per incident edge, so uniform
-    # sampling from it is degree-proportional sampling.
-    repeated: List[int] = []
-    for u, v in edges:
-        repeated.extend((u, v))
-    for new in range(m + 1, n):
-        targets: Set[int] = set()
-        while len(targets) < m:
-            targets.add(int(repeated[rng.integers(len(repeated))]))
-        for t in targets:
-            edges.append((t, new))
-            repeated.extend((t, new))
-    return Graph(n, edges)
+    star = np.column_stack(
+        (np.zeros(m, dtype=np.int64), np.arange(1, m + 1, dtype=np.int64))
+    )
+    steps = n - m - 1
+    if steps == 0:
+        return _graph_from_edge_array(n, star)
+    slot = 2 * m
+    total = slot * (steps + 1)
+    # Static pool values: star endpoints interleaved (0, 1, 0, 2, ...),
+    # then each step's m new-vertex copies.  Target slots are resolved
+    # below; their cells are never read before resolution lands on a
+    # static cell (pointers strictly decrease).
+    val = np.full(total, -1, dtype=np.int64)
+    val[0:slot:2] = 0
+    val[1:slot:2] = np.arange(1, m + 1)
+    bases = slot + slot * np.arange(steps, dtype=np.int64)
+    tg = bases[:, None] + np.arange(m, dtype=np.int64)[None, :]
+    new_ids = np.arange(m + 1, n, dtype=np.int64)
+    val[bases[:, None] + np.arange(m, slot, dtype=np.int64)[None, :]] = (
+        new_ids[:, None]
+    )
+    ptr_dtype = np.int64 if total > np.iinfo(np.int32).max else np.int32
+    ptr = np.arange(total, dtype=ptr_dtype)
+    # Step s draws from the pool prefix of length bases[s] (everything
+    # appended by earlier steps plus the star) — degree-proportional by
+    # the pool invariant.
+    ptr[tg] = rng.integers(0, bases[:, None], size=(steps, m), dtype=ptr_dtype)
+    targets = None
+    for _ in range(_BA_MAX_REDRAW_ROUNDS):
+        roots = ptr
+        while True:
+            nxt = roots[roots]
+            if np.array_equal(nxt, roots):
+                break
+            roots = nxt
+        targets = val[roots[tg]]
+        # A slot is a duplicate iff an earlier slot of the same step
+        # resolved to the same vertex (stable sort ⇒ first slot wins).
+        order = np.argsort(targets, axis=1, kind="stable")
+        svals = np.take_along_axis(targets, order, axis=1)
+        dup_sorted = np.zeros_like(svals, dtype=bool)
+        dup_sorted[:, 1:] = svals[:, 1:] == svals[:, :-1]
+        if not dup_sorted.any():
+            break
+        dup = np.zeros_like(dup_sorted)
+        np.put_along_axis(dup, order, dup_sorted, axis=1)
+        rows, cols = np.nonzero(dup)
+        ptr[tg[rows, cols]] = rng.integers(0, bases[rows], dtype=ptr_dtype)
+    else:
+        raise RuntimeError(
+            "Barabási–Albert target redraw failed to converge "
+            f"after {_BA_MAX_REDRAW_ROUNDS} sweeps"
+        )
+    edges = np.concatenate(
+        (star, np.column_stack((targets.ravel(), np.repeat(new_ids, m))))
+    )
+    return _graph_from_edge_array(n, edges)
 
 
 def watts_strogatz_graph(
@@ -213,28 +311,47 @@ def watts_strogatz_graph(
     coins = rng.random(n * half)
     flagged = np.flatnonzero(coins < rewire_prob)
     if not flagged.size:
-        return Graph(n, np.column_stack((u_all, v_all)))
-    neighbor_sets: List[Set[int]] = [set() for _ in range(n)]
-    for u, v in zip(u_all.tolist(), v_all.tolist()):
-        neighbor_sets[u].add(v)
-        neighbor_sets[v].add(u)
-    for idx in flagged:
+        return _graph_from_edge_array(n, np.column_stack((u_all, v_all)))
+    # Rewiring keeps O(E) state: the edge list stays in (u_all, v_all)
+    # and membership is a set of scalar edge keys.  Each rewire draws its
+    # uniform non-duplicate target by rejection sampling (uniform over
+    # valid targets, exactly as enumerating them), falling back to exact
+    # enumeration only if a vertex is so saturated that
+    # ``_WS_MAX_REJECTION_TRIES`` draws all collide.
+    edge_keys = set(
+        (np.minimum(u_all, v_all) * n + np.maximum(u_all, v_all)).tolist()
+    )
+    for idx in flagged.tolist():
         u, v = int(u_all[idx]), int(v_all[idx])
-        if v not in neighbor_sets[u]:
-            continue  # already rewired away by the other endpoint
-        mask = np.ones(n, dtype=bool)
-        mask[u] = False
-        mask[list(neighbor_sets[u])] = False
-        candidates = np.flatnonzero(mask)
-        if not candidates.size:
-            continue
-        w = int(candidates[int(rng.integers(candidates.size))])
-        neighbor_sets[u].discard(v)
-        neighbor_sets[v].discard(u)
-        neighbor_sets[u].add(w)
-        neighbor_sets[w].add(u)
-    edges = {(min(u, v), max(u, v)) for u in range(n) for v in neighbor_sets[u]}
-    return Graph(n, edges)
+        key = u * n + v if u < v else v * n + u
+        if key not in edge_keys:
+            continue  # already rewired away
+        w = -1
+        for _ in range(_WS_MAX_REJECTION_TRIES):
+            cand = int(rng.integers(n))
+            if cand == u:
+                continue
+            cand_key = u * n + cand if u < cand else cand * n + u
+            if cand_key in edge_keys:
+                continue
+            w, new_key = cand, cand_key
+            break
+        else:
+            # Exact fallback: recover u's current neighbourhood from the
+            # live edge arrays (rare, so the O(E) scan is acceptable).
+            mask = np.ones(n, dtype=bool)
+            mask[u] = False
+            mask[v_all[u_all == u]] = False
+            mask[u_all[v_all == u]] = False
+            candidates = np.flatnonzero(mask)
+            if not candidates.size:
+                continue
+            w = int(candidates[int(rng.integers(candidates.size))])
+            new_key = u * n + w if u < w else w * n + u
+        v_all[idx] = w
+        edge_keys.remove(key)
+        edge_keys.add(new_key)
+    return _graph_from_edge_array(n, np.column_stack((u_all, v_all)))
 
 
 def connected_caveman_graph(num_cliques: int, clique_size: int) -> Graph:
@@ -249,20 +366,29 @@ def connected_caveman_graph(num_cliques: int, clique_size: int) -> Graph:
             f"{num_cliques}, {clique_size}"
         )
     n = num_cliques * clique_size
-    edges: Set[Tuple[int, int]] = set()
-    for c in range(num_cliques):
-        base = c * clique_size
-        for u, v in itertools.combinations(range(base, base + clique_size), 2):
-            edges.add((u, v))
+    # One clique's upper triangle, broadcast across all clique bases; the
+    # first triu pair is (0, 1), i.e. each clique's (base, base + 1) edge
+    # that the connected variant rewires into the ring.
+    iu, ju = np.triu_indices(clique_size, k=1)
+    bases = np.arange(num_cliques, dtype=np.int64) * clique_size
+    src = bases[:, None] + iu[None, :]
+    dst = bases[:, None] + ju[None, :]
     if num_cliques > 1:
-        for c in range(num_cliques):
-            base = c * clique_size
-            nxt = ((c + 1) % num_cliques) * clique_size
-            # Rewire one intra-clique edge to the next clique.
-            edges.discard((base, base + 1))
-            a, b = sorted((base, nxt + 1))
-            edges.add((a, b))
-    return Graph(n, edges)
+        src, dst = src[:, 1:], dst[:, 1:]
+        nxt = ((np.arange(num_cliques, dtype=np.int64) + 1) % num_cliques) * (
+            clique_size
+        )
+        ring_a = np.minimum(bases, nxt + 1)
+        ring_b = np.maximum(bases, nxt + 1)
+        edges = np.column_stack(
+            (
+                np.concatenate((src.ravel(), ring_a)),
+                np.concatenate((dst.ravel(), ring_b)),
+            )
+        )
+    else:
+        edges = np.column_stack((src.ravel(), dst.ravel()))
+    return _graph_from_edge_array(n, edges)
 
 
 def star_of_cliques_graph(num_cliques: int, clique_size: int) -> Graph:

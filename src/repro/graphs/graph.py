@@ -5,25 +5,77 @@ voters.  We implement our own lightweight structure rather than depending
 on :mod:`networkx` in the hot path: delegation resolution and Monte Carlo
 experiments iterate neighbourhoods millions of times.
 
-Internally the edge set is a single ``(m, 2)`` integer array validated
-and deduplicated with vectorised numpy operations, and the adjacency is
-stored in CSR form (``indptr``/``indices``) with a cached degree vector —
-the representation consumed directly by the compiled-instance fast paths
-(:mod:`repro.core.compiled`).  The tuple-based views (``neighbors``,
-``edges``) that the readable reference paths use are materialised lazily,
-so array-only consumers never pay for them.
+The canonical storage is the CSR adjacency (``indptr``/``indices``) with
+a cached degree vector — the representation consumed directly by the
+compiled-instance fast paths (:mod:`repro.core.compiled`).  Index arrays
+use ``int32`` whenever every vertex id and every ``indptr`` offset fits
+(:func:`csr_index_dtype`), halving memory at social-graph scale, and fall
+back to ``int64`` past 2^31 entries.  :meth:`Graph.from_csr` builds a
+graph straight from CSR arrays with no edge-tuple materialisation, which
+is how the large-n generators construct million-voter instances in O(E)
+memory.
+
+Tuple views (``edges``, ``_adjacency_tuples``) exist for the readable
+reference paths and tests only.  They are built lazily, and above
+:data:`TUPLE_VIEW_LIMIT` items they *raise* instead of silently
+allocating gigabytes — wrap the access in :func:`allow_tuple_views` to
+opt in explicitly.  ``neighbors`` is a per-call CSR slice, so iterating
+one vertex's neighbourhood never materialises the other ``n - 1``.
 
 :mod:`networkx` interop is provided through :meth:`Graph.from_networkx`
 and :meth:`Graph.to_networkx` for tests and external tooling.
 """
 
 from __future__ import annotations
+# reprolint: sparse-safe
 
-from typing import Dict, FrozenSet, Iterable, Iterator, Optional, Sequence, Tuple
+import contextlib
+import contextvars
+import hashlib
+from typing import Dict, Iterable, Iterator, Optional, Sequence, Tuple
 
 import numpy as np
 
 Edge = Tuple[int, int]
+
+#: Largest tuple view (edge count for ``edges``, vertex count for
+#: ``_adjacency_tuples``) materialised without an explicit opt-in.
+TUPLE_VIEW_LIMIT = 1 << 20
+
+_INT32_MAX = np.iinfo(np.int32).max
+
+_TUPLE_VIEWS_ALLOWED: contextvars.ContextVar[bool] = contextvars.ContextVar(
+    "repro_graph_tuple_views_allowed", default=False
+)
+
+
+@contextlib.contextmanager
+def allow_tuple_views():
+    """Permit tuple-view materialisation beyond :data:`TUPLE_VIEW_LIMIT`.
+
+    Large-n code paths must use the array-native APIs (``edge_array``,
+    ``adjacency_csr``); this context manager is the explicit escape hatch
+    for tools (serialisation of huge graphs, debugging) that knowingly
+    accept the memory cost.
+    """
+    token = _TUPLE_VIEWS_ALLOWED.set(True)
+    try:
+        yield
+    finally:
+        _TUPLE_VIEWS_ALLOWED.reset(token)
+
+
+def csr_index_dtype(num_vertices: int, nnz: int) -> np.dtype:
+    """Smallest index dtype holding vertex ids and ``indptr`` offsets.
+
+    ``int32`` iff both the largest vertex id and the largest ``indptr``
+    value (``nnz``, the directed entry count) fit in a signed 32-bit
+    integer; ``int64`` otherwise.  The overflow guard is exact at the
+    boundary: ``nnz = 2^31 - 1`` is still int32, ``2^31`` is not.
+    """
+    if num_vertices <= _INT32_MAX and nnz <= _INT32_MAX:
+        return np.dtype(np.int32)
+    return np.dtype(np.int64)
 
 
 def _as_edge_array(edges: Iterable[Edge]) -> np.ndarray:
@@ -52,6 +104,9 @@ class Graph:
         iteration entirely.  Self-loops and duplicate edges are rejected:
         the paper's model is a simple graph, and duplicates would
         silently bias "random approved neighbour" sampling.
+
+    Construction from adjacency arrays without any edge materialisation
+    is available through :meth:`from_csr`.
     """
 
     __slots__ = (
@@ -60,9 +115,8 @@ class Graph:
         "_indptr",
         "_indices",
         "_degrees",
-        "_adjacency",
         "_edges",
-        "_neighbor_sets",
+        "_hash",
     )
 
     def __init__(self, num_vertices: int, edges: Iterable[Edge] = ()) -> None:
@@ -78,25 +132,120 @@ class Graph:
             canon = np.column_stack((lo[order], hi[order]))
         else:
             canon = arr
-        self._edge_arr = canon
+        self._edge_arr: Optional[np.ndarray] = canon
         self._edge_arr.setflags(write=False)
         endpoints = canon.ravel()
         self._degrees = np.bincount(endpoints, minlength=self._n).astype(np.int64)
         self._degrees.setflags(write=False)
         # CSR adjacency: each undirected edge contributes both directions.
+        idx_dtype = csr_index_dtype(self._n, 2 * canon.shape[0])
         src = np.concatenate((canon[:, 0], canon[:, 1]))
         dst = np.concatenate((canon[:, 1], canon[:, 0]))
         csr_order = np.lexsort((dst, src))
-        self._indptr = np.concatenate(
+        indptr = np.concatenate(
             (np.zeros(1, dtype=np.int64), np.cumsum(self._degrees))
         )
+        self._indptr = indptr.astype(idx_dtype)
         self._indptr.setflags(write=False)
-        self._indices = dst[csr_order]
+        self._indices = dst[csr_order].astype(idx_dtype)
         self._indices.setflags(write=False)
-        # Tuple views are built lazily on first access.
-        self._adjacency: Optional[Tuple[Tuple[int, ...], ...]] = None
+        # Tuple views are built lazily (and size-gated) on first access.
         self._edges: Optional[Tuple[Edge, ...]] = None
-        self._neighbor_sets: Optional[Tuple[FrozenSet[int], ...]] = None
+        self._hash: Optional[int] = None
+
+    @classmethod
+    def from_csr(
+        cls,
+        num_vertices: int,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        validate: bool = True,
+    ) -> "Graph":
+        """Build a graph directly from a symmetric CSR adjacency.
+
+        ``indices[indptr[v]:indptr[v + 1]]`` must hold vertex ``v``'s
+        neighbours in strictly increasing order, and the adjacency must
+        be symmetric with no self-loops — exactly the arrays
+        :meth:`adjacency_csr` returns.  No ``(m, 2)`` edge array or edge
+        tuples are materialised (``edge_array`` stays lazy), so peak
+        memory is O(E).  Digest and equality semantics are identical to
+        the edge-list constructor: ``from_csr(*g.adjacency_csr())`` is
+        ``==`` to ``g``, hashes identically, and produces the same
+        :func:`repro.cache.instance_token` digest.
+
+        Set ``validate=False`` only for arrays produced by trusted code
+        (the generators); invalid CSR input then yields undefined
+        behaviour.
+        """
+        if num_vertices < 0:
+            raise ValueError(f"num_vertices must be non-negative, got {num_vertices}")
+        n = int(num_vertices)
+        indptr = np.asarray(indptr)
+        indices = np.asarray(indices)
+        if indptr.ndim != 1 or indices.ndim != 1:
+            raise ValueError("indptr and indices must be one-dimensional")
+        if indptr.shape[0] != n + 1:
+            raise ValueError(
+                f"indptr must have length n + 1 = {n + 1}, got {indptr.shape[0]}"
+            )
+        nnz = int(indices.shape[0])
+        if validate:
+            cls._validate_csr(n, indptr, indices, nnz)
+        idx_dtype = csr_index_dtype(n, nnz)
+        self = cls.__new__(cls)
+        self._n = n
+        self._edge_arr = None
+        self._indptr = np.ascontiguousarray(indptr, dtype=idx_dtype)
+        self._indptr.setflags(write=False)
+        self._indices = np.ascontiguousarray(indices, dtype=idx_dtype)
+        self._indices.setflags(write=False)
+        self._degrees = np.diff(indptr).astype(np.int64)
+        self._degrees.setflags(write=False)
+        self._edges = None
+        self._hash = None
+        return self
+
+    @staticmethod
+    def _validate_csr(
+        n: int, indptr: np.ndarray, indices: np.ndarray, nnz: int
+    ) -> None:
+        if indptr.size and (int(indptr[0]) != 0 or int(indptr[-1]) != nnz):
+            raise ValueError(
+                f"indptr must run from 0 to len(indices)={nnz}, "
+                f"got [{int(indptr[0])}, {int(indptr[-1])}]"
+            )
+        if np.any(np.diff(indptr) < 0):
+            raise ValueError("indptr must be non-decreasing")
+        if nnz == 0:
+            return
+        if int(indices.min()) < 0 or int(indices.max()) >= n:
+            raise ValueError(f"indices out of range for {n} vertices")
+        degrees = np.diff(indptr)
+        src = np.repeat(np.arange(n, dtype=np.int64), degrees)
+        if np.any(src == indices):
+            v = int(src[np.argmax(src == indices)])
+            raise ValueError(f"self-loop at vertex {v} is not allowed")
+        if nnz > 1:
+            # Positions i, i+1 in the same row must be strictly increasing
+            # (sorted, no duplicate neighbours).
+            same_row = np.ones(nnz - 1, dtype=bool)
+            boundaries = np.asarray(indptr[1:-1], dtype=np.int64)
+            boundaries = boundaries[(boundaries > 0) & (boundaries < nnz)]
+            same_row[boundaries - 1] = False
+            deltas = np.diff(indices.astype(np.int64))
+            if np.any(deltas[same_row] <= 0):
+                raise ValueError(
+                    "each CSR row must list neighbours in strictly "
+                    "increasing order with no duplicates"
+                )
+        # Symmetry: the reversed entry list (dst, src), sorted into CSR
+        # order, must reproduce the forward list exactly.
+        rev_order = np.lexsort((src, indices))
+        if not (
+            np.array_equal(src, np.asarray(indices)[rev_order])
+            and np.array_equal(np.asarray(indices), src[rev_order])
+        ):
+            raise ValueError("CSR adjacency must be symmetric (undirected graph)")
 
     def _validate(self, arr: np.ndarray, lo: np.ndarray, hi: np.ndarray) -> None:
         """Reject out-of-range endpoints, self-loops and duplicate edges.
@@ -139,18 +288,45 @@ class Graph:
     @property
     def num_edges(self) -> int:
         """Number of undirected edges."""
-        return self._edge_arr.shape[0]
+        return self._indices.shape[0] // 2
+
+    def _check_tuple_view(self, count: int, what: str) -> None:
+        if count > TUPLE_VIEW_LIMIT and not _TUPLE_VIEWS_ALLOWED.get():
+            raise RuntimeError(
+                f"materialising {what} would build {count} tuples "
+                f"(> TUPLE_VIEW_LIMIT = {TUPLE_VIEW_LIMIT}); use the "
+                f"array-native APIs (edge_array, adjacency_csr) or wrap "
+                f"the access in repro.graphs.allow_tuple_views()"
+            )
 
     @property
     def edges(self) -> Tuple[Edge, ...]:
-        """All edges as sorted ``(min, max)`` tuples, in sorted order."""
+        """All edges as sorted ``(min, max)`` tuples, in sorted order.
+
+        Size-gated: raises above :data:`TUPLE_VIEW_LIMIT` edges unless
+        inside :func:`allow_tuple_views` — use :attr:`edge_array` in
+        array code.
+        """
         if self._edges is None:
-            self._edges = tuple(map(tuple, self._edge_arr.tolist()))
+            self._check_tuple_view(self.num_edges, "Graph.edges")
+            self._edges = tuple(map(tuple, self.edge_array.tolist()))
         return self._edges
 
     @property
     def edge_array(self) -> np.ndarray:
-        """Read-only ``(m, 2)`` array of canonical ``(min, max)`` edges."""
+        """Read-only ``(m, 2)`` array of canonical ``(min, max)`` edges.
+
+        Lazily derived from the CSR adjacency for :meth:`from_csr`-built
+        graphs (CSR rows are sorted, so the derived array is already in
+        canonical lexicographic order).
+        """
+        if self._edge_arr is None:
+            src = np.repeat(np.arange(self._n, dtype=np.int64), self._degrees)
+            dst = self._indices.astype(np.int64, copy=False)
+            mask = src < dst
+            arr = np.column_stack((src[mask], dst[mask]))
+            arr.setflags(write=False)
+            self._edge_arr = arr
         return self._edge_arr
 
     def adjacency_csr(self) -> Tuple[np.ndarray, np.ndarray]:
@@ -159,21 +335,31 @@ class Graph:
         Vertex ``v``'s sorted neighbours are
         ``indices[indptr[v]:indptr[v + 1]]``.  This is the array-native
         export consumed by :class:`repro.core.compiled.CompiledInstance`.
+        Index dtype is :func:`csr_index_dtype` of the graph's size.
         """
         return self._indptr, self._indices
 
     def _adjacency_tuples(self) -> Tuple[Tuple[int, ...], ...]:
-        if self._adjacency is None:
-            indices = self._indices.tolist()
-            indptr = self._indptr.tolist()
-            self._adjacency = tuple(
-                tuple(indices[indptr[v] : indptr[v + 1]]) for v in range(self._n)
-            )
-        return self._adjacency
+        """All neighbourhoods as a tuple of tuples (size-gated bulk view)."""
+        self._check_tuple_view(self._n, "Graph._adjacency_tuples")
+        indices = self._indices.tolist()
+        indptr = self._indptr.tolist()
+        return tuple(
+            tuple(indices[indptr[v] : indptr[v + 1]]) for v in range(self._n)
+        )
 
     def neighbors(self, vertex: int) -> Tuple[int, ...]:
-        """Sorted tuple of neighbours of ``vertex``."""
-        return self._adjacency_tuples()[vertex]
+        """Sorted tuple of neighbours of ``vertex``.
+
+        A per-call CSR row slice: cost is O(deg(vertex)), never O(n) —
+        large-n code paths can interrogate single vertices freely.
+        """
+        if vertex < 0:
+            vertex += self._n
+        if not 0 <= vertex < self._n:
+            raise IndexError(f"vertex {vertex} out of range for {self._n} vertices")
+        start, stop = int(self._indptr[vertex]), int(self._indptr[vertex + 1])
+        return tuple(self._indices[start:stop].tolist())
 
     def degree(self, vertex: int) -> int:
         """Degree of ``vertex``."""
@@ -184,14 +370,16 @@ class Graph:
         return self._degrees
 
     def has_edge(self, u: int, v: int) -> bool:
-        """Whether the undirected edge ``{u, v}`` is present."""
+        """Whether the undirected edge ``{u, v}`` is present.
+
+        Binary search in ``u``'s sorted CSR row — O(log deg(u)), no set
+        materialisation.
+        """
         if not (0 <= u < self._n and 0 <= v < self._n):
             return False
-        if self._neighbor_sets is None:
-            self._neighbor_sets = tuple(
-                frozenset(nbrs) for nbrs in self._adjacency_tuples()
-            )
-        return v in self._neighbor_sets[u]
+        start, stop = int(self._indptr[u]), int(self._indptr[u + 1])
+        pos = int(np.searchsorted(self._indices[start:stop], v))
+        return pos < stop - start and int(self._indices[start + pos]) == v
 
     def __len__(self) -> int:
         return self._n
@@ -202,12 +390,23 @@ class Graph:
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Graph):
             return NotImplemented
-        return self._n == other._n and np.array_equal(
-            self._edge_arr, other._edge_arr
+        # CSR is canonical (rows sorted), so value equality of the index
+        # arrays is edge-set equality regardless of index dtype or
+        # construction path (edge list vs from_csr).
+        return (
+            self._n == other._n
+            and np.array_equal(self._indptr, other._indptr)
+            and np.array_equal(self._indices, other._indices)
         )
 
     def __hash__(self) -> int:
-        return hash((self._n, self.edges))
+        if self._hash is None:
+            h = hashlib.blake2b(digest_size=8)
+            h.update(str(self._n).encode("ascii"))
+            h.update(np.ascontiguousarray(self._indptr, dtype=np.int64).tobytes())
+            h.update(np.ascontiguousarray(self._indices, dtype=np.int64).tobytes())
+            self._hash = int.from_bytes(h.digest(), "little")
+        return self._hash
 
     def __repr__(self) -> str:
         return f"Graph(n={self._n}, m={self.num_edges})"
@@ -256,7 +455,7 @@ class Graph:
 
         out = nx.Graph()
         out.add_nodes_from(range(self._n))
-        out.add_edges_from(self.edges)
+        out.add_edges_from(map(tuple, self.edge_array.tolist()))
         return out
 
     # -- constructors -----------------------------------------------------

@@ -11,6 +11,8 @@ from __future__ import annotations
 import json
 from typing import Any, Dict, Union
 
+import numpy as np
+
 from repro.core.instance import ProblemInstance
 from repro.delegation.graph import DelegationGraph
 from repro.experiments.base import ExperimentResult
@@ -20,18 +22,44 @@ FORMAT_VERSION = 1
 
 
 def graph_to_dict(graph: Graph) -> Dict[str, Any]:
-    """Serialise a graph to a JSON-compatible dict."""
+    """Serialise a graph to a JSON-compatible dict.
+
+    Graphs are written in CSR form (``indptr``/``indices``), the same
+    arrays the runtime stores — serialisation never materialises
+    per-edge tuples, so million-edge graphs (including service payloads
+    built from sparse instances) stream straight through.
+    """
+    indptr, indices = graph.adjacency_csr()
     return {
         "version": FORMAT_VERSION,
         "type": "graph",
         "num_vertices": graph.num_vertices,
-        "edges": [list(e) for e in graph.edges],
+        "csr": {
+            "indptr": indptr.tolist(),
+            "indices": indices.tolist(),
+        },
     }
 
 
 def graph_from_dict(data: Dict[str, Any]) -> Graph:
-    """Inverse of :func:`graph_to_dict`."""
+    """Inverse of :func:`graph_to_dict`.
+
+    Accepts both the CSR payload written by this version and the legacy
+    ``"edges"`` pair-list payload from earlier archives.  CSR payloads
+    are fully validated (symmetry, sortedness, no loops) — external JSON
+    is untrusted input.
+    """
     _check(data, "graph")
+    if "csr" in data:
+        csr = data["csr"]
+        if not isinstance(csr, dict) or "indptr" not in csr or "indices" not in csr:
+            raise ValueError("graph 'csr' payload needs 'indptr' and 'indices'")
+        return Graph.from_csr(
+            data["num_vertices"],
+            np.asarray(csr["indptr"], dtype=np.int64),
+            np.asarray(csr["indices"], dtype=np.int64),
+            validate=True,
+        )
     return Graph(data["num_vertices"], [tuple(e) for e in data["edges"]])
 
 

@@ -10,10 +10,12 @@ can reason across files (class hierarchies, protocol registries).
 Suppression is line-scoped: a ``# reprolint: disable=R101`` comment on a
 finding's line (or the line directly above a flagged ``def``/``class``)
 silences that rule there.  ``# reprolint: reference=<name>`` is the
-kernel-parity rule's way of naming a non-standard oracle; both pragma
-forms are parsed here so every rule sees the same syntax.  A pragma
-naming an unknown rule id is itself a finding (``X001``) — silent typos
-in suppressions are how contracts rot.
+kernel-parity rule's way of naming a non-standard oracle; and a bare
+``# reprolint: sparse-safe`` marks a whole module as belonging to the
+sparse O(E)-memory backend, opting it into the dense-allocation rule
+(K402).  All pragma forms are parsed here so every rule sees the same
+syntax.  A pragma naming an unknown rule id is itself a finding
+(``X001``) — silent typos in suppressions are how contracts rot.
 """
 
 from __future__ import annotations
@@ -27,9 +29,12 @@ from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple, Type
 from repro.lint.findings import ERROR, Finding
 
 PRAGMA_RE = re.compile(
-    r"#\s*reprolint:\s*(?P<kind>disable|reference)\s*=\s*"
-    r"(?P<value>[A-Za-z0-9_.,\- ]+)"
+    r"#\s*reprolint:\s*(?P<kind>disable|reference|sparse-safe)"
+    r"(?:\s*=\s*(?P<value>[A-Za-z0-9_.,\- ]+))?"
 )
+
+MARKER_KINDS = frozenset({"sparse-safe"})
+"""Pragma kinds that are bare markers and take no ``=value`` payload."""
 
 PARSE_ERROR_ID = "X000"
 BAD_PRAGMA_ID = "X001"
@@ -44,8 +49,8 @@ class Pragma:
     """One parsed ``# reprolint:`` comment."""
 
     line: int
-    kind: str  # "disable" | "reference"
-    values: Tuple[str, ...]
+    kind: str  # "disable" | "reference" | "sparse-safe"
+    values: Tuple[str, ...]  # empty for bare marker kinds
 
 
 class FileContext:
@@ -68,13 +73,16 @@ class FileContext:
         self.pragmas: List[Pragma] = _parse_pragmas(self.lines)
         self._disable_by_line: Dict[int, Set[str]] = {}
         self._reference_by_line: Dict[int, Tuple[str, ...]] = {}
+        self.sparse_safe = False
         for pragma in self.pragmas:
             if pragma.kind == "disable":
                 self._disable_by_line.setdefault(pragma.line, set()).update(
                     pragma.values
                 )
-            else:
+            elif pragma.kind == "reference":
                 self._reference_by_line[pragma.line] = pragma.values
+            elif pragma.kind == "sparse-safe":
+                self.sparse_safe = True
 
     # -- pragma queries ----------------------------------------------------
 
@@ -259,10 +267,15 @@ def _parse_pragmas(lines: List[str]) -> List[Pragma]:
         match = PRAGMA_RE.search(line)
         if match is None:
             continue
-        values = tuple(
-            v.strip() for v in match.group("value").split(",") if v.strip()
-        )
-        pragmas.append(Pragma(line=i, kind=match.group("kind"), values=values))
+        kind = match.group("kind")
+        raw = match.group("value") or ""
+        values = tuple(v.strip() for v in raw.split(",") if v.strip())
+        if not values and kind not in MARKER_KINDS:
+            # ``disable=`` / ``reference=`` with nothing named would
+            # silently waive a contract; ignore the malformed pragma so
+            # the rule it meant to touch still fires.
+            continue
+        pragmas.append(Pragma(line=i, kind=kind, values=values))
     return pragmas
 
 

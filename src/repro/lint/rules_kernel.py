@@ -1,4 +1,4 @@
-"""Kernel-parity rule (K4xx).
+"""Kernel-parity rules (K4xx).
 
 Every vectorised batch kernel in this repo is pinned bit-identical to a
 slow per-item oracle (``_reference_*``) by the equivalence test suites —
@@ -12,6 +12,14 @@ names the oracle, and the rule verifies the named function exists in
 the module — so the pragma documents a real pairing rather than waving
 the rule away.  Genuinely non-kernel ``*_batch`` names (a metrics
 counter) use an ordinary ``disable=K401`` suppression.
+
+K402 guards the sparse backend's memory model: modules marked
+``# reprolint: sparse-safe`` promise O(E + chunk) peak memory, so any
+NumPy allocation whose shape multiplies two instance-scaled dimensions
+(``(n, max_degree)``, ``(num_voters, num_voters)``, …) breaks the
+promise at million-voter sizes even when it is numerically correct.
+Legitimate budgeted grids — ``(rows, n)`` uniforms whose row count the
+chunker bounds — have only one instance-scaled axis and pass untouched.
 """
 
 from __future__ import annotations
@@ -77,4 +85,88 @@ class KernelReferenceRule(Rule):
                 f"batch kernel {node.name!r} has no reference oracle; "
                 f"define {expected}, or name the oracle with "
                 "'# reprolint: reference=<fn>'",
+            )
+
+
+_DENSE_ALLOCATORS = {
+    "numpy.zeros",
+    "numpy.ones",
+    "numpy.empty",
+    "numpy.full",
+}
+
+_VOTER_DIM_NAMES = {"n", "num_voters", "num_vertices", "n_voters", "nnz"}
+"""Identifiers that denote an instance-scaled count of voters/vertices/
+edges when they appear inside a shape element."""
+
+_SCALED_SUBSTRING = "degree"
+"""Any identifier mentioning degrees (``max_degree``, ``degrees``…) is
+instance-scaled: degree bounds grow with the graph, not the chunker."""
+
+
+def _is_instance_scaled(element: ast.AST) -> bool:
+    """Whether one shape element scales with the instance size.
+
+    Walks the element expression (so ``2 * n`` and ``self.num_voters``
+    both count) collecting plain names and attribute tails; anything
+    matching a voter/vertex count or mentioning degrees marks the whole
+    element as instance-scaled.
+    """
+    for sub in ast.walk(element):
+        if isinstance(sub, ast.Name):
+            candidates = (sub.id,)
+        elif isinstance(sub, ast.Attribute):
+            candidates = (sub.attr,)
+        else:
+            continue
+        for name in candidates:
+            low = name.lower()
+            if low in _VOTER_DIM_NAMES or _SCALED_SUBSTRING in low:
+                return True
+    return False
+
+
+@register_rule
+class DensePerVoterAllocRule(Rule):
+    """K402: dense per-voter × per-voter allocation in a sparse-safe module."""
+
+    id = "K402"
+    name = "dense-per-voter-alloc"
+    description = (
+        "Modules marked '# reprolint: sparse-safe' must keep peak memory "
+        "O(E + chunk); a NumPy allocation whose shape has two or more "
+        "instance-scaled dimensions (n, num_voters, num_vertices, "
+        "*degree*) materialises a dense per-voter grid that defeats the "
+        "sparse backend at scale."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.sparse_safe:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = ctx.dotted_name(node.func)
+            if dotted not in _DENSE_ALLOCATORS:
+                continue
+            shape = None
+            if node.args:
+                shape = node.args[0]
+            else:
+                for kw in node.keywords:
+                    if kw.arg == "shape":
+                        shape = kw.value
+                        break
+            if not isinstance(shape, (ast.Tuple, ast.List)):
+                continue
+            scaled = [e for e in shape.elts if _is_instance_scaled(e)]
+            if len(scaled) < 2:
+                continue
+            yield self.finding(
+                ctx,
+                node,
+                f"{dotted} allocates a shape with {len(scaled)} "
+                "instance-scaled dimensions in a sparse-safe module; "
+                "dense per-voter grids are O(n·Δ) memory — use the CSR "
+                "arrays or a chunked (rows, n) layout instead",
             )

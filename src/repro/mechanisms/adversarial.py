@@ -16,9 +16,11 @@ not just random ones.
 """
 
 from __future__ import annotations
+# reprolint: sparse-safe
 
-from typing import List, Optional
+from typing import Optional
 
+import numpy as np
 
 from repro._util.rng import SeedLike
 from repro.core.instance import ProblemInstance
@@ -64,34 +66,51 @@ class AdversarialConcentrator(DelegationMechanism):
         return (type(self).__qualname__, budget)
 
     def pick_target(self, instance: ProblemInstance) -> Optional[int]:
-        """The voter approved by the most neighbours (None if nobody is)."""
-        best, best_count = None, 0
-        for t in range(instance.num_voters):
-            count = sum(
-                1
-                for v in instance.graph.neighbors(t)
-                if instance.approves(v, t)
+        """The voter approved by the most neighbours (None if nobody is).
+
+        Approval in-degrees come from one array pass: on general graphs a
+        ``bincount`` over the precomputed approved-neighbour CSR, on
+        complete graphs (whose approval structure stores the O(n) suffix
+        form) a ``searchsorted`` of each competency against the sorted
+        ``p + alpha`` thresholds — the same ``p[v] + α <= p[t]`` float
+        comparison as the per-vertex reference, vertex by vertex.  Ties
+        break to the lowest index (``argmax`` returns the first maximum),
+        matching the sequential scan.
+        """
+        n = instance.num_voters
+        if n == 0:
+            return None
+        structure = instance.approval_structure()
+        if structure.is_complete_form:
+            thresholds = np.sort(instance.competencies + instance.alpha)
+            counts = np.searchsorted(
+                thresholds, instance.competencies, side="right"
             )
-            if count > best_count:
-                best, best_count = t, count
-        return best
+        else:
+            _, approved = structure.approved_csr()
+            counts = np.bincount(
+                np.asarray(approved, dtype=np.int64), minlength=n
+            )
+        best = int(np.argmax(counts))
+        return best if int(counts[best]) > 0 else None
 
     def sample_delegations(
         self, instance: ProblemInstance, rng: SeedLike = None
     ) -> DelegationGraph:
         n = instance.num_voters
-        delegates = [SELF] * n
+        delegates = np.full(n, SELF, dtype=np.int64)
         target = self.pick_target(instance)
         if target is None:
             return DelegationGraph(delegates)
-        moved = 0
         limit = n if self._budget is None else self._budget
-        for v in instance.graph.neighbors(target):
-            if moved >= limit:
-                break
-            if instance.approves(v, target):
-                delegates[v] = target
-                moved += 1
+        indptr, indices = instance.graph.adjacency_csr()
+        nbrs = np.asarray(
+            indices[int(indptr[target]) : int(indptr[target + 1])],
+            dtype=np.int64,
+        )
+        p = instance.competencies
+        approvers = nbrs[p[nbrs] + instance.alpha <= p[target]]
+        delegates[approvers[:limit]] = target
         return DelegationGraph(delegates)
 
 
@@ -114,13 +133,15 @@ class LeastCompetentApproved(DelegationMechanism):
     def sample_delegations(
         self, instance: ProblemInstance, rng: SeedLike = None
     ) -> DelegationGraph:
-        comp = instance.competencies
-        delegates: List[int] = []
-        for voter in range(instance.num_voters):
-            approved = instance.approved_neighbors(voter)
-            if not approved:
-                delegates.append(SELF)
-                continue
-            worst = min(approved, key=lambda v: (comp[v], v))
-            delegates.append(int(worst))
+        # Approved segments are stored competency-ascending with ties by
+        # index, so "least competent approved" is offset 0 of each
+        # non-empty segment — one vectorised resolve, no Python loop.
+        compiled = instance.compiled()
+        n = instance.num_voters
+        delegates = np.full(n, SELF, dtype=np.int64)
+        movers = np.flatnonzero(compiled.approved_counts > 0)
+        if movers.size:
+            delegates[movers] = compiled.resolve_approved_offsets(
+                movers, np.zeros(movers.size, dtype=np.int64)
+            )
         return DelegationGraph(delegates)

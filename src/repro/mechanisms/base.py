@@ -14,6 +14,7 @@ abstention extension shares the same evaluation pipeline.
 """
 
 from __future__ import annotations
+# reprolint: sparse-safe
 
 import abc
 import hashlib
@@ -31,6 +32,16 @@ from repro._util.rng import (
 )
 from repro.core.instance import LocalView, ProblemInstance
 from repro.delegation.graph import SELF, DelegationGraph
+from repro.graphs.graph import csr_index_dtype
+
+UNIFORM_CHUNK_BUDGET_BYTES = 256 * 1024 * 1024
+"""Default per-call budget for the batched kernels' uniform cube.
+
+``sample_delegations_batch`` streams rounds in chunks sized so the
+``(chunk, rows, n)`` uniform block stays under this budget — peak memory
+is O(E + chunk·n) instead of O(rounds·n).  Chunking is invisible in the
+output: round ``r`` draws only from child seed ``r``, so any partition
+of rounds into chunks produces bit-identical delegate matrices."""
 
 
 @dataclass(frozen=True)
@@ -137,6 +148,7 @@ class DelegationMechanism(abc.ABC):
         n_rounds: int,
         seed: SeedLike = None,
         first_round: int = 0,
+        chunk_rounds: Optional[int] = None,
     ) -> np.ndarray:
         """Draw ``n_rounds`` delegation forests as one ``(rounds, n)`` matrix.
 
@@ -150,26 +162,63 @@ class DelegationMechanism(abc.ABC):
         vectorised counterpart; mechanisms without a kernel run the
         ordinary per-round :meth:`sample_delegations` on the same child
         seeds (so their forests match the per-round engine exactly).
+
+        The uniform cube is generated in round chunks (``chunk_rounds``
+        rounds at a time; default sized to
+        :data:`UNIFORM_CHUNK_BUDGET_BYTES`), so peak transient memory
+        scales with the chunk, not with ``n_rounds``.  Because each
+        round's uniforms come from its own child seed, the output is
+        bit-identical for every chunking.  The returned matrix uses the
+        instance's CSR index dtype (int32 below 2^31 voters).
         """
         if n_rounds < 0:
             raise ValueError(f"n_rounds must be non-negative, got {n_rounds}")
+        if chunk_rounds is not None and chunk_rounds < 1:
+            raise ValueError(f"chunk_rounds must be >= 1, got {chunk_rounds}")
         root = as_seed_sequence(seed)
         n = instance.num_voters
+        out_dtype = csr_index_dtype(n, 2 * instance.graph.num_edges)
         rows = self.batch_uniform_rows()
         if rows is None:
-            out = np.empty((n_rounds, n), dtype=np.int64)
+            out = np.empty((n_rounds, n), dtype=out_dtype)
             for i in range(n_rounds):
                 rng = np.random.default_rng(
                     child_seed_sequence(root, first_round + i)
                 )
                 out[i] = self.sample_delegations(instance, rng).delegates
             return out
+        if chunk_rounds is None:
+            per_round = max(1, rows) * max(1, n) * 8
+            chunk_rounds = max(1, UNIFORM_CHUNK_BUDGET_BYTES // per_round)
+        if chunk_rounds >= n_rounds:
+            uniforms = self._uniform_block(root, first_round, n_rounds, rows, n)
+            return self._delegations_from_uniforms(instance, uniforms)
+        out = np.empty((n_rounds, n), dtype=out_dtype)
+        for cstart in range(0, n_rounds, chunk_rounds):
+            cstop = min(cstart + chunk_rounds, n_rounds)
+            uniforms = self._uniform_block(
+                root, first_round + cstart, cstop - cstart, rows, n
+            )
+            out[cstart:cstop] = self._delegations_from_uniforms(
+                instance, uniforms
+            )
+        return out
+
+    @staticmethod
+    def _uniform_block(
+        root: np.random.SeedSequence,
+        first_round: int,
+        n_rounds: int,
+        rows: int,
+        n: int,
+    ) -> np.ndarray:
+        """The ``(n_rounds, rows, n)`` uniforms for one contiguous chunk."""
         uniforms = np.empty((n_rounds, rows, n))
         for i in range(n_rounds):
             rng = np.random.default_rng(child_seed_sequence(root, first_round + i))
             if rows:
                 uniforms[i] = rng.random((rows, n))
-        return self._delegations_from_uniforms(instance, uniforms)
+        return uniforms
 
     def _delegations_from_uniforms(
         self, instance: ProblemInstance, uniforms: np.ndarray

@@ -1,6 +1,7 @@
 """Direct voting (Example 2): the mechanism that never delegates."""
 
 from __future__ import annotations
+# reprolint: sparse-safe
 
 from typing import Dict, Optional
 
@@ -8,6 +9,7 @@ import numpy as np
 
 from repro.core.instance import LocalView, ProblemInstance
 from repro.delegation.graph import SELF
+from repro.graphs.graph import csr_index_dtype
 from repro.mechanisms.base import LocalDelegationMechanism
 
 
@@ -44,6 +46,6 @@ class DirectVoting(LocalDelegationMechanism):
     def _delegations_from_uniforms(
         self, instance: ProblemInstance, uniforms: np.ndarray
     ) -> np.ndarray:
-        return np.full(
-            (uniforms.shape[0], instance.num_voters), SELF, dtype=np.int64
-        )
+        n = instance.num_voters
+        dtype = csr_index_dtype(n, 2 * instance.graph.num_edges)
+        return np.full((uniforms.shape[0], n), SELF, dtype=dtype)

@@ -7,6 +7,7 @@ of its neighbors are approved."  On bounded-minimal-degree graphs
 """
 
 from __future__ import annotations
+# reprolint: sparse-safe
 
 from typing import Optional
 
@@ -95,7 +96,8 @@ class FractionApproved(LocalDelegationMechanism):
             counts >= self._fraction * degrees
         )
         delegates = np.full(
-            (uniforms.shape[0], instance.num_voters), SELF, dtype=np.int64
+            (uniforms.shape[0], instance.num_voters), SELF,
+            dtype=compiled.index_dtype,
         )
         movers = np.nonzero(mask)[0]
         if movers.size:

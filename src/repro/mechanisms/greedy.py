@@ -13,6 +13,7 @@ mean, preserving DNH.
 """
 
 from __future__ import annotations
+# reprolint: sparse-safe
 
 from typing import List
 
@@ -43,6 +44,18 @@ class GreedyBest(DelegationMechanism):
     def sample_delegations(
         self, instance: ProblemInstance, rng: SeedLike = None
     ) -> DelegationGraph:
+        # The compiled target table implements exactly this mechanism's
+        # deterministic choice (most competent approved neighbour, ties
+        # by lowest index); no per-voter Python loop.
+        return DelegationGraph(instance.compiled().greedy_targets)
+
+    @staticmethod
+    def _reference_sample_delegations(instance: ProblemInstance) -> List[int]:
+        """Seed sampler: per-voter max over approved neighbours.
+
+        Kept as the equivalence-test oracle for the compiled
+        ``greedy_targets`` fast path.
+        """
         comp = instance.competencies
         delegates: List[int] = []
         for voter in range(instance.num_voters):
@@ -52,7 +65,7 @@ class GreedyBest(DelegationMechanism):
                 continue
             best = max(approved, key=lambda v: (comp[v], -v))
             delegates.append(int(best))
-        return DelegationGraph(delegates)
+        return delegates
 
     # -- batched kernel ----------------------------------------------------
 

@@ -11,6 +11,7 @@ on general graphs it is the natural "poll a random subsample" variant.
 """
 
 from __future__ import annotations
+# reprolint: sparse-safe
 
 from functools import lru_cache
 from math import comb
@@ -196,7 +197,9 @@ class SampledNeighbourhood(LocalDelegationMechanism):
         degrees = compiled.degrees
         counts = compiled.approved_counts
         n_rounds = uniforms.shape[0]
-        delegates = np.full((n_rounds, instance.num_voters), SELF, dtype=np.int64)
+        delegates = np.full(
+            (n_rounds, instance.num_voters), SELF, dtype=compiled.index_dtype
+        )
         active = np.nonzero(degrees > 0)[0]
         if active.size == 0:
             return delegates

@@ -12,6 +12,7 @@ enough that most voters delegate.
 """
 
 from __future__ import annotations
+# reprolint: sparse-safe
 
 from typing import Callable, Optional, Union
 
@@ -151,16 +152,16 @@ class ApprovalThreshold(LocalDelegationMechanism):
         self, instance: ProblemInstance, uniforms: np.ndarray
     ) -> np.ndarray:
         compiled = instance.compiled()
-        degrees = compiled.degrees
         counts = compiled.approved_counts
-        unique_degrees, inverse = np.unique(degrees, return_inverse=True)
+        unique_degrees, inverse = compiled.unique_degrees()
         per_degree = np.array(
             [self.threshold_at(int(d)) for d in unique_degrees], dtype=float
         )
         thresholds = per_degree[inverse]
         mask = (counts > 0) & (counts >= thresholds)
         delegates = np.full(
-            (uniforms.shape[0], instance.num_voters), SELF, dtype=np.int64
+            (uniforms.shape[0], instance.num_voters), SELF,
+            dtype=compiled.index_dtype,
         )
         movers = np.nonzero(mask)[0]
         if movers.size:

@@ -43,6 +43,7 @@ instance, mechanism behaviour, seed and estimator parameters.
 """
 
 from __future__ import annotations
+# reprolint: sparse-safe
 
 import pickle
 import warnings
@@ -76,6 +77,36 @@ ENGINES = ("serial", "batch")
 
 ADAPTIVE_START = 64
 """First geometric batch size of the adaptive stopping rule."""
+
+CHUNK_BUDGET_BYTES = 256 * 1024 * 1024
+"""Default per-chunk memory budget of the streaming batch engine.
+
+The batch engine processes rounds in row-block chunks sized so the
+transient per-chunk arrays (uniform cube, delegate matrix, resolved
+sink/weight matrices) stay under this budget; peak memory is then
+O(E + chunk·n) rather than O(rounds·n).  Chunking never changes results:
+round ``r`` is pinned to absolute child seed ``r``, and the conditional
+values are exact per-round quantities, so any partition of rounds into
+chunks is bit-identical (the same contract that makes results
+``n_jobs``-invariant)."""
+
+
+def _auto_chunk_rounds(
+    instance: ProblemInstance, mechanism: "DelegationMechanism"
+) -> int:
+    """Rounds per streamed chunk under :data:`CHUNK_BUDGET_BYTES`.
+
+    Estimates the dominant per-round footprint: the uniform rows the
+    kernel consumes (float64), the delegate row (index dtype), and the
+    int64 sink/weight rows plus pointer scratch of
+    :func:`~repro.delegation.graph.resolve_forests_batch`.  Small
+    instances resolve to chunks far larger than any realistic round
+    count, so the single-shot fast path is unchanged below ~10^5 voters.
+    """
+    n = max(1, instance.num_voters)
+    rows = mechanism.batch_uniform_rows() or 0
+    per_round = n * (8 * rows + 4 + 3 * 8)
+    return max(1, CHUNK_BUDGET_BYTES // per_round)
 
 
 @dataclass(frozen=True)
@@ -280,48 +311,81 @@ def _batch_rounds(
     tie_policy: TiePolicy,
     exact_conditional: bool,
     cache_size: int,
+    chunk_rounds: Optional[int] = None,
 ) -> np.ndarray:
     """Evaluate rounds ``start .. stop-1``; module-level for picklability.
 
-    Forests come from one :meth:`sample_delegations_batch` call — round
+    Forests come from :meth:`sample_delegations_batch` calls — round
     ``r`` is pinned to child seed ``r`` of ``root`` whether it is drawn
     by a vectorised kernel or the per-round fallback, so values stay
     independent of how rounds are split across workers.
     """
-    count = stop - start
-    if exact_conditional:
-        delegates = mechanism.sample_delegations_batch(
-            instance, count, seed=root, first_round=start
-        )
-        _, weights = resolve_forests_batch(delegates)
-        return _batch_values(instance, weights, tie_policy, LRUCache(cache_size))
-    if not mechanism.supports_batch_sampling:
+    if not exact_conditional and not mechanism.supports_batch_sampling:
         # Per-round loop, bit-identical to the reference engine: the
         # outcome draw continues the forest generator's stream.
         return _reference_batch_rounds(
             instance, mechanism, root, start, stop, tie_policy, False,
             cache_size,
         )
+    cache = LRUCache(cache_size) if exact_conditional else None
+    return _streamed_rounds(
+        instance, mechanism, root, start, stop, tie_policy,
+        exact_conditional, cache, chunk_rounds,
+    )
+
+
+def _streamed_rounds(
+    instance: ProblemInstance,
+    mechanism: "DelegationMechanism",
+    root: np.random.SeedSequence,
+    start: int,
+    stop: int,
+    tie_policy: TiePolicy,
+    exact_conditional: bool,
+    cache: Optional[LRUCache],
+    chunk_rounds: Optional[int],
+) -> np.ndarray:
+    """Row-block streaming core of the batch engine.
+
+    Processes rounds in chunks of ``chunk_rounds`` (default: sized to
+    :data:`CHUNK_BUDGET_BYTES`), sampling, resolving and evaluating one
+    ``(chunk, n)`` block at a time so delegate/weight matrices for all
+    rounds never coexist.  The profile ``cache`` is shared across
+    chunks, so dedup reaches across chunk boundaries exactly as it does
+    within a single block.
+    """
+    count = stop - start
+    chunk = chunk_rounds or _auto_chunk_rounds(instance, mechanism)
+    values = np.empty(count)
     comp = instance.competencies
     total = float(instance.num_voters)
-    delegates = mechanism.sample_delegations_batch(
-        instance, count, seed=root, first_round=start
-    )
-    _, weights = resolve_forests_batch(delegates)
-    naive = np.empty(count)
-    for offset, r in enumerate(range(start, stop)):
-        # Kernel mechanisms consume uniforms differently from their
-        # rng-based samplers, so the outcome draw gets its own spawned
-        # child — deterministic and partition-invariant.
-        vote_rng = np.random.default_rng(
-            child_seed_sequence(root, r).spawn(1)[0]
+    for cstart in range(start, stop, chunk):
+        cstop = min(cstart + chunk, stop)
+        delegates = mechanism.sample_delegations_batch(
+            instance, cstop - cstart, seed=root, first_round=cstart
         )
-        mask = weights[offset] > 0
-        probs = comp[mask]
-        row = weights[offset][mask]
-        correct = float(row[vote_rng.random(len(probs)) < probs].sum())
-        naive[offset] = majority_correct(correct, total, tie_policy)
-    return naive
+        _, weights = resolve_forests_batch(delegates)
+        del delegates
+        if exact_conditional:
+            values[cstart - start : cstop - start] = _batch_values(
+                instance, weights, tie_policy, cache
+            )
+            continue
+        for offset, r in enumerate(range(cstart, cstop)):
+            # Kernel mechanisms consume uniforms differently from their
+            # rng-based samplers, so the outcome draw gets its own
+            # spawned child — deterministic and partition-invariant.
+            vote_rng = np.random.default_rng(
+                child_seed_sequence(root, r).spawn(1)[0]
+            )
+            mask = weights[offset] > 0
+            probs = comp[mask]
+            row = weights[offset][mask]
+            correct = float(row[vote_rng.random(len(probs)) < probs].sum())
+            values[cstart - start + offset] = majority_correct(
+                correct, total, tie_policy
+            )
+    return values
 
 
 def _resolve_adaptive(
@@ -459,16 +523,27 @@ class BatchEstimator:
     obey the same determinism contract but consume different uniform
     streams for kernel mechanisms, so their estimates differ within
     Monte Carlo error.
+
+    ``chunk_rounds`` bounds the streaming row-block size: rounds are
+    sampled, resolved and evaluated ``chunk_rounds`` at a time (default
+    ``None`` sizes chunks to :data:`CHUNK_BUDGET_BYTES`), keeping peak
+    memory O(E + chunk·n).  Any value yields bit-identical estimates —
+    chunk boundaries, like worker partitions, cannot shift round seeds.
     """
 
     n_jobs: int = 1
     cache_size: int = 512
     use_reference: bool = False
+    chunk_rounds: Optional[int] = None
     _cache: LRUCache = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.n_jobs < 1:
             raise ValueError(f"n_jobs must be >= 1, got {self.n_jobs}")
+        if self.chunk_rounds is not None and self.chunk_rounds < 1:
+            raise ValueError(
+                f"chunk_rounds must be >= 1, got {self.chunk_rounds}"
+            )
         self._cache = LRUCache(self.cache_size)
 
     @property
@@ -532,23 +607,30 @@ class BatchEstimator:
             from concurrent.futures import ProcessPoolExecutor
 
             bounds = np.linspace(start, stop, workers + 1).astype(int)
+            map_args = [
+                [instance] * workers,
+                [mechanism] * workers,
+                [root] * workers,
+                bounds[:-1].tolist(),
+                bounds[1:].tolist(),
+                [tie_policy] * workers,
+                [exact_conditional] * workers,
+                [self.cache_size] * workers,
+            ]
+            if not self.use_reference:
+                map_args.append([self.chunk_rounds] * workers)
             with ProcessPoolExecutor(max_workers=workers) as pool:
-                chunks = pool.map(
-                    rounds_fn,
-                    [instance] * workers,
-                    [mechanism] * workers,
-                    [root] * workers,
-                    bounds[:-1].tolist(),
-                    bounds[1:].tolist(),
-                    [tie_policy] * workers,
-                    [exact_conditional] * workers,
-                    [self.cache_size] * workers,
-                )
+                chunks = pool.map(rounds_fn, *map_args)
                 return np.concatenate(list(chunks))
         if not exact_conditional:
-            return rounds_fn(
+            if self.use_reference:
+                return rounds_fn(
+                    instance, mechanism, root, start, stop, tie_policy,
+                    False, self.cache_size,
+                )
+            return _batch_rounds(
                 instance, mechanism, root, start, stop, tie_policy, False,
-                self.cache_size,
+                self.cache_size, self.chunk_rounds,
             )
         # In-process paths share the estimator's cache across calls.
         if self.use_reference:
@@ -563,11 +645,10 @@ class BatchEstimator:
             return _conditional_values(
                 instance, profiles, tie_policy, self._cache
             )
-        delegates = mechanism.sample_delegations_batch(
-            instance, count, seed=root, first_round=start
+        return _streamed_rounds(
+            instance, mechanism, root, start, stop, tie_policy, True,
+            self._cache, self.chunk_rounds,
         )
-        _, weights = resolve_forests_batch(delegates)
-        return _batch_values(instance, weights, tie_policy, self._cache)
 
     @staticmethod
     def _picklable(

@@ -1,0 +1,19 @@
+"""Known-bad: dense per-voter grids in a sparse-safe module (K402)."""
+# reprolint: sparse-safe
+
+import numpy as np
+
+
+def dense_offsets(n, max_degree):
+    # (n, max_degree): both axes grow with the instance.
+    return np.zeros((n, max_degree), dtype=np.int64)
+
+
+def dense_matrix(num_voters):
+    # Voter-by-voter grid via keyword shape.
+    return np.full(shape=(num_voters, num_voters), fill_value=-1)
+
+
+def scaled_expression(n, degrees):
+    # Instance scaling hides inside arithmetic on both axes.
+    return np.empty((2 * n, int(degrees.max()) + 1))

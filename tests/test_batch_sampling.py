@@ -134,7 +134,10 @@ class TestBatchSamplingKernels:
             instance, 7, seed=0
         )
         assert out.shape == (7, instance.num_voters)
-        assert out.dtype == np.int64
+        # Delegate matrices use the instance's CSR index dtype: int32
+        # below 2^31 voters, halving the per-round footprint.
+        assert out.dtype == instance.compiled().index_dtype
+        assert out.dtype == np.int32
         assert ((out == SELF) | (out >= 0)).all()
 
 

@@ -35,6 +35,7 @@ BAD_EXPECTATIONS = {
     "d201.py": "D201",
     "d202.py": "D202",
     "k401.py": "K401",
+    "k402.py": "K402",
     "c301.py": "C301",
     "x000.py": "X000",
     "x001.py": "X001",
