@@ -33,7 +33,20 @@ bit-identical to the cold run.
 
 Corrupt or truncated entries (killed mid-write, disk errors, stale
 schema) are treated as misses and deleted; the estimate is recomputed
-and rewritten.  Writes are atomic (temp file + ``os.replace``).
+and rewritten.
+
+**Concurrent writers.**  The store is safe for any number of concurrent
+processes sharing one directory — the sharded estimation service points
+every worker at the same cache.  Each write goes to an ``O_EXCL``
+temporary file first, then *claims* the entry atomically: a hard link
+from the temp file to the final name succeeds for exactly one writer
+(first writer wins; losers discard their temp file — by construction
+both hold the identical deterministic entry for that digest).  Where
+hard links are unavailable the claim falls back to ``os.replace``,
+which is still atomic (last writer wins, same bytes).  Readers never
+see a partial entry: the final name either does not exist or holds a
+fully-written file, and anything torn by a crash mid-``mkstemp`` stays
+behind as an ignored ``.tmp-*`` file.
 """
 
 from __future__ import annotations
@@ -215,7 +228,14 @@ class EstimateCache:
         estimate: Dict[str, Any],
         rng_state: Optional[Dict[str, Any]] = None,
     ) -> None:
-        """Persist ``estimate`` (and optionally a post-call RNG state)."""
+        """Persist ``estimate`` (and optionally a post-call RNG state).
+
+        Safe under concurrent multi-process writers: the entry is
+        written to an ``O_EXCL`` temp file and claimed with an atomic
+        hard link — exactly one of N racing writers of the same digest
+        lands the entry, the rest quietly discard their (identical)
+        copies.  See the module docstring for the full story.
+        """
         entry = {
             "schema": SCHEMA_VERSION,
             "digest": digest,
@@ -229,15 +249,33 @@ class EstimateCache:
         try:
             with os.fdopen(fd, "w") as handle:
                 json.dump(entry, handle)
-            os.replace(tmp, self.path_for(digest))
-        except BaseException:
+            self._claim(tmp, self.path_for(digest))
+        finally:
             try:
                 os.unlink(tmp)
             except OSError:
                 pass
-            raise
         if self.max_entries is not None:
             self._prune()
+
+    @staticmethod
+    def _claim(tmp: str, final: Path) -> None:
+        """Atomically install ``tmp`` at ``final`` (first writer wins).
+
+        ``os.link`` is the claim: it fails with ``FileExistsError`` when
+        another process already landed the entry, in which case this
+        writer's copy is redundant (same digest → same deterministic
+        content) and is simply dropped by the caller's cleanup.  On
+        filesystems without hard links the claim degrades to the
+        previous ``os.replace`` behaviour — still atomic, last writer
+        wins with identical bytes.
+        """
+        try:
+            os.link(tmp, final)
+        except FileExistsError:
+            return  # another writer landed the identical entry first
+        except OSError:
+            os.replace(tmp, final)
 
     def _entries(self) -> List[Path]:
         """All entry files (excluding in-flight ``.tmp-*`` writes)."""

@@ -8,6 +8,7 @@ Usage::
     python -m repro info
     python -m repro lint src --format=json
     python -m repro serve --port 8577 --jobs 4 --cache
+    python -m repro serve --shards 4 --cache
 
 The CLI is a thin veneer over :mod:`repro.experiments` (and, for
 ``serve``, over :mod:`repro.service`); it exists so the benchmark tables
@@ -263,6 +264,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="bound the on-disk cache; oldest entries are pruned past N "
         "(default: unbounded)",
     )
+    serve.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        metavar="N",
+        help="run a consistent-hash front-end over N worker processes "
+        "(0, the default, serves from this process; workers share the "
+        "cache directory and every other serve flag)",
+    )
+    serve.add_argument(
+        "--vnodes",
+        type=int,
+        default=64,
+        metavar="V",
+        help="virtual nodes per shard on the hash ring (default: 64)",
+    )
     return parser
 
 
@@ -432,20 +449,40 @@ def _cmd_serve(args, out) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
+    if args.shards < 0:
+        print(f"error: --shards must be >= 0, got {args.shards}", file=sys.stderr)
+        return 2
+
     def announce(server) -> None:
+        topology = (
+            f"shards={args.shards}" if args.shards else f"workers={config.workers}"
+        )
         print(
             f"repro service listening on http://{server.host}:{server.port} "
-            f"(workers={config.workers}, n_jobs={config.n_jobs}, "
+            f"({topology}, n_jobs={config.n_jobs}, "
             f"cache={'on' if config.cache_dir else 'off'})",
             file=out,
             flush=True,
         )
 
     try:
-        asyncio.run(run_server(config, ready=announce))
+        if args.shards:
+            from repro.service.sharding import run_sharded_server
+
+            asyncio.run(
+                run_sharded_server(
+                    config,
+                    shards=args.shards,
+                    vnodes=args.vnodes,
+                    ready=announce,
+                )
+            )
+        else:
+            asyncio.run(run_server(config, ready=announce))
     except KeyboardInterrupt:
         print("shutting down", file=out)
-    except OSError as exc:  # port already bound, bad interface, ...
+    except (OSError, RuntimeError, ValueError) as exc:
+        # Port already bound, bad interface, workers failing to boot, ...
         print(f"error: {exc}", file=sys.stderr)
         return 2
     return 0

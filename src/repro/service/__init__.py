@@ -1,10 +1,13 @@
 """The estimation service: a JSON-over-HTTP server with request
-coalescing, micro-batching and shared warm caches, plus its client.
+coalescing, micro-batching, shared warm caches and a consistent-hash
+sharded front-end, plus its client.
 
 Stdlib-only (asyncio + ``http.client``): nothing to install.  Start a
-server with ``repro serve`` (or :class:`BackgroundServer` in-process)
-and talk to it with :class:`ServiceClient`; served estimates are
-bit-identical to direct library calls.  See ``docs/serving.md``.
+server with ``repro serve`` (or :class:`BackgroundServer` in-process),
+scale it out with ``repro serve --shards N`` (or
+:class:`BackgroundShardedServer`), and talk to it with
+:class:`ServiceClient`; served estimates are bit-identical to direct
+library calls at any shard count.  See ``docs/serving.md``.
 """
 
 from repro.service.batcher import BatchPolicy, CoalescingBatcher
@@ -17,6 +20,7 @@ from repro.service.protocol import (
     ExperimentRequest,
     PowerThreshold,
     ServiceError,
+    SweepRequest,
     build_mechanism,
     mechanism_spec,
     parse_body,
@@ -28,6 +32,13 @@ from repro.service.server import (
     ServerConfig,
     run_server,
 )
+from repro.service.sharding import (
+    BackgroundShardedServer,
+    HashRing,
+    ShardedServer,
+    run_sharded_server,
+)
+from repro.service.worker import WorkerProcess
 
 __all__ = [
     "PROTOCOL_VERSION",
@@ -40,6 +51,7 @@ __all__ = [
     "parse_request",
     "EstimateRequest",
     "ExperimentRequest",
+    "SweepRequest",
     "BatchPolicy",
     "CoalescingBatcher",
     "ServiceMetrics",
@@ -47,5 +59,10 @@ __all__ = [
     "EstimationServer",
     "BackgroundServer",
     "run_server",
+    "HashRing",
+    "ShardedServer",
+    "BackgroundShardedServer",
+    "run_sharded_server",
+    "WorkerProcess",
     "ServiceClient",
 ]

@@ -1,0 +1,13 @@
+"""Subprocess entry point for shard workers.
+
+Separate from :mod:`repro.service.worker` so ``python -m`` does not
+re-execute a module the ``repro.service`` package has already imported
+(which would trip runpy's double-import warning on every spawn).
+"""
+
+import sys
+
+from repro.service.worker import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,8 +8,14 @@ the one ``estimate_correct_probability`` would have produced locally.
 
 Connections are keep-alive and per-thread (``http.client`` connections
 are not thread-safe), so one ``ServiceClient`` may be shared by many
-threads — each quietly gets its own socket.  Typed server errors
-(``queue_full``, ``timeout``, ``shutting_down``, ...) surface as
+threads — each quietly gets its own socket.  A *stale* keep-alive
+socket — the server restarted between requests, or an idle timeout
+closed it — surfaces as a reset/disconnect on first reuse; the client
+transparently reconnects and resends once (safe: the determinism
+contract makes every request idempotent).  Timeouts are never retried —
+the first wait already consumed the caller's deadline — and surface as
+``ServiceError("timeout", ...)``.  Typed server errors (``queue_full``,
+``timeout``, ``shutting_down``, ...) surface as
 :class:`~repro.service.protocol.ServiceError` with the code intact, so
 callers branch on ``exc.code`` rather than parsing prose.
 """
@@ -20,7 +26,17 @@ import http.client
 import json
 import socket
 import threading
-from typing import Any, Dict, Mapping, Optional, Tuple, Union
+from typing import (
+    Any,
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.service.protocol import (
     PROTOCOL_VERSION,
@@ -30,6 +46,14 @@ from repro.service.protocol import (
 from repro.voting.montecarlo import CorrectnessEstimate
 
 InstanceLike = Union[Any, Dict[str, Any]]
+
+_STALE_SOCKET_ERRORS = (
+    ConnectionResetError,
+    BrokenPipeError,
+    http.client.BadStatusLine,  # includes RemoteDisconnected
+    http.client.CannotSendRequest,
+)
+"""Failures meaning *this socket* died, not the server: reconnect once."""
 
 
 class ServiceClient:
@@ -66,37 +90,63 @@ class ServiceClient:
             self._local.conn = conn
         return conn
 
+    def _exchange(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[bytes],
+        headers: Dict[str, str],
+    ) -> http.client.HTTPResponse:
+        """Send one request, reconnecting once on a stale socket.
+
+        Only *socket-died* failures (:data:`_STALE_SOCKET_ERRORS`) are
+        retried: the server restarting between keep-alive requests is
+        indistinguishable from an idle-timeout close, and resending is
+        safe because served computations are deterministic in the
+        request.  Anything else — timeout, refused connection, protocol
+        garbage — propagates to :meth:`_request` untouched.
+        """
+        conn = self._connection()
+        try:
+            conn.request(method, path, body=payload, headers=headers)
+            return conn.getresponse()
+        except _STALE_SOCKET_ERRORS:
+            conn.close()
+            conn.request(method, path, body=payload, headers=headers)
+            return conn.getresponse()
+
     def _request(
         self, method: str, path: str, body: Optional[Dict[str, Any]] = None
     ) -> Dict[str, Any]:
         payload = None if body is None else json.dumps(body).encode()
         headers = {"Content-Type": "application/json"} if payload else {}
-        conn = self._connection()
         try:
-            try:
-                conn.request(method, path, body=payload, headers=headers)
-                response = conn.getresponse()
-                raw = response.read()
-            except (http.client.HTTPException, OSError):
-                # Stale keep-alive socket (server restarted, idle
-                # timeout): reconnect once before giving up.
-                conn.close()
-                conn.request(method, path, body=payload, headers=headers)
-                response = conn.getresponse()
-                raw = response.read()
-        except (http.client.HTTPException, socket.timeout, OSError) as exc:
-            conn.close()
+            response = self._exchange(method, path, payload, headers)
+            raw = response.read()
+        except socket.timeout:
+            self.close()
+            raise ServiceError(
+                "timeout",
+                f"no response from {self.host}:{self.port} "
+                f"within {self.timeout}s",
+            ) from None
+        except (http.client.HTTPException, OSError) as exc:
+            self.close()
             raise ServiceError(
                 "internal",
                 f"transport failure talking to "
                 f"{self.host}:{self.port}: {type(exc).__name__}: {exc}",
             ) from None
+        return self._decode(response.status, raw)
+
+    @staticmethod
+    def _decode(status: int, raw: bytes) -> Dict[str, Any]:
         try:
             data = json.loads(raw.decode("utf-8"))
         except (UnicodeDecodeError, ValueError):
             raise ServiceError(
                 "internal",
-                f"server returned non-JSON response (HTTP {response.status})",
+                f"server returned non-JSON response (HTTP {status})",
             ) from None
         if not isinstance(data, dict) or data.get("ok") is not True:
             error = data.get("error") if isinstance(data, dict) else None
@@ -108,7 +158,7 @@ class ServiceClient:
                 except ValueError:  # unknown code from a newer server
                     pass
             raise ServiceError(
-                "internal", f"unexpected server response (HTTP {response.status})"
+                "internal", f"unexpected server response (HTTP {status})"
             )
         return data
 
@@ -266,6 +316,146 @@ class ServiceClient:
         if target_se is not None:
             body["target_se"] = target_se
         return self._request("POST", "/v1/experiment", body)["result"]
+
+    def iter_sweep(
+        self,
+        instance: InstanceLike,
+        mechanism: Mapping[str, Any],
+        *,
+        seeds: Sequence[int],
+        point_op: str = "estimate",
+        rounds: int = 400,
+        tie_policy: str = "INCORRECT",
+        exact_conditional: bool = True,
+        engine: str = "batch",
+        target_se: Optional[float] = None,
+        max_rounds: Optional[int] = None,
+        indices: Optional[Sequence[int]] = None,
+    ) -> Iterator[Tuple[int, Any]]:
+        """Stream a sweep: yield ``(index, result)`` as points complete.
+
+        One request, one response — but the response is chunked NDJSON,
+        so results arrive (and are yielded) in *completion* order while
+        later points are still computing; ``index`` says which seed each
+        one belongs to.  ``result`` matches the single-point method for
+        ``point_op`` (:meth:`estimate`, :meth:`gain`, :meth:`ballot`).
+        A failed point, or a stream cut off before its ``done`` line,
+        raises :class:`ServiceError`.  Abandoning the iterator early
+        closes this thread's connection (the unread tail poisons it for
+        keep-alive reuse).
+        """
+        body = self._estimate_body(
+            "sweep", instance, mechanism, rounds, 0, tie_policy,
+            engine, target_se, max_rounds,
+            None if point_op == "ballot" else exact_conditional,
+        )
+        del body["seed"]
+        body["seeds"] = [int(seed) for seed in seeds]
+        body["point_op"] = point_op
+        if indices is not None:
+            body["indices"] = [int(index) for index in indices]
+        expected = len(body.get("indices", body["seeds"]))
+        payload = json.dumps(body).encode()
+        headers = {"Content-Type": "application/json"}
+        clean = False
+        try:
+            response = self._exchange("POST", "/v1/sweep", payload, headers)
+            if response.status != 200:
+                raw = response.read()
+                clean = True
+                self._decode(response.status, raw)  # raises the typed error
+                raise ServiceError(
+                    "internal", f"unexpected sweep response (HTTP {response.status})"
+                )
+            seen = 0
+            while True:
+                line = response.readline()
+                if not line:
+                    raise ServiceError(
+                        "internal",
+                        f"sweep stream truncated after {seen} of "
+                        f"{expected} points (no 'done' terminator)",
+                    )
+                data = json.loads(line)
+                if data.get("done"):
+                    if data.get("n") != expected or seen != expected:
+                        raise ServiceError(
+                            "internal",
+                            f"sweep stream delivered {seen} points, "
+                            f"terminator says {data.get('n')}, "
+                            f"expected {expected}",
+                        )
+                    response.read()  # drain the terminal chunk for keep-alive
+                    clean = True
+                    return
+                if data.get("ok") is not True:
+                    error = data.get("error") or {}
+                    raise ServiceError(
+                        error.get("code", "internal"),
+                        f"sweep point {data.get('i')}: "
+                        f"{error.get('message', 'unknown failure')}",
+                    )
+                seen += 1
+                yield int(data["i"]), self._point_result(point_op, data["result"])
+        except socket.timeout:
+            raise ServiceError(
+                "timeout",
+                f"no sweep data from {self.host}:{self.port} "
+                f"within {self.timeout}s",
+            ) from None
+        except (http.client.HTTPException, OSError, ValueError, KeyError) as exc:
+            raise ServiceError(
+                "internal",
+                f"sweep transport failure talking to "
+                f"{self.host}:{self.port}: {type(exc).__name__}: {exc}",
+            ) from None
+        finally:
+            if not clean:
+                self.close()
+
+    def sweep(
+        self,
+        instance: InstanceLike,
+        mechanism: Mapping[str, Any],
+        *,
+        seeds: Sequence[int],
+        point_op: str = "estimate",
+        rounds: int = 400,
+        tie_policy: str = "INCORRECT",
+        exact_conditional: bool = True,
+        engine: str = "batch",
+        target_se: Optional[float] = None,
+        max_rounds: Optional[int] = None,
+    ) -> List[Any]:
+        """A whole sweep, reassembled into seed order.
+
+        Convenience over :meth:`iter_sweep`: blocks until every point
+        has streamed back and returns ``results[i]`` for ``seeds[i]``.
+        """
+        results: List[Any] = [None] * len(seeds)
+        for index, result in self.iter_sweep(
+            instance, mechanism, seeds=seeds, point_op=point_op,
+            rounds=rounds, tie_policy=tie_policy,
+            exact_conditional=exact_conditional, engine=engine,
+            target_se=target_se, max_rounds=max_rounds,
+        ):
+            results[index] = result
+        return results
+
+    @staticmethod
+    def _point_result(point_op: str, result: Mapping[str, Any]) -> Any:
+        if point_op == "gain":
+            try:
+                return (
+                    float(result["gain"]),
+                    estimate_from_payload(result["estimate"]),
+                    float(result["direct"]),
+                )
+            except (KeyError, TypeError, ValueError) as exc:
+                raise ServiceError(
+                    "internal", f"malformed gain payload from server: {exc}"
+                ) from None
+        return estimate_from_payload(result)
 
     # -- introspection -----------------------------------------------------
 

@@ -39,6 +39,7 @@ class ServiceMetrics:
         self.batches_total = 0
         self.batched_requests_total = 0
         self.max_batch_size = 0
+        self.routed: Counter = Counter()
         self._latencies: Deque[float] = deque(maxlen=latency_window)
 
     # -- recording (event-loop thread) ------------------------------------
@@ -55,6 +56,11 @@ class ServiceMetrics:
 
     def record_coalesced(self) -> None:
         self.coalesced_total += 1
+
+    def record_routed(self, shard: int) -> None:
+        """One request (or sweep point) routed to ``shard`` — front-end
+        only; single servers leave this empty."""
+        self.routed[str(shard)] += 1
 
     # reprolint: disable=K401 (metrics counter, not a numeric kernel)
     def record_batch(self, size: int) -> None:
@@ -75,6 +81,7 @@ class ServiceMetrics:
             "completed": dict(self.completed),
             "errors": dict(self.errors),
             "coalesced_total": self.coalesced_total,
+            "routed": dict(self.routed),
             "batches": {
                 "count": batches,
                 "requests": self.batched_requests_total,

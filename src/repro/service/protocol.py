@@ -38,7 +38,14 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, Mapping, Optional, Tuple, Union
 
 from repro._util.mathx import LRUCache
-from repro.cache import _canonical_json, _sha256_hex, estimate_digest, instance_token
+from repro.cache import (
+    SCHEMA_VERSION,
+    _canonical_json,
+    _sha256_hex,
+    estimate_digest,
+    instance_token,
+    seed_token,
+)
 from repro.core.instance import ProblemInstance
 from repro.mechanisms import (
     AbstentionMechanism,
@@ -61,7 +68,7 @@ PROTOCOL_VERSION = 1
 MAX_PAYLOAD_BYTES = 8 * 1024 * 1024
 """Default request-body ceiling; larger bodies are ``payload_too_large``."""
 
-OPS = ("estimate", "gain", "ballot", "experiment")
+OPS = ("estimate", "gain", "ballot", "experiment", "sweep")
 """Recognised operations (each served at ``POST /v1/<op>``)."""
 
 ENGINES = ("serial", "batch")
@@ -70,6 +77,9 @@ TIE_POLICIES = ("INCORRECT", "COIN_FLIP")
 
 MAX_ROUNDS = 10_000_000
 MAX_SEED = 2**63 - 1
+MAX_SWEEP_POINTS = 100_000
+"""Ceiling on seeds per sweep request (the response streams, but the
+request body is parsed whole)."""
 
 HTTP_STATUS = {
     "bad_json": 400,
@@ -79,6 +89,7 @@ HTTP_STATUS = {
     "payload_too_large": 413,
     "queue_full": 429,
     "internal": 500,
+    "shard_unavailable": 503,
     "shutting_down": 503,
     "timeout": 504,
 }
@@ -411,6 +422,11 @@ _ESTIMATE_KEYS = (
     "exact_conditional", "engine", "target_se", "max_rounds",
 )
 _EXPERIMENT_KEYS = ("v", "op", "experiment", "scale", "seed", "engine", "target_se")
+_SWEEP_KEYS = (
+    "v", "op", "instance", "mechanism", "rounds", "seeds", "tie_policy",
+    "exact_conditional", "engine", "target_se", "max_rounds", "point_op",
+    "indices",
+)
 
 _OP_FN = {
     "estimate": "estimate_correct_probability",
@@ -475,6 +491,29 @@ class EstimateRequest:
         }
         return _sha256_hex(_canonical_json(payload).encode())
 
+    def routing_key(self) -> str:
+        """The shard-routing identity of this request.
+
+        The contract (enforced statically by reprolint C303) is that
+        routing keys are *content-addressed*: derived from the estimate
+        digest, never from wall clocks, pids or per-process randomness —
+        so a given computation always lands on the same shard, where its
+        duplicates coalesce.  Requests whose mechanism cannot be
+        tokenised (no ``estimate_digest``) fall back to a digest of the
+        same content components minus the mechanism token; they lose
+        per-shard coalescing but still route deterministically.
+        """
+        key = self.coalesce_key()
+        if key is not None:
+            return key
+        payload = {
+            "op": self.op,
+            "instance": instance_token(self.instance),
+            "seed": self.seed,
+            "params": self.estimator_params(),
+        }
+        return _sha256_hex(_canonical_json(payload).encode())
+
 
 @dataclass(frozen=True)
 class ExperimentRequest:
@@ -503,8 +542,103 @@ class ExperimentRequest:
     # batch so distinct experiments spread across the worker pool.
     group_key = coalesce_key
 
+    # The coalesce key is already a pure content digest, so it doubles
+    # as the shard-routing identity (C303 contract).
+    routing_key = coalesce_key
 
-Request = Union[EstimateRequest, ExperimentRequest]
+
+@dataclass(frozen=True)
+class SweepRequest:
+    """A validated sweep: one (instance, mechanism, params) over many seeds.
+
+    A sweep is the wire form of an experiment-grid row: ``seeds[i]``
+    yields one :class:`EstimateRequest` per point, all sharing the
+    instance, mechanism and estimator parameters.  The response is
+    *streamed* — NDJSON, one line per completed point — so the server
+    never buffers a whole grid.  ``indices`` is the shard-fanout filter:
+    the sharded front-end forwards the same body to each worker with the
+    subset of point indices that consistent-hash onto it, and each
+    worker computes only those.
+    """
+
+    point_op: str
+    instance: ProblemInstance
+    mechanism: DelegationMechanism
+    rounds: int
+    seeds: Tuple[int, ...]
+    tie_policy: TiePolicy
+    exact_conditional: bool
+    engine: str
+    target_se: Optional[float]
+    max_rounds: Optional[int]
+    indices: Optional[Tuple[int, ...]] = None
+
+    op: str = "sweep"
+
+    def point(self, index: int) -> EstimateRequest:
+        """The single-point request for ``seeds[index]``."""
+        return EstimateRequest(
+            op=self.point_op,
+            instance=self.instance,
+            mechanism=self.mechanism,
+            rounds=self.rounds,
+            seed=self.seeds[index],
+            tie_policy=self.tie_policy,
+            exact_conditional=self.exact_conditional,
+            engine=self.engine,
+            target_se=self.target_se,
+            max_rounds=self.max_rounds,
+        )
+
+    def point_indices(self) -> Tuple[int, ...]:
+        """The indices this server should compute (all, unless filtered)."""
+        if self.indices is not None:
+            return self.indices
+        return tuple(range(len(self.seeds)))
+
+    def point_routing_keys(self) -> Tuple[str, ...]:
+        """Routing keys for every seed, hashing the instance only once.
+
+        Bit-for-bit equal to ``self.point(i).routing_key()`` for each
+        ``i`` — the test suite pins the equality — but the instance
+        token, mechanism token and estimator params are seed-invariant,
+        so a 10^5-point fanout hashes the (possibly huge) instance
+        arrays once instead of per point.
+        """
+        params = self.point(0).estimator_params()
+        itoken = instance_token(self.instance)
+        token_fn = getattr(self.mechanism, "cache_token", None)
+        mtoken = token_fn(self.instance) if token_fn is not None else None
+        keys = []
+        for seed in self.seeds:
+            if mtoken is not None:
+                # Mirrors repro.cache.estimate_digest composed into
+                # EstimateRequest.coalesce_key.
+                payload: Dict[str, Any] = {
+                    "schema": SCHEMA_VERSION,
+                    "instance": itoken,
+                    "mechanism": mtoken,
+                    "seed": seed_token(seed),
+                    "params": params,
+                }
+                keys.append(
+                    f"{self.point_op}:"
+                    + _sha256_hex(_canonical_json(payload).encode())
+                )
+            else:
+                # Mirrors EstimateRequest.routing_key's untokenisable
+                # fallback.
+                payload = {
+                    "op": self.point_op,
+                    "instance": itoken,
+                    "seed": seed,
+                    "params": params,
+                }
+                keys.append(_sha256_hex(_canonical_json(payload).encode()))
+        return tuple(keys)
+
+
+Request = Union[EstimateRequest, ExperimentRequest, SweepRequest]
 
 
 def parse_body(raw: bytes, max_bytes: int = MAX_PAYLOAD_BYTES) -> Dict[str, Any]:
@@ -561,7 +695,7 @@ def parse_request(
             engine=_get_choice(data, "engine", "batch", ENGINES),
             target_se=_get_target_se(data),
         )
-    _check_keys(data, _ESTIMATE_KEYS)
+    _check_keys(data, _SWEEP_KEYS if op == "sweep" else _ESTIMATE_KEYS)
     if "instance" not in data:
         raise _bad("'instance' is required")
     if "mechanism" not in data:
@@ -583,20 +717,77 @@ def parse_request(
         if target_se is None:
             raise _bad("'max_rounds' requires 'target_se'")
         max_rounds = _get_int(data, "max_rounds", None, 1, MAX_ROUNDS)
+    tie_policy = TiePolicy[
+        _get_choice(data, "tie_policy", "INCORRECT", TIE_POLICIES)
+    ]
+    exact_conditional = _get_bool(data, "exact_conditional", True)
+    engine = _get_choice(data, "engine", "batch", ENGINES)
+    if op == "sweep":
+        return SweepRequest(
+            point_op=_get_choice(
+                data, "point_op", "estimate", ("estimate", "gain", "ballot")
+            ),
+            instance=instance,
+            mechanism=mechanism,
+            rounds=rounds,
+            seeds=_get_seeds(data),
+            tie_policy=tie_policy,
+            exact_conditional=exact_conditional,
+            engine=engine,
+            target_se=target_se,
+            max_rounds=max_rounds,
+            indices=_get_indices(data),
+        )
     return EstimateRequest(
         op=op,
         instance=instance,
         mechanism=mechanism,
         rounds=rounds,
         seed=_get_int(data, "seed", 0, 0, MAX_SEED),
-        tie_policy=TiePolicy[
-            _get_choice(data, "tie_policy", "INCORRECT", TIE_POLICIES)
-        ],
-        exact_conditional=_get_bool(data, "exact_conditional", True),
-        engine=_get_choice(data, "engine", "batch", ENGINES),
+        tie_policy=tie_policy,
+        exact_conditional=exact_conditional,
+        engine=engine,
         target_se=target_se,
         max_rounds=max_rounds,
     )
+
+
+def _get_seeds(data: Mapping[str, Any]) -> Tuple[int, ...]:
+    seeds = data.get("seeds")
+    if not isinstance(seeds, list) or not seeds:
+        raise _bad("'seeds' must be a non-empty list of integers")
+    if len(seeds) > MAX_SWEEP_POINTS:
+        raise _bad(
+            f"'seeds' has {len(seeds)} points (limit {MAX_SWEEP_POINTS}); "
+            "split the sweep"
+        )
+    out = []
+    for value in seeds:
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise _bad("'seeds' entries must be integers")
+        if not 0 <= value <= MAX_SEED:
+            raise _bad(f"'seeds' entries must be in [0, {MAX_SEED}], got {value}")
+        out.append(value)
+    return tuple(out)
+
+
+def _get_indices(data: Mapping[str, Any]) -> Optional[Tuple[int, ...]]:
+    indices = data.get("indices")
+    if indices is None:
+        return None
+    if not isinstance(indices, list):
+        raise _bad("'indices' must be a list of point indices")
+    count = len(data.get("seeds") or ())
+    out = []
+    for value in indices:
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise _bad("'indices' entries must be integers")
+        if not 0 <= value < count:
+            raise _bad(
+                f"'indices' entries must be in [0, {count}), got {value}"
+            )
+        out.append(value)
+    return tuple(out)
 
 
 # -- result payloads -------------------------------------------------------

@@ -10,6 +10,9 @@ estimates over five endpoints:
   routed through the coalescing micro-batcher
   (:mod:`repro.service.batcher`);
 * ``POST /v1/experiment`` — one registered experiment table;
+* ``POST /v1/sweep`` — many seeds over one (instance, mechanism,
+  params); the response *streams* as chunked NDJSON, one line per
+  completed point, so grids never buffer server-side;
 * ``GET /healthz`` — liveness; ``GET /metrics`` — counters, batch
   shape, queue depth, latency quantiles and cache statistics.
 
@@ -23,8 +26,9 @@ profile-cache values, and JSON float serialisation round-trips every
 double.  The test suite pins this end to end.
 
 The HTTP layer is a deliberately small HTTP/1.1 subset (keep-alive,
-``Content-Length`` bodies, no chunked encoding) — enough for the JSON
-protocol without pulling in a framework the container doesn't have.
+``Content-Length`` bodies, chunked transfer-encoding for sweep
+streams only) — enough for the JSON protocol without pulling in a
+framework the container doesn't have.
 """
 
 from __future__ import annotations
@@ -48,6 +52,7 @@ from repro.service.protocol import (
     ExperimentRequest,
     Request,
     ServiceError,
+    SweepRequest,
     estimate_payload,
     gain_payload,
     instance_pool,
@@ -62,7 +67,24 @@ ROUTES = {
     "/v1/gain": "gain",
     "/v1/ballot": "ballot",
     "/v1/experiment": "experiment",
+    "/v1/sweep": "sweep",
 }
+
+def _ndjson(payload: Dict[str, Any]) -> bytes:
+    """One NDJSON line: compact JSON plus the line feed that frames it."""
+    return (json.dumps(payload, separators=(",", ":")) + "\n").encode()
+
+
+def _error_line(index: int, error: ServiceError) -> bytes:
+    """The NDJSON line reporting one failed sweep point."""
+    return _ndjson(
+        {
+            "i": index,
+            "ok": False,
+            "error": {"code": error.code, "message": error.message},
+        }
+    )
+
 
 _REASONS = {
     200: "OK",
@@ -78,6 +100,161 @@ _REASONS = {
 }
 
 
+# -- HTTP plumbing (shared by the server and the shard front-end) ----------
+
+
+def _parse_http_head(head: bytes) -> Optional[Tuple[str, str, Dict[str, str]]]:
+    try:
+        lines = head.decode("latin-1").split("\r\n")
+        method, path, _version = lines[0].split(" ", 2)
+    except (UnicodeDecodeError, ValueError):
+        return None
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            return None
+        headers[name.strip().lower()] = value.strip()
+    return method.upper(), path, headers
+
+
+async def _write_raw(writer, status: int, body: bytes, keep: bool = True) -> None:
+    """One sized response; ``body`` bytes go over the wire verbatim.
+
+    Verbatim matters: the shard front-end relays worker response bodies
+    through here untouched, which is what makes sharded responses
+    bitwise-identical to single-server (and direct-library) ones.
+    """
+    head = (
+        f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+        "Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: {'keep-alive' if keep else 'close'}\r\n"
+        "\r\n"
+    ).encode("latin-1")
+    try:
+        writer.write(head + body)
+        await writer.drain()
+    except (ConnectionResetError, BrokenPipeError):
+        pass
+
+
+async def _write_json(
+    writer, status: int, payload: Dict[str, Any], keep: bool = True
+) -> None:
+    await _write_raw(writer, status, json.dumps(payload).encode(), keep=keep)
+
+
+async def _write_stream_head(writer, keep: bool = True) -> None:
+    head = (
+        "HTTP/1.1 200 OK\r\n"
+        "Content-Type: application/x-ndjson\r\n"
+        "Transfer-Encoding: chunked\r\n"
+        f"Connection: {'keep-alive' if keep else 'close'}\r\n"
+        "\r\n"
+    ).encode("latin-1")
+    writer.write(head)
+    await writer.drain()
+
+
+async def _write_chunk(writer, data: bytes) -> None:
+    """One HTTP chunk (empty ``data`` writes the terminal chunk).
+
+    Unlike :func:`_write_raw` this *propagates* connection failures —
+    a dead client must abort the stream, not silently discard it.
+    """
+    if data:
+        writer.write(f"{len(data):x}\r\n".encode("latin-1") + data + b"\r\n")
+    else:
+        writer.write(b"0\r\n\r\n")
+    await writer.drain()
+
+
+async def _http_connection_loop(
+    reader, writer, max_payload: int, serve_one, metrics=None
+) -> None:
+    """The keep-alive request loop one connection runs until it dies.
+
+    Framing-level failures (oversized head, bad Content-Length, bodies
+    past ``max_payload``) are answered with typed errors and close the
+    connection — it cannot be resynced after them.  Each well-framed
+    request goes to ``serve_one(method, path, headers, body, writer,
+    keep) -> bool``, which writes its own response and returns whether
+    the connection is still usable.
+    """
+    try:
+        while True:
+            try:
+                head = await reader.readuntil(b"\r\n\r\n")
+            except (
+                asyncio.IncompleteReadError,
+                ConnectionResetError,
+                BrokenPipeError,
+            ):
+                break
+            except asyncio.LimitOverrunError:
+                error = ServiceError("bad_request", "request head too large")
+                await _write_json(writer, 431, error.payload(), keep=False)
+                break
+            parsed = _parse_http_head(head)
+            if parsed is None:
+                error = ServiceError("bad_request", "malformed HTTP request")
+                await _write_json(writer, 400, error.payload(), keep=False)
+                break
+            method, path, headers = parsed
+            try:
+                length = int(headers.get("content-length", "0"))
+            except ValueError:
+                error = ServiceError("bad_request", "invalid Content-Length")
+                await _write_json(writer, 400, error.payload(), keep=False)
+                break
+            if length > max_payload:
+                # Typed 413 without reading (or buffering) the body;
+                # the connection cannot be resynced, so close it.
+                if metrics is not None:
+                    metrics.record_error("payload_too_large")
+                error = ServiceError(
+                    "payload_too_large",
+                    f"request body is {length} bytes (limit {max_payload})",
+                )
+                await _write_json(
+                    writer, error.http_status, error.payload(), keep=False
+                )
+                break
+            try:
+                body = await reader.readexactly(length) if length else b""
+            except (asyncio.IncompleteReadError, ConnectionResetError):
+                break
+            keep = headers.get("connection", "").lower() != "close"
+            keep = await serve_one(method, path, headers, body, writer, keep)
+            if not keep:
+                break
+    except asyncio.CancelledError:  # server shutdown closed us
+        pass
+    finally:
+        try:
+            writer.close()
+            await writer.wait_closed()
+        except (Exception, asyncio.CancelledError):
+            pass
+
+
+def _with_default_target_se(request: Request, default: Optional[float]) -> Request:
+    """Fill a server-level ``target_se`` default into a bare request.
+
+    Applied before coalesce/routing keys are computed, so an explicit
+    ``target_se=x`` and an omitted one under default ``x`` coalesce
+    with each other, share cache entries, and route to the same shard.
+    """
+    if default is None or request.target_se is not None:
+        return request
+    from dataclasses import replace
+
+    return replace(request, target_se=default)
+
+
 @dataclass
 class ServerConfig:
     """Everything the server runtime is parameterised by.
@@ -87,7 +264,9 @@ class ServerConfig:
     thread pool bridging the event loop to those (blocking) library
     calls.  ``share_estimators=False`` disables the warm per-group
     estimator pool — the un-coalesced baseline the service benchmark
-    measures against.
+    measures against.  ``sweep_window`` caps how many points of one
+    streaming sweep may be in flight at once, keeping grid-sized
+    requests from monopolising the batcher queue.
     """
 
     host: str = "127.0.0.1"
@@ -108,12 +287,17 @@ class ServerConfig:
     estimator_pool_size: int = 16
     intern_pool_size: int = 64
     shutdown_timeout: float = 10.0
+    sweep_window: int = 128
 
     def __post_init__(self) -> None:
         if self.n_jobs < 1:
             raise ValueError(f"n_jobs must be >= 1, got {self.n_jobs}")
         if self.workers < 1:
             raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.sweep_window < 1:
+            raise ValueError(
+                f"sweep_window must be >= 1, got {self.sweep_window}"
+            )
         if self.request_timeout <= 0:
             raise ValueError(
                 f"request_timeout must be positive, got {self.request_timeout}"
@@ -228,96 +412,118 @@ class EstimationServer:
         task = asyncio.current_task()
         self._conn_tasks.add(task)
         try:
-            while True:
-                try:
-                    head = await reader.readuntil(b"\r\n\r\n")
-                except (
-                    asyncio.IncompleteReadError,
-                    ConnectionResetError,
-                    BrokenPipeError,
-                ):
-                    break
-                except asyncio.LimitOverrunError:
-                    error = ServiceError("bad_request", "request head too large")
-                    await self._write(writer, 431, error.payload(), keep=False)
-                    break
-                parsed = self._parse_head(head)
-                if parsed is None:
-                    error = ServiceError("bad_request", "malformed HTTP request")
-                    await self._write(writer, 400, error.payload(), keep=False)
-                    break
-                method, path, headers = parsed
-                try:
-                    length = int(headers.get("content-length", "0"))
-                except ValueError:
-                    error = ServiceError("bad_request", "invalid Content-Length")
-                    await self._write(writer, 400, error.payload(), keep=False)
-                    break
-                if length > self.config.max_payload:
-                    # Typed 413 without reading (or buffering) the body;
-                    # the connection cannot be resynced, so close it.
-                    self.metrics.record_error("payload_too_large")
-                    error = ServiceError(
-                        "payload_too_large",
-                        f"request body is {length} bytes "
-                        f"(limit {self.config.max_payload})",
-                    )
-                    await self._write(
-                        writer, error.http_status, error.payload(), keep=False
-                    )
-                    break
-                try:
-                    body = await reader.readexactly(length) if length else b""
-                except (asyncio.IncompleteReadError, ConnectionResetError):
-                    break
-                status, payload = await self._dispatch(method, path, body)
-                keep = headers.get("connection", "").lower() != "close"
-                await self._write(writer, status, payload, keep=keep)
-                if not keep:
-                    break
-        except asyncio.CancelledError:  # server shutdown closed us
-            pass
+            await _http_connection_loop(
+                reader, writer, self.config.max_payload, self._serve_one,
+                metrics=self.metrics,
+            )
         finally:
             self._conn_tasks.discard(task)
-            try:
-                writer.close()
-                await writer.wait_closed()
-            except (Exception, asyncio.CancelledError):
-                pass
 
-    @staticmethod
-    def _parse_head(head: bytes) -> Optional[Tuple[str, str, Dict[str, str]]]:
-        try:
-            lines = head.decode("latin-1").split("\r\n")
-            method, path, _version = lines[0].split(" ", 2)
-        except (UnicodeDecodeError, ValueError):
-            return None
-        headers: Dict[str, str] = {}
-        for line in lines[1:]:
-            if not line:
-                continue
-            name, sep, value = line.partition(":")
-            if not sep:
-                return None
-            headers[name.strip().lower()] = value.strip()
-        return method.upper(), path, headers
+    async def _serve_one(
+        self, method: str, path: str, headers: Dict[str, str],
+        body: bytes, writer, keep: bool,
+    ) -> bool:
+        if method == "POST" and path == "/v1/sweep":
+            return await self._handle_sweep(writer, body, keep)
+        status, payload = await self._dispatch(method, path, body)
+        await _write_json(writer, status, payload, keep=keep)
+        return keep
 
-    async def _write(
-        self, writer, status: int, payload: Dict[str, Any], keep: bool = True
-    ) -> None:
-        body = json.dumps(payload).encode()
-        head = (
-            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
-            "Content-Type: application/json\r\n"
-            f"Content-Length: {len(body)}\r\n"
-            f"Connection: {'keep-alive' if keep else 'close'}\r\n"
-            "\r\n"
-        ).encode("latin-1")
+    # -- sweep streaming ---------------------------------------------------
+
+    async def _handle_sweep(self, writer, body: bytes, keep: bool) -> bool:
+        """Serve one sweep as a chunked NDJSON stream.
+
+        Each point is an independent :class:`EstimateRequest` submitted
+        through the same coalescing batcher as single estimates, with at
+        most ``sweep_window`` points in flight (so a 10^5-point grid
+        cannot flood the queue).  One line is written per *completed*
+        point — completion order, not index order; clients reassemble by
+        the ``i`` field — followed by a ``{"done": true, "n": N}``
+        terminator whose absence signals a truncated stream.  Returns
+        whether the connection is still usable for keep-alive.
+        """
+        start = time.perf_counter()
+        self.metrics.record_request("sweep")
         try:
-            writer.write(head + body)
-            await writer.drain()
+            if self._closing:
+                raise ServiceError(
+                    "shutting_down", "server is draining and not accepting work"
+                )
+            data = parse_body(body, self.config.max_payload)
+            if data["op"] != "sweep":
+                raise ServiceError(
+                    "bad_request",
+                    f"body op {data['op']!r} does not match route '/v1/sweep'",
+                )
+            request = self._apply_defaults(
+                parse_request(data, self._instances, self._mechanisms)
+            )
+            indices = request.point_indices()
+        except ServiceError as error:
+            self.metrics.record_error(error.code)
+            await _write_json(writer, error.http_status, error.payload(), keep=keep)
+            return keep
+        except Exception as exc:  # defensive: never leak a traceback
+            error = ServiceError("internal", f"{type(exc).__name__}: {exc}")
+            self.metrics.record_error(error.code)
+            await _write_json(writer, error.http_status, error.payload(), keep=keep)
+            return keep
+        window = asyncio.Semaphore(self.config.sweep_window)
+        tasks = [
+            asyncio.ensure_future(self._run_point(request, index, window))
+            for index in indices
+        ]
+        intact = True
+        try:
+            await _write_stream_head(writer, keep=keep)
+            for done in asyncio.as_completed(tasks):
+                _index, line = await done
+                await _write_chunk(writer, line)
+            await _write_chunk(
+                writer,
+                _ndjson({"v": PROTOCOL_VERSION, "done": True, "n": len(indices)}),
+            )
+            await _write_chunk(writer, b"")  # terminal chunk
         except (ConnectionResetError, BrokenPipeError):
-            pass
+            intact = False  # client went away mid-stream
+        finally:
+            for task in tasks:
+                task.cancel()
+            if tasks:
+                await asyncio.gather(*tasks, return_exceptions=True)
+        if intact:
+            self.metrics.record_completed("sweep", time.perf_counter() - start)
+        return keep and intact
+
+    async def _run_point(
+        self, request: SweepRequest, index: int, window: asyncio.Semaphore
+    ) -> Tuple[int, bytes]:
+        """One sweep point → its NDJSON line (errors become error lines)."""
+        point = request.point(index)
+        try:
+            async with window:
+                future = self._batcher.submit(
+                    point, point.coalesce_key(), point.group_key()
+                )
+                result = await asyncio.wait_for(
+                    asyncio.shield(future), self.config.request_timeout
+                )
+        except asyncio.TimeoutError:
+            error = ServiceError(
+                "timeout",
+                f"sweep point {index} exceeded {self.config.request_timeout}s",
+            )
+            self.metrics.record_error(error.code)
+            return index, _error_line(index, error)
+        except ServiceError as error:
+            self.metrics.record_error(error.code)
+            return index, _error_line(index, error)
+        except Exception as exc:  # defensive: never leak a traceback
+            error = ServiceError("internal", f"{type(exc).__name__}: {exc}")
+            self.metrics.record_error(error.code)
+            return index, _error_line(index, error)
+        return index, _ndjson({"i": index, "ok": True, "result": result})
 
     # -- request dispatch --------------------------------------------------
 
@@ -381,18 +587,8 @@ class EstimationServer:
         return 200, ok_payload(result)
 
     def _apply_defaults(self, request: Request) -> Request:
-        """Fill the server-level ``target_se`` default into bare requests.
-
-        Applied before coalesce keys are computed, so an explicit
-        ``target_se=x`` and an omitted one under default ``x`` coalesce
-        with each other and share cache entries.
-        """
-        default = self.config.default_target_se
-        if default is None or request.target_se is not None:
-            return request
-        from dataclasses import replace
-
-        return replace(request, target_se=default)
+        """Fill the server-level ``target_se`` default into bare requests."""
+        return _with_default_target_se(request, self.config.default_target_se)
 
     def _metrics_payload(self) -> Dict[str, Any]:
         snapshot = self.metrics.snapshot()
@@ -569,10 +765,15 @@ class BackgroundServer:
             raise RuntimeError("server did not come up within 30s")
         return self
 
+    def _make_server(self):
+        """The server this background thread runs (subclass hook: the
+        sharded front-end reuses the whole lifecycle with its own make)."""
+        return EstimationServer(self.config)
+
     async def _main(self) -> None:
         self._loop = asyncio.get_running_loop()
         self._stop_event = asyncio.Event()
-        server = EstimationServer(self.config)
+        server = self._make_server()
         try:
             await server.start()
         except BaseException as exc:

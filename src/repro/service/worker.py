@@ -1,0 +1,184 @@
+"""One shard of the sharded estimation service, as a subprocess.
+
+A *worker* is nothing but a full :class:`~repro.service.server.
+EstimationServer` — warm intern pools, coalescing micro-batcher, shared
+on-disk estimate cache — bound to a loopback port of the kernel's
+choosing.  The front-end (:mod:`repro.service.sharding`) spawns one per
+shard with::
+
+    python -m repro.service._worker_main '<ServerConfig as JSON>'
+
+and reads a single ``{"ready": true, "port": N}`` line from the
+worker's stdout as the readiness handshake.  Everything after that line
+is served over HTTP exactly as a standalone server would — a worker
+*is* a standalone server, which is what keeps the sharded determinism
+contract trivial: the front-end only ever relays worker bytes.
+
+:class:`WorkerProcess` is the parent-side handle (spawn → ready →
+stop); it re-derives ``PYTHONPATH`` from the imported ``repro`` package
+so workers resolve the same code the parent runs, regardless of how the
+parent found it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+from dataclasses import asdict
+from typing import List, Optional
+
+from repro.service.server import ServerConfig
+
+
+def run_worker(config_json: str, out=None) -> int:
+    """Run one worker server until SIGINT (the ``__main__`` body)."""
+    import asyncio
+
+    from repro.service.server import run_server
+
+    out = sys.stdout if out is None else out
+    try:
+        config = ServerConfig(**json.loads(config_json))
+    except (TypeError, ValueError) as exc:
+        print(f"error: bad worker config: {exc}", file=sys.stderr)
+        return 2
+
+    def announce(server) -> None:
+        print(
+            json.dumps({"ready": True, "port": server.port}),
+            file=out,
+            flush=True,
+        )
+
+    try:
+        asyncio.run(run_server(config, ready=announce))
+    except KeyboardInterrupt:  # SIGINT is the graceful-stop signal
+        pass
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
+class WorkerProcess:
+    """Parent-side handle on one worker subprocess.
+
+    ``spawn()`` starts the process (non-blocking, so a fleet boots
+    concurrently); ``await_ready()`` blocks for the handshake line and
+    learns the port; ``stop()`` sends SIGINT and escalates to SIGKILL
+    only past ``stop_timeout``.  The worker inherits the parent's
+    environment plus a ``PYTHONPATH`` entry for the ``repro`` package
+    actually imported here.
+    """
+
+    def __init__(
+        self,
+        config: ServerConfig,
+        startup_timeout: float = 60.0,
+        stop_timeout: float = 15.0,
+    ) -> None:
+        self.config = config
+        self.startup_timeout = startup_timeout
+        self.stop_timeout = stop_timeout
+        self.proc: Optional[subprocess.Popen] = None
+        self.port: Optional[int] = None
+
+    def spawn(self) -> None:
+        if self.proc is not None:
+            raise RuntimeError("worker already spawned")
+        self.proc = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.service._worker_main",
+                json.dumps(asdict(self.config)),
+            ],
+            stdout=subprocess.PIPE,
+            text=True,
+            env=self._env(),
+        )
+
+    @staticmethod
+    def _env() -> dict:
+        import repro
+
+        package_root = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+        env = dict(os.environ)
+        parts: List[str] = [package_root]
+        if env.get("PYTHONPATH"):
+            parts.append(env["PYTHONPATH"])
+        env["PYTHONPATH"] = os.pathsep.join(parts)
+        return env
+
+    def await_ready(self) -> int:
+        """Block for the readiness line; returns the worker's port."""
+        if self.proc is None:
+            raise RuntimeError("worker was never spawned")
+        holder: dict = {}
+
+        def read() -> None:
+            holder["line"] = self.proc.stdout.readline()
+
+        reader = threading.Thread(target=read, daemon=True)
+        reader.start()
+        reader.join(self.startup_timeout)
+        line = holder.get("line", "")
+        if not line:
+            self.stop()
+            raise RuntimeError(
+                f"worker did not announce readiness within "
+                f"{self.startup_timeout}s (exit code {self.returncode})"
+            )
+        try:
+            data = json.loads(line)
+            if data.get("ready") is not True:
+                raise ValueError(f"not a ready line: {line!r}")
+            self.port = int(data["port"])
+        except (KeyError, TypeError, ValueError) as exc:
+            self.stop()
+            raise RuntimeError(f"bad worker handshake: {exc}") from None
+        return self.port
+
+    @property
+    def alive(self) -> bool:
+        return self.proc is not None and self.proc.poll() is None
+
+    @property
+    def returncode(self) -> Optional[int]:
+        return None if self.proc is None else self.proc.poll()
+
+    def stop(self) -> None:
+        """Graceful SIGINT stop, escalating to SIGKILL past the timeout."""
+        if self.proc is None:
+            return
+        if self.proc.poll() is None:
+            try:
+                self.proc.send_signal(signal.SIGINT)
+            except OSError:  # already gone
+                pass
+            try:
+                self.proc.wait(self.stop_timeout)
+            except subprocess.TimeoutExpired:
+                self.proc.kill()
+                self.proc.wait(5.0)
+        if self.proc.stdout is not None:
+            self.proc.stdout.close()
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if len(argv) != 1:
+        print(
+            "usage: python -m repro.service.worker '<ServerConfig JSON>'",
+            file=sys.stderr,
+        )
+        return 2
+    return run_worker(argv[0])
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,19 @@
+"""Known-good shard routing: content-addressed, sha256-based."""
+
+import bisect
+import hashlib
+
+
+def _point(label):
+    return int.from_bytes(hashlib.sha256(label.encode()).digest()[:8], "big")
+
+
+def shard_for(routing_key, points, shards):
+    # Same key -> same shard, on every run, host and worker.
+    position = bisect.bisect_right(points, _point(routing_key))
+    return shards[position % len(shards)]
+
+
+def route_request(request, ring):
+    # Routing from the request's digest only is the contract.
+    return shard_for(request["digest"], ring.points, ring.shards)

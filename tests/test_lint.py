@@ -37,6 +37,7 @@ BAD_EXPECTATIONS = {
     "k401.py": "K401",
     "k402.py": "K402",
     "c301.py": "C301",
+    "c303.py": "C303",
     "x000.py": "X000",
     "x001.py": "X001",
 }

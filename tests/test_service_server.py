@@ -337,6 +337,120 @@ class TestValidationOverHttp:
         assert result["rows"]
 
 
+class TestSweepStreaming:
+    """Single-server NDJSON sweeps: determinism, ordering, keep-alive."""
+
+    def test_sweep_matches_direct_per_seed(self, client):
+        seeds = [0, 1, 2, 3]
+        served = client.sweep(_instance(), MECH_SPEC, seeds=seeds, rounds=60)
+        direct = [
+            estimate_correct_probability(
+                _instance(), build_mechanism(MECH_SPEC),
+                rounds=60, seed=seed, engine="batch", n_jobs=1,
+            )
+            for seed in seeds
+        ]
+        assert served == direct
+
+    def test_gain_sweep(self, client):
+        served = client.sweep(
+            _instance(), MECH_SPEC, seeds=[3, 5], rounds=40, point_op="gain"
+        )
+        direct = [
+            estimate_gain(
+                _instance(), build_mechanism(MECH_SPEC),
+                rounds=40, seed=seed, engine="batch", n_jobs=1,
+            )
+            for seed in (3, 5)
+        ]
+        assert served == direct
+
+    def test_duplicate_seeds_coalesce(self):
+        config = ServerConfig(port=0, workers=1, max_delay=0.05)
+        with BackgroundServer(config) as bg:
+            client = ServiceClient(port=bg.port)
+            results = client.sweep(
+                _instance(), MECH_SPEC, seeds=[9, 9, 9, 9], rounds=300
+            )
+            metrics = client.metrics()
+        assert len(set(results)) == 1
+        assert metrics["coalesced_total"] > 0
+
+    def test_indices_filter_limits_computation(self, client):
+        seeds = [0, 1, 2, 3, 4]
+        seen = dict(
+            client.iter_sweep(
+                _instance(), MECH_SPEC, seeds=seeds, rounds=40,
+                indices=[1, 3],
+            )
+        )
+        assert sorted(seen) == [1, 3]
+
+    def test_connection_reusable_after_sweep(self, client):
+        # The stream's terminal chunk must be drained, or the next
+        # request on the kept-alive socket reads garbage.
+        client.sweep(_instance(), MECH_SPEC, seeds=[2, 4], rounds=40)
+        follow_up = client.estimate(_instance(), MECH_SPEC, rounds=40, seed=2)
+        direct = estimate_correct_probability(
+            _instance(), build_mechanism(MECH_SPEC),
+            rounds=40, seed=2, engine="batch", n_jobs=1,
+        )
+        assert follow_up == direct
+
+    def test_sweep_validation_is_a_typed_error(self, server):
+        body = json.dumps(
+            {
+                "v": PROTOCOL_VERSION,
+                "op": "sweep",
+                "instance": instance_to_dict(_instance()),
+                "mechanism": MECH_SPEC,
+                "seeds": [],
+            }
+        ).encode()
+        status, data = _post_raw(server.port, "/v1/sweep", body)
+        assert status == 400
+        assert data["error"]["code"] == "bad_request"
+
+
+class TestClientReconnect:
+    """The client retries once on a stale keep-alive socket."""
+
+    def test_survives_server_restart_on_same_port(self):
+        first = BackgroundServer(ServerConfig(port=0, workers=1)).start()
+        port = first.port
+        client = ServiceClient(port=port, timeout=60)
+        first_stopped = False
+        try:
+            before = client.estimate(_instance(), MECH_SPEC, rounds=40, seed=5)
+            first.stop()
+            first_stopped = True
+            # Same port, fresh process-level state: the client's pooled
+            # connection is now stale and must be replaced transparently.
+            second = BackgroundServer(ServerConfig(port=port, workers=1)).start()
+            try:
+                after = client.estimate(
+                    _instance(), MECH_SPEC, rounds=40, seed=5
+                )
+            finally:
+                second.stop()
+            assert after == before
+        finally:
+            client.close()
+            if not first_stopped:
+                first.stop()
+
+    def test_dead_server_is_a_typed_error_not_a_hang(self):
+        bg = BackgroundServer(ServerConfig(port=0, workers=1)).start()
+        port = bg.port
+        client = ServiceClient(port=port, timeout=5)
+        client.healthz()
+        bg.stop()
+        with pytest.raises(ServiceError) as excinfo:
+            client.estimate(_instance(), MECH_SPEC, rounds=10, seed=1)
+        assert excinfo.value.code in ("unavailable", "internal")
+        client.close()
+
+
 class TestServeCli:
     def test_serve_boots_answers_and_stops(self, tmp_path):
         env = dict(os.environ)
