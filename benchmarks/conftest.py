@@ -133,6 +133,38 @@ def sparse_record():
     return record
 
 
+#: Incremental-engine churn records (patched DeltaSession vs scratch
+#: re-estimation over the same edit schedule) flushed to
+#: ``BENCH_incremental.json`` next to this file.  Each entry is
+#: ``{case, n, seconds, baseline_seconds, speedup, detail}`` —
+#: ``seconds`` is the patch-and-estimate loop, ``baseline_seconds`` the
+#: rebuild-and-estimate loop it is asserted against (bit-identical
+#: results are a precondition of recording, not part of the timing).
+_INCREMENTAL_RECORDS: list = []
+
+
+@pytest.fixture
+def incremental_record():
+    """Record one churn-workload timing pair for BENCH_incremental.json."""
+
+    def record(
+        case: str, n: int, seconds: float, baseline_seconds: float, **detail
+    ):
+        _INCREMENTAL_RECORDS.append(
+            {
+                "case": case,
+                "n": n,
+                "seconds": seconds,
+                "baseline_seconds": baseline_seconds,
+                "speedup": baseline_seconds / seconds,
+                "peak_rss_mib": peak_rss_mib(),
+                "detail": detail,
+            }
+        )
+
+    return record
+
+
 def pytest_sessionfinish(session, exitstatus):
     if _MICRO_RECORDS:
         out = Path(__file__).parent / "BENCH_micro.json"
@@ -146,6 +178,9 @@ def pytest_sessionfinish(session, exitstatus):
     if _SPARSE_RECORDS:
         out = Path(__file__).parent / "BENCH_sparse.json"
         out.write_text(json.dumps(_SPARSE_RECORDS, indent=2) + "\n")
+    if _INCREMENTAL_RECORDS:
+        out = Path(__file__).parent / "BENCH_incremental.json"
+        out.write_text(json.dumps(_INCREMENTAL_RECORDS, indent=2) + "\n")
 
 
 @pytest.fixture

@@ -1,0 +1,176 @@
+"""Performance-trajectory emitter: merge every ``BENCH_*.json`` over time.
+
+Each benchmark suite flushes a point-in-time snapshot (``BENCH_micro``,
+``BENCH_experiments``, ``BENCH_service``, ``BENCH_sparse``,
+``BENCH_incremental``).  Snapshots answer "how fast is HEAD"; they
+cannot answer "did this PR regress the churn bench" without digging
+through git history.  This emitter folds every snapshot into one
+longitudinal file, ``BENCH_trajectory.json``::
+
+    {
+      "schema": 1,
+      "benches": {
+        "incremental/mc_churn/n=100000": [
+          {"commit": "26039b3", "wall_s": 1.92, "peak_rss_mib": 512.0},
+          ...
+        ],
+        ...
+      }
+    }
+
+keyed by a stable bench name (suite, case label, and problem size where
+the suite records one).  Re-emitting at the same commit replaces that
+commit's points rather than appending duplicates, so the emitter is
+idempotent and safe to run in CI on every push; points from other
+commits are preserved, giving the per-bench wall-clock and peak-RSS
+series its name promises.
+
+Run directly (``python benchmarks/trajectory.py``) after a benchmark
+session, or import :func:`collect_entries` / :func:`emit_trajectory`
+from tests.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional
+
+BENCH_DIR = Path(__file__).resolve().parent
+TRAJECTORY_NAME = "BENCH_trajectory.json"
+TRAJECTORY_SCHEMA = 1
+
+#: suite → the record field naming its case (each suite labels records
+#: differently; the trajectory name needs one stable label per record).
+_CASE_FIELDS = ("op", "suite", "scenario", "case")
+
+
+def _bench_label(suite: str, record: Dict) -> str:
+    """A stable trajectory key for one benchmark record."""
+    for field in _CASE_FIELDS:
+        if field in record:
+            label = f"{suite}/{record[field]}"
+            break
+    else:
+        label = suite
+    if "n" in record:
+        label += f"/n={record['n']}"
+    return label
+
+
+def _wall_seconds(record: Dict) -> Optional[float]:
+    value = record.get("seconds")
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return None
+    return float(value)
+
+
+def collect_entries(bench_dir: Path = BENCH_DIR) -> Dict[str, Dict]:
+    """Read every ``BENCH_*.json`` snapshot into trajectory points.
+
+    Returns ``{bench name: {"wall_s": ..., "peak_rss_mib": ...}}``.
+    Snapshot files whose records lack a ``seconds`` field are skipped
+    rather than guessed at; the trajectory only records measurements the
+    suites actually made.
+    """
+    entries: Dict[str, Dict] = {}
+    for path in sorted(bench_dir.glob("BENCH_*.json")):
+        if path.name == TRAJECTORY_NAME:
+            continue
+        suite = path.stem[len("BENCH_"):]
+        try:
+            records = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            continue
+        if not isinstance(records, list):
+            continue
+        for record in records:
+            if not isinstance(record, dict):
+                continue
+            wall = _wall_seconds(record)
+            if wall is None:
+                continue
+            point = {"wall_s": wall}
+            rss = record.get("peak_rss_mib")
+            if isinstance(rss, (int, float)) and not isinstance(rss, bool):
+                point["peak_rss_mib"] = float(rss)
+            entries[_bench_label(suite, record)] = point
+    return entries
+
+
+def current_commit(repo_dir: Optional[Path] = None) -> str:
+    """The short HEAD hash, or ``"unknown"`` outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=repo_dir or BENCH_DIR,
+            capture_output=True,
+            text=True,
+            timeout=30,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    if out.returncode != 0:
+        return "unknown"
+    return out.stdout.strip() or "unknown"
+
+
+def load_trajectory(bench_dir: Path = BENCH_DIR) -> Dict[str, List[Dict]]:
+    """The existing per-bench series, or empty when absent/corrupt."""
+    path = bench_dir / TRAJECTORY_NAME
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return {}
+    benches = payload.get("benches") if isinstance(payload, dict) else None
+    if not isinstance(benches, dict):
+        return {}
+    return {
+        name: [p for p in points if isinstance(p, dict)]
+        for name, points in benches.items()
+        if isinstance(points, list)
+    }
+
+
+def emit_trajectory(
+    bench_dir: Path = BENCH_DIR, commit: Optional[str] = None
+) -> Dict[str, List[Dict]]:
+    """Fold the current snapshots into ``BENCH_trajectory.json``.
+
+    Existing points for ``commit`` are replaced (idempotent re-runs);
+    points from other commits are preserved.  Returns the merged
+    per-bench series that was written.
+    """
+    commit = commit or current_commit(bench_dir)
+    benches = load_trajectory(bench_dir)
+    for name, point in collect_entries(bench_dir).items():
+        series = [
+            p for p in benches.get(name, []) if p.get("commit") != commit
+        ]
+        series.append({"commit": commit, **point})
+        benches[name] = series
+    payload = {
+        "schema": TRAJECTORY_SCHEMA,
+        "benches": {name: benches[name] for name in sorted(benches)},
+    }
+    out = bench_dir / TRAJECTORY_NAME
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    return benches
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    bench_dir = Path(argv[0]) if argv else BENCH_DIR
+    benches = emit_trajectory(bench_dir)
+    points = sum(len(series) for series in benches.values())
+    print(
+        f"trajectory: {len(benches)} bench(es), {points} point(s) "
+        f"-> {bench_dir / TRAJECTORY_NAME}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

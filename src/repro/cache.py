@@ -52,11 +52,14 @@ behind as an ignored ``.tmp-*`` file.
 from __future__ import annotations
 
 import hashlib
+import itertools
 import json
 import os
 import tempfile
+import threading
+from contextlib import contextmanager
 from pathlib import Path
-from typing import Any, Dict, List, Mapping, Optional, Union
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Union
 
 import numpy as np
 
@@ -65,6 +68,42 @@ SCHEMA_VERSION = 1
 
 DEFAULT_CACHE_DIR = ".repro-cache"
 """Where estimates land unless the caller picks a directory."""
+
+DEFAULT_OP = "estimate"
+"""Op label charged for lookups outside any :func:`label_cache_ops`."""
+
+OPSTATS_DIR = ".opstats"
+"""Subdirectory of the cache root holding per-process op-stat sidecars."""
+
+_OPSTATS_FLUSH_EVERY = 64
+"""Lookups between sidecar flushes (also flushed on every ``stats()``)."""
+
+_op_label = threading.local()
+_sidecar_ids = itertools.count()
+
+
+@contextmanager
+def label_cache_ops(op: str) -> Iterator[None]:
+    """Attribute cache lookups on this thread to operation ``op``.
+
+    The estimation service wraps each request's compute in the request's
+    op (``estimate``, ``sweep``, ``delta``, …) so hit/miss counters can
+    be reported per operation.  Thread-local on purpose: the service
+    runs each request synchronously on one worker thread, and a
+    ``contextvars`` context would *not* propagate into executor threads.
+    Nestable; the previous label is restored on exit.
+    """
+    previous = getattr(_op_label, "op", None)
+    _op_label.op = op
+    try:
+        yield
+    finally:
+        _op_label.op = previous
+
+
+def current_cache_op() -> str:
+    """The op label charged for cache lookups on this thread."""
+    return getattr(_op_label, "op", None) or DEFAULT_OP
 
 _ESTIMATE_FIELDS = (
     "probability",
@@ -193,6 +232,9 @@ class EstimateCache:
         self.max_entries = max_entries
         self.hits = 0
         self.misses = 0
+        self.op_stats: Dict[str, Dict[str, int]] = {}
+        self._sidecar_name = f"{os.getpid()}-{next(_sidecar_ids)}.json"
+        self._unflushed = 0
 
     def path_for(self, digest: str) -> Path:
         """Where the entry for ``digest`` lives."""
@@ -209,18 +251,55 @@ class EstimateCache:
         try:
             data = json.loads(path.read_text())
         except FileNotFoundError:
-            self.misses += 1
+            self._record("misses")
             return None
         except (OSError, ValueError):
             self._discard(path)
-            self.misses += 1
+            self._record("misses")
             return None
         if not self._valid(data, digest):
             self._discard(path)
-            self.misses += 1
+            self._record("misses")
             return None
-        self.hits += 1
+        self._record("hits")
         return data
+
+    def _record(self, kind: str) -> None:
+        """Charge one lookup to the aggregate and per-op counters."""
+        op = current_cache_op()
+        per_op = self.op_stats.setdefault(op, {"hits": 0, "misses": 0})
+        per_op[kind] += 1
+        if kind == "hits":
+            self.hits += 1
+        else:
+            self.misses += 1
+        self._unflushed += 1
+        if self._unflushed >= _OPSTATS_FLUSH_EVERY:
+            self.flush_op_stats()
+
+    def flush_op_stats(self) -> None:
+        """Persist this object's per-op counters to its sidecar file.
+
+        One file per cache object per process under ``.opstats/``,
+        overwritten atomically, so any number of service workers sharing
+        a cache directory publish their counters without coordination;
+        ``repro info`` aggregates them via :func:`aggregate_op_stats`.
+        Best-effort: an unwritable cache directory never fails a lookup.
+        """
+        self._unflushed = 0
+        if not self.op_stats:
+            return
+        stats_dir = self.root / OPSTATS_DIR
+        try:
+            stats_dir.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=str(stats_dir), prefix=".tmp-", suffix=".json"
+            )
+            with os.fdopen(fd, "w") as handle:
+                json.dump({"schema": SCHEMA_VERSION, "ops": self.op_stats}, handle)
+            os.replace(tmp, stats_dir / self._sidecar_name)
+        except OSError:  # pragma: no cover - stats are advisory
+            pass
 
     def put(
         self,
@@ -319,12 +398,14 @@ class EstimateCache:
             except OSError:  # pragma: no cover - racing deletes are benign
                 continue
             entries += 1
+        self.flush_op_stats()
         return {
             "entries": entries,
             "bytes": size,
             "hits": self.hits,
             "misses": self.misses,
             "max_entries": self.max_entries,
+            "by_op": {op: dict(counts) for op, counts in sorted(self.op_stats.items())},
         }
 
     def __len__(self) -> int:
@@ -334,8 +415,14 @@ class EstimateCache:
         """Delete every entry and reset the counters."""
         for path in self._entries():
             self._discard(path)
+        stats_dir = self.root / OPSTATS_DIR
+        if stats_dir.is_dir():
+            for path in stats_dir.glob("*.json"):
+                self._discard(path)
         self.hits = 0
         self.misses = 0
+        self.op_stats = {}
+        self._unflushed = 0
 
     @staticmethod
     def _valid(data: Any, digest: str) -> bool:
@@ -354,3 +441,35 @@ class EstimateCache:
             path.unlink()
         except OSError:  # pragma: no cover - racing deletes are benign
             pass
+
+
+def aggregate_op_stats(root: Union[str, Path]) -> Dict[str, Dict[str, int]]:
+    """Merge every process's op-stat sidecar under ``root``.
+
+    Returns ``{op: {"hits": int, "misses": int}}`` summed across all
+    sidecars in ``<root>/.opstats/`` — the store-wide per-operation view
+    ``repro info`` reports.  Torn or foreign files are skipped.
+    """
+    stats_dir = Path(root) / OPSTATS_DIR
+    merged: Dict[str, Dict[str, int]] = {}
+    if not stats_dir.is_dir():
+        return merged
+    for path in sorted(stats_dir.glob("*.json")):
+        if path.name.startswith("."):
+            continue
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, ValueError):
+            continue
+        ops = data.get("ops") if isinstance(data, dict) else None
+        if not isinstance(ops, dict):
+            continue
+        for op, counts in ops.items():
+            if not isinstance(counts, dict):
+                continue
+            bucket = merged.setdefault(str(op), {"hits": 0, "misses": 0})
+            for kind in ("hits", "misses"):
+                value = counts.get(kind)
+                if isinstance(value, int) and value >= 0:
+                    bucket[kind] += value
+    return merged

@@ -290,7 +290,7 @@ def _cmd_list(out) -> int:
 
 
 def _cmd_info(out, cache_dir: str = ".repro-cache") -> int:
-    from repro.cache import EstimateCache
+    from repro.cache import EstimateCache, aggregate_op_stats
 
     experiments = list_experiments()
     print(f"repro {__version__}", file=out)
@@ -308,6 +308,19 @@ def _cmd_info(out, cache_dir: str = ".repro-cache") -> int:
         f"{stats['entries']} entries, {stats['bytes']} bytes",
         file=out,
     )
+    # Per-operation hit/miss counters, aggregated across every process
+    # that has published sidecar stats into this cache directory.
+    by_op = aggregate_op_stats(cache_dir)
+    if by_op:
+        print("  lookups by operation:", file=out)
+        for op, counts in sorted(by_op.items()):
+            total = counts["hits"] + counts["misses"]
+            rate = counts["hits"] / total if total else 0.0
+            print(
+                f"    {op:>9}  {counts['hits']} hits, "
+                f"{counts['misses']} misses ({rate:.0%} hit rate)",
+                file=out,
+            )
     return 0
 
 

@@ -123,6 +123,28 @@ class CompiledInstance:
             lambda: np.unique(self.degrees, return_inverse=True),
         )
 
+    def adopt_degree_tables(self, other: "CompiledInstance") -> None:
+        """Carry degree-derived memo tables across an incremental patch.
+
+        The delta engine rebuilds the compiled view after splicing an
+        edited instance; when the degree vector is unchanged (competency
+        edits never change it) the memoised ``unique_degrees`` pass — and
+        any mechanism table keyed off it — is still valid, so adopting it
+        keeps the patched compile O(1) instead of O(n log n).  A degree
+        mismatch makes this a no-op rather than an error, so callers can
+        invoke it unconditionally.  Only keys tagged degree-derived are
+        adopted (``unique_degrees`` and mechanism per-degree tables);
+        competency-dependent tables are rebuilt lazily as usual.
+        """
+        if not np.array_equal(self.degrees, other.degrees):
+            return
+        for key, value in other._memo.items():
+            if isinstance(key, tuple) and key and key[0] in (
+                "unique_degrees",
+                "per_degree_thresholds",
+            ):
+                self._memo.setdefault(key, value)
+
     def memo(self, key: Hashable, build: Callable[[], Any]) -> Any:
         """Memoise a derived table under ``key`` (built on first use).
 

@@ -174,6 +174,27 @@ class ProblemInstance:
             self._structure = ApprovalStructure(self)
         return self._structure
 
+    def install_approval_structure(self, structure) -> None:
+        """Install a precomputed :class:`ApprovalStructure` for this instance.
+
+        Splice hook for the incremental engine: a patched copy of an
+        instance reuses the clean portions of the previous structure
+        instead of re-filtering the whole adjacency.  The structure must
+        describe exactly this instance's ``(graph, competencies, alpha)``
+        — the incremental tests pin spliced structures bitwise against
+        scratch builds.  Must be called before the lazy builders run.
+        """
+        if structure.num_voters != self.num_voters:
+            raise ValueError(
+                f"structure covers {structure.num_voters} voters, "
+                f"instance has {self.num_voters}"
+            )
+        if self._structure is not None or self._compiled is not None:
+            raise ValueError(
+                "cannot install a structure after the lazy builders ran"
+            )
+        self._structure = structure
+
     def compiled(self):
         """Cached :class:`~repro.core.compiled.CompiledInstance`.
 

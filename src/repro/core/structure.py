@@ -64,6 +64,36 @@ class ApprovalStructure:
             self._order = None
             self._starts = None
 
+    @classmethod
+    def from_general_csr(
+        cls,
+        instance: "ProblemInstance",
+        indptr: np.ndarray,
+        indices: np.ndarray,
+    ) -> "ApprovalStructure":
+        """Wrap precomputed general-form CSR arrays without rebuilding.
+
+        Splice hook for the incremental engine
+        (:mod:`repro.incremental.structure`): after a localised edit the
+        approved relation changes only in the dirtied voters' segments,
+        so the caller patches the CSR arrays directly and installs them
+        here instead of re-filtering the whole adjacency.  The arrays
+        must equal what ``_general_csr`` would build for ``instance`` —
+        the incremental tests pin this bitwise.  Only the general form is
+        supported; complete graphs rebuild through the constructor (the
+        O(n) suffix form is cheap from scratch).
+        """
+        self = object.__new__(cls)
+        self._instance = instance
+        self._degrees = np.asarray(instance.graph.degrees(), dtype=np.int64)
+        self._complete = False
+        self._indptr = indptr
+        self._indices = indices
+        self._counts = np.diff(indptr).astype(np.int64)
+        self._order = None
+        self._starts = None
+        return self
+
     # reprolint: reference=_reference_general_csr
     @staticmethod
     def _general_csr(

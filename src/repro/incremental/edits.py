@@ -1,0 +1,207 @@
+"""Edit types for the incremental delta engine, with canonical encoding.
+
+An edit batch is an ordered list of edits applied atomically between two
+estimates of a :class:`~repro.incremental.session.DeltaSession`.  Four
+edit kinds cover live-election churn:
+
+* :class:`Rewire` — change a voter's neighbourhood (the "re-delegation"
+  of the dynamics literature: who the voter can approve changes, so its
+  sampled delegate changes under the retained uniforms);
+* :class:`SetCompetency` — update one voter's competency;
+* :class:`Join` — a new voter arrives with a neighbour list (appended at
+  index ``n``);
+* :class:`Leave` — a voter departs (indices above it shift down by one).
+
+Every edit has a canonical dict form (:func:`edit_to_dict` /
+:func:`edit_from_dict`) used on the service wire and in the content
+digests: :func:`edit_chain_digest` hashes a whole chain of batches, and
+combined with the base-instance digest identifies a patched state for
+the estimate cache and the ``/v1/delta`` coalescing key.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Sequence, Tuple, Union
+
+
+@dataclass(frozen=True)
+class Rewire:
+    """Replace part of ``voter``'s neighbourhood: add/remove approval edges."""
+
+    voter: int
+    add: Tuple[int, ...] = ()
+    remove: Tuple[int, ...] = ()
+
+    kind = "rewire"
+
+
+@dataclass(frozen=True)
+class SetCompetency:
+    """Set ``voter``'s competency to ``competency``."""
+
+    voter: int
+    competency: float
+
+    kind = "competency"
+
+
+@dataclass(frozen=True)
+class Join:
+    """A new voter (index ``n``) arrives with the given neighbours."""
+
+    neighbors: Tuple[int, ...]
+    competency: float
+
+    kind = "join"
+
+
+@dataclass(frozen=True)
+class Leave:
+    """``voter`` departs; voters above it shift down by one index."""
+
+    voter: int
+
+    kind = "leave"
+
+
+Edit = Union[Rewire, SetCompetency, Join, Leave]
+
+_KINDS = {cls.kind: cls for cls in (Rewire, SetCompetency, Join, Leave)}
+
+
+def _check_voter(value: Any, field: str) -> int:
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ValueError(f"edit field {field!r} must be an integer")
+    if value < 0:
+        raise ValueError(f"edit field {field!r} must be non-negative, got {value}")
+    return int(value)
+
+
+def _check_voters(value: Any, field: str) -> Tuple[int, ...]:
+    if not isinstance(value, (list, tuple)):
+        raise ValueError(f"edit field {field!r} must be a list of voter indices")
+    out = tuple(_check_voter(v, field) for v in value)
+    if len(set(out)) != len(out):
+        raise ValueError(f"edit field {field!r} contains duplicate voters")
+    return out
+
+
+def _check_competency(value: Any, field: str) -> float:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ValueError(f"edit field {field!r} must be a number")
+    p = float(value)
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"edit field {field!r} must lie in [0, 1], got {p}")
+    return p
+
+
+def as_edit(edit: Union[Edit, Mapping[str, Any]]) -> Edit:
+    """Coerce an edit object or its wire dict to a validated edit."""
+    if isinstance(edit, (Rewire, SetCompetency, Join, Leave)):
+        return edit
+    if isinstance(edit, Mapping):
+        return edit_from_dict(edit)
+    raise ValueError(f"not an edit: {edit!r}")
+
+
+def edit_to_dict(edit: Edit) -> Dict[str, Any]:
+    """Canonical wire form of one edit (sorted keys, plain JSON types)."""
+    if isinstance(edit, Rewire):
+        return {
+            "kind": "rewire",
+            "voter": int(edit.voter),
+            "add": [int(v) for v in edit.add],
+            "remove": [int(v) for v in edit.remove],
+        }
+    if isinstance(edit, SetCompetency):
+        return {
+            "kind": "competency",
+            "voter": int(edit.voter),
+            "competency": float(edit.competency),
+        }
+    if isinstance(edit, Join):
+        return {
+            "kind": "join",
+            "neighbors": [int(v) for v in edit.neighbors],
+            "competency": float(edit.competency),
+        }
+    if isinstance(edit, Leave):
+        return {"kind": "leave", "voter": int(edit.voter)}
+    raise ValueError(f"not an edit: {edit!r}")
+
+
+def edit_from_dict(data: Mapping[str, Any]) -> Edit:
+    """Parse and strictly validate one edit's wire dict."""
+    if not isinstance(data, Mapping):
+        raise ValueError("each edit must be a JSON object")
+    kind = data.get("kind")
+    if kind not in _KINDS:
+        raise ValueError(
+            f"unknown edit kind {kind!r}; expected one of {sorted(_KINDS)}"
+        )
+    allowed = {
+        "rewire": {"kind", "voter", "add", "remove"},
+        "competency": {"kind", "voter", "competency"},
+        "join": {"kind", "neighbors", "competency"},
+        "leave": {"kind", "voter"},
+    }[kind]
+    extra = set(data) - allowed
+    if extra:
+        raise ValueError(f"unexpected edit fields for {kind!r}: {sorted(extra)}")
+    if kind == "rewire":
+        voter = _check_voter(data.get("voter"), "voter")
+        add = _check_voters(data.get("add", []), "add")
+        remove = _check_voters(data.get("remove", []), "remove")
+        if not add and not remove:
+            raise ValueError("rewire edit must add or remove at least one edge")
+        if voter in add or voter in remove:
+            raise ValueError("rewire edit cannot reference the voter itself")
+        overlap = set(add) & set(remove)
+        if overlap:
+            raise ValueError(
+                f"rewire edit both adds and removes {sorted(overlap)}"
+            )
+        return Rewire(voter=voter, add=add, remove=remove)
+    if kind == "competency":
+        return SetCompetency(
+            voter=_check_voter(data.get("voter"), "voter"),
+            competency=_check_competency(data.get("competency"), "competency"),
+        )
+    if kind == "join":
+        return Join(
+            neighbors=_check_voters(data.get("neighbors", []), "neighbors"),
+            competency=_check_competency(data.get("competency"), "competency"),
+        )
+    return Leave(voter=_check_voter(data.get("voter"), "voter"))
+
+
+# reprolint: disable=K401
+def canonical_batch(edits: Sequence[Edit]) -> List[Dict[str, Any]]:
+    """Canonical wire form of one edit batch (order preserved)."""
+    return [edit_to_dict(as_edit(e)) for e in edits]
+
+
+def batch_digest(edits: Sequence[Edit]) -> str:
+    """SHA-256 hex digest of one batch's canonical JSON."""
+    blob = json.dumps(
+        canonical_batch(edits), sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()
+
+
+def edit_chain_digest(batches: Sequence[Sequence[Edit]]) -> str:
+    """SHA-256 hex digest of a whole edit chain (list of batches).
+
+    Combined with the *base* instance digest, this identifies a patched
+    state content-addressably: the estimate cache and the ``/v1/delta``
+    coalescing key both include it, so replayed chains hit warm entries.
+    """
+    blob = json.dumps(
+        [canonical_batch(batch) for batch in batches],
+        sort_keys=True,
+        separators=(",", ":"),
+    ).encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()

@@ -1,0 +1,45 @@
+"""Incremental Monte Carlo: integer correct-weight patching per round.
+
+The delta session's MC engine retains, per round, one uniform per voter
+(positional: column ``v`` is voter ``v``'s vote draw) and the int64
+correct-weight total ``Σ w_i · [u_i < p_i]``.  An edit changes the
+weight of a few sinks (forest patch) and/or the vote indicator of the
+edited voters (competency patch); everything else contributes the same
+term.  Because the total is an *integer* sum, patching is exactly
+associative: subtract the old terms of the touched columns, add the new
+ones, and the result equals the from-scratch sum bit for bit — no
+floating-point re-summation drift, which is what lets the patched
+session stay bitwise equal to a fresh rebuild.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+# reprolint: reference=_reference_correct_total_delta
+def correct_total_delta(
+    correct: int,
+    w_old: np.ndarray,
+    w_new: np.ndarray,
+    votes_old: np.ndarray,
+    votes_new: np.ndarray,
+) -> int:
+    """Patched correct-weight total after touched columns changed.
+
+    ``w_old``/``w_new`` are the touched columns' int64 weights before and
+    after the patch; ``votes_old``/``votes_new`` their boolean vote
+    indicators under the old and new competencies.  Exact integer
+    arithmetic: equals ``Σ w_new · votes_new`` over *all* voters given
+    ``correct`` was the old total.
+    """
+    old_term = int((w_old * votes_old).sum()) if len(w_old) else 0
+    new_term = int((w_new * votes_new).sum()) if len(w_new) else 0
+    return int(correct) - old_term + new_term
+
+
+def _reference_correct_total_delta(
+    weights: np.ndarray, votes: np.ndarray
+) -> int:
+    """From-scratch oracle: the full-row integer dot product."""
+    return int((np.asarray(weights, dtype=np.int64) * votes).sum())

@@ -37,6 +37,17 @@ def _is_kernel_name(name: str) -> bool:
     return name.endswith("_batch") or name.startswith("_batch_")
 
 
+def _is_delta_kernel_name(name: str) -> bool:
+    if name.startswith("_reference"):
+        return False
+    return (
+        name.endswith("_delta")
+        or name.startswith("_delta_")
+        or name.endswith("_incremental")
+        or name.startswith("_incremental_")
+    )
+
+
 def _reference_candidates(name: str) -> Iterator[str]:
     yield f"_reference_{name}"
     stripped = name.lstrip("_")
@@ -44,25 +55,22 @@ def _reference_candidates(name: str) -> Iterator[str]:
         yield f"_reference_{stripped}"
 
 
-@register_rule
-class KernelReferenceRule(Rule):
-    """K401: batch kernel without a ``_reference`` oracle."""
+class _ReferencePairingRule(Rule):
+    """Shared machinery: kernels matching a name predicate must pair
+    with a ``_reference_*`` oracle or a verified reference pragma."""
 
-    id = "K401"
-    name = "kernel-missing-reference"
-    description = (
-        "Every *_batch / _batch_* kernel must have a _reference_<name> "
-        "oracle in the same module, or a '# reprolint: reference=<fn>' "
-        "pragma naming its oracle explicitly; unpinned kernels cannot "
-        "be equivalence-tested against a per-item ground truth."
-    )
+    kernel_kind = "kernel"
+
+    @staticmethod
+    def matches(name: str) -> bool:  # pragma: no cover - abstract
+        raise NotImplementedError
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         names = ctx.function_names()
         for node in ast.walk(ctx.tree):
             if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
                 continue
-            if not _is_kernel_name(node.name):
+            if not self.matches(node.name):
                 continue
             pragma = ctx.reference_pragma(node.lineno)
             if pragma is not None:
@@ -82,10 +90,49 @@ class KernelReferenceRule(Rule):
             yield self.finding(
                 ctx,
                 node,
-                f"batch kernel {node.name!r} has no reference oracle; "
+                f"{self.kernel_kind} {node.name!r} has no reference oracle; "
                 f"define {expected}, or name the oracle with "
                 "'# reprolint: reference=<fn>'",
             )
+
+
+@register_rule
+class KernelReferenceRule(_ReferencePairingRule):
+    """K401: batch kernel without a ``_reference`` oracle."""
+
+    id = "K401"
+    name = "kernel-missing-reference"
+    description = (
+        "Every *_batch / _batch_* kernel must have a _reference_<name> "
+        "oracle in the same module, or a '# reprolint: reference=<fn>' "
+        "pragma naming its oracle explicitly; unpinned kernels cannot "
+        "be equivalence-tested against a per-item ground truth."
+    )
+    kernel_kind = "batch kernel"
+    matches = staticmethod(_is_kernel_name)
+
+
+@register_rule
+class DeltaReferenceRule(_ReferencePairingRule):
+    """K403: incremental/delta kernel without a from-scratch oracle.
+
+    An incremental kernel's whole correctness claim is "patching equals
+    recomputing"; without a named from-scratch oracle that claim cannot
+    be pinned by the bit-identity suites.  Same contract shape as K401,
+    applied to the ``*_delta`` / ``*_incremental`` naming family.
+    """
+
+    id = "K403"
+    name = "delta-missing-reference"
+    description = (
+        "Every *_delta / _delta_* / *_incremental / _incremental_* "
+        "kernel must have a _reference_<name> from-scratch oracle in "
+        "the same module, or a '# reprolint: reference=<fn>' pragma "
+        "naming its oracle explicitly; an unpinned incremental kernel's "
+        "patch-equals-recompute claim cannot be equivalence-tested."
+    )
+    kernel_kind = "incremental kernel"
+    matches = staticmethod(_is_delta_kernel_name)
 
 
 _DENSE_ALLOCATORS = {

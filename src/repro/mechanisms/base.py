@@ -234,6 +234,36 @@ class DelegationMechanism(abc.ABC):
             f"{type(self).__name__} declares batch_uniform_rows() but no kernel"
         )
 
+    def delegations_from_uniforms_subset(
+        self,
+        instance: ProblemInstance,
+        uniforms: np.ndarray,
+        voters: np.ndarray,
+    ) -> np.ndarray:
+        """Delegates for ``voters`` only, given the full uniform cube.
+
+        The incremental engine (:mod:`repro.incremental`) retains each
+        round's uniforms and, after a localised instance edit, re-derives
+        delegates only for the dirtied voters — every other voter's
+        decision provably cannot have changed.  ``uniforms`` is the full
+        ``(rounds, rows, n)`` cube (column ``v`` is voter ``v``'s draws,
+        so the subset consumes the *same* uniforms the full kernel
+        would); the result is the ``(rounds, len(voters))`` slice of the
+        full delegate matrix, bit-identical to
+        ``_delegations_from_uniforms(...)[:, voters]``.
+
+        The default implementation runs the full kernel and slices —
+        always correct, O(n).  Mechanisms whose per-voter decision has no
+        cross-voter coupling override this with a true subset kernel
+        (the threshold family restricts its mask and target resolution
+        to ``voters``, making a patch O(|voters|)).
+        """
+        if self.batch_uniform_rows() is None:
+            raise NotImplementedError(
+                f"{type(self).__name__} has no uniform-based decision kernel"
+            )
+        return self._delegations_from_uniforms(instance, uniforms)[:, voters]
+
     def __repr__(self) -> str:
         return f"{type(self).__name__}(name={self.name!r})"
 

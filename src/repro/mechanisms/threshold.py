@@ -148,15 +148,40 @@ class ApprovalThreshold(LocalDelegationMechanism):
             return None
         return view.approved[uniform_offset(float(u[0]), view.approval_count)]
 
+    def _per_degree_thresholds(self, compiled) -> np.ndarray:
+        """Threshold evaluated once per distinct degree, memoised when safe.
+
+        Constant thresholds memoise on the compiled instance keyed by the
+        value (the table survives :meth:`CompiledInstance.adopt_degree_tables`
+        across degree-preserving incremental patches); callable thresholds
+        are re-evaluated per call because their identity has no stable
+        token to key a shared memo by.
+        """
+        unique_degrees, _ = compiled.unique_degrees()
+
+        def build() -> np.ndarray:
+            return np.array(
+                [self.threshold_at(int(d)) for d in unique_degrees], dtype=float
+            )
+
+        if isinstance(self._threshold, _ConstantThreshold):
+            return compiled.memo(
+                (
+                    "per_degree_thresholds",
+                    type(self).__qualname__,
+                    self._threshold.value,
+                ),
+                build,
+            )
+        return build()
+
     def _delegations_from_uniforms(
         self, instance: ProblemInstance, uniforms: np.ndarray
     ) -> np.ndarray:
         compiled = instance.compiled()
         counts = compiled.approved_counts
-        unique_degrees, inverse = compiled.unique_degrees()
-        per_degree = np.array(
-            [self.threshold_at(int(d)) for d in unique_degrees], dtype=float
-        )
+        _, inverse = compiled.unique_degrees()
+        per_degree = self._per_degree_thresholds(compiled)
         thresholds = per_degree[inverse]
         mask = (counts > 0) & (counts >= thresholds)
         delegates = np.full(
@@ -166,6 +191,37 @@ class ApprovalThreshold(LocalDelegationMechanism):
         movers = np.nonzero(mask)[0]
         if movers.size:
             delegates[:, movers] = batched_uniform_approved_targets(
+                compiled, movers, uniforms[:, 0, :]
+            )
+        return delegates
+
+    def delegations_from_uniforms_subset(
+        self,
+        instance: ProblemInstance,
+        uniforms: np.ndarray,
+        voters: np.ndarray,
+    ) -> np.ndarray:
+        """True subset kernel: O(rounds × |voters|), not O(rounds × n).
+
+        Restricts the full kernel's mask and target resolution to
+        ``voters``; every formula (threshold comparison, offset clamp,
+        segment resolution) is the full kernel's own restricted
+        elementwise, so the result is bit-identical to slicing the full
+        delegate matrix.
+        """
+        compiled = instance.compiled()
+        voters = np.asarray(voters, dtype=np.int64)
+        counts = compiled.approved_counts[voters]
+        _, inverse = compiled.unique_degrees()
+        per_degree = self._per_degree_thresholds(compiled)
+        thresholds = per_degree[inverse[voters]]
+        mask = (counts > 0) & (counts >= thresholds)
+        delegates = np.full(
+            (uniforms.shape[0], voters.size), SELF, dtype=compiled.index_dtype
+        )
+        movers = voters[mask]
+        if movers.size:
+            delegates[:, mask] = batched_uniform_approved_targets(
                 compiled, movers, uniforms[:, 0, :]
             )
         return delegates

@@ -11,11 +11,12 @@ library calls at any shard count.  See ``docs/serving.md``.
 """
 
 from repro.service.batcher import BatchPolicy, CoalescingBatcher
-from repro.service.client import ServiceClient
+from repro.service.client import RemoteDeltaSession, ServiceClient
 from repro.service.metrics import ServiceMetrics
 from repro.service.protocol import (
     MECHANISM_BUILDERS,
     PROTOCOL_VERSION,
+    DeltaRequest,
     EstimateRequest,
     ExperimentRequest,
     PowerThreshold,
@@ -52,6 +53,7 @@ __all__ = [
     "EstimateRequest",
     "ExperimentRequest",
     "SweepRequest",
+    "DeltaRequest",
     "BatchPolicy",
     "CoalescingBatcher",
     "ServiceMetrics",
@@ -65,4 +67,5 @@ __all__ = [
     "run_sharded_server",
     "WorkerProcess",
     "ServiceClient",
+    "RemoteDeltaSession",
 ]

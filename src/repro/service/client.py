@@ -38,6 +38,7 @@ from typing import (
     Union,
 )
 
+from repro.incremental.edits import canonical_batch
 from repro.service.protocol import (
     PROTOCOL_VERSION,
     ServiceError,
@@ -457,6 +458,62 @@ class ServiceClient:
                 ) from None
         return estimate_from_payload(result)
 
+    def delta(
+        self,
+        instance: InstanceLike,
+        mechanism: Mapping[str, Any],
+        *,
+        edits: Sequence[Sequence[Any]] = (),
+        rounds: int = 64,
+        seed: int = 0,
+        tie_policy: str = "INCORRECT",
+        engine: str = "mc",
+        target_se: Optional[float] = None,
+        max_rounds: Optional[int] = None,
+    ) -> Dict[str, Any]:
+        """One raw ``/v1/delta`` round trip.
+
+        ``instance`` is the session's *base* instance and ``edits`` the
+        full chain of edit batches (lists of edit dicts or
+        :mod:`repro.incremental.edits` objects) applied on top of it.
+        Returns the result payload: ``{"estimate": ..., "delta": ...}``
+        where ``delta`` is server-side session metadata (how much of the
+        chain was patched onto a warm session vs rebuilt).  Most callers
+        want :meth:`delta_session` instead.
+        """
+        body: Dict[str, Any] = {
+            "v": PROTOCOL_VERSION,
+            "op": "delta",
+            "instance": self.serialise_instance(instance),
+            "mechanism": dict(mechanism),
+            "rounds": rounds,
+            "seed": seed,
+            "tie_policy": tie_policy,
+            "engine": engine,
+            "edits": [canonical_batch(batch) for batch in edits],
+        }
+        if target_se is not None:
+            body["target_se"] = target_se
+        if max_rounds is not None:
+            body["max_rounds"] = max_rounds
+        return self._request("POST", "/v1/delta", body)["result"]
+
+    def delta_session(
+        self,
+        instance: InstanceLike,
+        mechanism: Mapping[str, Any],
+        *,
+        rounds: int = 64,
+        seed: int = 0,
+        tie_policy: str = "INCORRECT",
+        engine: str = "mc",
+    ) -> "RemoteDeltaSession":
+        """Open a client-side handle on a served delta session."""
+        return RemoteDeltaSession(
+            self, instance, mechanism, rounds=rounds, seed=seed,
+            tie_policy=tie_policy, engine=engine,
+        )
+
     # -- introspection -----------------------------------------------------
 
     def healthz(self) -> Dict[str, Any]:
@@ -466,3 +523,78 @@ class ServiceClient:
     def metrics(self) -> Dict[str, Any]:
         """The server's metrics snapshot (see ``docs/serving.md``)."""
         return self._request("GET", "/metrics")["metrics"]
+
+
+class RemoteDeltaSession:
+    """Client-side handle on a served delta session.
+
+    Mirrors :class:`repro.incremental.session.DeltaSession`: accumulate
+    edit batches with :meth:`apply`, read estimates of the patched state
+    with :meth:`estimate`.  The handle keeps only the base instance and
+    the canonical edit chain; every estimate resends the *whole* chain,
+    so the exchange is idempotent — if the serving shard restarted (or
+    its warm-session pool evicted this session), the server rebuilds
+    from the base and the answer is unchanged, because a session is a
+    pure function of ``(base, chain)``.  The routing key derives from
+    the base digest only, so all of one session's requests land on one
+    shard and normally hit its warm state.
+    """
+
+    def __init__(
+        self,
+        client: ServiceClient,
+        instance: InstanceLike,
+        mechanism: Mapping[str, Any],
+        *,
+        rounds: int = 64,
+        seed: int = 0,
+        tie_policy: str = "INCORRECT",
+        engine: str = "mc",
+    ) -> None:
+        self._client = client
+        self._instance = client.serialise_instance(instance)
+        self._mechanism = dict(mechanism)
+        self._rounds = rounds
+        self._seed = seed
+        self._tie_policy = tie_policy
+        self._engine = engine
+        self._batches: List[List[Dict[str, Any]]] = []
+        self.last_delta: Optional[Dict[str, Any]] = None
+        """Server-side metadata of the most recent estimate (patched
+        batch count, session token, patch statistics)."""
+
+    def apply(self, edits: Sequence[Any]) -> "RemoteDeltaSession":
+        """Append one edit batch (validated and canonicalised locally)."""
+        self._batches.append(canonical_batch(edits))
+        return self
+
+    def edit_batches(self) -> List[List[Dict[str, Any]]]:
+        """The accumulated edit chain in canonical wire form."""
+        return [list(batch) for batch in self._batches]
+
+    def estimate(
+        self,
+        *,
+        target_se: Optional[float] = None,
+        max_rounds: Optional[int] = None,
+    ) -> CorrectnessEstimate:
+        """The served estimate of the current patched state."""
+        result = self._client.delta(
+            self._instance,
+            self._mechanism,
+            edits=self._batches,
+            rounds=self._rounds,
+            seed=self._seed,
+            tie_policy=self._tie_policy,
+            engine=self._engine,
+            target_se=target_se,
+            max_rounds=max_rounds,
+        )
+        try:
+            estimate = estimate_from_payload(result["estimate"])
+        except (KeyError, TypeError) as exc:
+            raise ServiceError(
+                "internal", f"malformed delta payload from server: {exc}"
+            ) from None
+        self.last_delta = result.get("delta")
+        return estimate

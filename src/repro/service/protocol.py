@@ -47,6 +47,7 @@ from repro.cache import (
     seed_token,
 )
 from repro.core.instance import ProblemInstance
+from repro.incremental.edits import Edit, edit_chain_digest, edit_from_dict, edit_to_dict
 from repro.mechanisms import (
     AbstentionMechanism,
     ApprovalThreshold,
@@ -68,10 +69,11 @@ PROTOCOL_VERSION = 1
 MAX_PAYLOAD_BYTES = 8 * 1024 * 1024
 """Default request-body ceiling; larger bodies are ``payload_too_large``."""
 
-OPS = ("estimate", "gain", "ballot", "experiment", "sweep")
+OPS = ("estimate", "gain", "ballot", "experiment", "sweep", "delta")
 """Recognised operations (each served at ``POST /v1/<op>``)."""
 
 ENGINES = ("serial", "batch")
+DELTA_ENGINES = ("mc", "exact")
 SCALES = ("smoke", "default", "full")
 TIE_POLICIES = ("INCORRECT", "COIN_FLIP")
 
@@ -80,6 +82,13 @@ MAX_SEED = 2**63 - 1
 MAX_SWEEP_POINTS = 100_000
 """Ceiling on seeds per sweep request (the response streams, but the
 request body is parsed whole)."""
+
+MAX_DELTA_ROUNDS = 4096
+"""Ceiling on a delta session's retained rounds (state is O(rounds·n))."""
+
+MAX_DELTA_EDIT_BATCHES = 4096
+MAX_DELTA_EDITS = 100_000
+"""Ceilings on one delta request's edit chain."""
 
 HTTP_STATUS = {
     "bad_json": 400,
@@ -427,6 +436,10 @@ _SWEEP_KEYS = (
     "exact_conditional", "engine", "target_se", "max_rounds", "point_op",
     "indices",
 )
+_DELTA_KEYS = (
+    "v", "op", "instance", "mechanism", "rounds", "seed", "tie_policy",
+    "engine", "target_se", "max_rounds", "edits",
+)
 
 _OP_FN = {
     "estimate": "estimate_correct_probability",
@@ -449,6 +462,11 @@ class EstimateRequest:
     engine: str
     target_se: Optional[float]
     max_rounds: Optional[int]
+    via: Optional[str] = None
+    """The enclosing operation, when this request is a derived point
+    (``"sweep"`` for sweep fanout points).  Server-side metadata only —
+    it labels cache statistics per originating op and is deliberately
+    excluded from every digest, so wire identities are unchanged."""
 
     def estimator_params(self) -> Dict[str, Any]:
         """The estimator-parameter dict, mirroring the library's digests.
@@ -588,6 +606,7 @@ class SweepRequest:
             engine=self.engine,
             target_se=self.target_se,
             max_rounds=self.max_rounds,
+            via="sweep",
         )
 
     def point_indices(self) -> Tuple[int, ...]:
@@ -638,7 +657,99 @@ class SweepRequest:
         return tuple(keys)
 
 
-Request = Union[EstimateRequest, ExperimentRequest, SweepRequest]
+@dataclass(frozen=True)
+class DeltaRequest:
+    """A validated delta-session request: base state plus an edit chain.
+
+    The wire form of one :class:`~repro.incremental.session.DeltaSession`
+    snapshot: the base ``instance``/``mechanism``/``seed``/session params
+    identify the session, ``edits`` is the full chain of edit batches
+    applied so far, and the response is the estimate of the *patched*
+    state.  Clients resend the whole chain each time (idempotent, so a
+    shard restart costs one rebuild, never a wrong answer); the server
+    keeps warm sessions keyed by :meth:`session_token` and patches only
+    the suffix it has not seen.
+
+    Key derivations follow the coalescing contract with one deliberate
+    twist: the **routing key omits the edit chain** — it is derived from
+    the base digest only — so every request of one session consistent-
+    hashes onto the same shard, where that shard's warm session state
+    makes the patch path (ISSUE: "sharding colocates a session's
+    edits").  The coalesce key *does* include the chain digest: only
+    byte-identical chains may share a computation.
+    """
+
+    instance: ProblemInstance
+    mechanism: DelegationMechanism
+    rounds: int
+    seed: int
+    tie_policy: TiePolicy
+    engine: str
+    target_se: Optional[float]
+    max_rounds: Optional[int]
+    edits: Tuple[Tuple[Edit, ...], ...]
+
+    op: str = "delta"
+
+    def estimator_params(self) -> Dict[str, Any]:
+        """Session-identity estimator params (the edit chain excluded)."""
+        cap = self.rounds if self.max_rounds is None else self.max_rounds
+        return {
+            "fn": "delta_estimate",
+            "engine": self.engine,
+            "rounds": self.rounds,
+            "tie_policy": self.tie_policy.name,
+            "target_se": self.target_se,
+            "max_rounds": None if self.target_se is None else cap,
+        }
+
+    def edit_batches(self) -> Tuple[Tuple[Dict[str, Any], ...], ...]:
+        """The edit chain in canonical wire form."""
+        return tuple(
+            tuple(edit_to_dict(edit) for edit in batch) for batch in self.edits
+        )
+
+    def chain_digest(self) -> str:
+        """Content digest of the edit chain."""
+        return edit_chain_digest([list(batch) for batch in self.edits])
+
+    def _session_payload(self) -> Dict[str, Any]:
+        token_fn = getattr(self.mechanism, "cache_token", None)
+        mtoken = token_fn(self.instance) if token_fn is not None else None
+        if mtoken is None:
+            # Untokenisable mechanisms lose cross-process coalescing but
+            # must still route deterministically (C303): fall back to
+            # the mechanism's declared name.
+            mtoken = ["name", getattr(self.mechanism, "name", type(self.mechanism).__name__)]
+        return {
+            "schema": SCHEMA_VERSION,
+            "op": self.op,
+            "instance": instance_token(self.instance),
+            "mechanism": mtoken,
+            "seed": seed_token(self.seed),
+            "params": self.estimator_params(),
+        }
+
+    def session_token(self) -> str:
+        """Content identity of the session's *base* state (no edits)."""
+        return _sha256_hex(_canonical_json(self._session_payload()).encode())
+
+    def coalesce_key(self) -> str:
+        """Identity of this exact computation: base state + edit chain."""
+        payload = self._session_payload()
+        payload["edits"] = self.chain_digest()
+        return "delta:" + _sha256_hex(_canonical_json(payload).encode())
+
+    def group_key(self) -> str:
+        """One batch group per session, so its edits execute in order."""
+        return self.session_token()
+
+    def routing_key(self) -> str:
+        """Shard identity — base digest only, colocating a session's edits."""
+        return "delta:" + self.session_token()
+
+
+Request = Union[EstimateRequest, ExperimentRequest, SweepRequest, DeltaRequest]
 
 
 def parse_body(raw: bytes, max_bytes: int = MAX_PAYLOAD_BYTES) -> Dict[str, Any]:
@@ -695,7 +806,12 @@ def parse_request(
             engine=_get_choice(data, "engine", "batch", ENGINES),
             target_se=_get_target_se(data),
         )
-    _check_keys(data, _SWEEP_KEYS if op == "sweep" else _ESTIMATE_KEYS)
+    if op == "sweep":
+        _check_keys(data, _SWEEP_KEYS)
+    elif op == "delta":
+        _check_keys(data, _DELTA_KEYS)
+    else:
+        _check_keys(data, _ESTIMATE_KEYS)
     if "instance" not in data:
         raise _bad("'instance' is required")
     if "mechanism" not in data:
@@ -710,6 +826,8 @@ def parse_request(
         if mechanisms is not None
         else build_mechanism(data["mechanism"])
     )
+    if op == "delta":
+        return _parse_delta_request(data, instance, mechanism)
     rounds = _get_int(data, "rounds", 400, 1, MAX_ROUNDS)
     target_se = _get_target_se(data)
     max_rounds = data.get("max_rounds")
@@ -750,6 +868,69 @@ def parse_request(
         target_se=target_se,
         max_rounds=max_rounds,
     )
+
+
+def _parse_delta_request(
+    data: Mapping[str, Any],
+    instance: ProblemInstance,
+    mechanism: DelegationMechanism,
+) -> DeltaRequest:
+    if not isinstance(mechanism, LocalDelegationMechanism) or not (
+        mechanism.supports_batch_sampling
+    ):
+        raise _bad(
+            "'delta' requires a local mechanism with a batch kernel, "
+            f"got {getattr(mechanism, 'name', type(mechanism).__name__)!r}"
+        )
+    target_se = _get_target_se(data)
+    max_rounds = data.get("max_rounds")
+    if max_rounds is not None:
+        if target_se is None:
+            raise _bad("'max_rounds' requires 'target_se'")
+        max_rounds = _get_int(data, "max_rounds", None, 1, MAX_DELTA_ROUNDS)
+    return DeltaRequest(
+        instance=instance,
+        mechanism=mechanism,
+        rounds=_get_int(data, "rounds", 64, 1, MAX_DELTA_ROUNDS),
+        seed=_get_int(data, "seed", 0, 0, MAX_SEED),
+        tie_policy=TiePolicy[
+            _get_choice(data, "tie_policy", "INCORRECT", TIE_POLICIES)
+        ],
+        engine=_get_choice(data, "engine", "mc", DELTA_ENGINES),
+        target_se=target_se,
+        max_rounds=max_rounds,
+        edits=_get_edits(data),
+    )
+
+
+def _get_edits(data: Mapping[str, Any]) -> Tuple[Tuple[Edit, ...], ...]:
+    edits = data.get("edits", [])
+    if not isinstance(edits, list):
+        raise _bad("'edits' must be a list of edit batches")
+    if len(edits) > MAX_DELTA_EDIT_BATCHES:
+        raise _bad(
+            f"'edits' has {len(edits)} batches "
+            f"(limit {MAX_DELTA_EDIT_BATCHES}); open a fresh session"
+        )
+    batches = []
+    total = 0
+    for index, batch in enumerate(edits):
+        if not isinstance(batch, list):
+            raise _bad(f"edit batch {index} must be a list of edit objects")
+        total += len(batch)
+        if total > MAX_DELTA_EDITS:
+            raise _bad(
+                f"'edits' carries over {MAX_DELTA_EDITS} edits; "
+                "open a fresh session"
+            )
+        parsed = []
+        for edit in batch:
+            try:
+                parsed.append(edit_from_dict(edit))
+            except ValueError as exc:
+                raise _bad(f"invalid edit in batch {index}: {exc}") from None
+        batches.append(tuple(parsed))
+    return tuple(batches)
 
 
 def _get_seeds(data: Mapping[str, Any]) -> Tuple[int, ...]:

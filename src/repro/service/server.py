@@ -42,12 +42,14 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
-from repro.cache import EstimateCache
+from repro.cache import EstimateCache, label_cache_ops
+from repro.incremental.edits import batch_digest
 from repro.service.batcher import BatchPolicy, CoalescingBatcher, Outcome
 from repro.service.metrics import ServiceMetrics
 from repro.service.protocol import (
     MAX_PAYLOAD_BYTES,
     PROTOCOL_VERSION,
+    DeltaRequest,
     EstimateRequest,
     ExperimentRequest,
     Request,
@@ -68,6 +70,7 @@ ROUTES = {
     "/v1/ballot": "ballot",
     "/v1/experiment": "experiment",
     "/v1/sweep": "sweep",
+    "/v1/delta": "delta",
 }
 
 def _ndjson(payload: Dict[str, Any]) -> bytes:
@@ -285,6 +288,7 @@ class ServerConfig:
     default_target_se: Optional[float] = None
     share_estimators: bool = True
     estimator_pool_size: int = 16
+    delta_pool_size: int = 8
     intern_pool_size: int = 64
     shutdown_timeout: float = 10.0
     sweep_window: int = 128
@@ -333,6 +337,12 @@ class EstimationServer:
         self._mechanisms = mechanism_pool(self.config.intern_pool_size)
         self._estimators: "OrderedDict[str, Any]" = OrderedDict()
         self._estimators_lock = threading.Lock()
+        # Warm DeltaSession pool: session token -> (applied batch digests,
+        # session).  Checkout is exclusive (pop), like the estimator pool.
+        self._delta_sessions: "OrderedDict[str, Tuple[Tuple[str, ...], Any]]" = (
+            OrderedDict()
+        )
+        self._delta_lock = threading.Lock()
         self._executor: Optional[ThreadPoolExecutor] = None
         self._batcher: Optional[CoalescingBatcher] = None
         self._server: Optional[asyncio.AbstractServer] = None
@@ -605,6 +615,7 @@ class EstimationServer:
             "interned_instances": len(self._instances),
             "interned_mechanisms": len(self._mechanisms),
             "warm_estimators": len(self._estimators),
+            "warm_delta_sessions": len(self._delta_sessions),
             "workers": self.config.workers,
             "n_jobs": self.config.n_jobs,
         }
@@ -643,8 +654,13 @@ class EstimationServer:
         outcomes: List[Outcome] = []
         try:
             for request in requests:
+                # Sweep points carry via="sweep"; everything else is
+                # charged to its own op — the per-op cache statistics
+                # `repro info` and /metrics report.
+                label = getattr(request, "via", None) or request.op
                 try:
-                    outcomes.append(("ok", self._run_one(request, estimator)))
+                    with label_cache_ops(label):
+                        outcomes.append(("ok", self._run_one(request, estimator)))
                 except ServiceError as error:
                     outcomes.append(("error", error))
                 except Exception as exc:
@@ -667,6 +683,8 @@ class EstimationServer:
             estimate_gain,
         )
 
+        if isinstance(request, DeltaRequest):
+            return self._serve_delta_request(request)
         if isinstance(request, ExperimentRequest):
             from repro.experiments import ExperimentConfig, get_experiment
             from repro.io import result_to_dict
@@ -717,6 +735,64 @@ class EstimationServer:
                 request.instance, request.mechanism, **kwargs
             )
         )
+
+    def _serve_delta_request(self, request: DeltaRequest) -> Any:
+        """Serve one delta request from the warm-session pool.
+
+        Checkout is exclusive; the request's edit chain is matched
+        against the session's applied chain by per-batch digests and
+        only the unseen suffix is applied (the longest-prefix reuse
+        that makes resent-whole-chain clients cheap).  A chain that
+        diverges — or an empty pool slot — costs one rebuild on the
+        base instance, never a wrong answer: the session is a pure
+        function of (base, chain).  Sessions whose edits fail validation
+        mid-apply are discarded, not returned to the pool.
+        """
+        from repro.incremental.session import DeltaSession
+
+        token = request.session_token()
+        digests = tuple(batch_digest(list(batch)) for batch in request.edits)
+        with self._delta_lock:
+            entry = self._delta_sessions.pop(token, None)
+        session = None
+        applied: Tuple[str, ...] = ()
+        if entry is not None and entry[0] == digests[: len(entry[0])]:
+            applied, session = entry
+        try:
+            if session is None:
+                session = DeltaSession(
+                    request.instance,
+                    request.mechanism,
+                    rounds=request.rounds,
+                    seed=request.seed,
+                    engine=request.engine,
+                    tie_policy=request.tie_policy,
+                    cache=self.cache,
+                )
+            for batch in request.edits[len(applied):]:
+                session.apply(batch)
+            estimate = session.estimate(
+                target_se=request.target_se, max_rounds=request.max_rounds
+            )
+        except ValueError as exc:
+            raise ServiceError("bad_request", str(exc)) from None
+        with self._delta_lock:
+            self._delta_sessions[token] = (digests, session)
+            self._delta_sessions.move_to_end(token)
+            while len(self._delta_sessions) > self.config.delta_pool_size:
+                self._delta_sessions.popitem(last=False)
+        return {
+            "estimate": estimate_payload(estimate),
+            "delta": {
+                "session": token,
+                "chain": session.chain_digest(),
+                "edit_batches": len(digests),
+                "patched_batches": len(digests) - len(applied),
+                "num_voters": session.num_voters,
+                "engine": request.engine,
+                "patch_stats": dict(session.patch_stats),
+            },
+        }
 
 
 async def run_server(config: Optional[ServerConfig] = None, ready=None) -> None:

@@ -1,0 +1,16 @@
+"""Known-bad: incremental kernels without from-scratch oracles (K403)."""
+
+import numpy as np
+
+
+def resink_delta(weights, dirty):
+    weights = np.asarray(weights).copy()
+    weights[dirty] += 1
+    return weights
+
+
+# reprolint: reference=_reference_missing_rebuild
+def retally_incremental(totals, changed):
+    totals = np.asarray(totals).copy()
+    totals[changed] *= 2
+    return totals

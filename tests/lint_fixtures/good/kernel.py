@@ -24,3 +24,30 @@ def _slow_increment(values):
 def record_batch(size):
     # A counter, not a numeric kernel.
     return size
+
+
+def patch_totals_delta(totals, changed):
+    out = np.asarray(totals).copy()
+    out[changed] += 1
+    return out
+
+
+def _reference_patch_totals_delta(totals):
+    return [t + 1 for t in totals]
+
+
+# reprolint: reference=_rebuild_counts
+def recount_incremental(counts, dirty):
+    out = np.asarray(counts).copy()
+    out[dirty] = 0
+    return out
+
+
+def _rebuild_counts(counts):
+    return [0 for _ in counts]
+
+
+# reprolint: disable=K403
+def time_delta(start, stop):
+    # A duration helper, not an incremental kernel.
+    return stop - start

@@ -1,0 +1,98 @@
+"""Tests for the performance-trajectory emitter (``benchmarks/trajectory.py``).
+
+The emitter folds every ``BENCH_*.json`` snapshot into one longitudinal
+``BENCH_trajectory.json`` keyed by stable bench names.  The contract
+under test: labels are stable per (suite, case, size); re-emitting at
+one commit is idempotent while other commits' points survive; and
+corrupt or foreign files degrade to "skipped", never to a crash —
+trajectory emission runs unconditionally in CI after the benchmark jobs.
+"""
+
+import importlib.util
+import json
+import pathlib
+
+TRAJECTORY_PATH = (
+    pathlib.Path(__file__).resolve().parent.parent / "benchmarks" / "trajectory.py"
+)
+
+spec = importlib.util.spec_from_file_location("bench_trajectory", TRAJECTORY_PATH)
+trajectory = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(trajectory)
+
+
+def _write(bench_dir, name, records):
+    (bench_dir / name).write_text(json.dumps(records))
+
+
+def test_bench_labels_are_stable(tmp_path):
+    _write(tmp_path, "BENCH_incremental.json", [
+        {"case": "mc_churn", "n": 100000, "seconds": 1.5, "peak_rss_mib": 64.0},
+    ])
+    _write(tmp_path, "BENCH_micro.json", [
+        {"op": "resolve", "seconds": 0.25},
+        {"suite": "tails", "seconds": 0.5, "n": 4096},
+    ])
+    entries = trajectory.collect_entries(tmp_path)
+    assert entries == {
+        "incremental/mc_churn/n=100000": {"wall_s": 1.5, "peak_rss_mib": 64.0},
+        "micro/resolve": {"wall_s": 0.25},
+        "micro/tails/n=4096": {"wall_s": 0.5},
+    }
+
+
+def test_records_without_seconds_are_skipped(tmp_path):
+    _write(tmp_path, "BENCH_micro.json", [
+        {"op": "no_timing"},
+        {"op": "bool_timing", "seconds": True},
+        {"op": "timed", "seconds": 2.0},
+    ])
+    assert trajectory.collect_entries(tmp_path) == {
+        "micro/timed": {"wall_s": 2.0}
+    }
+
+
+def test_emit_is_idempotent_per_commit(tmp_path):
+    _write(tmp_path, "BENCH_micro.json", [{"op": "x", "seconds": 1.0}])
+    trajectory.emit_trajectory(tmp_path, commit="aaaa111")
+    trajectory.emit_trajectory(tmp_path, commit="aaaa111")
+    payload = json.loads((tmp_path / "BENCH_trajectory.json").read_text())
+    assert payload["schema"] == trajectory.TRAJECTORY_SCHEMA
+    series = payload["benches"]["micro/x"]
+    assert series == [{"commit": "aaaa111", "wall_s": 1.0}]
+
+
+def test_other_commits_points_are_preserved(tmp_path):
+    _write(tmp_path, "BENCH_micro.json", [{"op": "x", "seconds": 1.0}])
+    trajectory.emit_trajectory(tmp_path, commit="aaaa111")
+    _write(tmp_path, "BENCH_micro.json", [{"op": "x", "seconds": 0.5}])
+    benches = trajectory.emit_trajectory(tmp_path, commit="bbbb222")
+    series = benches["micro/x"]
+    assert [p["commit"] for p in series] == ["aaaa111", "bbbb222"]
+    assert [p["wall_s"] for p in series] == [1.0, 0.5]
+    # replacing one commit's point leaves the other commit's alone
+    _write(tmp_path, "BENCH_micro.json", [{"op": "x", "seconds": 0.4}])
+    benches = trajectory.emit_trajectory(tmp_path, commit="bbbb222")
+    assert [p["wall_s"] for p in benches["micro/x"]] == [1.0, 0.4]
+
+
+def test_corrupt_snapshots_and_trajectory_are_tolerated(tmp_path):
+    (tmp_path / "BENCH_broken.json").write_text("{not json")
+    _write(tmp_path, "BENCH_scalar.json", {"seconds": 3.0})
+    _write(tmp_path, "BENCH_micro.json", [{"op": "x", "seconds": 1.0}, "junk"])
+    (tmp_path / "BENCH_trajectory.json").write_text("[]")
+    benches = trajectory.emit_trajectory(tmp_path, commit="cccc333")
+    assert benches == {"micro/x": [{"commit": "cccc333", "wall_s": 1.0}]}
+
+
+def test_current_commit_outside_git(tmp_path):
+    assert trajectory.current_commit(tmp_path) == "unknown"
+
+
+def test_committed_trajectory_covers_incremental_bench():
+    """The checked-in trajectory has the churn bench's headline series."""
+    bench_dir = TRAJECTORY_PATH.parent
+    payload = json.loads((bench_dir / "BENCH_trajectory.json").read_text())
+    assert payload["schema"] == trajectory.TRAJECTORY_SCHEMA
+    names = set(payload["benches"])
+    assert "incremental/mc_churn/n=100000" in names

@@ -293,7 +293,7 @@ class TestBoundedCacheAndStats:
         stats = EstimateCache(tmp_path / "never-created").stats()
         assert stats == {
             "entries": 0, "bytes": 0, "hits": 0, "misses": 0,
-            "max_entries": None,
+            "max_entries": None, "by_op": {},
         }
 
     def test_inflight_tmp_files_excluded(self, tmp_path):

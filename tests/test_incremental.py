@@ -1,0 +1,478 @@
+"""Property suite for the incremental delta engine.
+
+The package-wide contract: every patched quantity is **bitwise** the
+from-scratch rebuild on the final instance.  The suite drives random
+edit chains (rewires, competency updates, joins, leaves) over four
+topologies under both value engines, comparing the session's retained
+state and estimates against a fresh session after every batch; kernels
+are fuzzed directly against their ``_reference`` oracles; and the
+even-length-cycle regression (pointer doubling collapses ``x→y→x`` to a
+spurious fixed point) is pinned for both delta resolvers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cache import EstimateCache
+from repro.core.competencies import bounded_uniform_competencies
+from repro.core.instance import ProblemInstance
+from repro.core.structure import ApprovalStructure
+from repro.delegation.graph import SELF, DelegationCycleError
+from repro.graphs.generators import (
+    complete_graph,
+    cycle_graph,
+    erdos_renyi_graph,
+    random_regular_graph,
+)
+from repro.incremental import DeltaSession, Join, Leave, Rewire, SetCompetency
+from repro.incremental.forest import (
+    _reference_patch_forests_delta,
+    _reference_resolve_sinks_delta,
+    _reference_sink_weight_delta,
+    patch_forests_delta,
+    resolve_sinks_delta,
+    sink_weight_delta,
+    sink_weight_deltas,
+)
+from repro.incremental.session import ENGINES
+from repro.incremental.structure import (
+    _reference_approved_csr_delta,
+    approved_csr_delta,
+    patched_instance,
+)
+from repro.incremental.tails import tree_root
+from repro.mechanisms.threshold import ApprovalThreshold
+from repro.voting.exact import weighted_bernoulli_pmf
+
+TOPOLOGIES = {
+    "complete": lambda: complete_graph(20),
+    "regular": lambda: random_regular_graph(40, 6, seed=1),
+    "erdos_renyi": lambda: erdos_renyi_graph(50, 0.12, seed=2),
+    "cycle": lambda: cycle_graph(36),
+}
+
+
+def _adjacency_sets(graph):
+    indptr, indices = graph.adjacency_csr()
+    return [
+        set(int(w) for w in indices[indptr[v]:indptr[v + 1]])
+        for v in range(graph.num_vertices)
+    ]
+
+
+def _random_edit(rng, instance, *, structural):
+    """One valid random edit against ``instance``'s current state."""
+    n = instance.num_voters
+    adj = _adjacency_sets(instance.graph)
+    kinds = ["rewire", "competency"]
+    if structural:
+        kinds += ["join"] + (["leave"] if n > 8 else [])
+    kind = kinds[rng.integers(len(kinds))]
+    if kind == "rewire":
+        candidates = [v for v in range(n) if adj[v] and len(adj[v]) < n - 1]
+        if not candidates:
+            kind = "competency"
+        else:
+            v = candidates[rng.integers(len(candidates))]
+            old = sorted(adj[v])[rng.integers(len(adj[v]))]
+            free = [w for w in range(n) if w != v and w not in adj[v]]
+            new = free[rng.integers(len(free))]
+            return Rewire(voter=v, add=(new,), remove=(old,))
+    if kind == "competency":
+        return SetCompetency(
+            voter=int(rng.integers(n)),
+            competency=float(rng.uniform(0.1, 0.9)),
+        )
+    if kind == "join":
+        size = int(rng.integers(1, min(5, n)))
+        nbrs = tuple(int(v) for v in rng.choice(n, size=size, replace=False))
+        return Join(neighbors=nbrs, competency=float(rng.uniform(0.2, 0.8)))
+    return Leave(voter=int(rng.integers(n)))
+
+
+def _fresh_session(instance, mechanism, *, rounds, engine):
+    rebuilt = ProblemInstance(
+        instance.graph, instance.competencies, alpha=instance.alpha
+    )
+    return DeltaSession(
+        rebuilt, mechanism, rounds=rounds, seed=3, engine=engine
+    )
+
+
+def _assert_state_bitwise(session, fresh, engine):
+    assert np.array_equal(session._sinks_flat, fresh._sinks_flat)
+    assert np.array_equal(session._weights, fresh._weights)
+    assert np.array_equal(session.per_round_values(), fresh.per_round_values())
+    if engine == "mc":
+        assert np.array_equal(session._votes, fresh._votes)
+        assert np.array_equal(session._correct, fresh._correct)
+    a, b = session.estimate(), fresh.estimate()
+    assert a.probability == b.probability
+    assert a.std_error == b.std_error
+    assert a.rounds == b.rounds
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+@pytest.mark.parametrize("topology", sorted(TOPOLOGIES))
+def test_random_edit_chain_bitwise(topology, engine):
+    """Random chains (incl. joins/leaves) stay bitwise a fresh session."""
+    graph = TOPOLOGIES[topology]()
+    n = graph.num_vertices
+    instance = ProblemInstance(
+        graph, bounded_uniform_competencies(n, 0.35, seed=7), alpha=0.05
+    )
+    mechanism = ApprovalThreshold(2)
+    rounds = 12 if engine == "mc" else 6
+    session = DeltaSession(
+        instance, mechanism, rounds=rounds, seed=3, engine=engine
+    )
+    rng = np.random.default_rng(
+        sum(map(ord, topology)) * 1009 + sum(map(ord, engine))
+    )
+    for step in range(6):
+        structural = step in (2, 4)
+        batch = []
+        mirror = session.instance
+        for _ in range(int(rng.integers(1, 4))):
+            edit = _random_edit(rng, mirror, structural=structural)
+            mirror, _ = patched_instance(mirror, [edit])
+            batch.append(edit)
+        session.apply(batch)
+        fresh = _fresh_session(
+            session.instance, mechanism, rounds=rounds, engine=engine
+        )
+        _assert_state_bitwise(session, fresh, engine)
+    assert session.patch_stats["edit_batches"] == 6
+    assert session.patch_stats["full_rebuilds"] >= 1
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_patch_stats_pure_churn(engine):
+    """Pure rewire/competency chains never trigger a rebuild."""
+    graph = random_regular_graph(40, 6, seed=1)
+    instance = ProblemInstance(
+        graph, bounded_uniform_competencies(40, 0.35, seed=7), alpha=0.05
+    )
+    session = DeltaSession(
+        instance, ApprovalThreshold(2), rounds=8, seed=3, engine=engine
+    )
+    rng = np.random.default_rng(5)
+    for _ in range(4):
+        edit = _random_edit(rng, session.instance, structural=False)
+        session.apply([edit])
+    assert session.patch_stats["full_rebuilds"] == 0
+    assert session.patch_stats["edit_batches"] == 4
+
+
+def test_spliced_structure_matches_rebuilt():
+    """The spliced approved CSR is bitwise the global builder's, dtype too."""
+    graph = erdos_renyi_graph(50, 0.12, seed=2)
+    instance = ProblemInstance(
+        graph, bounded_uniform_competencies(50, 0.35, seed=7), alpha=0.05
+    )
+    session = DeltaSession(
+        instance, ApprovalThreshold(2), rounds=4, seed=3, engine="mc"
+    )
+    rng = np.random.default_rng(11)
+    for _ in range(5):
+        session.apply([_random_edit(rng, session.instance, structural=False)])
+    current = session.instance
+    structure = current.approval_structure()
+    got_ptr, got_idx = structure._indptr, structure._indices
+    ref_ptr, ref_idx = ApprovalStructure._general_csr(
+        current.graph, current.competencies, current.alpha
+    )
+    assert np.array_equal(got_ptr, ref_ptr)
+    assert np.array_equal(got_idx, ref_idx)
+    assert got_idx.dtype == ref_idx.dtype
+
+
+# -- kernel fuzz vs oracles -----------------------------------------------
+
+
+def _random_forest(rng, rounds, n):
+    deleg = np.full((rounds, n), SELF, dtype=np.int64)
+    for r in range(rounds):
+        order = rng.permutation(n)
+        for i, v in enumerate(order[1:], 1):
+            if rng.random() < 0.6:
+                deleg[r, v] = order[rng.integers(0, i)]
+    return deleg
+
+
+def _perturb(rng, deleg):
+    """Random delegate changes; returns (new_deleg, rows, cols)."""
+    rounds, n = deleg.shape
+    new_deleg = deleg.copy()
+    rows, cols = [], []
+    for _ in range(int(rng.integers(1, max(2, n // 2)))):
+        r, v = int(rng.integers(rounds)), int(rng.integers(n))
+        others = np.flatnonzero(np.arange(n) != v)
+        new_deleg[r, v] = (
+            SELF if rng.random() < 0.3 else int(rng.choice(others))
+        )
+        rows.append(r)
+        cols.append(v)
+    return new_deleg, np.array(rows), np.array(cols)
+
+
+def test_resolve_sinks_delta_matches_oracle():
+    rng = np.random.default_rng(21)
+    checked = 0
+    for _ in range(40):
+        deleg = _random_forest(rng, 1, int(rng.integers(4, 40)))
+        old_sink, _ = _reference_resolve_sinks_delta(deleg[0])
+        new_deleg, _, cols = _perturb(rng, deleg)
+        try:
+            ref_sink, _ = _reference_resolve_sinks_delta(new_deleg[0])
+        except DelegationCycleError:
+            with pytest.raises(DelegationCycleError):
+                resolve_sinks_delta(new_deleg[0], old_sink, np.unique(cols))
+            continue
+        got, affected = resolve_sinks_delta(
+            new_deleg[0], old_sink, np.unique(cols)
+        )
+        assert np.array_equal(got, ref_sink)
+        unchanged = np.setdiff1d(np.arange(deleg.shape[1]), affected)
+        assert np.array_equal(got[unchanged], old_sink[unchanged])
+        checked += 1
+    assert checked >= 10
+
+
+def test_sink_weight_delta_matches_oracle():
+    rng = np.random.default_rng(22)
+    for _ in range(30):
+        n = int(rng.integers(4, 40))
+        old_sink = rng.integers(n, size=n)
+        new_sink = old_sink.copy()
+        affected = rng.choice(n, size=int(rng.integers(1, n)), replace=False)
+        new_sink[affected] = rng.integers(n, size=affected.size)
+        cols, deltas = sink_weight_delta(old_sink, new_sink, affected)
+        ref_cols, ref_deltas = _reference_sink_weight_delta(
+            old_sink, new_sink, affected, n
+        )
+        assert np.array_equal(cols, ref_cols)
+        assert np.array_equal(deltas, ref_deltas)
+
+
+@pytest.mark.parametrize("use_scratch", [False, True])
+def test_patch_forests_delta_matches_oracle(use_scratch):
+    rng = np.random.default_rng(23)
+    checked = 0
+    for _ in range(40):
+        rounds, n = int(rng.integers(1, 5)), int(rng.integers(4, 40))
+        deleg = _random_forest(rng, rounds, n)
+        sinks_flat, _ = _reference_patch_forests_delta(deleg)
+        new_deleg, rows, cols = _perturb(rng, deleg)
+        scratch = None
+        if use_scratch:
+            scratch = np.full(rounds * n, -99, dtype=np.int32)
+        try:
+            ref_flat, ref_weights = _reference_patch_forests_delta(new_deleg)
+        except DelegationCycleError:
+            with pytest.raises(DelegationCycleError):
+                patch_forests_delta(
+                    new_deleg, sinks_flat.copy(), rows, cols,
+                    pos_scratch=scratch,
+                )
+            continue
+        got = sinks_flat.copy()
+        got, affected, old_s, new_s, patched = patch_forests_delta(
+            new_deleg, got, rows, cols, pos_scratch=scratch
+        )
+        assert np.array_equal(got, ref_flat)
+        assert patched == np.unique(rows).size
+        assert np.array_equal(old_s, sinks_flat[affected])
+        assert np.array_equal(new_s, got[affected])
+        # the sparse weight deltas reproduce the dense weight diff
+        keys, deltas, bounds = sink_weight_deltas(old_s, new_s, rounds, n)
+        dense = np.zeros(rounds * n, dtype=np.int64)
+        dense[keys] = deltas
+        base_weights = _reference_patch_forests_delta(deleg)[1]
+        assert np.array_equal(
+            base_weights.reshape(-1) + dense, ref_weights.reshape(-1)
+        )
+        for r in range(rounds):
+            lo, hi = int(bounds[r]), int(bounds[r + 1])
+            assert np.all(keys[lo:hi] >= r * n)
+            assert np.all(keys[lo:hi] < (r + 1) * n)
+        checked += 1
+    assert checked >= 10
+
+
+def test_patch_forests_delta_rejects_non_flat_state():
+    deleg = np.array([[SELF, 0]], dtype=np.int64)
+    with pytest.raises(ValueError, match="flat int64"):
+        patch_forests_delta(
+            deleg,
+            np.zeros((1, 2), dtype=np.int64),
+            np.array([0]),
+            np.array([1]),
+        )
+
+
+def test_approved_csr_delta_matches_oracle():
+    rng = np.random.default_rng(24)
+    graph = erdos_renyi_graph(40, 0.15, seed=5)
+    comp = bounded_uniform_competencies(40, 0.35, seed=6)
+    instance = ProblemInstance(graph, comp, alpha=0.05)
+    structure = instance.approval_structure()
+    new_comp = comp.copy()
+    dirty = rng.choice(40, size=9, replace=False)
+    new_comp[dirty] = rng.uniform(0.1, 0.9, size=9)
+    # every voter approving a changed voter is dirty too
+    indptr, indices = graph.adjacency_csr()
+    dirty_mask = np.zeros(40, dtype=bool)
+    dirty_mask[dirty] = True
+    sources = np.flatnonzero(
+        np.bincount(
+            np.repeat(np.arange(40), np.diff(indptr)),
+            weights=dirty_mask[indices],
+            minlength=40,
+        )
+    )
+    all_dirty = np.union1d(dirty, sources)
+    got_ptr, got_idx = approved_csr_delta(
+        structure, graph, new_comp, 0.05, all_dirty
+    )
+    ref_ptr, ref_idx = _reference_approved_csr_delta(graph, new_comp, 0.05)
+    assert np.array_equal(got_ptr, ref_ptr)
+    assert np.array_equal(got_idx, ref_idx)
+    assert got_idx.dtype == ref_idx.dtype
+
+
+# -- even-length cycle regression -----------------------------------------
+
+
+def test_resolve_sinks_delta_two_cycle_raises():
+    """Doubling collapses x→y→x to x→x; root validity must still raise."""
+    old_sink = np.array([0, 1, 2], dtype=np.int64)
+    delegates = np.array([1, 0, SELF], dtype=np.int64)
+    with pytest.raises(DelegationCycleError):
+        resolve_sinks_delta(delegates, old_sink, np.array([0, 1]))
+
+
+def test_resolve_sinks_delta_three_cycle_raises():
+    old_sink = np.array([0, 1, 2, 3], dtype=np.int64)
+    delegates = np.array([1, 2, 0, SELF], dtype=np.int64)
+    with pytest.raises(DelegationCycleError):
+        resolve_sinks_delta(delegates, old_sink, np.array([0, 1, 2]))
+
+
+@pytest.mark.parametrize(
+    "delegates, changed",
+    [
+        ([1, 0, SELF], [0, 1]),  # 2-cycle
+        ([1, 2, 0, SELF], [0, 1, 2]),  # 3-cycle
+        ([2, SELF, 3, 2], [2, 3]),  # 2-cycle at the end of a chain
+    ],
+)
+def test_patch_forests_delta_cycles_raise(delegates, changed):
+    row = np.asarray(delegates, dtype=np.int64)
+    n = row.size
+    base = np.full(n, SELF, dtype=np.int64)
+    sinks_flat, _ = _reference_patch_forests_delta(base[None, :])
+    state = sinks_flat.copy()
+    with pytest.raises(DelegationCycleError):
+        patch_forests_delta(
+            row[None, :],
+            state,
+            np.zeros(len(changed), dtype=np.int64),
+            np.asarray(changed, dtype=np.int64),
+        )
+    # a failed patch must not corrupt the retained state
+    assert np.array_equal(state, sinks_flat)
+
+
+# -- exact engine ----------------------------------------------------------
+
+
+def test_exact_trees_match_pmf_oracle():
+    """Patched merge-tree roots equal the direct Poisson-binomial PMF."""
+    graph = random_regular_graph(32, 6, seed=4)
+    instance = ProblemInstance(
+        graph, bounded_uniform_competencies(32, 0.35, seed=7), alpha=0.05
+    )
+    session = DeltaSession(
+        instance, ApprovalThreshold(2), rounds=4, seed=3, engine="exact"
+    )
+    rng = np.random.default_rng(31)
+    for _ in range(3):
+        session.apply(
+            [_random_edit(rng, session.instance, structural=False)]
+        )
+    comp = session.instance.competencies
+    weights = session._weights
+    for r in range(session.rounds):
+        root = tree_root(session._trees[r])
+        ref = weighted_bernoulli_pmf(weights[r], comp)
+        assert root.shape == ref.shape
+        np.testing.assert_allclose(root, ref, rtol=0, atol=1e-12)
+
+
+# -- estimates, cache, adaptive -------------------------------------------
+
+
+def test_cache_warm_replay(tmp_path):
+    """Replaying an edit chain against a shared cache hits warm entries."""
+    graph = random_regular_graph(40, 6, seed=1)
+    instance = ProblemInstance(
+        graph, bounded_uniform_competencies(40, 0.35, seed=7), alpha=0.05
+    )
+    mechanism = ApprovalThreshold(2)
+    adj = _adjacency_sets(graph)
+    old = sorted(adj[0])[0]
+    new = next(w for w in range(1, 40) if w not in adj[0] and w != 0)
+    batch = [Rewire(voter=0, add=(new,), remove=(old,)),
+             SetCompetency(voter=3, competency=0.5)]
+    cache = EstimateCache(tmp_path)
+    first = DeltaSession(
+        instance, mechanism, rounds=8, seed=3, engine="mc", cache=cache
+    )
+    cold = first.apply(batch).estimate()
+    replay = DeltaSession(
+        instance, mechanism, rounds=8, seed=3, engine="mc", cache=cache
+    )
+    warm = replay.apply(batch).estimate()
+    assert warm.probability == cold.probability
+    assert warm.std_error == cold.std_error
+    stats = cache.stats()
+    assert stats["by_op"]["delta"]["hits"] >= 1
+    assert first.chain_digest() == replay.chain_digest()
+
+
+def test_adaptive_estimate_replays_stopping_rule():
+    """Warm-start adaptive estimates equal a fresh session's, bitwise."""
+    graph = erdos_renyi_graph(50, 0.12, seed=2)
+    instance = ProblemInstance(
+        graph, bounded_uniform_competencies(50, 0.35, seed=7), alpha=0.05
+    )
+    mechanism = ApprovalThreshold(2)
+    session = DeltaSession(
+        instance, mechanism, rounds=16, seed=3, engine="mc"
+    )
+    rng = np.random.default_rng(41)
+    session.apply([_random_edit(rng, session.instance, structural=False)])
+    session.apply([SetCompetency(voter=5, competency=0.7)])
+    fresh = _fresh_session(
+        session.instance, mechanism, rounds=16, engine="mc"
+    )
+    a = session.estimate(rounds=4, target_se=0.05, max_rounds=16)
+    b = fresh.estimate(rounds=4, target_se=0.05, max_rounds=16)
+    assert a.probability == b.probability
+    assert a.std_error == b.std_error
+    assert a.rounds == b.rounds
+
+
+def test_estimate_beyond_retained_rounds_raises():
+    graph = random_regular_graph(40, 6, seed=1)
+    instance = ProblemInstance(
+        graph, bounded_uniform_competencies(40, 0.35, seed=7), alpha=0.05
+    )
+    session = DeltaSession(
+        instance, ApprovalThreshold(2), rounds=4, seed=3, engine="mc"
+    )
+    with pytest.raises(ValueError, match="retains 4 rounds"):
+        session.estimate(rounds=5)
+    with pytest.raises(ValueError, match="retains 4 rounds"):
+        session.estimate(target_se=0.001, max_rounds=64)

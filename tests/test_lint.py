@@ -36,6 +36,7 @@ BAD_EXPECTATIONS = {
     "d202.py": "D202",
     "k401.py": "K401",
     "k402.py": "K402",
+    "k403.py": "K403",
     "c301.py": "C301",
     "c303.py": "C303",
     "x000.py": "X000",

@@ -1,0 +1,203 @@
+"""`/v1/delta` service tests: served sessions equal direct sessions, bitwise.
+
+The serving contract mirrors the engine's: a delta session is a pure
+function of ``(base instance, mechanism, rounds, seed, engine, edit
+chain)``, so a served estimate — cold, warm, or re-routed through a
+sharded front — must be bit-identical to a local
+:class:`~repro.incremental.session.DeltaSession` replaying the same
+chain.  The suite also pins the operational surface: warm-session
+longest-prefix reuse, pool metrics, request validation, and the
+shard-routing identity (base digest only, so one session's whole chain
+lands on one shard while each estimate still coalesces on its own key).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.competencies import bounded_uniform_competencies
+from repro.core.instance import ProblemInstance
+from repro.graphs.generators import random_regular_graph
+from repro.incremental import DeltaSession, Rewire, SetCompetency
+from repro.io import instance_to_dict
+from repro.mechanisms.threshold import ApprovalThreshold
+from repro.service import (
+    BackgroundServer,
+    ServerConfig,
+    ServiceClient,
+    ServiceError,
+    mechanism_spec,
+)
+from repro.service.protocol import PROTOCOL_VERSION, parse_request
+from repro.service.sharding import BackgroundShardedServer
+
+MECH_SPEC = mechanism_spec("approval_threshold", threshold=2)
+
+
+def _instance(n: int = 48, seed: int = 0) -> ProblemInstance:
+    comp = bounded_uniform_competencies(n, 0.35, seed=seed)
+    return ProblemInstance(random_regular_graph(n, 6, seed=seed), comp, alpha=0.05)
+
+
+def _schedule(instance, batches=3, per_batch=4, seed=9):
+    """Valid rewire/competency batches against the evolving adjacency."""
+    rng = np.random.default_rng(seed)
+    indptr, indices = instance.graph.adjacency_csr()
+    n = instance.num_voters
+    adj = [
+        set(int(w) for w in indices[indptr[v]:indptr[v + 1]])
+        for v in range(n)
+    ]
+    chain = []
+    for _ in range(batches):
+        batch = []
+        for v in (int(v) for v in rng.choice(n, size=per_batch, replace=False)):
+            if not adj[v] or len(adj[v]) >= n - 1:
+                batch.append(
+                    SetCompetency(voter=v, competency=float(rng.uniform(0.2, 0.8)))
+                )
+                continue
+            old = sorted(adj[v])[rng.integers(len(adj[v]))]
+            new = int(rng.integers(n))
+            while new == v or new in adj[v]:
+                new = int(rng.integers(n))
+            adj[v].discard(old)
+            adj[old].discard(v)
+            adj[v].add(new)
+            adj[new].add(v)
+            batch.append(Rewire(voter=v, add=(new,), remove=(old,)))
+        chain.append(batch)
+    return chain
+
+
+def _direct_estimates(instance, chain, *, rounds, engine):
+    session = DeltaSession(
+        instance, ApprovalThreshold(2), rounds=rounds, seed=0, engine=engine
+    )
+    out = []
+    for batch in chain:
+        session.apply(batch)
+        out.append(session.estimate())
+    return out
+
+
+@pytest.fixture(scope="module")
+def server():
+    with BackgroundServer(ServerConfig(port=0, workers=2)) as bg:
+        yield bg
+
+
+@pytest.fixture(scope="module")
+def client(server):
+    return ServiceClient(port=server.port)
+
+
+@pytest.mark.parametrize("engine", ["mc", "exact"])
+def test_served_equals_direct(client, engine):
+    """Chained served estimates are bitwise the direct session's."""
+    instance = _instance()
+    chain = _schedule(instance)
+    rounds = 8 if engine == "mc" else 4
+    remote = client.delta_session(
+        instance, MECH_SPEC, rounds=rounds, seed=0, engine=engine
+    )
+    direct = _direct_estimates(instance, chain, rounds=rounds, engine=engine)
+    for batch, expected in zip(chain, direct):
+        served = remote.apply(batch).estimate()
+        assert served.probability == expected.probability
+        assert served.std_error == expected.std_error
+        assert served.rounds == expected.rounds
+
+
+def test_sharded_served_equals_direct():
+    """The same contract through a 2-shard consistent-hash front."""
+    instance = _instance(seed=3)
+    chain = _schedule(instance, seed=5)
+    direct = _direct_estimates(instance, chain, rounds=8, engine="mc")
+    with BackgroundShardedServer(
+        ServerConfig(port=0, workers=2), shards=2
+    ) as bg:
+        remote = ServiceClient(port=bg.port).delta_session(
+            instance, MECH_SPEC, rounds=8, seed=0, engine="mc"
+        )
+        for batch, expected in zip(chain, direct):
+            served = remote.apply(batch).estimate()
+            assert served.probability == expected.probability
+            assert served.std_error == expected.std_error
+            assert served.rounds == expected.rounds
+        assert remote.last_delta["edit_batches"] == len(chain)
+
+
+def test_warm_session_patches_only_new_batches(client):
+    """Longest-prefix reuse: a resent chain patches just the suffix."""
+    instance = _instance(seed=7)
+    chain = _schedule(instance, seed=11)
+    remote = client.delta_session(
+        instance, MECH_SPEC, rounds=8, seed=1, engine="mc"
+    )
+    remote.apply(chain[0]).estimate()
+    first = remote.last_delta
+    assert first["edit_batches"] == 1
+    remote.apply(chain[1]).estimate()
+    second = remote.last_delta
+    assert second["edit_batches"] == 2
+    assert second["patched_batches"] == 1
+    assert second["session"] == first["session"]
+    assert second["patch_stats"]["full_rebuilds"] == 0
+
+
+def test_metrics_report_warm_delta_pool(client):
+    instance = _instance(seed=13)
+    remote = client.delta_session(
+        instance, MECH_SPEC, rounds=4, seed=0, engine="mc"
+    )
+    remote.apply(_schedule(instance, batches=1, seed=17)[0]).estimate()
+    pools = client.metrics()["pools"]
+    assert pools["warm_delta_sessions"] >= 1
+
+
+def test_bad_requests_are_typed_errors(client):
+    instance = _instance(seed=19)
+    with pytest.raises(ServiceError) as excinfo:
+        client.delta(instance, MECH_SPEC, rounds=0)
+    assert excinfo.value.code == "bad_request"
+    with pytest.raises(ServiceError) as excinfo:
+        client.delta(instance, MECH_SPEC, rounds=1 << 20)
+    assert excinfo.value.code == "bad_request"
+    # an invalid edit against the instance state (edge does not exist)
+    with pytest.raises(ServiceError) as excinfo:
+        client.delta(
+            instance, MECH_SPEC, rounds=4,
+            edits=[[{"kind": "rewire", "voter": 0, "add": [], "remove": [1]}]],
+        )
+    assert excinfo.value.code == "bad_request"
+
+
+def test_routing_key_ignores_edits_coalesce_key_does_not():
+    """All of one session's requests shard together; estimates coalesce
+    per exact (base, chain) identity."""
+    instance = _instance(seed=23)
+    chain = _schedule(instance, batches=2, seed=29)
+    wire = instance_to_dict(instance)
+
+    def request(edits):
+        from repro.incremental.edits import canonical_batch
+
+        return parse_request(
+            {
+                "v": PROTOCOL_VERSION,
+                "op": "delta",
+                "instance": wire,
+                "mechanism": dict(MECH_SPEC),
+                "rounds": 8,
+                "seed": 0,
+                "engine": "mc",
+                "edits": [canonical_batch(batch) for batch in edits],
+            }
+        )
+
+    short = request(chain[:1])
+    long = request(chain)
+    assert short.routing_key() == long.routing_key()
+    assert short.group_key() == long.group_key()
+    assert short.coalesce_key() != long.coalesce_key()
+    assert short.session_token() == long.session_token()
