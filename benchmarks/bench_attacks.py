@@ -1,0 +1,103 @@
+"""Attack-search throughput benchmark: patched vs scratch inner loops.
+
+The adversarial search scores dozens of candidate moves per committed
+step, and every score is a full correct-probability estimate of the
+attacked state.  :class:`~repro.attacks.search.AttackSearch` evaluates
+all of them on **one** shared delta session (``inner="delta"``: apply
+the candidate, estimate, apply the inverse) instead of rebuilding a
+session per candidate (``inner="scratch"``).  Both inners are pure
+functions of the same inputs, so their results — every score, every
+committed move, the final :class:`AttackResult` dict — are
+**bit-identical**, asserted before any timing is recorded; the speedup
+is a pure implementation win.
+
+Scales (``REPRO_BENCH_SCALE``):
+
+* ``smoke`` (default) — n = 2·10^3, 256 rounds: the CI job;
+* ``default`` / ``full`` — n = 10^4, 512 rounds: the committed
+  headline entry.
+
+Both scales assert the ≥3x floor the roadmap promises and record the
+candidate-scoring throughput (``moves_per_s``) that the trajectory
+emitter tracks per commit.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.attacks import AttackSearch
+from repro.core.competencies import bounded_uniform_competencies
+from repro.core.instance import ProblemInstance
+from repro.graphs.generators import random_regular_graph
+
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "smoke")
+SEED = int(os.environ.get("REPRO_BENCH_SEED", "0"))
+
+#: scale → (n, degree, budget, rounds)
+_PARAMS = {
+    "smoke": (2_000, 6, 3, 256),
+    "default": (10_000, 6, 4, 512),
+    "full": (10_000, 6, 4, 512),
+}
+
+DELTA_FLOOR = 3.0
+"""Issue acceptance floor: delta inner ≥3x over scratch re-estimation."""
+
+
+def _run_search(instance, *, inner, budget, rounds):
+    search = AttackSearch(
+        instance,
+        {"name": "random_approved"},
+        {"name": "misreport"},
+        budget=budget,
+        rounds=rounds,
+        seed=SEED,
+        engine="mc",
+        inner=inner,
+    )
+    start = time.perf_counter()
+    result = search.run()
+    seconds = time.perf_counter() - start
+    return seconds, result
+
+
+def test_attack_search_delta_speedup(attack_record):
+    """The headline entry: misreport search, delta vs scratch scoring."""
+    n, degree, budget, rounds = _PARAMS.get(SCALE, _PARAMS["smoke"])
+    graph = random_regular_graph(n, degree, seed=SEED)
+    competencies = bounded_uniform_competencies(n, 0.35, seed=SEED)
+    instance = ProblemInstance(graph, competencies, alpha=0.05)
+
+    seconds, delta_result = _run_search(
+        instance, inner="delta", budget=budget, rounds=rounds
+    )
+    baseline_seconds, scratch_result = _run_search(
+        instance, inner="scratch", budget=budget, rounds=rounds
+    )
+    # Bit-identical searches are a precondition of recording: the two
+    # inners must agree on every score, commit, and the final result.
+    assert delta_result.to_dict() == scratch_result.to_dict()
+    assert delta_result.moves_evaluated > 0
+
+    speedup = baseline_seconds / seconds
+    attack_record(
+        "misreport",
+        n,
+        seconds,
+        baseline_seconds,
+        moves_evaluated=delta_result.moves_evaluated,
+        engine="mc",
+        degree=degree,
+        budget=budget,
+        rounds=rounds,
+        steps=delta_result.steps,
+        found=delta_result.found,
+        floor=DELTA_FLOOR,
+    )
+    assert speedup >= DELTA_FLOOR, (
+        f"attack-search delta speedup {speedup:.2f}x under the "
+        f"{DELTA_FLOOR}x floor ({seconds:.3f}s delta vs "
+        f"{baseline_seconds:.3f}s scratch)"
+    )

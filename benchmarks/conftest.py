@@ -165,6 +165,47 @@ def incremental_record():
     return record
 
 
+#: Attack-search throughput records (delta-session candidate scoring vs
+#: scratch re-estimation over the identical greedy search) flushed to
+#: ``BENCH_attacks.json`` next to this file.  Each entry is
+#: ``{scenario, n, seconds, baseline_seconds, speedup, moves_per_s,
+#: detail}`` — ``seconds`` is the delta-inner search, ``baseline_seconds``
+#: the scratch-inner search it is asserted against (bit-identical
+#: results are a precondition of recording, not part of the timing);
+#: ``moves_per_s`` is the delta inner's candidate-scoring throughput,
+#: the headline the trajectory emitter tracks per commit.
+_ATTACK_RECORDS: list = []
+
+
+@pytest.fixture
+def attack_record():
+    """Record one attack-search timing pair for BENCH_attacks.json."""
+
+    def record(
+        scenario: str,
+        n: int,
+        seconds: float,
+        baseline_seconds: float,
+        *,
+        moves_evaluated: int,
+        **detail,
+    ):
+        _ATTACK_RECORDS.append(
+            {
+                "scenario": scenario,
+                "n": n,
+                "seconds": seconds,
+                "baseline_seconds": baseline_seconds,
+                "speedup": baseline_seconds / seconds,
+                "moves_per_s": moves_evaluated / seconds,
+                "peak_rss_mib": peak_rss_mib(),
+                "detail": {"moves_evaluated": moves_evaluated, **detail},
+            }
+        )
+
+    return record
+
+
 def pytest_sessionfinish(session, exitstatus):
     if _MICRO_RECORDS:
         out = Path(__file__).parent / "BENCH_micro.json"
@@ -181,6 +222,9 @@ def pytest_sessionfinish(session, exitstatus):
     if _INCREMENTAL_RECORDS:
         out = Path(__file__).parent / "BENCH_incremental.json"
         out.write_text(json.dumps(_INCREMENTAL_RECORDS, indent=2) + "\n")
+    if _ATTACK_RECORDS:
+        out = Path(__file__).parent / "BENCH_attacks.json"
+        out.write_text(json.dumps(_ATTACK_RECORDS, indent=2) + "\n")
 
 
 @pytest.fixture

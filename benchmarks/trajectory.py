@@ -2,16 +2,20 @@
 
 Each benchmark suite flushes a point-in-time snapshot (``BENCH_micro``,
 ``BENCH_experiments``, ``BENCH_service``, ``BENCH_sparse``,
-``BENCH_incremental``).  Snapshots answer "how fast is HEAD"; they
-cannot answer "did this PR regress the churn bench" without digging
-through git history.  This emitter folds every snapshot into one
-longitudinal file, ``BENCH_trajectory.json``::
+``BENCH_incremental``, ``BENCH_attacks``).  Snapshots answer "how fast
+is HEAD"; they cannot answer "did this PR regress the churn bench"
+without digging through git history.  This emitter folds every snapshot
+into one longitudinal file, ``BENCH_trajectory.json``::
 
     {
-      "schema": 1,
+      "schema": 2,
       "benches": {
         "incremental/mc_churn/n=100000": [
           {"commit": "26039b3", "wall_s": 1.92, "peak_rss_mib": 512.0},
+          ...
+        ],
+        "attacks/misreport/n=20000": [
+          {"commit": "abc1234", "wall_s": 0.8, "moves_per_s": 55.0},
           ...
         ],
         ...
@@ -24,6 +28,12 @@ commit's points rather than appending duplicates, so the emitter is
 idempotent and safe to run in CI on every push; points from other
 commits are preserved, giving the per-bench wall-clock and peak-RSS
 series its name promises.
+
+Schema 2 adds the throughput fold: records carrying a top-level
+``moves_per_s`` (the attack-search suite's candidate-scoring headline)
+keep it in their trajectory points, so "how many candidate moves per
+second does the attack search score" is tracked per commit alongside
+wall clock and RSS.
 
 Run directly (``python benchmarks/trajectory.py``) after a benchmark
 session, or import :func:`collect_entries` / :func:`emit_trajectory`
@@ -40,7 +50,7 @@ from typing import Dict, List, Optional
 
 BENCH_DIR = Path(__file__).resolve().parent
 TRAJECTORY_NAME = "BENCH_trajectory.json"
-TRAJECTORY_SCHEMA = 1
+TRAJECTORY_SCHEMA = 2
 
 #: suite → the record field naming its case (each suite labels records
 #: differently; the trajectory name needs one stable label per record).
@@ -96,6 +106,11 @@ def collect_entries(bench_dir: Path = BENCH_DIR) -> Dict[str, Dict]:
             rss = record.get("peak_rss_mib")
             if isinstance(rss, (int, float)) and not isinstance(rss, bool):
                 point["peak_rss_mib"] = float(rss)
+            throughput = record.get("moves_per_s")
+            if isinstance(throughput, (int, float)) and not isinstance(
+                throughput, bool
+            ):
+                point["moves_per_s"] = float(throughput)
             entries[_bench_label(suite, record)] = point
     return entries
 

@@ -111,6 +111,7 @@ from repro.analysis import (
     audit_lemma3_conditions,
     audit_lemma5_conditions,
     banzhaf_indices,
+    certificates_for,
     certify,
     check_delegate_restriction,
     dictator_index,
@@ -142,6 +143,22 @@ from repro.simulation import (
     ShockDrift,
 )
 from repro.voting.dag import DelegateWeights, WeightedDelegationDag
+from repro.attacks import (
+    AdaptiveLemmaProbe,
+    AttackMove,
+    AttackResult,
+    AttackScenario,
+    AttackSearch,
+    CollusionRing,
+    CompetencyMisreport,
+    SybilFlood,
+    VerificationReport,
+    ViolationCertificate,
+    benign_star_instance,
+    build_scenario,
+    scenario_spec,
+    verify_certificate,
+)
 from repro.service import (
     BackgroundServer,
     EstimationServer,
@@ -241,6 +258,7 @@ __all__ = [
     "lemma3_loss_probability_bound",
     "Certificate",
     "certify",
+    "certificates_for",
     "summarize_certificates",
     # distributions (probabilistic-competency extension)
     "CompetencyDistribution",
@@ -262,6 +280,21 @@ __all__ = [
     "forest_banzhaf",
     "power_concentration",
     "dictator_index",
+    # adversarial manipulation (repro.attacks)
+    "AttackScenario",
+    "AttackMove",
+    "AttackSearch",
+    "AttackResult",
+    "CompetencyMisreport",
+    "CollusionRing",
+    "SybilFlood",
+    "AdaptiveLemmaProbe",
+    "ViolationCertificate",
+    "VerificationReport",
+    "verify_certificate",
+    "scenario_spec",
+    "build_scenario",
+    "benign_star_instance",
     # repeated-election simulation
     "ElectionSeries",
     "NoDrift",

@@ -39,6 +39,7 @@ from repro.analysis.conditions import (
 )
 from repro.analysis.certificates import (
     Certificate,
+    certificates_for,
     certify,
     summarize_certificates,
 )
@@ -73,6 +74,7 @@ __all__ = [
     "audit_lemma5_conditions",
     "Certificate",
     "certify",
+    "certificates_for",
     "summarize_certificates",
     "banzhaf_indices",
     "normalized_banzhaf",

@@ -234,6 +234,22 @@ def certify(
     return certificates
 
 
+def certificates_for(
+    instance: ProblemInstance,
+    mechanism: "DelegationMechanism",
+    pc_target: float = 0.05,
+) -> List[Certificate]:
+    """All paper certificates for ``(instance, mechanism)``.
+
+    The named public entry point over :func:`certify` — "what does the
+    paper guarantee *for this configuration*?".  Identical semantics;
+    exists so the top-level surface reads as a query
+    (``repro.certificates_for(instance, mechanism)``) and so the verb
+    form can grow keyword-only options without breaking either name.
+    """
+    return certify(instance, mechanism, pc_target=pc_target)
+
+
 def summarize_certificates(certificates: List[Certificate]) -> str:
     """Render certificates as a short multi-line report."""
     if not certificates:

@@ -1,0 +1,71 @@
+"""Adversarial manipulation of liquid democracy: scenarios, search, proofs.
+
+The paper's central warning is that delegation *manipulates variance*:
+concentrating weight on a few sinks can break do-no-harm even when every
+delegation goes "upward" in competency — Figure 1's star, where one
+slightly-competent hub absorbs the whole electorate and the mechanism's
+correct probability collapses to the hub's.  This package turns that
+warning into a red team:
+
+* :mod:`repro.attacks.scenarios` — a declarative
+  :class:`AttackScenario` API with four built-ins: strategic competency
+  misreporting (:class:`CompetencyMisreport`), collusion rings steering
+  delegations toward a near-dictator (:class:`CollusionRing` — the
+  Figure 1 star weaponised), budgeted Sybil voter injection
+  (:class:`SybilFlood`), and adaptive adversaries probing the Lemma 3/5
+  variance-preserving conditions (:class:`AdaptiveLemmaProbe`).
+* :mod:`repro.attacks.search` — :class:`AttackSearch`, a greedy budgeted
+  driver whose inner loop is a shared
+  :class:`~repro.incremental.session.DeltaSession`: candidate moves are
+  scored by patched (apply / estimate / un-apply) estimates, not
+  from-scratch recomputation.
+* :mod:`repro.attacks.certificates` — every violation found is emitted
+  as a machine-checkable :class:`ViolationCertificate` that
+  :func:`verify_certificate` replays **bitwise** from scratch, sharing
+  no state with the search that produced it.
+
+Served at ``POST /v1/attack`` (see :mod:`repro.service`), driven from
+the command line by ``repro attack``, and benchmarked by
+``benchmarks/bench_attacks.py``.
+"""
+
+from repro.attacks.certificates import (
+    CERTIFICATE_SCHEMA,
+    VerificationReport,
+    ViolationCertificate,
+    instance_digest,
+    verify_certificate,
+)
+from repro.attacks.scenarios import (
+    SCENARIO_BUILDERS,
+    AdaptiveLemmaProbe,
+    AttackMove,
+    AttackScenario,
+    CollusionRing,
+    CompetencyMisreport,
+    SybilFlood,
+    benign_star_instance,
+    build_scenario,
+    scenario_spec,
+)
+from repro.attacks.search import AttackResult, AttackSearch
+
+__all__ = [
+    "AdaptiveLemmaProbe",
+    "AttackMove",
+    "AttackResult",
+    "AttackScenario",
+    "AttackSearch",
+    "CERTIFICATE_SCHEMA",
+    "CollusionRing",
+    "CompetencyMisreport",
+    "SCENARIO_BUILDERS",
+    "SybilFlood",
+    "VerificationReport",
+    "ViolationCertificate",
+    "benign_star_instance",
+    "build_scenario",
+    "instance_digest",
+    "scenario_spec",
+    "verify_certificate",
+]

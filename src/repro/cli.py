@@ -170,6 +170,68 @@ def build_parser() -> argparse.ArgumentParser:
         "an unknown id is a hard error",
     )
 
+    attack = sub.add_parser(
+        "attack",
+        help="red-team an electorate: search for do-no-harm violations "
+        "and emit machine-checkable certificates (see docs/attacks.md)",
+    )
+    attack.add_argument(
+        "--scenario",
+        choices=("misreport", "collusion_ring", "sybil_flood", "lemma_probe"),
+        default="misreport",
+        help="attack scenario to search with (default: misreport)",
+    )
+    attack.add_argument(
+        "--n",
+        type=int,
+        default=25,
+        help="voters in the seeded benign star electorate (default: 25)",
+    )
+    attack.add_argument(
+        "--budget", type=int, default=4, help="attack budget (default: 4)"
+    )
+    attack.add_argument(
+        "--rounds",
+        type=int,
+        default=512,
+        help="estimation rounds per candidate move (default: 512)",
+    )
+    attack.add_argument("--seed", type=int, default=0, help="top-level seed")
+    attack.add_argument(
+        "--engine",
+        choices=("mc", "exact"),
+        default="mc",
+        help="delta-session estimation engine (default: mc)",
+    )
+    attack.add_argument(
+        "--min-harm",
+        type=float,
+        default=0.05,
+        metavar="H",
+        help="violation threshold: committed harm must exceed H "
+        "(default: 0.05)",
+    )
+    attack.add_argument(
+        "--margin",
+        type=float,
+        default=2.0,
+        metavar="SIGMA",
+        help="statistical cushion in standard errors (default: 2.0)",
+    )
+    attack.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="write the violation certificate JSON here when one is found",
+    )
+    attack.add_argument(
+        "--check",
+        default=None,
+        metavar="PATH",
+        help="verify an existing certificate file instead of searching "
+        "(exit 0 iff it replays bitwise)",
+    )
+
     serve = sub.add_parser(
         "serve",
         help="run the JSON-over-HTTP estimation server (see docs/serving.md)",
@@ -437,6 +499,82 @@ def _cmd_lint(args, out) -> int:
     return 1 if findings else 0
 
 
+def _cmd_attack(args, out) -> int:
+    import json
+
+    from repro.attacks import (
+        AttackSearch,
+        benign_star_instance,
+        scenario_spec,
+        verify_certificate,
+    )
+
+    if args.check is not None:
+        try:
+            with open(args.check) as handle:
+                certificate = json.load(handle)
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot read certificate: {exc}", file=sys.stderr)
+            return 2
+        report = verify_certificate(certificate)
+        print(report.describe(), file=out)
+        return 0 if report.ok else 1
+
+    try:
+        instance = benign_star_instance(num_voters=args.n)
+        search = AttackSearch(
+            instance,
+            {"name": "random_approved"},
+            scenario_spec(args.scenario),
+            budget=args.budget,
+            rounds=args.rounds,
+            seed=args.seed,
+            engine=args.engine,
+            min_harm=args.min_harm,
+            margin=args.margin,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    start = time.time()
+    result = search.run()
+    elapsed = time.time() - start
+    for record in result.history:
+        print(
+            f"step {record['step']}: {record['label']} (cost {record['cost']}) "
+            f"-> mechanism p={record['probability']:.4f} "
+            f"direct={record['direct']:.4f} harm={record['harm']:.4f}",
+            file=out,
+        )
+    print(
+        f"{result.moves_evaluated} candidate moves in {elapsed:.1f}s, "
+        f"budget spent {result.budget_spent}/{result.budget}",
+        file=out,
+    )
+    if not result.found:
+        print(
+            f"no violation: best harm {result.best_harm:.4f} did not clear "
+            f"min_harm {args.min_harm:g} at {args.margin:g} sigma",
+            file=out,
+        )
+        return 1
+    report = verify_certificate(result.certificate)
+    from repro.attacks import ViolationCertificate
+
+    print(ViolationCertificate.from_dict(result.certificate).describe(), file=out)
+    print(
+        "certificate verifies (replayed bitwise from scratch)"
+        if report.ok
+        else "WARNING: certificate failed verification",
+        file=out,
+    )
+    if args.out is not None:
+        with open(args.out, "w") as handle:
+            json.dump(result.certificate, handle, indent=2, sort_keys=True)
+        print(f"wrote certificate to {args.out}", file=out)
+    return 0 if report.ok else 1
+
+
 def _cmd_serve(args, out) -> int:
     import asyncio
 
@@ -511,6 +649,8 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         return _cmd_info(out, args.cache_dir)
     if args.command == "lint":
         return _cmd_lint(args, out)
+    if args.command == "attack":
+        return _cmd_attack(args, out)
     if args.command == "serve":
         return _cmd_serve(args, out)
     if args.command in ("run", "report"):

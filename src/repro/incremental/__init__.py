@@ -34,6 +34,7 @@ from repro.incremental.edits import (
     edit_chain_digest,
     edit_from_dict,
     edit_to_dict,
+    invert_batch,
 )
 from repro.incremental.session import DeltaSession
 
@@ -47,4 +48,5 @@ __all__ = [
     "edit_chain_digest",
     "edit_from_dict",
     "edit_to_dict",
+    "invert_batch",
 ]

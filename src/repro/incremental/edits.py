@@ -179,6 +179,60 @@ def edit_from_dict(data: Mapping[str, Any]) -> Edit:
 
 
 # reprolint: disable=K401
+def invert_batch(instance: Any, edits: Sequence[Edit]) -> List[Edit]:
+    """The inverse batch: applying ``edits`` then the result is a no-op.
+
+    ``instance`` is the state the batch is *about to be applied to* — the
+    inverse of a :class:`SetCompetency` needs the pre-edit competency and
+    the inverse of a :class:`Join` needs the pre-edit voter count, neither
+    of which the edit itself carries.  The attack-search driver uses this
+    to evaluate candidate moves on one shared
+    :class:`~repro.incremental.session.DeltaSession` (apply, estimate,
+    un-apply) instead of forking a session per candidate; since a session
+    is a pure function of its patched instance, ``apply(edits);
+    apply(invert_batch(inst, edits))`` restores its estimates bitwise.
+
+    :class:`Leave` edits are not invertible — the departed voter's
+    neighbourhood is gone from the post state — and raise ``ValueError``.
+    """
+    count = instance.num_voters
+    competencies = instance.competencies
+    # Competency of each voter as of the *current* prefix of the batch:
+    # in-batch SetCompetency/Join edits shadow the instance's values.
+    shadow: Dict[int, float] = {}
+    inverses: List[Edit] = []
+    for edit in edits:
+        edit = as_edit(edit)
+        if isinstance(edit, Rewire):
+            inverses.append(
+                Rewire(voter=edit.voter, add=edit.remove, remove=edit.add)
+            )
+        elif isinstance(edit, SetCompetency):
+            if edit.voter in shadow:
+                old = shadow[edit.voter]
+            elif edit.voter < count and edit.voter < len(competencies):
+                old = float(competencies[edit.voter])
+            else:
+                raise ValueError(
+                    f"cannot invert competency edit for unknown voter "
+                    f"{edit.voter} (instance has {count})"
+                )
+            inverses.append(SetCompetency(voter=edit.voter, competency=old))
+            shadow[edit.voter] = edit.competency
+        elif isinstance(edit, Join):
+            shadow[count] = edit.competency
+            inverses.append(Leave(voter=count))
+            count += 1
+        else:  # Leave: the departed voter's edges are unrecoverable
+            raise ValueError(
+                "cannot invert a leave edit: the departed voter's "
+                "neighbourhood is not recorded in the edit"
+            )
+    inverses.reverse()
+    return inverses
+
+
+# reprolint: disable=K401
 def canonical_batch(edits: Sequence[Edit]) -> List[Dict[str, Any]]:
     """Canonical wire form of one edit batch (order preserved)."""
     return [edit_to_dict(as_edit(e)) for e in edits]

@@ -23,6 +23,9 @@ C302   protocol-mechanism-sync   ``MECHANISM_BUILDERS`` wire names resolve to
                                  registered mechanism classes
 K401   kernel-missing-reference  every ``*_batch`` kernel names its
                                  ``_reference`` oracle
+A501   attack-determinism        ``AttackScenario`` subclasses declare
+                                 behavioural ``cache_token`` and never mint
+                                 their own entropy
 X000   parse-error               (built-in) file does not parse
 X001   bad-pragma                (built-in) suppression names an unknown rule
 =====  ========================  ==============================================

@@ -1,0 +1,122 @@
+"""Attack-determinism rule (A501) — project-scoped.
+
+The adversarial-search stack (`repro/attacks/`) only works when a
+scenario is a *pure function* of its inputs: the search, its served
+form behind ``POST /v1/attack`` and the certificate verifier all re-run
+``propose()`` and must see identical candidate moves.  Two conventions
+carry that contract:
+
+* every :class:`~repro.attacks.scenarios.AttackScenario` subclass
+  declares a behavioural ``cache_token`` (folded into coalescing keys
+  and certificate digests — two scenarios with equal tokens must
+  propose identically);
+* all randomness inside a scenario flows through the
+  ``numpy.random.Generator`` the search hands to ``propose()``, which
+  the search derives via :mod:`repro._util.rng`.  A scenario that
+  builds its own generator — even a constant-seeded one — forks the
+  proposal stream away from the search's seed, so served results and
+  certificate replays silently diverge from local runs.
+
+A501 enforces both statically, mirroring C301's hierarchy walk.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.findings import Finding
+from repro.lint.framework import ProjectContext, ProjectRule, register_rule
+from repro.lint.rules_cache import ClassInfo, _mro_chain, collect_classes
+
+ATTACK_ROOT = "AttackScenario"
+"""Base class anchoring the attack-scenario hierarchy."""
+
+_ATTACK_FRAMEWORK_BASES = {ATTACK_ROOT}
+"""Classes whose ``cache_token`` is abstract, not a behavioural override."""
+
+_SCENARIO_ENTROPY_PREFIXES = (
+    "numpy.random.",
+    "random.",
+    "secrets.",
+    "uuid.",
+)
+"""Dotted-call prefixes that mint entropy outside the search's stream."""
+
+
+def is_attack_scenario(name: str, classes: dict) -> bool:
+    """Whether ``name`` reaches :data:`ATTACK_ROOT` through its bases."""
+    if name == ATTACK_ROOT:
+        return True
+    info = classes.get(name)
+    if info is None:
+        return False
+    return any(
+        base == ATTACK_ROOT or is_attack_scenario(base, classes)
+        for base in info.bases
+        if base != name
+    )
+
+
+@register_rule
+class AttackDeterminismRule(ProjectRule):
+    """A501: scenarios must be token-declared and stream-seeded."""
+
+    id = "A501"
+    name = "attack-determinism"
+    description = (
+        "Every AttackScenario subclass must define (or inherit from a "
+        "non-framework ancestor) a behavioural cache_token, and no code "
+        "inside a scenario class may call numpy.random.* / random.* / "
+        "secrets.* / uuid.* — scenarios draw only from the generator "
+        "the attack search passes to propose(), derived through "
+        "repro._util.rng, so searches, the served /v1/attack form and "
+        "certificate replays all see identical proposals."
+    )
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        classes = collect_classes(project)
+        for info in classes.values():
+            if info.name in _ATTACK_FRAMEWORK_BASES:
+                continue
+            if not is_attack_scenario(info.name, classes):
+                continue
+            yield from self._check_token(info, classes)
+            yield from self._check_entropy(info)
+
+    def _check_token(
+        self, info: ClassInfo, classes: dict
+    ) -> Iterator[Finding]:
+        inherited = any(
+            ancestor.defines_cache_token
+            for ancestor in _mro_chain(info.name, classes)
+            if ancestor.name not in _ATTACK_FRAMEWORK_BASES
+        )
+        if inherited:
+            return
+        yield self.finding(
+            info.ctx,
+            info.node,
+            f"attack scenario {info.name!r} defines no behavioural "
+            "cache_token; coalescing keys and certificate digests "
+            "cannot distinguish it from differently-parameterised "
+            "instances",
+        )
+
+    def _check_entropy(self, info: ClassInfo) -> Iterator[Finding]:
+        for node in ast.walk(info.node):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = info.ctx.dotted_name(node.func)
+            if dotted is None:
+                continue
+            if dotted.startswith(_SCENARIO_ENTROPY_PREFIXES):
+                yield self.finding(
+                    info.ctx,
+                    node,
+                    f"{dotted}() inside attack scenario {info.name!r}; "
+                    "scenarios must draw randomness only from the "
+                    "generator passed to propose() (derived via "
+                    "repro._util.rng), or served searches and "
+                    "certificate replays diverge from local runs",
+                )

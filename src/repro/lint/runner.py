@@ -26,7 +26,8 @@ from repro.lint.framework import (
 )
 
 # Importing the rule modules registers their rules.
-from repro.lint import rules_cache  # noqa: F401  (registration side effect)
+from repro.lint import rules_attacks  # noqa: F401  (registration side effect)
+from repro.lint import rules_cache  # noqa: F401
 from repro.lint import rules_digest  # noqa: F401
 from repro.lint import rules_kernel  # noqa: F401
 from repro.lint import rules_rng  # noqa: F401

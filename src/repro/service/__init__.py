@@ -11,11 +11,12 @@ library calls at any shard count.  See ``docs/serving.md``.
 """
 
 from repro.service.batcher import BatchPolicy, CoalescingBatcher
-from repro.service.client import RemoteDeltaSession, ServiceClient
+from repro.service.client import RemoteAttackSearch, RemoteDeltaSession, ServiceClient
 from repro.service.metrics import ServiceMetrics
 from repro.service.protocol import (
     MECHANISM_BUILDERS,
     PROTOCOL_VERSION,
+    AttackRequest,
     DeltaRequest,
     EstimateRequest,
     ExperimentRequest,
@@ -54,6 +55,7 @@ __all__ = [
     "ExperimentRequest",
     "SweepRequest",
     "DeltaRequest",
+    "AttackRequest",
     "BatchPolicy",
     "CoalescingBatcher",
     "ServiceMetrics",
@@ -68,4 +70,5 @@ __all__ = [
     "WorkerProcess",
     "ServiceClient",
     "RemoteDeltaSession",
+    "RemoteAttackSearch",
 ]

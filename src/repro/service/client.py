@@ -514,6 +514,59 @@ class ServiceClient:
             tie_policy=tie_policy, engine=engine,
         )
 
+    def attack(
+        self,
+        instance: InstanceLike,
+        mechanism: Mapping[str, Any],
+        scenario: Mapping[str, Any],
+        *,
+        budget: int = 8,
+        rounds: int = 64,
+        seed: int = 0,
+        tie_policy: str = "INCORRECT",
+        engine: str = "mc",
+        min_harm: float = 0.05,
+        margin: float = 2.0,
+        max_steps: Optional[int] = None,
+    ) -> Dict[str, Any]:
+        """One raw ``/v1/attack`` round trip.
+
+        ``scenario`` is a declarative attack spec (see
+        :func:`repro.attacks.scenarios.scenario_spec`).  Returns the
+        :class:`~repro.attacks.search.AttackResult` wire dict — bitwise
+        identical to running the same search locally, including the
+        :class:`~repro.attacks.certificates.ViolationCertificate` when a
+        violation is found.  Most callers want :class:`RemoteAttackSearch`
+        (:meth:`attack_search`) for typed results.
+        """
+        body: Dict[str, Any] = {
+            "v": PROTOCOL_VERSION,
+            "op": "attack",
+            "instance": self.serialise_instance(instance),
+            "mechanism": dict(mechanism),
+            "scenario": dict(scenario),
+            "budget": budget,
+            "rounds": rounds,
+            "seed": seed,
+            "tie_policy": tie_policy,
+            "engine": engine,
+            "min_harm": min_harm,
+            "margin": margin,
+        }
+        if max_steps is not None:
+            body["max_steps"] = max_steps
+        return self._request("POST", "/v1/attack", body)["result"]
+
+    def attack_search(
+        self,
+        instance: InstanceLike,
+        mechanism: Mapping[str, Any],
+        scenario: Mapping[str, Any],
+        **kwargs: Any,
+    ) -> "RemoteAttackSearch":
+        """A client-side handle on a served attack search."""
+        return RemoteAttackSearch(self, instance, mechanism, scenario, **kwargs)
+
     # -- introspection -----------------------------------------------------
 
     def healthz(self) -> Dict[str, Any]:
@@ -598,3 +651,75 @@ class RemoteDeltaSession:
             ) from None
         self.last_delta = result.get("delta")
         return estimate
+
+
+class RemoteAttackSearch:
+    """Client-side handle on a served attack search.
+
+    Mirrors :class:`repro.attacks.search.AttackSearch`: configure once,
+    :meth:`run` to get a typed :class:`~repro.attacks.search.AttackResult`.
+    The handle keeps the serialised base instance, so repeated runs (for
+    example a budget ladder over one electorate) serialise it once; the
+    routing key derives from the base digest only, so they all land on
+    one shard where the interned instance stays warm.
+    """
+
+    def __init__(
+        self,
+        client: ServiceClient,
+        instance: InstanceLike,
+        mechanism: Mapping[str, Any],
+        scenario: Mapping[str, Any],
+        *,
+        budget: int = 8,
+        rounds: int = 64,
+        seed: int = 0,
+        tie_policy: str = "INCORRECT",
+        engine: str = "mc",
+        min_harm: float = 0.05,
+        margin: float = 2.0,
+        max_steps: Optional[int] = None,
+    ) -> None:
+        self._client = client
+        self._instance = client.serialise_instance(instance)
+        self._mechanism = dict(mechanism)
+        self._scenario = dict(scenario)
+        self._budget = budget
+        self._rounds = rounds
+        self._seed = seed
+        self._tie_policy = tie_policy
+        self._engine = engine
+        self._min_harm = min_harm
+        self._margin = margin
+        self._max_steps = max_steps
+        self.last_result: Optional[Dict[str, Any]] = None
+        """Raw wire dict of the most recent :meth:`run`."""
+
+    def run(self, *, budget: Optional[int] = None) -> Any:
+        """Run the search server-side; returns an ``AttackResult``.
+
+        ``budget`` overrides the configured budget for this run only
+        (the budget-ladder pattern: same base, growing budgets).
+        """
+        result = self._client.attack(
+            self._instance,
+            self._mechanism,
+            self._scenario,
+            budget=self._budget if budget is None else budget,
+            rounds=self._rounds,
+            seed=self._seed,
+            tie_policy=self._tie_policy,
+            engine=self._engine,
+            min_harm=self._min_harm,
+            margin=self._margin,
+            max_steps=self._max_steps,
+        )
+        self.last_result = result
+        from repro.attacks.search import AttackResult
+
+        try:
+            return AttackResult.from_dict(result)
+        except ValueError as exc:
+            raise ServiceError(
+                "internal", f"malformed attack payload from server: {exc}"
+            ) from None

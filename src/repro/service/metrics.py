@@ -40,6 +40,8 @@ class ServiceMetrics:
         self.batched_requests_total = 0
         self.max_batch_size = 0
         self.routed: Counter = Counter()
+        self.attack_scenarios: Counter = Counter()
+        self.attack_found: Counter = Counter()
         self._latencies: Deque[float] = deque(maxlen=latency_window)
 
     # -- recording (event-loop thread) ------------------------------------
@@ -62,6 +64,13 @@ class ServiceMetrics:
         only; single servers leave this empty."""
         self.routed[str(shard)] += 1
 
+    def record_attack(self, scenario: str, found: bool) -> None:
+        """One completed attack search, per scenario, split by whether a
+        certified DNH violation came out of it."""
+        self.attack_scenarios[scenario] += 1
+        if found:
+            self.attack_found[scenario] += 1
+
     # reprolint: disable=K401 (metrics counter, not a numeric kernel)
     def record_batch(self, size: int) -> None:
         self.batches_total += 1
@@ -82,6 +91,10 @@ class ServiceMetrics:
             "errors": dict(self.errors),
             "coalesced_total": self.coalesced_total,
             "routed": dict(self.routed),
+            "attacks": {
+                "searches": dict(self.attack_scenarios),
+                "violations": dict(self.attack_found),
+            },
             "batches": {
                 "count": batches,
                 "requests": self.batched_requests_total,

@@ -69,7 +69,7 @@ PROTOCOL_VERSION = 1
 MAX_PAYLOAD_BYTES = 8 * 1024 * 1024
 """Default request-body ceiling; larger bodies are ``payload_too_large``."""
 
-OPS = ("estimate", "gain", "ballot", "experiment", "sweep", "delta")
+OPS = ("estimate", "gain", "ballot", "experiment", "sweep", "delta", "attack")
 """Recognised operations (each served at ``POST /v1/<op>``)."""
 
 ENGINES = ("serial", "batch")
@@ -89,6 +89,10 @@ MAX_DELTA_ROUNDS = 4096
 MAX_DELTA_EDIT_BATCHES = 4096
 MAX_DELTA_EDITS = 100_000
 """Ceilings on one delta request's edit chain."""
+
+MAX_ATTACK_BUDGET = 1024
+MAX_ATTACK_STEPS = 1024
+"""Ceilings on one attack search (each step runs a full candidate scan)."""
 
 HTTP_STATUS = {
     "bad_json": 400,
@@ -183,6 +187,18 @@ def _get_choice(
     if value not in choices:
         raise _bad(f"{key!r} must be one of {list(choices)}, got {value!r}")
     return value
+
+
+def _get_float(
+    data: Mapping[str, Any], key: str, default: float,
+    low: float, high: float,
+) -> float:
+    value = data.get(key, default)
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise _bad(f"{key!r} must be a number, got {type(value).__name__}")
+    if not low <= float(value) <= high:
+        raise _bad(f"{key!r} must be in [{low:g}, {high:g}], got {value}")
+    return float(value)
 
 
 def _get_target_se(data: Mapping[str, Any]) -> Optional[float]:
@@ -439,6 +455,10 @@ _SWEEP_KEYS = (
 _DELTA_KEYS = (
     "v", "op", "instance", "mechanism", "rounds", "seed", "tie_policy",
     "engine", "target_se", "max_rounds", "edits",
+)
+_ATTACK_KEYS = (
+    "v", "op", "instance", "mechanism", "scenario", "budget", "rounds",
+    "seed", "tie_policy", "engine", "min_harm", "margin", "max_steps",
 )
 
 _OP_FN = {
@@ -749,7 +769,94 @@ class DeltaRequest:
         return "delta:" + self.session_token()
 
 
-Request = Union[EstimateRequest, ExperimentRequest, SweepRequest, DeltaRequest]
+@dataclass(frozen=True)
+class AttackRequest:
+    """A validated attack-search request: base state plus a scenario.
+
+    The wire form of one :class:`~repro.attacks.search.AttackSearch`
+    run: ``instance``/``mechanism``/``seed`` and the estimation params
+    identify the *base* state being attacked, ``scenario`` is the
+    declarative attack spec, and ``budget``/``min_harm``/``margin``/
+    ``max_steps`` steer the search.  The response is the search's
+    :class:`~repro.attacks.search.AttackResult` wire dict — including,
+    when a violation is found, the full
+    :class:`~repro.attacks.certificates.ViolationCertificate`.
+
+    Key derivations mirror :class:`DeltaRequest`: the **routing key is
+    the base digest only** (no scenario, no search params), so every
+    attack on one electorate consistent-hashes onto the same shard —
+    that shard's interned instance and warm delta-session state serve
+    all scenarios probing it.  The coalesce key *does* include the
+    scenario and search parameters: only identical searches share a
+    computation.
+    """
+
+    instance: ProblemInstance
+    mechanism: DelegationMechanism
+    mechanism_data: Any
+    scenario: Any
+    budget: int
+    rounds: int
+    seed: int
+    tie_policy: TiePolicy
+    engine: str
+    min_harm: float
+    margin: float
+    max_steps: Optional[int]
+
+    op: str = "attack"
+
+    def estimator_params(self) -> Dict[str, Any]:
+        """Base-identity estimator params (scenario and budget excluded)."""
+        return {
+            "fn": "attack_search",
+            "engine": self.engine,
+            "rounds": self.rounds,
+            "tie_policy": self.tie_policy.name,
+        }
+
+    def _base_payload(self) -> Dict[str, Any]:
+        token_fn = getattr(self.mechanism, "cache_token", None)
+        mtoken = token_fn(self.instance) if token_fn is not None else None
+        if mtoken is None:
+            mtoken = ["name", getattr(self.mechanism, "name", type(self.mechanism).__name__)]
+        return {
+            "schema": SCHEMA_VERSION,
+            "op": self.op,
+            "instance": instance_token(self.instance),
+            "mechanism": mtoken,
+            "seed": seed_token(self.seed),
+            "params": self.estimator_params(),
+        }
+
+    def base_token(self) -> str:
+        """Content identity of the attacked base state (no scenario)."""
+        return _sha256_hex(_canonical_json(self._base_payload()).encode())
+
+    def coalesce_key(self) -> str:
+        """Identity of this exact search: base state + scenario + knobs."""
+        payload = self._base_payload()
+        payload["scenario"] = self.scenario
+        payload["search"] = {
+            "budget": self.budget,
+            "min_harm": self.min_harm,
+            "margin": self.margin,
+            "max_steps": self.max_steps,
+        }
+        return "attack:" + _sha256_hex(_canonical_json(payload).encode())
+
+    def group_key(self) -> str:
+        """One batch group per attacked base state."""
+        return self.base_token()
+
+    def routing_key(self) -> str:
+        """Shard identity — base digest only, colocating a base's attacks."""
+        return "attack:" + self.base_token()
+
+
+Request = Union[
+    EstimateRequest, ExperimentRequest, SweepRequest, DeltaRequest, AttackRequest
+]
 
 
 def parse_body(raw: bytes, max_bytes: int = MAX_PAYLOAD_BYTES) -> Dict[str, Any]:
@@ -810,6 +917,8 @@ def parse_request(
         _check_keys(data, _SWEEP_KEYS)
     elif op == "delta":
         _check_keys(data, _DELTA_KEYS)
+    elif op == "attack":
+        _check_keys(data, _ATTACK_KEYS)
     else:
         _check_keys(data, _ESTIMATE_KEYS)
     if "instance" not in data:
@@ -828,6 +937,8 @@ def parse_request(
     )
     if op == "delta":
         return _parse_delta_request(data, instance, mechanism)
+    if op == "attack":
+        return _parse_attack_request(data, instance, mechanism)
     rounds = _get_int(data, "rounds", 400, 1, MAX_ROUNDS)
     target_se = _get_target_se(data)
     max_rounds = data.get("max_rounds")
@@ -900,6 +1011,50 @@ def _parse_delta_request(
         target_se=target_se,
         max_rounds=max_rounds,
         edits=_get_edits(data),
+    )
+
+
+def _parse_attack_request(
+    data: Mapping[str, Any],
+    instance: ProblemInstance,
+    mechanism: DelegationMechanism,
+) -> AttackRequest:
+    from repro.attacks.scenarios import build_scenario
+
+    if not isinstance(mechanism, LocalDelegationMechanism) or not (
+        mechanism.supports_batch_sampling
+    ):
+        raise _bad(
+            "'attack' requires a local mechanism with a batch kernel "
+            "(the search's delta inner loop), "
+            f"got {getattr(mechanism, 'name', type(mechanism).__name__)!r}"
+        )
+    scenario = data.get("scenario")
+    if not isinstance(scenario, dict):
+        raise _bad("'scenario' must be a scenario spec object")
+    try:
+        build_scenario(scenario)
+    except ValueError as exc:
+        raise _bad(f"invalid scenario spec: {exc}") from None
+    budget = _get_int(data, "budget", 8, 1, MAX_ATTACK_BUDGET)
+    max_steps = data.get("max_steps")
+    if max_steps is not None:
+        max_steps = _get_int(data, "max_steps", None, 1, MAX_ATTACK_STEPS)
+    return AttackRequest(
+        instance=instance,
+        mechanism=mechanism,
+        mechanism_data=data["mechanism"],
+        scenario=scenario,
+        budget=budget,
+        rounds=_get_int(data, "rounds", 64, 1, MAX_DELTA_ROUNDS),
+        seed=_get_int(data, "seed", 0, 0, MAX_SEED),
+        tie_policy=TiePolicy[
+            _get_choice(data, "tie_policy", "INCORRECT", TIE_POLICIES)
+        ],
+        engine=_get_choice(data, "engine", "mc", DELTA_ENGINES),
+        min_harm=_get_float(data, "min_harm", 0.05, 0.0, 1.0),
+        margin=_get_float(data, "margin", 2.0, 0.0, 100.0),
+        max_steps=max_steps,
     )
 
 

@@ -49,6 +49,7 @@ from repro.service.metrics import ServiceMetrics
 from repro.service.protocol import (
     MAX_PAYLOAD_BYTES,
     PROTOCOL_VERSION,
+    AttackRequest,
     DeltaRequest,
     EstimateRequest,
     ExperimentRequest,
@@ -71,6 +72,7 @@ ROUTES = {
     "/v1/experiment": "experiment",
     "/v1/sweep": "sweep",
     "/v1/delta": "delta",
+    "/v1/attack": "attack",
 }
 
 def _ndjson(payload: Dict[str, Any]) -> bytes:
@@ -251,7 +253,11 @@ def _with_default_target_se(request: Request, default: Optional[float]) -> Reque
     ``target_se=x`` and an omitted one under default ``x`` coalesce
     with each other, share cache entries, and route to the same shard.
     """
-    if default is None or request.target_se is not None:
+    if (
+        default is None
+        or not hasattr(request, "target_se")  # attack searches run fixed-rounds
+        or request.target_se is not None
+    ):
         return request
     from dataclasses import replace
 
@@ -594,6 +600,10 @@ class EstimationServer:
             self.metrics.record_error(error.code)
             return error.http_status, error.payload()
         self.metrics.record_completed(op, time.perf_counter() - start)
+        if op == "attack" and isinstance(result, dict):
+            self.metrics.record_attack(
+                str(result.get("scenario")), bool(result.get("found"))
+            )
         return 200, ok_payload(result)
 
     def _apply_defaults(self, request: Request) -> Request:
@@ -685,6 +695,8 @@ class EstimationServer:
 
         if isinstance(request, DeltaRequest):
             return self._serve_delta_request(request)
+        if isinstance(request, AttackRequest):
+            return self._serve_attack_request(request)
         if isinstance(request, ExperimentRequest):
             from repro.experiments import ExperimentConfig, get_experiment
             from repro.io import result_to_dict
@@ -793,6 +805,39 @@ class EstimationServer:
                 "patch_stats": dict(session.patch_stats),
             },
         }
+
+    def _serve_attack_request(self, request: AttackRequest) -> Any:
+        """Serve one attack search; the result is the search's wire dict.
+
+        The search is self-contained — it owns its delta session for the
+        whole run — so unlike ``/v1/delta`` there is no warm pool to
+        check out; what the base-digest routing buys is the shard's
+        interned instance (and its compiled views) staying warm across
+        the scenarios probing one electorate.  The result is exactly
+        :meth:`repro.attacks.search.AttackResult.to_dict`, so a served
+        search is bitwise-comparable to a direct library run.
+        """
+        from repro.attacks.search import AttackSearch
+
+        try:
+            search = AttackSearch(
+                request.instance,
+                request.mechanism_data,
+                request.scenario,
+                budget=request.budget,
+                rounds=request.rounds,
+                seed=request.seed,
+                engine=request.engine,
+                tie_policy=request.tie_policy,
+                min_harm=request.min_harm,
+                margin=request.margin,
+                max_steps=request.max_steps,
+                cache=self.cache,
+            )
+            result = search.run()
+        except ValueError as exc:
+            raise ServiceError("bad_request", str(exc)) from None
+        return result.to_dict()
 
 
 async def run_server(config: Optional[ServerConfig] = None, ready=None) -> None:

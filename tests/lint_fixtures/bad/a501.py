@@ -1,0 +1,41 @@
+"""Known-bad: nondeterministic attack scenarios (A501).
+
+One scenario forgets its behavioural ``cache_token``; the other
+declares one but mints its own (even constant-seeded!) generator
+instead of drawing from the stream the attack search passes in — so
+served searches and certificate replays fork away from local runs.
+"""
+
+import numpy as np
+
+from repro.attacks.scenarios import AttackScenario
+
+
+class TokenlessScenario(AttackScenario):
+    @property
+    def name(self):
+        return "tokenless"
+
+    def _params(self):
+        return {}
+
+    def propose(self, instance, mechanism, rng):
+        return []
+
+
+class SelfSeedingScenario(AttackScenario):
+    @property
+    def name(self):
+        return "self_seeding"
+
+    def cache_token(self):
+        return (type(self).__qualname__,)
+
+    def _params(self):
+        return {}
+
+    def propose(self, instance, mechanism, rng):
+        # Seeded, so R101 stays quiet — but it is still a private
+        # stream the search knows nothing about.
+        private = np.random.default_rng(7)
+        return list(private.permutation(instance.num_voters))

@@ -41,6 +41,34 @@ def test_bench_labels_are_stable(tmp_path):
     }
 
 
+def test_schema2_folds_attack_throughput(tmp_path):
+    """Records carrying ``moves_per_s`` keep the throughput headline."""
+    _write(tmp_path, "BENCH_attacks.json", [
+        {
+            "scenario": "misreport",
+            "n": 20000,
+            "seconds": 0.8,
+            "moves_per_s": 55.0,
+            "peak_rss_mib": 128.0,
+        },
+        {"scenario": "bool_rate", "seconds": 1.0, "moves_per_s": True},
+    ])
+    entries = trajectory.collect_entries(tmp_path)
+    assert entries == {
+        "attacks/misreport/n=20000": {
+            "wall_s": 0.8,
+            "peak_rss_mib": 128.0,
+            "moves_per_s": 55.0,
+        },
+        "attacks/bool_rate": {"wall_s": 1.0},
+    }
+    trajectory.emit_trajectory(tmp_path, commit="dddd444")
+    payload = json.loads((tmp_path / "BENCH_trajectory.json").read_text())
+    assert payload["schema"] == 2
+    point = payload["benches"]["attacks/misreport/n=20000"][0]
+    assert point["moves_per_s"] == 55.0
+
+
 def test_records_without_seconds_are_skipped(tmp_path):
     _write(tmp_path, "BENCH_micro.json", [
         {"op": "no_timing"},
@@ -96,3 +124,18 @@ def test_committed_trajectory_covers_incremental_bench():
     assert payload["schema"] == trajectory.TRAJECTORY_SCHEMA
     names = set(payload["benches"])
     assert "incremental/mc_churn/n=100000" in names
+
+
+def test_committed_trajectory_covers_attack_bench():
+    """The checked-in trajectory tracks attack-search throughput."""
+    bench_dir = TRAJECTORY_PATH.parent
+    payload = json.loads((bench_dir / "BENCH_trajectory.json").read_text())
+    attack_series = [
+        series
+        for name, series in payload["benches"].items()
+        if name.startswith("attacks/misreport")
+    ]
+    assert attack_series, "no attacks/misreport series in the trajectory"
+    assert all(
+        "moves_per_s" in point for series in attack_series for point in series
+    )

@@ -150,3 +150,70 @@ class TestReportCommand:
             ["report", "NOPE", "--out", str(tmp_path / "x.md")], out=out
         )
         assert code == 2
+
+
+class TestAttackCommand:
+    # exact engine, seed 7, rounds 64: the search rediscovers the
+    # Figure 1 star dictatorship in one step, deterministically.
+    FOUND = ["attack", "--engine", "exact", "--rounds", "64", "--seed", "7"]
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["attack"])
+        assert args.scenario == "misreport"
+        assert args.n == 25 and args.budget == 4
+        assert args.rounds == 512 and args.engine == "mc"
+        assert args.out is None and args.check is None
+
+    def test_parser_rejects_unknown_scenario(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["attack", "--scenario", "nope"])
+
+    def test_star_violation_found(self):
+        out = io.StringIO()
+        assert main(self.FOUND, out=out) == 0
+        text = out.getvalue()
+        assert "step 0: misreport:v0->0.625" in text
+        assert "candidate moves in" in text
+        assert "certificate verifies (replayed bitwise from scratch)" in text
+
+    def test_out_writes_verifiable_certificate(self, tmp_path):
+        import json
+
+        from repro.attacks import verify_certificate
+
+        path = tmp_path / "cert.json"
+        out = io.StringIO()
+        assert main(self.FOUND + ["--out", str(path)], out=out) == 0
+        assert f"wrote certificate to {path}" in out.getvalue()
+        certificate = json.loads(path.read_text())
+        assert verify_certificate(certificate).ok
+
+        # The emitted file round-trips through --check as exit 0.
+        check_out = io.StringIO()
+        assert main(["attack", "--check", str(path)], out=check_out) == 0
+        assert "certificate verifies" in check_out.getvalue()
+
+    def test_check_rejects_tampered_certificate(self, tmp_path):
+        import json
+
+        path = tmp_path / "cert.json"
+        assert main(self.FOUND + ["--out", str(path)], out=io.StringIO()) == 0
+        certificate = json.loads(path.read_text())
+        certificate["harm"] = certificate["harm"] + 1e-9
+        path.write_text(json.dumps(certificate))
+        out = io.StringIO()
+        assert main(["attack", "--check", str(path)], out=out) == 1
+        assert "REJECTED" in out.getvalue()
+
+    def test_check_unreadable_file_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "nope.json"
+        assert main(["attack", "--check", str(path)], out=io.StringIO()) == 2
+        assert "cannot read certificate" in capsys.readouterr().err
+
+    def test_no_violation_exits_1(self):
+        out = io.StringIO()
+        code = main(
+            self.FOUND + ["--budget", "1", "--min-harm", "0.9"], out=out
+        )
+        assert code == 1
+        assert "no violation" in out.getvalue()

@@ -29,6 +29,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 FIXTURES = Path(__file__).resolve().parent / "lint_fixtures"
 
 BAD_EXPECTATIONS = {
+    "a501.py": "A501",
     "r101.py": "R101",
     "r102.py": "R102",
     "r103.py": "R103",

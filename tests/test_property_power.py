@@ -1,5 +1,7 @@
 """Property-based tests for power indices and serialisation."""
 
+import itertools
+
 import numpy as np
 import pytest
 from hypothesis import given, settings
@@ -8,6 +10,8 @@ from hypothesis import strategies as st
 from repro import io as repro_io
 from repro.analysis.power import (
     banzhaf_indices,
+    dictator_index,
+    forest_banzhaf,
     normalized_banzhaf,
     shapley_shubik_indices,
 )
@@ -15,6 +19,45 @@ from repro.delegation.graph import SELF, DelegationGraph
 from repro.graphs.graph import Graph
 
 weight_lists = st.lists(st.integers(0, 8), min_size=1, max_size=8)
+
+
+def _brute_banzhaf(weights):
+    """Banzhaf by explicit subset enumeration (reference oracle)."""
+    m = len(weights)
+    total = sum(weights)
+    if m == 0 or total == 0:
+        return [0.0] * m
+    quota = total / 2.0
+    out = []
+    for i, wi in enumerate(weights):
+        others = [w for j, w in enumerate(weights) if j != i]
+        pivotal = 0
+        for mask in itertools.product((0, 1), repeat=len(others)):
+            s = sum(w for w, bit in zip(others, mask) if bit)
+            if s <= quota < s + wi:
+                pivotal += 1
+        out.append(pivotal / 2 ** len(others))
+    return out
+
+
+def _brute_shapley(weights):
+    """Shapley–Shubik by explicit permutation enumeration."""
+    m = len(weights)
+    total = sum(weights)
+    if m == 0 or total == 0:
+        return [0.0] * m
+    quota = total / 2.0
+    pivotal = [0] * m
+    count = 0
+    for order in itertools.permutations(range(m)):
+        count += 1
+        acc = 0
+        for player in order:
+            if acc <= quota < acc + weights[player]:
+                pivotal[player] += 1
+                break
+            acc += weights[player]
+    return [p / count for p in pivotal]
 
 
 class TestPowerProperties:
@@ -66,6 +109,41 @@ class TestPowerProperties:
         base = banzhaf_indices(weights)
         scaled = banzhaf_indices([w * factor for w in weights])
         assert np.allclose(base, scaled, atol=1e-9)
+
+
+class TestPowerAgainstBruteForce:
+    """The subset-sum DPs pinned against explicit enumeration oracles."""
+
+    @settings(deadline=None, max_examples=60)
+    @given(st.lists(st.integers(0, 6), min_size=1, max_size=10))
+    def test_banzhaf_matches_subset_enumeration(self, weights):
+        dp = banzhaf_indices(weights)
+        brute = _brute_banzhaf(weights)
+        assert np.allclose(dp, brute, atol=1e-9)
+
+    @settings(deadline=None, max_examples=40)
+    @given(st.lists(st.integers(0, 6), min_size=1, max_size=6))
+    def test_shapley_matches_permutation_enumeration(self, weights):
+        dp = shapley_shubik_indices(weights)
+        brute = _brute_shapley(weights)
+        assert np.allclose(dp, brute, atol=1e-9)
+
+
+class TestFigure1StarDictatorship:
+    """Figure 1's star: all leaves delegating to the hub makes it a dictator."""
+
+    @pytest.mark.parametrize("n", [3, 9, 25])
+    def test_star_hub_is_dictator(self, n):
+        delegates = [SELF] + [0] * (n - 1)
+        forest = DelegationGraph(delegates)
+        assert dictator_index(forest) == pytest.approx(1.0)
+        power = forest_banzhaf(forest)
+        assert power[0] == pytest.approx(1.0)
+        assert np.all(power[1:] == 0.0)
+
+    def test_direct_voting_spreads_power(self):
+        forest = DelegationGraph([SELF] * 9)
+        assert dictator_index(forest) == pytest.approx(1.0 / 9.0)
 
 
 @st.composite
