@@ -206,6 +206,39 @@ def attack_record():
     return record
 
 
+#: Lint-engine throughput records (cold vs cache-warm vs parallel
+#: self-lint of ``src/``) flushed to ``BENCH_lint.json`` next to this
+#: file.  Each entry is ``{case, files, seconds, baseline_seconds,
+#: speedup, files_per_s, detail}`` — ``seconds`` is the measured
+#: configuration, ``baseline_seconds`` the cold single-threaded run it
+#: is asserted against; ``files_per_s`` is the lint throughput headline
+#: the trajectory emitter tracks per commit.
+_LINT_RECORDS: list = []
+
+
+@pytest.fixture
+def lint_record():
+    """Record one lint-throughput measurement for BENCH_lint.json."""
+
+    def record(
+        case: str, files: int, seconds: float, baseline_seconds: float, **detail
+    ):
+        _LINT_RECORDS.append(
+            {
+                "case": case,
+                "files": files,
+                "seconds": seconds,
+                "baseline_seconds": baseline_seconds,
+                "speedup": baseline_seconds / seconds,
+                "files_per_s": files / seconds,
+                "peak_rss_mib": peak_rss_mib(),
+                "detail": detail,
+            }
+        )
+
+    return record
+
+
 def pytest_sessionfinish(session, exitstatus):
     if _MICRO_RECORDS:
         out = Path(__file__).parent / "BENCH_micro.json"
@@ -225,6 +258,9 @@ def pytest_sessionfinish(session, exitstatus):
     if _ATTACK_RECORDS:
         out = Path(__file__).parent / "BENCH_attacks.json"
         out.write_text(json.dumps(_ATTACK_RECORDS, indent=2) + "\n")
+    if _LINT_RECORDS:
+        out = Path(__file__).parent / "BENCH_lint.json"
+        out.write_text(json.dumps(_LINT_RECORDS, indent=2) + "\n")
 
 
 @pytest.fixture

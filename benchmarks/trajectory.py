@@ -2,7 +2,7 @@
 
 Each benchmark suite flushes a point-in-time snapshot (``BENCH_micro``,
 ``BENCH_experiments``, ``BENCH_service``, ``BENCH_sparse``,
-``BENCH_incremental``, ``BENCH_attacks``).  Snapshots answer "how fast
+``BENCH_incremental``, ``BENCH_attacks``, ``BENCH_lint``).  Snapshots answer "how fast
 is HEAD"; they cannot answer "did this PR regress the churn bench"
 without digging through git history.  This emitter folds every snapshot
 into one longitudinal file, ``BENCH_trajectory.json``::
@@ -31,8 +31,10 @@ series its name promises.
 
 Schema 2 adds the throughput fold: records carrying a top-level
 ``moves_per_s`` (the attack-search suite's candidate-scoring headline)
+or ``files_per_s`` (the lint suite's cold/warm throughput headline)
 keep it in their trajectory points, so "how many candidate moves per
-second does the attack search score" is tracked per commit alongside
+second does the attack search score" and "how many files per second
+does the self-lint gate process" are tracked per commit alongside
 wall clock and RSS.
 
 Run directly (``python benchmarks/trajectory.py``) after a benchmark
@@ -106,11 +108,12 @@ def collect_entries(bench_dir: Path = BENCH_DIR) -> Dict[str, Dict]:
             rss = record.get("peak_rss_mib")
             if isinstance(rss, (int, float)) and not isinstance(rss, bool):
                 point["peak_rss_mib"] = float(rss)
-            throughput = record.get("moves_per_s")
-            if isinstance(throughput, (int, float)) and not isinstance(
-                throughput, bool
-            ):
-                point["moves_per_s"] = float(throughput)
+            for headline in ("moves_per_s", "files_per_s"):
+                throughput = record.get(headline)
+                if isinstance(throughput, (int, float)) and not isinstance(
+                    throughput, bool
+                ):
+                    point[headline] = float(throughput)
             entries[_bench_label(suite, record)] = point
     return entries
 

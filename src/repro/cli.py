@@ -151,9 +151,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     lint.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
-        help="report format (default: text)",
+        help="report format (default: text; sarif is SARIF 2.1.0 for "
+        "GitHub code scanning)",
     )
     lint.add_argument(
         "--select",
@@ -168,6 +169,46 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="IDS",
         help="comma-separated rule ids to drop (applied after --select); "
         "an unknown id is a hard error",
+    )
+    lint.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="parse and lint files across N threads (default: 1; output "
+        "is byte-identical for any value)",
+    )
+    lint.add_argument(
+        "--cache",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="incremental lint cache: warm runs re-analyse only changed "
+        "files and their call-graph dependents (default: --cache)",
+    )
+    lint.add_argument(
+        "--cache-dir",
+        default=".reprolint-cache",
+        help="lint cache directory (default: .reprolint-cache)",
+    )
+    lint.add_argument(
+        "--exclude",
+        action="append",
+        default=None,
+        metavar="PATH",
+        help="file or directory subtree to skip (repeatable; how CI "
+        "lints tests/ without tests/lint_fixtures/)",
+    )
+    lint.add_argument(
+        "--baseline",
+        default=None,
+        metavar="PATH",
+        help="subtract the findings recorded in this baseline file; "
+        "only new findings fail the run",
+    )
+    lint.add_argument(
+        "--write-baseline",
+        default=None,
+        metavar="PATH",
+        help="record the current findings as the baseline and exit 0",
     )
 
     attack = sub.add_parser(
@@ -470,14 +511,21 @@ def _split_rule_ids(raw: Optional[str]) -> Optional[List[str]]:
 
 
 def _cmd_lint(args, out) -> int:
+    from pathlib import Path
+
     from repro.lint import (
         UnknownRuleError,
-        lint_paths,
         render_json,
         render_text,
+        rule_catalogue,
+        run_lint,
     )
-    from repro.lint.framework import iter_python_files
-    from pathlib import Path
+    from repro.lint.baseline import (
+        apply_baseline,
+        load_baseline,
+        write_baseline,
+    )
+    from repro.lint.sarif import render_sarif
 
     paths = args.paths or ["src"]
     missing = [p for p in paths if not Path(p).exists()]
@@ -485,17 +533,38 @@ def _cmd_lint(args, out) -> int:
         print(f"error: no such path(s): {', '.join(missing)}", file=sys.stderr)
         return 2
     try:
-        findings = lint_paths(
+        run = run_lint(
             paths,
             select=_split_rule_ids(args.select),
             ignore=_split_rule_ids(args.ignore),
+            cache_dir=args.cache_dir if args.cache else None,
+            jobs=args.jobs,
+            exclude=args.exclude or (),
         )
     except UnknownRuleError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    files_checked = len(iter_python_files([Path(p) for p in paths]))
-    render = render_json if args.format == "json" else render_text
-    print(render(findings, files_checked), file=out)
+    findings = run.findings
+    if args.write_baseline is not None:
+        count = write_baseline(Path(args.write_baseline), findings)
+        print(
+            f"wrote baseline of {count} finding(s) to {args.write_baseline}",
+            file=out,
+        )
+        return 0
+    if args.baseline is not None:
+        try:
+            findings = apply_baseline(findings, load_baseline(Path(args.baseline)))
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"error: cannot read baseline: {exc}", file=sys.stderr)
+            return 2
+    if args.format == "sarif":
+        print(
+            render_sarif(findings, rule_catalogue(), __version__), file=out
+        )
+    else:
+        render = render_json if args.format == "json" else render_text
+        print(render(findings, run.files_checked), file=out)
     return 1 if findings else 0
 
 

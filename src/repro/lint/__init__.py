@@ -26,16 +26,30 @@ K401   kernel-missing-reference  every ``*_batch`` kernel names its
 A501   attack-determinism        ``AttackScenario`` subclasses declare
                                  behavioural ``cache_token`` and never mint
                                  their own entropy
+F601   rng-taint-flow            (flow) rng-derived values never reach digest/
+                                 cache-key paths or module-level mutable state
+                                 (``repro.cache.seed_token`` boundary exempt)
+D203   digest-purity-flow        (flow) hash/key-path inputs are transitively
+                                 deterministic — no clocks, pids, entropy, or
+                                 unsorted-set iteration upstream
+K404   int32-overflow-flow       (flow) CSR ``indptr``/``indices`` reductions
+                                 and products promote to int64 first
+S501   async-blocking-flow       (flow) no blocking call reachable from an
+                                 ``async def`` without executor offload
 X000   parse-error               (built-in) file does not parse
 X001   bad-pragma                (built-in) suppression names an unknown rule
 =====  ========================  ==============================================
 
-Suppress a single occurrence with ``# reprolint: disable=R101`` on the
-finding's line (or the line directly above a flagged ``def``/``class``);
-declare a non-standard kernel oracle with ``# reprolint:
-reference=<fn>``.  Run as ``repro lint [paths] [--format=json]
-[--select/--ignore IDS]``; the CI ``lint`` job runs it self-hosted over
-``src/`` and gates the test jobs.
+The F601/D203/K404/S501 families are *flow* rules: they run over a
+project-wide call graph (``repro.lint.callgraph``) with interprocedural
+taint summaries (``repro.lint.dataflow``), so the flagged line can be in
+a different file than the cause.  Suppress a single occurrence with
+``# reprolint: disable=R101`` on the finding's line (or the line
+directly above a flagged ``def``/``class``); declare a non-standard
+kernel oracle with ``# reprolint: reference=<fn>``.  Run as ``repro
+lint [paths] [--format=json|sarif] [--select/--ignore IDS] [--jobs N]
+[--no-cache] [--baseline FILE]``; the CI ``lint`` job runs it
+self-hosted over ``src/`` and gates the test jobs.
 """
 
 from repro.lint.findings import ERROR, WARNING, Finding
@@ -51,22 +65,28 @@ from repro.lint.framework import (
 )
 from repro.lint.runner import (
     LINT_SCHEMA_VERSION,
+    RULE_MODULES,
+    LintRun,
     UnknownRuleError,
     lint_paths,
     render_json,
     render_text,
     rule_catalogue,
+    run_lint,
 )
+from repro.lint.sarif import render_sarif
 
 __all__ = [
     "ERROR",
     "WARNING",
     "Finding",
     "FileContext",
+    "LintRun",
     "ProjectContext",
     "ProjectRule",
     "Rule",
     "RULES",
+    "RULE_MODULES",
     "LINT_SCHEMA_VERSION",
     "UnknownRuleError",
     "known_rule_ids",
@@ -74,6 +94,8 @@ __all__ = [
     "parse_file",
     "register_rule",
     "render_json",
+    "render_sarif",
     "render_text",
     "rule_catalogue",
+    "run_lint",
 ]

@@ -1,0 +1,72 @@
+"""Finding baselines: adopt flow rules without a big-bang cleanup.
+
+A baseline file records the findings that existed when a path was first
+put under lint (as a multiset of ``(path, rule, message)`` keys — line
+numbers are deliberately *not* part of the key, so unrelated edits that
+shift a pre-existing finding up or down don't resurrect it).  Applying
+the baseline subtracts each recorded key at most ``count`` times; any
+finding beyond the recorded multiplicity is new and still fails the
+run.  CI lints ``benchmarks/`` and ``tests/`` this way: old debt is
+frozen in ``tests/lint_baseline.json``, new debt fails the job.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+from repro.lint.findings import Finding
+
+BASELINE_SCHEMA = 1
+
+_Key = Tuple[str, str, str]
+
+
+def _key(finding: Finding) -> _Key:
+    return (finding.path, finding.rule, finding.message)
+
+
+def write_baseline(path: Path, findings: Sequence[Finding]) -> int:
+    """Record the multiset of current findings; returns the count."""
+    counts: Dict[_Key, int] = {}
+    for finding in findings:
+        counts[_key(finding)] = counts.get(_key(finding), 0) + 1
+    payload = {
+        "schema": BASELINE_SCHEMA,
+        "findings": [
+            {"path": p, "rule": r, "message": m, "count": c}
+            for (p, r, m), c in sorted(counts.items())
+        ],
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return len(findings)
+
+
+def load_baseline(path: Path) -> Dict[_Key, int]:
+    payload = json.loads(path.read_text())
+    if payload.get("schema") != BASELINE_SCHEMA:
+        raise ValueError(
+            f"unsupported baseline schema in {path}: "
+            f"{payload.get('schema')!r}"
+        )
+    counts: Dict[_Key, int] = {}
+    for entry in payload["findings"]:
+        key = (entry["path"], entry["rule"], entry["message"])
+        counts[key] = counts.get(key, 0) + int(entry.get("count", 1))
+    return counts
+
+
+def apply_baseline(
+    findings: Sequence[Finding], baseline: Dict[_Key, int]
+) -> List[Finding]:
+    """Subtract baselined findings (each key at most ``count`` times)."""
+    remaining = dict(baseline)
+    survivors: List[Finding] = []
+    for finding in findings:
+        key = _key(finding)
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+            continue
+        survivors.append(finding)
+    return survivors

@@ -165,12 +165,24 @@ class ProjectContext:
     """Everything project-scoped rules see: all files, one pass."""
 
     files: List[FileContext] = field(default_factory=list)
+    _callgraph: Optional[object] = field(
+        default=None, repr=False, compare=False
+    )
 
     def find_file(self, *suffix: str) -> Optional[FileContext]:
         for ctx in self.files:
             if ctx.matches_module(*suffix):
                 return ctx
         return None
+
+    def callgraph(self):
+        """The project call graph, built once and shared by every flow
+        rule (F601/D203/K404/S501) and the incremental cache."""
+        if self._callgraph is None:
+            from repro.lint.callgraph import CallGraph  # avoid cycle
+
+            self._callgraph = CallGraph(self)
+        return self._callgraph
 
 
 class Rule:
@@ -304,8 +316,25 @@ def _import_aliases(tree: ast.Module) -> Dict[str, str]:
     return aliases
 
 
-def iter_python_files(paths: Iterable[Path]) -> List[Path]:
-    """Expand files/directories into a sorted, de-duplicated .py list."""
+def iter_python_files(
+    paths: Iterable[Path], exclude: Iterable[Path] = ()
+) -> List[Path]:
+    """Expand files/directories into a sorted, de-duplicated .py list.
+
+    ``exclude`` names files or directory subtrees to drop (compared by
+    resolved path, so relative spellings match) — how CI lints
+    ``tests/`` without the intentionally-broken fixture corpus.
+    """
+    excluded = {Path(e).resolve() for e in exclude}
+
+    def is_excluded(candidate: Path) -> bool:
+        if not excluded:
+            return False
+        resolved = candidate.resolve()
+        return resolved in excluded or any(
+            parent in excluded for parent in resolved.parents
+        )
+
     seen: Set[Path] = set()
     out: List[Path] = []
     for path in paths:
@@ -314,7 +343,7 @@ def iter_python_files(paths: Iterable[Path]) -> List[Path]:
         else:
             candidates = [path]
         for candidate in candidates:
-            if candidate in seen:
+            if candidate in seen or is_excluded(candidate):
                 continue
             seen.add(candidate)
             out.append(candidate)

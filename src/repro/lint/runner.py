@@ -1,21 +1,52 @@
-"""The reprolint runner: collect files, run rules, filter, report.
+"""The reprolint runner: collect files, run rules, cache, report.
 
-``lint_paths`` is the library entry point (the CLI and the test suite
-both call it); it returns sorted findings after suppression comments
-and ``--select``/``--ignore`` filtering.  Unknown rule ids in either
-filter raise :class:`UnknownRuleError` — a typo in CI's ``--select``
-must fail the job loudly, not silently lint nothing.
+``run_lint`` is the library entry point (the CLI and the test suite
+both go through it); it returns a :class:`LintRun` carrying the sorted
+findings plus the bookkeeping the incremental-cache contract is pinned
+on: which files were actually re-analysed and which were served from
+cache.  ``lint_paths`` is the historical findings-only wrapper.
+
+Rule modules are **auto-discovered**: every ``repro.lint.rules_*``
+module on disk is imported for its registration side effect, so adding
+a rule file can never be silently skipped by a forgotten import (the
+test suite asserts each discovered module registers at least one rule).
+
+The incremental flow (``cache_dir`` set):
+
+1. hash every file (one read; bytes feed parsing too);
+2. look up each file's cache entry — valid only if its own hash *and*
+   every recorded transitive-dependency hash still match;
+3. all hits → serve every finding with zero parsing or analysis;
+4. otherwise parse everything, build the call graph, and take the
+   **dirty set** = misses ∪ reverse-dependency closure of the misses
+   over the *new* graph (the closure catches files whose behaviour
+   changes because a new file appeared that they now resolve against);
+5. per-file rules run on dirty files only; project rules run once over
+   the whole project (their fixpoint needs every summary) but only
+   dirty files' findings are refreshed — clean files keep their cached
+   findings, which the dependency fingerprints guarantee are identical
+   to what a cold run would produce;
+6. dirty entries are rewritten with fresh fingerprints.
+
+``--jobs N`` parallelises parsing and per-file rule execution across a
+thread pool; results are collected in submission order and sorted, so
+the output is byte-identical for every N (asserted in the tests).
 """
 
 from __future__ import annotations
 
+import importlib
 import json
+import pkgutil
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.lint.findings import Finding
 from repro.lint.framework import (
     PARSE_ERROR_ID,
+    FileContext,
     ProjectContext,
     ProjectRule,
     RULES,
@@ -25,15 +56,26 @@ from repro.lint.framework import (
     pragma_findings,
 )
 
-# Importing the rule modules registers their rules.
-from repro.lint import rules_attacks  # noqa: F401  (registration side effect)
-from repro.lint import rules_cache  # noqa: F401
-from repro.lint import rules_digest  # noqa: F401
-from repro.lint import rules_kernel  # noqa: F401
-from repro.lint import rules_rng  # noqa: F401
-
-LINT_SCHEMA_VERSION = 1
+LINT_SCHEMA_VERSION = 2
 """Version of the ``--format=json`` report layout."""
+
+
+def _discover_rule_modules() -> Tuple[str, ...]:
+    """Import every ``repro.lint.rules_*`` module for its registrations."""
+    import repro.lint as _pkg
+
+    names = sorted(
+        info.name
+        for info in pkgutil.iter_modules(_pkg.__path__)
+        if info.name.startswith("rules_")
+    )
+    for name in names:
+        importlib.import_module(f"repro.lint.{name}")
+    return tuple(names)
+
+
+RULE_MODULES = _discover_rule_modules()
+"""Discovered rule module names, in import order (exposed for tests)."""
 
 
 class UnknownRuleError(ValueError):
@@ -55,48 +97,168 @@ def _check_rule_ids(
     return ids
 
 
-def lint_paths(
+@dataclass(frozen=True)
+class LintRun:
+    """One lint invocation's findings plus cache bookkeeping."""
+
+    findings: List[Finding]
+    files_checked: int
+    analyzed: Tuple[str, ...] = ()  # files whose rules actually ran
+    cached: Tuple[str, ...] = ()  # files served entirely from cache
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+
+def _parse_one(
+    path: Path, data: bytes
+) -> Tuple[Optional[FileContext], Optional[Finding]]:
+    try:
+        return parse_file(path, data.decode("utf-8")), None
+    except (SyntaxError, UnicodeDecodeError) as exc:
+        lineno = getattr(exc, "lineno", None) or 1
+        offset = getattr(exc, "offset", None) or 0
+        msg = getattr(exc, "msg", None) or str(exc)
+        return None, Finding(
+            path=str(path),
+            line=lineno,
+            col=offset + 1,
+            rule=PARSE_ERROR_ID,
+            message=f"file does not parse: {msg}",
+        )
+
+
+def _check_file(ctx: FileContext) -> List[Finding]:
+    """Pragma validation plus every per-file rule, suppression applied."""
+    out: List[Finding] = list(pragma_findings(ctx))
+    for rule in RULES.values():
+        if isinstance(rule, ProjectRule):
+            continue
+        for finding in rule.check(ctx):
+            if not ctx.suppressed(finding.line, finding.rule):
+                out.append(finding)
+    return out
+
+
+def _map_ordered(fn, items, jobs: int) -> List[Any]:
+    """``map`` preserving order, across ``jobs`` threads when asked."""
+    items = list(items)
+    if jobs <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    with ThreadPoolExecutor(max_workers=jobs) as pool:
+        return list(pool.map(fn, items))
+
+
+def _dirty_closure(
+    misses: Set[str], dependencies: Dict[str, Set[str]]
+) -> Set[str]:
+    """Misses plus every file that (transitively) depends on one."""
+    reverse: Dict[str, Set[str]] = {}
+    for path, deps in dependencies.items():
+        for dep in deps:
+            reverse.setdefault(dep, set()).add(path)
+    dirty = set(misses)
+    queue = list(misses)
+    while queue:
+        current = queue.pop()
+        for dependant in reverse.get(current, ()):
+            if dependant not in dirty:
+                dirty.add(dependant)
+                queue.append(dependant)
+    return dirty
+
+
+def run_lint(
     paths: Sequence[Union[str, Path]],
     select: Optional[Iterable[str]] = None,
     ignore: Optional[Iterable[str]] = None,
-) -> List[Finding]:
-    """Lint files/directories; return surviving findings, sorted.
+    cache_dir: Optional[Union[str, Path]] = None,
+    jobs: int = 1,
+    exclude: Sequence[Union[str, Path]] = (),
+) -> LintRun:
+    """Lint files/directories; return findings plus cache bookkeeping.
 
     ``select`` keeps only the named rule ids; ``ignore`` drops them
     (applied after ``select``).  Suppression comments are honoured
     before either filter.  Unknown ids raise :class:`UnknownRuleError`.
+    ``cache_dir`` enables the incremental cache; ``jobs`` parallelises
+    parsing and per-file rules (output independent of the value).
     """
+    from repro.lint.cache import LintCache, hash_files, source_sha
+
     selected = _check_rule_ids(select, "--select")
     ignored = _check_rule_ids(ignore, "--ignore")
 
+    files = iter_python_files(
+        [Path(p) for p in paths], exclude=[Path(e) for e in exclude]
+    )
+    contents = hash_files(files)
+    shas = {path: source_sha(data) for path, data in contents.items()}
+
+    cache: Optional[LintCache] = None
+    entries: Dict[str, Any] = {}
+    if cache_dir is not None:
+        cache = LintCache(Path(cache_dir), sorted(known_rule_ids()))
+        entries = {
+            str(path): cache.load(str(path), shas[str(path)], shas)
+            for path in files
+        }
+
+    misses = {str(path) for path in files if entries.get(str(path)) is None}
+
+    def finish(
+        findings: List[Finding], analyzed: Set[str], cached: Set[str]
+    ) -> LintRun:
+        findings = sorted(findings)
+        if selected is not None:
+            findings = [f for f in findings if f.rule in selected]
+        if ignored is not None:
+            findings = [f for f in findings if f.rule not in ignored]
+        return LintRun(
+            findings=findings,
+            files_checked=len(files),
+            analyzed=tuple(sorted(analyzed)),
+            cached=tuple(sorted(cached)),
+            cache_hits=cache.hits if cache else 0,
+            cache_misses=cache.misses if cache else 0,
+        )
+
+    if cache is not None and not misses:
+        # Every entry validated: serve findings with zero parsing.
+        findings = [f for path in files for f in entries[str(path)].findings]
+        return finish(findings, set(), {str(p) for p in files})
+
+    # Parse everything (the call graph needs the whole project even
+    # when only a few files are dirty).
+    parsed = _map_ordered(
+        lambda path: _parse_one(path, contents[str(path)]), files, jobs
+    )
     project = ProjectContext()
-    findings: List[Finding] = []
-    for path in iter_python_files([Path(p) for p in paths]):
-        try:
-            ctx = parse_file(path)
-        except SyntaxError as exc:
-            findings.append(
-                Finding(
-                    path=str(path),
-                    line=exc.lineno or 1,
-                    col=(exc.offset or 0) + 1,
-                    rule=PARSE_ERROR_ID,
-                    message=f"file does not parse: {exc.msg}",
-                )
-            )
-            continue
-        project.files.append(ctx)
+    parse_errors: Dict[str, Finding] = {}
+    for (ctx, error) in parsed:
+        if ctx is not None:
+            project.files.append(ctx)
+        elif error is not None:
+            parse_errors[error.path] = error
 
-    for ctx in project.files:
-        findings.extend(pragma_findings(ctx))
-        for rule in RULES.values():
-            if isinstance(rule, ProjectRule):
-                continue
-            for finding in rule.check(ctx):
-                if not ctx.suppressed(finding.line, finding.rule):
-                    findings.append(finding)
+    graph = project.callgraph()
+    dirty = _dirty_closure(misses, graph.file_dependencies())
 
+    # Per-file rules on dirty files only, in deterministic order.
+    dirty_ctxs = [ctx for ctx in project.files if str(ctx.path) in dirty]
+    by_file: Dict[str, List[Finding]] = {path: [] for path in dirty}
+    for path, error in parse_errors.items():
+        if path in dirty:
+            by_file[path].append(error)
+    for ctx, result in zip(
+        dirty_ctxs, _map_ordered(_check_file, dirty_ctxs, jobs)
+    ):
+        by_file[str(ctx.path)].extend(result)
+
+    # Project rules see the whole project (summaries need every file);
+    # only dirty files' findings are refreshed — clean files keep their
+    # cached findings, which their dependency fingerprints pin.
     by_path = {str(ctx.path): ctx for ctx in project.files}
+    uncacheable: List[Finding] = []
     for rule in RULES.values():
         if not isinstance(rule, ProjectRule):
             continue
@@ -104,13 +266,42 @@ def lint_paths(
             ctx = by_path.get(finding.path)
             if ctx is not None and ctx.suppressed(finding.line, finding.rule):
                 continue
-            findings.append(finding)
+            if finding.path in by_file:
+                by_file[finding.path].append(finding)
+            elif finding.path not in entries or entries[finding.path] is None:
+                # Anchored outside the linted file set (should not
+                # happen in practice); report but never cache.
+                uncacheable.append(finding)
 
-    if selected is not None:
-        findings = [f for f in findings if f.rule in selected]
-    if ignored is not None:
-        findings = [f for f in findings if f.rule not in ignored]
-    return sorted(findings)
+    if cache is not None:
+        transitive = graph.transitive_dependencies()
+        for path in sorted(dirty):
+            deps = {
+                dep: shas[dep]
+                for dep in transitive.get(path, ())
+                if dep in shas
+            }
+            cache.store(path, shas.get(path, ""), deps, sorted(by_file[path]))
+
+    findings = [f for fs in by_file.values() for f in fs] + uncacheable
+    clean: Set[str] = set()
+    for path in map(str, files):
+        if path in dirty:
+            continue
+        entry = entries.get(path)
+        if entry is not None:
+            findings.extend(entry.findings)
+            clean.add(path)
+    return finish(findings, dirty, clean)
+
+
+def lint_paths(
+    paths: Sequence[Union[str, Path]],
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+) -> List[Finding]:
+    """Historical entry point: findings only, no cache, one thread."""
+    return run_lint(paths, select=select, ignore=ignore).findings
 
 
 def render_text(findings: Sequence[Finding], files_checked: int) -> str:

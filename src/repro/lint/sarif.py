@@ -1,0 +1,114 @@
+"""SARIF 2.1.0 rendering for reprolint findings.
+
+SARIF (Static Analysis Results Interchange Format) is what GitHub's
+code-scanning API ingests: uploading the log from CI annotates the
+changed lines of a pull request with the findings inline.  One run per
+log, one ``result`` per finding, the full rule catalogue embedded in
+the driver so the UI can show each rule's description.
+
+The output is deterministic: findings arrive pre-sorted from the
+runner, the catalogue is registration-ordered, and all JSON is dumped
+with sorted keys — so warm-vs-cold and ``--jobs N`` byte-identity
+contracts extend to the SARIF artifact.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Sequence
+
+from repro.lint.findings import ERROR, Finding
+
+SARIF_VERSION = "2.1.0"
+_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+_LEVELS = {ERROR: "error"}
+_DEFAULT_LEVEL = "warning"
+
+
+def _artifact_uri(path: str) -> str:
+    """Forward-slash relative URI; SARIF viewers resolve against root."""
+    p = Path(path)
+    if p.is_absolute():
+        try:
+            p = p.relative_to(Path.cwd())
+        except ValueError:
+            pass
+    return p.as_posix()
+
+
+def sarif_payload(
+    findings: Sequence[Finding],
+    catalogue: Sequence[Dict[str, str]],
+    version: str,
+) -> Dict[str, Any]:
+    """The SARIF log as a plain dict (exposed for tests)."""
+    rules: List[Dict[str, Any]] = [
+        {
+            "id": entry["id"],
+            "name": entry["name"],
+            "shortDescription": {"text": entry["name"]},
+            "fullDescription": {"text": entry["description"]},
+            "defaultConfiguration": {"level": "error"},
+        }
+        for entry in catalogue
+    ]
+    rule_index = {entry["id"]: i for i, entry in enumerate(catalogue)}
+    results: List[Dict[str, Any]] = []
+    for finding in findings:
+        result: Dict[str, Any] = {
+            "ruleId": finding.rule,
+            "level": _LEVELS.get(finding.severity, _DEFAULT_LEVEL),
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": _artifact_uri(finding.path),
+                            "uriBaseId": "%SRCROOT%",
+                        },
+                        "region": {
+                            "startLine": finding.line,
+                            "startColumn": finding.col,
+                        },
+                    }
+                }
+            ],
+        }
+        if finding.rule in rule_index:
+            result["ruleIndex"] = rule_index[finding.rule]
+        results.append(result)
+    return {
+        "$schema": _SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "reprolint",
+                        "informationUri": (
+                            "https://example.invalid/docs/static-analysis.md"
+                        ),
+                        "version": version,
+                        "rules": rules,
+                    }
+                },
+                "columnKind": "unicodeCodePoints",
+                "results": results,
+            }
+        ],
+    }
+
+
+def render_sarif(
+    findings: Sequence[Finding],
+    catalogue: Sequence[Dict[str, str]],
+    version: str,
+) -> str:
+    return json.dumps(
+        sarif_payload(findings, catalogue, version), indent=2, sort_keys=True
+    )

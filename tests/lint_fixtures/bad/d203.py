@@ -1,0 +1,27 @@
+"""Known-bad: nondeterministic values flowing into digests (D203)."""
+
+import hashlib
+import os
+import time
+
+
+def stamp():
+    # The clock reading happens here; the hash is in the caller, so
+    # only a flow-sensitive rule connects the two.
+    return time.time()
+
+
+def stamped_payload_sha():
+    reading = stamp()  # interprocedural: taint arrives via summary
+    return hashlib.sha256(str(reading).encode()).hexdigest()
+
+
+def request_token(request):
+    return hashlib.blake2s(f"{os.getpid()}:{request}".encode()).hexdigest()
+
+
+def options_fingerprint(options):
+    # Set iteration order varies across processes under hash
+    # randomisation; joining it bakes that order into the digest.
+    joined = ",".join({o.lower() for o in options})
+    return hashlib.sha256(joined.encode()).hexdigest()

@@ -1,0 +1,26 @@
+"""Known-bad: rng-derived values reaching digest/key paths (F601)."""
+
+import hashlib
+
+import numpy as np
+
+_LAST_DRAW = {}
+
+
+def make_generator():
+    # The generator is constructed here; callers are tainted through
+    # the function summary, not the visible call site.
+    return np.random.default_rng(0)
+
+
+def draw_fingerprint():
+    gen = make_generator()  # interprocedural: taint arrives via summary
+    draw = gen.integers(0, 1 << 30)
+    return hashlib.sha256(str(draw).encode()).hexdigest()
+
+
+def remember_draw(label):
+    gen = make_generator()
+    # Draws stashed in module-level mutable state outlive the call and
+    # make later behaviour depend on draw order.
+    _LAST_DRAW[label] = gen.integers(0, 10)

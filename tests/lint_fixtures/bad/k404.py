@@ -1,0 +1,17 @@
+"""Known-bad: int32 CSR index arithmetic without promotion (K404)."""
+
+
+def edge_offsets(graph):
+    # Helper returning the raw (possibly int32) indptr: callers are
+    # tainted through the summary.
+    return graph.indptr
+
+
+def total_edge_span(graph):
+    offsets = edge_offsets(graph)  # interprocedural
+    return offsets.cumsum()  # accumulates in int32 and wraps at 2^31
+
+
+def weighted_degree_mass(graph):
+    degrees = graph.indptr[1:] - graph.indptr[:-1]
+    return (degrees * graph.indices).sum()

@@ -1,0 +1,19 @@
+"""Known-bad: blocking calls reachable from async defs (S501)."""
+
+import subprocess
+import time
+
+
+def _warm_worker():
+    # Blocking in a sync helper is only a finding because an async def
+    # reaches it through the call graph.
+    time.sleep(0.5)
+    return True
+
+
+async def refresh():
+    return _warm_worker()  # interprocedural
+
+
+async def spawn_probe(cmd):
+    return subprocess.run(cmd)  # direct blocking call in the async def

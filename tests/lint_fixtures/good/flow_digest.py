@@ -1,0 +1,18 @@
+"""Known-good digest flows: clocks measured, never hashed (D203)."""
+
+import hashlib
+import time
+
+
+def timed(fn):
+    # Wall-clock readings are fine when they feed a measurement, not a
+    # key: the tainted value never reaches a hash or *_key call.
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def options_fingerprint(options):
+    # sorted() launders set-iteration order before the digest.
+    joined = ",".join(sorted({o.lower() for o in options}))
+    return hashlib.sha256(joined.encode()).hexdigest()

@@ -1,0 +1,20 @@
+"""Known-good rng flows: seeds key digests, draws stay out (F601)."""
+
+import hashlib
+
+import numpy as np
+
+
+def make_generator(seed):
+    return np.random.default_rng(seed)
+
+
+def seed_key(seed):
+    # Plain integer seeds are legitimate cache-key material — the
+    # estimate digest is *supposed* to include the seed.
+    return hashlib.sha256(str(seed).encode()).hexdigest()
+
+
+def draw_mean(seed):
+    gen = make_generator(seed)
+    return float(gen.standard_normal(8).mean())

@@ -1,0 +1,17 @@
+"""Known-good CSR index arithmetic: promoted before reducing (K404)."""
+
+import numpy as np
+
+
+def edge_offsets(graph):
+    return graph.indptr
+
+
+def total_edge_span(graph):
+    # Explicit int64 promotion clears the width taint before cumsum.
+    return edge_offsets(graph).astype(np.int64).cumsum()
+
+
+def degree_mass(graph):
+    degrees = np.diff(graph.indptr.astype(np.int64))
+    return degrees.sum(dtype=np.int64)

@@ -1,0 +1,19 @@
+"""Known-good async code: blocking work offloaded (S501)."""
+
+import asyncio
+import time
+
+
+def _warm_worker():
+    time.sleep(0.5)
+    return True
+
+
+async def refresh(loop):
+    # Passing the function (not calling it) creates no call edge, so
+    # executor offload is exempt automatically.
+    return await loop.run_in_executor(None, _warm_worker)
+
+
+async def refresh_to_thread():
+    return await asyncio.to_thread(_warm_worker)

@@ -69,6 +69,49 @@ def test_schema2_folds_attack_throughput(tmp_path):
     assert point["moves_per_s"] == 55.0
 
 
+def test_schema2_folds_lint_throughput(tmp_path):
+    """Records carrying ``files_per_s`` keep the lint headline."""
+    _write(tmp_path, "BENCH_lint.json", [
+        {
+            "case": "cold",
+            "files": 107,
+            "seconds": 2.6,
+            "files_per_s": 41.0,
+            "peak_rss_mib": 100.0,
+        },
+        {"case": "warm", "seconds": 0.01, "files_per_s": 10700.0},
+    ])
+    entries = trajectory.collect_entries(tmp_path)
+    assert entries == {
+        "lint/cold": {
+            "wall_s": 2.6,
+            "peak_rss_mib": 100.0,
+            "files_per_s": 41.0,
+        },
+        "lint/warm": {"wall_s": 0.01, "files_per_s": 10700.0},
+    }
+    trajectory.emit_trajectory(tmp_path, commit="eeee555")
+    payload = json.loads((tmp_path / "BENCH_trajectory.json").read_text())
+    assert payload["schema"] == 2
+    point = payload["benches"]["lint/cold"][0]
+    assert point["files_per_s"] == 41.0
+
+
+def test_committed_trajectory_covers_lint_bench():
+    """The checked-in trajectory tracks self-lint throughput."""
+    bench_dir = TRAJECTORY_PATH.parent
+    payload = json.loads((bench_dir / "BENCH_trajectory.json").read_text())
+    lint_series = [
+        series
+        for name, series in payload["benches"].items()
+        if name.startswith("lint/")
+    ]
+    assert lint_series, "no lint/* series in the trajectory"
+    assert all(
+        "files_per_s" in point for series in lint_series for point in series
+    )
+
+
 def test_records_without_seconds_are_skipped(tmp_path):
     _write(tmp_path, "BENCH_micro.json", [
         {"op": "no_timing"},

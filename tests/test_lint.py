@@ -19,6 +19,7 @@ import pytest
 from repro.cli import main
 from repro.lint import (
     RULES,
+    RULE_MODULES,
     UnknownRuleError,
     lint_paths,
     rule_catalogue,
@@ -40,6 +41,10 @@ BAD_EXPECTATIONS = {
     "k403.py": "K403",
     "c301.py": "C301",
     "c303.py": "C303",
+    "f601.py": "F601",
+    "d203.py": "D203",
+    "k404.py": "K404",
+    "s501.py": "S501",
     "x000.py": "X000",
     "x001.py": "X001",
 }
@@ -190,6 +195,28 @@ class TestRegistry:
         assert {"X000", "X001"} <= ids
         assert set(RULES) <= ids
 
+    def test_rule_modules_are_auto_discovered(self):
+        # pkgutil discovery must have picked up every rules_* module in
+        # the package directory, and each must register at least one
+        # rule under an id present in the live registry.
+        import importlib
+
+        package_dir = Path(
+            importlib.import_module("repro.lint").__file__
+        ).parent
+        on_disk = {
+            p.stem for p in package_dir.glob("rules_*.py")
+        }
+        assert set(RULE_MODULES) == on_disk and on_disk
+        registered_by = {}
+        for rule_cls in RULES.values():
+            registered_by.setdefault(rule_cls.__module__, []).append(
+                rule_cls.id
+            )
+        for name in RULE_MODULES:
+            ids = registered_by.get(f"repro.lint.{name}", [])
+            assert ids, f"{name} registers no rules"
+
 
 class TestCli:
     def _run(self, *argv):
@@ -211,7 +238,7 @@ class TestCli:
         code, text = self._run(str(FIXTURES / "bad" / "r101.py"), "--format=json")
         assert code == 1
         payload = json.loads(text)
-        assert payload["schema"] == 1
+        assert payload["schema"] == 2
         assert payload["files_checked"] == 1
         assert payload["counts"] == {"R101": 2}
         assert all(f["rule"] == "R101" for f in payload["findings"])
